@@ -1,0 +1,47 @@
+"""Shared benchmark infrastructure.
+
+Every figure benchmark:
+
+* runs the corresponding :mod:`repro.experiments` driver once (wrapped
+  in ``benchmark.pedantic`` so pytest-benchmark reports the wall time
+  without re-running a multi-second simulation dozens of times);
+* prints the same rows/series the paper plots (visible with ``-s`` or
+  in the captured section of the report);
+* asserts the paper's qualitative *shape* — who wins, by roughly what
+  factor — not absolute tick values.
+
+Scale: benchmarks default to the CI-friendly ``small`` preset; set
+``REPRO_SCALE=paper`` for the paper's full sizes (minutes to hours).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active scale preset (REPRO_SCALE env var, default small)."""
+    return get_scale()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a zero-argument callable exactly once under the benchmark.
+
+    Simulation experiments are seconds-long and deterministic; there is
+    no point re-running them for statistical confidence, so a single
+    timed round is used.
+    """
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return runner
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure reproduction block (shown with pytest -s)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}")

@@ -1,0 +1,33 @@
+"""Ablation A5 (§8.1): how loose are the Theorem 2 bounds in practice?
+
+The paper's future-work §8.1 notes its Figure 3 bounds are "very
+loose", leaving "way too many balls in the system", and §6 observes the
+TTL can be relaxed from 15 to 5 at n = 100 with no holes. This
+benchmark quantifies the slack empirically: Monte-Carlo the gossip
+protocol across a TTL sweep at the theoretical fanout and report the
+measured miss rate (with a Wilson upper confidence limit) next to the
+analytic bound, plus the smallest TTL with zero observed misses.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_empirical_bounds
+
+from conftest import emit
+
+
+def test_empirical_ttl_slack(run_once):
+    result = run_once(lambda: run_empirical_bounds(n=100, trials=300))
+    emit("Ablation A5 (§8.1): empirical miss probability vs TTL", result.render())
+
+    by_ttl = {e.rounds: e for e in result.sweep}
+    # Paper: TTL=5 already delivered everything at n=100.
+    assert by_ttl[5].misses == 0
+    assert by_ttl[result.theory_ttl].misses == 0
+    # The slack is at least a factor ~3 (15 -> 5 in the paper).
+    assert result.smallest_reliable <= result.theory_ttl // 2
+    # Misses genuinely appear once the TTL is starved enough.
+    assert by_ttl[2].miss_rate > 0.0
+    # Monotone improvement with more rounds.
+    rates = [e.miss_rate for e in result.sweep]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,38 @@
+"""Figure 3 benchmark: probabilistic agreement upper bounds.
+
+Regenerates both panels — P[fixed process misses an event] (3a) and
+P[any process misses an event] (3b) for c in {2, 3, 4} and n up to
+1000 — and checks the curves sit at the figure's magnitudes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3_bounds import run_fig3
+
+from conftest import emit
+
+
+def test_fig3_bounds(benchmark):
+    result = benchmark(run_fig3)
+    emit("Figure 3: hole probability upper bounds (log10 P)", result.table())
+
+    fixed = {c: dict(points) for c, points in result.fixed_process.items()}
+    any_ = {c: dict(points) for c, points in result.any_process.items()}
+
+    # Shape: magnitudes at n = 1000 match the figure's y axis.
+    assert -9.5 < fixed[2.0][1000] < -8.0  # ~1e-9
+    assert -14.0 < fixed[3.0][1000] < -12.0  # ~1e-13
+    assert -18.5 < fixed[4.0][1000] < -16.0  # ~1e-17/1e-18
+
+    # Shape: panel (b) is the union bound over n processes.
+    for c in (2.0, 3.0, 4.0):
+        for n in (100, 500, 1000):
+            assert any_[c][n] >= fixed[c][n]
+
+    # Shape: larger c -> uniformly smaller probability.
+    for n in (100, 500, 1000):
+        assert fixed[4.0][n] < fixed[3.0][n] < fixed[2.0][n]
+
+    # Shape: curves decrease with n (more balls per event).
+    for c in (2.0, 3.0, 4.0):
+        assert fixed[c][1000] < fixed[c][100] < fixed[c][10]

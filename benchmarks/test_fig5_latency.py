@@ -1,0 +1,39 @@
+"""Figure 5 benchmark: the PlanetLab latency distribution.
+
+Regenerates the latency CDF from the synthetic model fitted to the
+paper's published trace statistics and checks every quoted number.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5_latency import (
+    PAPER_MEAN,
+    PAPER_P5,
+    PAPER_P50,
+    PAPER_P95,
+    PAPER_STD,
+    run_fig5,
+)
+from repro.metrics.report import format_cdf_series
+
+from conftest import emit
+
+
+def test_fig5_latency_distribution(benchmark):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    emit(
+        "Figure 5: end-to-end latency distribution (synthetic PlanetLab)",
+        result.table()
+        + "\n\n"
+        + format_cdf_series({"latency": result.cdf}, percentiles=(5, 25, 50, 75, 95)),
+    )
+
+    summary = result.summary
+    assert summary.mean == PAPER_MEAN * 1.0 or abs(summary.mean - PAPER_MEAN) < 0.12 * PAPER_MEAN
+    assert abs(summary.std - PAPER_STD) < 0.15 * PAPER_STD
+    assert abs(summary.p50 - PAPER_P50) < 0.10 * PAPER_P50
+    assert abs(summary.p95 - PAPER_P95) < 0.10 * PAPER_P95
+    assert PAPER_P5 * 0.5 < summary.p5 < PAPER_P5 * 2.0
+
+    # Shape: heavy tail up to several times the round duration of 125.
+    assert summary.maximum > 600

@@ -1,0 +1,54 @@
+"""Figure 6 benchmark: ordering cost over reliable (unordered) delivery.
+
+Regenerates the four delivery-delay CDFs (baseline, EpTO global clock
+at the theoretical TTL, EpTO logical clock, EpTO at the reduced TTL=5)
+and checks the paper's headline shapes:
+
+* total order at the theoretical TTL costs ~3-5x reliable delivery;
+* TTL=5 still delivers everything, in order, with zero holes —
+  "the theoretical analysis is conservative";
+* the logical clock costs about twice the global clock (doubled TTL).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_baseline import run_fig6
+
+from conftest import emit
+
+
+def test_fig6_ordering_cost(run_once, scale):
+    result = run_once(lambda: run_fig6(scale))
+    emit(
+        f"Figure 6: delivery delay, baseline vs EpTO "
+        f"(n={scale.fig6_n}, 5% broadcast)",
+        result.render(),
+    )
+
+    baseline = result.results["baseline (no order)"]
+    global_clock = result.results["global clock"]
+    logical_clock = result.results["logical clock"]
+    reduced = result.results["global clock TTL=5"]
+
+    # Paper: ordering costs ~3-5x reliable delivery (allow 2-8x slack
+    # across scales and seeds).
+    factor = result.ordering_cost_factor()
+    assert 2.0 < factor < 8.0, f"ordering cost factor {factor}"
+
+    # Paper: TTL=5 is a substantial improvement yet still safe.
+    assert reduced.summary.p50 < 0.6 * global_clock.summary.p50
+    assert reduced.report.safety_ok
+    assert reduced.holes == 0
+
+    # Logical clock ~2x global clock (Lemma 4 doubling).
+    ratio = logical_clock.summary.p50 / global_clock.summary.p50
+    assert 1.4 < ratio < 2.6, f"logical/global ratio {ratio}"
+
+    # Every EpTO configuration: deterministic safety, zero holes.
+    for label in ("global clock", "logical clock", "global clock TTL=5"):
+        res = result.results[label]
+        assert res.report.safety_ok, label
+        assert res.holes == 0, label
+
+    # The baseline delivered everything too (reliability), just unordered.
+    assert baseline.deliveries == baseline.events_broadcast * scale.fig6_n

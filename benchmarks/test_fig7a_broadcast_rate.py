@@ -1,0 +1,43 @@
+"""Figure 7a benchmark: scalability in the number of concurrent events.
+
+Sweeps the per-process broadcast probability (1% -> 10%) for both clock
+types and checks the paper's observation: "the broadcast rate has
+little impact on delivery delay when using either global or logical
+clocks".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7_scalability import run_fig7a
+
+from conftest import emit
+
+
+def test_fig7a_broadcast_rate_sweep(run_once, scale):
+    result = run_once(lambda: run_fig7a(scale))
+    emit(
+        f"Figure 7a: delivery delay vs broadcast rate (n={scale.fig7a_n})",
+        result.render(),
+    )
+
+    for clock in ("global", "logical"):
+        medians = [
+            res.summary.p50
+            for (rate, c), res in sorted(result.results.items())
+            if c == clock and res.summary is not None
+        ]
+        assert medians, clock
+        # Little impact: a 10x rate increase moves the median < 40%.
+        assert max(medians) < 1.4 * min(medians), (clock, medians)
+
+    # Logical clock curves sit above global clock curves (doubled TTL).
+    for rate in scale.fig7a_rates:
+        g = result.results[(rate, "global")]
+        l = result.results[(rate, "logical")]
+        if g.summary and l.summary:
+            assert l.summary.p50 > g.summary.p50
+
+    # Paper: zero holes in every run.
+    for key, res in result.results.items():
+        assert res.report.safety_ok, key
+        assert res.holes == 0, key

@@ -1,0 +1,43 @@
+"""Figure 9 benchmark: churn with Cyclon as the peer sampling service.
+
+Same sweep as Figure 8, but views are maintained by a real Cyclon
+overlay running over the same (lossy to churned-out nodes) network.
+Paper shape: "there is a performance degradation due to the above
+factors" — stale view entries mean lost balls and joiners take time to
+become visible — yet deliveries still complete, in total order.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig8_churn import run_fig8
+from repro.experiments.fig9_cyclon import run_fig9
+
+from conftest import emit
+
+
+def test_fig9_cyclon_churn_sweep(run_once, scale):
+    result = run_once(lambda: run_fig9(scale))
+    emit(
+        f"Figure 9: delivery delay under churn with Cyclon PSS "
+        f"(n={scale.sweep_n}, global clock, 5% broadcast)",
+        result.render(),
+    )
+
+    assert result.pss == "cyclon"
+    for rate, res in sorted(result.results.items()):
+        assert res.report.safety_ok, rate
+        assert res.holes == 0, rate
+        # Everyone stable still delivered everything.
+        assert res.deliveries > 0
+
+    # Degradation vs the idealized PSS at the highest churn level:
+    # stale Cyclon views lose balls to departed nodes, which the
+    # idealized view never does.
+    uniform = run_fig8(scale)
+    high = max(scale.sweep_rates)
+    cyclon_dead = result.results[high].messages_dropped
+    uniform_dead = uniform.results[high].messages_dropped
+    assert cyclon_dead > uniform_dead, (
+        f"expected more drops via stale views: cyclon={cyclon_dead} "
+        f"uniform={uniform_dead}"
+    )

@@ -1,0 +1,68 @@
+"""§8.4 benchmark: the latency-vs-ordering-probability tradeoff curve.
+
+Regenerates, for the paper's headline size (n = 100, theoretical K and
+TTL), the operating curve an application would choose from when using
+the §8.4 extension: per relay round, the estimated probability that an
+event is stable and the expected coverage — i.e. how much of the
+deterministic TTL wait can be traded against how much confidence.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tradeoffs import (
+    latency_saving,
+    rounds_for_coverage,
+    rounds_for_stability,
+    tradeoff_curve,
+)
+from repro.core.params import min_fanout, min_ttl
+from repro.metrics.report import format_table
+
+from conftest import emit
+
+N = 100
+
+
+def test_tradeoff_curve(run_once):
+    fanout = min_fanout(N)
+    ttl = min_ttl(N)
+
+    def measure():
+        curve = tradeoff_curve(N, fanout)
+        return {
+            "curve": curve,
+            "majority": rounds_for_coverage(N, fanout, 0.5),
+            "p99": rounds_for_stability(N, fanout, 0.99),
+            "p999": rounds_for_stability(N, fanout, 0.999),
+            "saving": latency_saving(N, fanout, ttl, 0.999),
+        }
+
+    data = run_once(measure)
+    curve = data["curve"]
+
+    rows = [
+        (
+            point.rounds,
+            f"{point.expected_coverage:.1%}",
+            f"{point.probability_stable:.4f}",
+        )
+        for point in curve[: ttl + 1]
+    ]
+    emit(
+        f"§8.4: latency/confidence tradeoff (n={N}, K={fanout}, TTL={ttl})\n"
+        f"majority coverage after {data['majority']} rounds; "
+        f"P[stable]>=99% after {data['p99']} rounds; "
+        f">=99.9% after {data['p999']} rounds; "
+        f"latency saving at 99.9%: {data['saving']:.0%}",
+        format_table(["rounds", "expected coverage", "P[stable]"], rows),
+    )
+
+    # Majority is reached within a handful of rounds (K ~ 17).
+    assert data["majority"] <= 3
+    # High confidence arrives well before the deterministic TTL.
+    assert data["p999"] < ttl
+    assert data["saving"] > 0.3
+    # The curve is monotone and saturates.
+    probs = [p.probability_stable for p in curve]
+    assert probs == sorted(probs)
+    assert probs[-1] > 0.9999

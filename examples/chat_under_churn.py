@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""A total-order chat room surviving churn, loss and WAN latency.
+
+Demonstrates the paper's robustness claims (§5, Figures 8–10) in one
+application-shaped scenario: a chat room of 60 members where
+
+* messages are EpTO-broadcast at a 5% per-member per-round probability,
+* 5% of the membership churns (leaves + joins) every round while the
+  chat is active,
+* 5% of all network messages are lost,
+* latencies follow the PlanetLab-like heavy-tailed distribution.
+
+Every member that stayed in the room sees *exactly the same
+transcript* — same messages, same order, no holes — matching the
+paper's §6 observation that "we have not observed a single hole in the
+sequence of delivered events".
+
+Run with::
+
+    python examples/chat_under_churn.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ChurnDriver,
+    ClusterConfig,
+    EpToConfig,
+    PlanetLabLatency,
+    SimCluster,
+    SimNetwork,
+    Simulator,
+    check_run,
+)
+from repro.workloads import ProbabilisticWorkload
+
+MEMBERS = 60
+CHURN_RATE = 0.05
+LOSS_RATE = 0.05
+CHAT_ROUNDS = 8
+
+
+def main() -> None:
+    sim = Simulator(seed=2026)
+    network = SimNetwork(sim, latency=PlanetLabLatency(), loss_rate=LOSS_RATE)
+    config = EpToConfig.for_system_size(
+        MEMBERS, churn_rate=CHURN_RATE, loss_rate=LOSS_RATE
+    )
+    print(
+        f"room size {MEMBERS}, churn {CHURN_RATE:.0%}/round, "
+        f"loss {LOSS_RATE:.0%}, K={config.fanout}, TTL={config.ttl}"
+    )
+
+    cluster = SimCluster(sim, network, ClusterConfig(epto=config))
+    cluster.add_nodes(MEMBERS)
+
+    delta = config.round_interval
+    chat_end = CHAT_ROUNDS * delta
+
+    def message(index: int) -> str:
+        return f"msg-{index}"
+
+    ProbabilisticWorkload(
+        sim, cluster, rate=0.05, rounds=CHAT_ROUNDS, payload_factory=message
+    )
+    ChurnDriver(sim, cluster, rate=CHURN_RATE, start=1, stop_after=chat_end)
+
+    run_end = chat_end + (config.ttl + 12) * delta
+    sim.run(until=run_end)
+
+    collector = cluster.collector
+    stable = collector.stable_nodes(since=0, until=run_end)
+    report = check_run(collector, correct_nodes=stable)
+
+    transcripts = {
+        tuple(collector.sequence_of(node_id)) for node_id in stable
+    }
+    print(f"messages sent: {collector.broadcast_count}")
+    print(f"members that stayed the whole time: {len(stable)}")
+    print(f"distinct transcripts among them: {len(transcripts)}")
+    print(f"specification check: {report.summary()}")
+    print(
+        f"network: {network.stats.sent} msgs, "
+        f"{network.stats.dropped_loss} lost, "
+        f"{network.stats.dropped_dead} to departed members"
+    )
+
+    assert len(transcripts) == 1, "stable members saw different histories"
+    assert report.safety_ok and report.agreement_ok
+
+
+if __name__ == "__main__":
+    main()

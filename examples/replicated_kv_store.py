@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""State-machine replication: a versioned key-value store over EpTO.
+
+The paper motivates EpTO with DataFlasks (§1.1): an epidemic data store
+that, lacking ordering, "delegates important tasks such as version
+control to the client". This example shows what EpTO buys such a
+system: every replica applies the same writes in the same order, so
+version control becomes trivial — the replicas *are* consistent.
+
+Two runs over the identical workload and network:
+
+1. **EpTO total order** — all replicas converge to byte-identical
+   stores;
+2. **unordered epidemic broadcast** (the Figure 6 baseline) — replicas
+   apply writes in arrival order and typically diverge on contended
+   keys (last-writer-wins races resolve differently per replica).
+
+Run with::
+
+    python examples/replicated_kv_store.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro import (
+    BallsBinsProcess,
+    ClusterConfig,
+    EpToConfig,
+    Event,
+    PlanetLabLatency,
+    SimCluster,
+    SimNetwork,
+    Simulator,
+)
+
+N = 12
+KEYS = ("config", "leader", "quota")
+WRITES_PER_REPLICA = 3
+
+
+@dataclass
+class KvStore:
+    """A replica's materialized state: key -> (value, version)."""
+
+    data: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    def apply(self, event: Event) -> None:
+        key, value = event.payload
+        _, version = self.data.get(key, ("", 0))
+        self.data[key] = (value, version + 1)
+
+    def snapshot(self) -> Tuple[Tuple[str, str, int], ...]:
+        return tuple(
+            (key, value, version)
+            for key, (value, version) in sorted(self.data.items())
+        )
+
+
+def run(process_kind: str, seed: int = 11) -> Dict[int, KvStore]:
+    """Run the workload under EpTO or the unordered baseline."""
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim, latency=PlanetLabLatency(), loss_rate=0.01)
+    config = EpToConfig.for_system_size(N, loss_rate=0.01)
+
+    stores: Dict[int, KvStore] = {}
+
+    def factory(*, node_id, pss, transport, on_deliver, time_source, rng):
+        return BallsBinsProcess(
+            node_id=node_id,
+            config=config,
+            peer_sampler=pss,
+            transport=transport,
+            on_deliver=on_deliver,
+            time_source=time_source,
+            rng=rng,
+        )
+
+    cluster = SimCluster(
+        sim,
+        network,
+        ClusterConfig(epto=config),
+        process_factory=factory if process_kind == "unordered" else None,
+    )
+    cluster.add_nodes(N)
+
+    # Hook each replica's delivery stream into its store. The cluster's
+    # collector already journals deliveries; we additionally materialize.
+    for node_id in cluster.alive_ids():
+        stores[node_id] = KvStore()
+
+    original = cluster.collector.record_delivery
+
+    def record_and_apply(node_id: int, event: Event, time: int) -> None:
+        original(node_id, event, time)
+        stores[node_id].apply(event)
+
+    cluster.collector.record_delivery = record_and_apply  # type: ignore[method-assign]
+
+    # Contended workload: every replica writes every key.
+    rng = sim.fork_rng("kv-workload")
+    writers = list(cluster.alive_ids())
+    for round_idx in range(WRITES_PER_REPLICA):
+        for writer in writers:
+            key = KEYS[rng.randrange(len(KEYS))]
+            cluster.broadcast_from(writer, (key, f"v{round_idx}-by-{writer}"))
+        sim.run_for(config.round_interval)  # writes spread across rounds
+
+    sim.run_for((config.ttl + 10) * config.round_interval)
+    return stores
+
+
+def main() -> None:
+    for kind in ("epto", "unordered"):
+        stores = run(kind)
+        snapshots = {store.snapshot() for store in stores.values()}
+        status = "CONSISTENT" if len(snapshots) == 1 else "DIVERGED"
+        print(f"{kind:>9}: {len(snapshots)} distinct replica states -> {status}")
+        if len(snapshots) == 1:
+            print("           sample state:")
+            for key, value, version in next(iter(snapshots)):
+                print(f"             {key} = {value!r} (version {version})")
+    print(
+        "\nEpTO's total order makes the replicated store deterministic; "
+        "the unordered epidemic typically diverges on contended keys."
+    )
+
+
+if __name__ == "__main__":
+    main()

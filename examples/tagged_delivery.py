@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Tagged delivery (§8.2): late events reach the app instead of vanishing.
+
+Base EpTO drops an event whenever delivering it would violate total
+order. The paper's §8.2 extension instead hands such events to the
+application *tagged as out-of-order* — "a significant improvement over
+existing work using failure detectors that simply discards such
+perturbed processes".
+
+This example engineers the paper's Figure 4 mechanism with logical
+clocks: process 0 sits isolated behind a partition, so its Lamport
+clock never advances while the rest of the cluster broadcasts and
+delivers events with ever-growing timestamps. When process 0 finally
+broadcasts, its event carries a *stale* timestamp that orders before
+events the others have long delivered. Once the partition heals, base
+EpTO would silently drop that event everywhere; with tagged delivery
+every process still receives it, marked out-of-order.
+
+Run with::
+
+    python examples/tagged_delivery.py
+"""
+
+from __future__ import annotations
+
+from repro import ClusterConfig, EpToConfig, SimCluster, SimNetwork, Simulator
+from repro.core import EpToProcess
+from repro.sim import FixedLatency
+
+N = 10
+ISOLATED = 0
+
+
+def main() -> None:
+    sim = Simulator(seed=5)
+    network = SimNetwork(sim, latency=FixedLatency(20))
+    # Logical clocks; tagged delivery enabled.
+    config = EpToConfig.for_system_size(N, clock="logical").with_overrides(
+        tagged_delivery=True
+    )
+    delta = config.round_interval
+
+    tagged: dict[int, list] = {nid: [] for nid in range(N)}
+
+    def factory(*, node_id, pss, transport, on_deliver, time_source, rng):
+        return EpToProcess(
+            node_id=node_id,
+            config=config,
+            peer_sampler=pss,
+            transport=transport,
+            on_deliver=on_deliver,
+            on_out_of_order=tagged[node_id].append,
+            time_source=time_source,
+            rng=rng,
+        )
+
+    cluster = SimCluster(
+        sim, network, ClusterConfig(epto=config), process_factory=factory
+    )
+    cluster.add_nodes(N)
+
+    # Phase 1: process 0 is partitioned off. The rest broadcast and
+    # deliver; their Lamport clocks race ahead. Process 0 hears
+    # nothing, so its clock stays at zero.
+    network.set_partition({ISOLATED: "alone", **{n: "main" for n in range(1, N)}})
+    for i in range(5):
+        cluster.broadcast_from(1 + i, f"main-{i}")
+        sim.run_for(delta)
+    sim.run_for((config.ttl + 4) * delta)
+
+    # Phase 2: the isolated process broadcasts with its stale clock
+    # (ts = 1), then the partition heals and the event spreads.
+    stale_event = cluster.broadcast_from(ISOLATED, "stale-broadcast")
+    network.heal_partition()
+    sim.run_for((config.ttl + 6) * delta)
+
+    collector = cluster.collector
+    main_ts = [rec.event.ts for rec in collector.broadcasts() if rec.event.id != stale_event.id]
+    print(f"main-partition events carried ts {sorted(main_ts)}")
+    print(f"isolated process broadcast with stale ts = {stale_event.ts}")
+
+    in_order = sum(
+        1 for nid in range(1, N) if stale_event.id in collector.delivered_ids_of(nid)
+    )
+    tagged_count = sum(
+        1 for nid in range(1, N) if any(e.id == stale_event.id for e in tagged[nid])
+    )
+    print(f"\nhealthy processes delivering the stale event in order : {in_order}")
+    print(f"healthy processes receiving it tagged out-of-order    : {tagged_count}")
+    print(f"isolated process delivered its own event in order     : "
+          f"{stale_event.id in collector.delivered_ids_of(ISOLATED)}")
+
+    # Without the extension those `tagged_count` processes would have
+    # dropped the event silently; with it, nobody missed the payload.
+    assert in_order + tagged_count == N - 1
+    assert tagged_count > 0, "expected the stale event to be tagged somewhere"
+    print("\nevery process observed the payload; total order never violated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""A replicated counter over real UDP datagrams (paper §8.5).
+
+The most end-to-end configuration in this repository: the unmodified
+EpTO core, driven by asyncio timers, gossiping serialized balls over
+genuine loopback UDP sockets, feeding deterministic state machines via
+the SMR toolkit. Every node independently computes the same counter
+value because every node applies the same commands in the same order.
+
+Run with::
+
+    python examples/udp_replicated_counter.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.core import EpToConfig
+from repro.pss.base import MembershipDirectory
+from repro.pss.uniform import UniformViewPss
+from repro.runtime.node import AsyncEpToNode
+from repro.runtime.udp import UdpNetwork
+from repro.smr import Counter, Replica
+
+NODES = 8
+ROUND_MS = 20
+
+
+async def main() -> None:
+    config = EpToConfig(fanout=4, ttl=6, round_interval=ROUND_MS, clock="logical")
+    network = UdpNetwork()
+    directory = MembershipDirectory()
+    replicas: dict[int, Replica] = {}
+    nodes: list[AsyncEpToNode] = []
+
+    for node_id in range(NODES):
+        replica = Replica(node_id, Counter(), journal_commands=True)
+        replicas[node_id] = replica
+        node = AsyncEpToNode(
+            node_id=node_id,
+            config=config,
+            network=network,  # UDP fabric quacks like AsyncNetwork
+            peer_sampler=UniformViewPss(
+                node_id, directory, random.Random(f"udp-demo:{node_id}")
+            ),
+            on_deliver=replica.on_deliver,
+            seed=2026,
+        )
+        directory.add(node_id)
+        nodes.append(node)
+
+    await network.open_all()
+    ports = [network.address_of(n)[1] for n in range(NODES)]
+    print(f"{NODES} nodes on UDP ports {ports}")
+    for node in nodes:
+        node.start()
+
+    # Concurrent increments from different nodes — including negative
+    # ones, so application order would matter if it ever diverged.
+    commands = [(0, ("add", 10)), (3, ("add", -4)), (5, ("add", 7)), (7, ("reset",)), (2, ("add", 42))]
+    for node_id, command in commands:
+        nodes[node_id].broadcast(command)
+        await asyncio.sleep(0.005)
+
+    deadline = asyncio.get_event_loop().time() + 10.0
+    while asyncio.get_event_loop().time() < deadline:
+        if all(r.applied_count >= len(commands) for r in replicas.values()):
+            break
+        await asyncio.sleep(0.02)
+
+    for node in nodes:
+        await node.stop()
+    await network.close()
+
+    values = {replica.machine.value for replica in replicas.values()}
+    # Commands cross the wire as JSON, so tuples come back as lists.
+    journals = {
+        tuple(tuple(command) for command in replica.journal)
+        for replica in replicas.values()
+    }
+    print(f"datagrams sent: {network.stats.sent}, "
+          f"delivered: {network.stats.delivered}")
+    print(f"distinct replica values  : {len(values)} -> {values}")
+    print(f"distinct command orders  : {len(journals)}")
+    print(f"agreed command order     : {next(iter(journals))}")
+    assert len(values) == 1 and len(journals) == 1
+    print("\nall replicas agree, over real sockets, with no coordinator.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

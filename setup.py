@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The modern PEP 517 editable install path needs the ``wheel`` package,
+which is unavailable in fully offline environments; this shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` route there. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

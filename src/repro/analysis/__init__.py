@@ -1,0 +1,61 @@
+"""Analytic machinery: hole-probability bounds and balls-in-bins math."""
+
+from .ballsbins import (
+    EpidemicTrace,
+    coupon_collector_threshold,
+    epidemic_growth,
+    expected_empty_bins,
+    p_all_bins_hit,
+    p_bin_empty,
+    simulate_gossip_coverage,
+    simulate_throws,
+)
+from .empirical import (
+    HoleEstimate,
+    estimate_hole_probability,
+    smallest_reliable_ttl,
+    ttl_sweep,
+)
+from .tradeoffs import (
+    TradeoffPoint,
+    latency_saving,
+    rounds_for_coverage,
+    rounds_for_stability,
+    tradeoff_curve,
+)
+from .bounds import (
+    balls_thrown,
+    hole_bound_series,
+    log10_p_hole_any_process,
+    log10_p_hole_fixed_process,
+    p_hole_any_process,
+    p_hole_fixed_process,
+    smallest_c_for_target,
+)
+
+__all__ = [
+    "EpidemicTrace",
+    "HoleEstimate",
+    "TradeoffPoint",
+    "balls_thrown",
+    "latency_saving",
+    "rounds_for_coverage",
+    "rounds_for_stability",
+    "tradeoff_curve",
+    "estimate_hole_probability",
+    "smallest_reliable_ttl",
+    "ttl_sweep",
+    "coupon_collector_threshold",
+    "epidemic_growth",
+    "expected_empty_bins",
+    "hole_bound_series",
+    "log10_p_hole_any_process",
+    "log10_p_hole_fixed_process",
+    "p_all_bins_hit",
+    "p_bin_empty",
+    "p_hole_any_process",
+    "p_hole_fixed_process",
+    "simulate_gossip_coverage",
+    "simulate_throws",
+    "smallest_c_for_target",
+]

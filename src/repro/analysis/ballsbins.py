@@ -1,0 +1,144 @@
+"""Balls-in-bins occupancy mathematics (paper §4.1, Theorem 2).
+
+Support machinery for the Theorem 2 intuition: "during the first
+``log2 n`` rounds, the number of balls disseminated doubles at each
+round until at least ``n`` balls are transmitted per round". This
+module provides the exact occupancy formulas, the epidemic growth
+recurrence used by the §8.4 stability estimator, and a direct
+Monte-Carlo throw simulator used by tests to validate both.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.errors import ConfigurationError
+
+
+def expected_empty_bins(n: int, balls: float) -> float:
+    """Expected number of empty bins after throwing *balls* at *n* bins."""
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    if balls < 0:
+        raise ConfigurationError(f"need balls >= 0, got {balls}")
+    return n * (1.0 - 1.0 / n) ** balls if n > 1 else (0.0 if balls else 1.0)
+
+
+def p_bin_empty(n: int, balls: float) -> float:
+    """Probability a fixed bin is empty after *balls* throws."""
+    if n < 2:
+        raise ConfigurationError(f"need n >= 2, got {n}")
+    return (1.0 - 1.0 / n) ** balls
+
+
+def p_all_bins_hit(n: int, balls: float) -> float:
+    """Union-bound lower estimate of P[every bin received a ball]."""
+    return max(0.0, 1.0 - n * p_bin_empty(n, balls))
+
+
+def coupon_collector_threshold(n: int) -> float:
+    """Expected throws to hit every bin at least once: ``n * H_n``."""
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    harmonic = sum(1.0 / k for k in range(1, n + 1))
+    return n * harmonic
+
+
+@dataclass(frozen=True, slots=True)
+class EpidemicTrace:
+    """Round-by-round expected growth of one event's dissemination.
+
+    Attributes:
+        infected: Expected number of informed processes after each
+            round (``infected[0] == 1``, the broadcaster).
+        balls: Cumulative expected balls thrown up to each round.
+    """
+
+    infected: tuple[float, ...]
+    balls: tuple[float, ...]
+
+    def coverage(self, n: int) -> List[float]:
+        """Per-round expected fraction of informed processes."""
+        return [i / n for i in self.infected]
+
+    def rounds_to_cover(self, n: int, fraction: float = 0.999) -> int:
+        """First round whose expected coverage reaches *fraction*.
+
+        Returns ``len(infected)`` when never reached in the trace.
+        """
+        for idx, infected in enumerate(self.infected):
+            if infected / n >= fraction:
+                return idx
+        return len(self.infected)
+
+
+def epidemic_growth(n: int, fanout: int, rounds: int) -> EpidemicTrace:
+    """Expected-value epidemic recurrence for one event.
+
+    Every informed process throws ``fanout`` balls at uniformly random
+    bins each round; a bin missing every ball stays uninformed::
+
+        i_{t+1} = n - (n - i_t) * (1 - 1/n) ** (fanout * i_t)
+
+    This is the mean-field version of Theorem 2's doubling argument: in
+    the early rounds ``i_{t+1} ~= (1 + fanout) * i_t``, and growth
+    saturates once ``i_t`` approaches ``n``.
+    """
+    if n < 2:
+        raise ConfigurationError(f"need n >= 2, got {n}")
+    if fanout < 1:
+        raise ConfigurationError(f"need fanout >= 1, got {fanout}")
+    if rounds < 0:
+        raise ConfigurationError(f"need rounds >= 0, got {rounds}")
+    keep = 1.0 - 1.0 / n
+    infected = [1.0]
+    balls = [0.0]
+    for _ in range(rounds):
+        current = infected[-1]
+        thrown = fanout * current
+        balls.append(balls[-1] + thrown)
+        infected.append(n - (n - current) * keep**thrown)
+    return EpidemicTrace(infected=tuple(infected), balls=tuple(balls))
+
+
+def simulate_throws(n: int, balls: int, rng: random.Random) -> int:
+    """Monte-Carlo: throw *balls* at *n* bins, return empty-bin count."""
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    hit = bytearray(n)
+    for _ in range(balls):
+        hit[rng.randrange(n)] = 1
+    return n - sum(hit)
+
+
+def simulate_gossip_coverage(
+    n: int, fanout: int, rounds: int, rng: random.Random
+) -> List[int]:
+    """Monte-Carlo run of the Theorem 2 gossip protocol itself.
+
+    Process 0 starts the rumor; each round, every process that received
+    a ball in the *previous* round sends ``fanout`` balls to uniformly
+    random processes. Returns the number of informed processes after
+    each round (index 0 = just the source).
+    """
+    if n < 2:
+        raise ConfigurationError(f"need n >= 2, got {n}")
+    informed = bytearray(n)
+    informed[0] = 1
+    active = {0}
+    coverage = [1]
+    for _ in range(rounds):
+        # "The processes which received one or more balls in the
+        # previous round" — a set, not one entry per ball.
+        next_active: set[int] = set()
+        for _sender in active:
+            for _ in range(fanout):
+                target = rng.randrange(n)
+                informed[target] = 1
+                next_active.add(target)
+        active = next_active
+        coverage.append(sum(informed))
+    return coverage

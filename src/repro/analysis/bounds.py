@@ -1,0 +1,90 @@
+"""Analytic hole-probability bounds (paper §4, Figure 3).
+
+Theorem 2's gossip protocol throws at least ``c * n * log2(n)`` balls
+at ``n`` bins during its last ``c * log2(n)`` rounds. Figure 3 plots,
+under the assumption that an event is disseminated at random exactly
+``c * n * log2(n)`` times:
+
+* **Figure 3a** — the probability that a *fixed* process ``p`` misses
+  event ``e``: every one of the ``B = c * n * log2 n`` balls lands
+  elsewhere, i.e. ``(1 - 1/n) ** B``;
+* **Figure 3b** — the probability that *some* process misses ``e``:
+  the union bound ``n * (1 - 1/n) ** B`` (capped at 1).
+
+These are computed in log-space so the ``1e-18``-scale values of the
+figure don't underflow prematurely, and both the probability and its
+``log10`` are exposed (the figure's y-axis is logarithmic).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+
+
+def balls_thrown(n: int, c: float) -> float:
+    """Number of balls Theorem 2 guarantees: ``c * n * log2(n)``."""
+    if n < 2:
+        raise ConfigurationError(f"system size must be >= 2, got {n}")
+    if c <= 0:
+        raise ConfigurationError(f"c must be > 0, got {c}")
+    return c * n * math.log2(n)
+
+
+def log10_p_hole_fixed_process(n: int, c: float) -> float:
+    """``log10`` of the Figure 3a bound (exact, no underflow)."""
+    balls = balls_thrown(n, c)
+    # log10((1 - 1/n)^balls) = balls * log10(1 - 1/n)
+    return balls * math.log10(1.0 - 1.0 / n)
+
+
+def p_hole_fixed_process(n: int, c: float) -> float:
+    """Figure 3a: P[a fixed process has a hole for event e].
+
+    ``(1 - 1/n) ** (c * n * log2 n)`` — may underflow to 0.0 for large
+    ``n``/``c``; use :func:`log10_p_hole_fixed_process` for plotting.
+    """
+    return 10.0 ** log10_p_hole_fixed_process(n, c)
+
+
+def log10_p_hole_any_process(n: int, c: float) -> float:
+    """``log10`` of the Figure 3b union bound, capped at ``log10(1)=0``."""
+    value = math.log10(n) + log10_p_hole_fixed_process(n, c)
+    return min(0.0, value)
+
+
+def p_hole_any_process(n: int, c: float) -> float:
+    """Figure 3b: P[event e has a hole for at least one process]."""
+    return 10.0 ** log10_p_hole_any_process(n, c)
+
+
+def hole_bound_series(
+    c: float, sizes: Sequence[int]
+) -> List[Tuple[int, float, float]]:
+    """One Figure 3 curve: ``(n, log10 P_fixed, log10 P_any)`` rows."""
+    return [
+        (n, log10_p_hole_fixed_process(n, c), log10_p_hole_any_process(n, c))
+        for n in sizes
+    ]
+
+
+def smallest_c_for_target(n: int, target_p_hole: float) -> float:
+    """Invert Figure 3b: the smallest ``c`` driving the bound under target.
+
+    Answers the deployment question the paper poses in §1.1 ("the
+    probability of having holes ... can be made orders of magnitude
+    smaller than the probability of a catastrophic hardware failure"):
+    given ``n`` and an acceptable per-event hole probability, how large
+    must ``c`` (and hence the TTL) be?
+    """
+    if not 0.0 < target_p_hole < 1.0:
+        raise ConfigurationError(
+            f"target probability must be in (0, 1), got {target_p_hole}"
+        )
+    # log10 P_any = log10 n + c * n * log2 n * log10(1 - 1/n) <= log10(target);
+    # the bracketed factor is the (negative) slope per unit of c.
+    per_c = n * math.log2(n) * math.log10(1.0 - 1.0 / n)
+    needed = (math.log10(target_p_hole) - math.log10(n)) / per_c
+    return max(needed, 0.0)

@@ -1,0 +1,108 @@
+"""Latency-vs-ordering-probability tradeoffs (paper §8.4).
+
+§8.4 proposes exposing the balls-and-bins stability model to the
+application so it can act on events that are *probably* stable instead
+of waiting for the full TTL: "knowing that a majority of processes
+have delivered a message may be sufficient", enabling "a wide range of
+tradeoffs between latency and ordering probability".
+
+This module formalizes that tradeoff on top of the same mean-field
+model as :class:`repro.core.delivery.StabilityEstimator`:
+
+* :func:`rounds_for_stability` — the inverse query: how many relay
+  rounds until P[everyone has the event] reaches a target?
+* :func:`rounds_for_coverage` — ditto for expected coverage (the
+  "majority is enough" policy);
+* :func:`tradeoff_curve` — the full curve an application would pick
+  its operating point from: per round, expected delivery latency (in
+  round intervals) against stability/coverage probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.delivery import StabilityEstimator
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class TradeoffPoint:
+    """One operating point of the §8.4 tradeoff curve.
+
+    Attributes:
+        rounds: Relay rounds waited (the effective TTL, i.e. latency
+            in units of the round interval ``delta``).
+        probability_stable: Estimated P[every process has the event].
+        expected_coverage: Estimated fraction of processes reached.
+    """
+
+    rounds: int
+    probability_stable: float
+    expected_coverage: float
+
+
+def tradeoff_curve(n: int, fanout: int, max_rounds: int | None = None) -> List[TradeoffPoint]:
+    """The full latency/confidence curve for an ``(n, K)`` deployment."""
+    estimator = StabilityEstimator(n, fanout, max_rounds=max_rounds)
+    return [
+        TradeoffPoint(
+            rounds=t,
+            probability_stable=estimator.probability_stable(t),
+            expected_coverage=estimator.coverage_after(t),
+        )
+        for t in range(estimator.max_rounds + 1)
+    ]
+
+
+def rounds_for_stability(n: int, fanout: int, target: float) -> int:
+    """Smallest round count with P[stable] >= *target*.
+
+    Raises:
+        ConfigurationError: If *target* is not in ``(0, 1)`` or is
+            unreachable within the model's horizon (pathological
+            fanout for the system size).
+    """
+    if not 0.0 < target < 1.0:
+        raise ConfigurationError(f"target must be in (0, 1), got {target}")
+    estimator = StabilityEstimator(n, fanout)
+    for t in range(estimator.max_rounds + 1):
+        if estimator.probability_stable(t) >= target:
+            return t
+    raise ConfigurationError(
+        f"P[stable] never reaches {target} within {estimator.max_rounds} "
+        f"rounds for n={n}, K={fanout}"
+    )
+
+
+def rounds_for_coverage(n: int, fanout: int, target: float) -> int:
+    """Smallest round count with expected coverage >= *target*.
+
+    The "majority is enough" query: ``rounds_for_coverage(n, K, 0.5)``
+    is how long an application waits before acting on an event it only
+    needs half the system to have seen.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ConfigurationError(f"target must be in (0, 1], got {target}")
+    estimator = StabilityEstimator(n, fanout)
+    for t in range(estimator.max_rounds + 1):
+        if estimator.coverage_after(t) >= target:
+            return t
+    raise ConfigurationError(
+        f"coverage never reaches {target} within {estimator.max_rounds} "
+        f"rounds for n={n}, K={fanout}"
+    )
+
+
+def latency_saving(n: int, fanout: int, ttl: int, target: float) -> float:
+    """Fraction of the TTL wait an application saves at confidence *target*.
+
+    E.g. ``latency_saving(1000, K, TTL, 0.99) == 0.6`` means acting at
+    99% estimated stability delivers 60% earlier than waiting for the
+    deterministic-TTL path.
+    """
+    if ttl < 1:
+        raise ConfigurationError(f"ttl must be >= 1, got {ttl}")
+    needed = rounds_for_stability(n, fanout, target)
+    return max(0.0, 1.0 - needed / ttl)

@@ -1,0 +1,7 @@
+"""Baseline epidemic broadcast protocols (no / weaker ordering)."""
+
+from .balls_bins import BallsBinsProcess
+from .fifo import FifoProcess
+from .pbcast import StabilityOrderedProcess
+
+__all__ = ["BallsBinsProcess", "FifoProcess", "StabilityOrderedProcess"]

@@ -1,0 +1,90 @@
+"""Configuration object shared by every EpTO process in a deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .errors import ConfigurationError
+from .params import DEFAULT_C, min_fanout, min_ttl
+
+
+@dataclass(frozen=True, slots=True)
+class EpToConfig:
+    """Static configuration of an EpTO process.
+
+    Attributes:
+        fanout: Number of peers each ball is relayed to per round
+            (``K`` in the paper).
+        ttl: Number of rounds events are relayed and aged before they
+            become stable (``TTL`` in the paper). Deployments with
+            logical clocks must pass the doubled Lemma 4 value.
+        round_interval: Round period ``delta`` in time units (simulator
+            ticks or seconds, depending on the runtime).
+        clock: ``"global"`` or ``"logical"`` — which stability oracle
+            the process should instantiate.
+        tagged_delivery: Enable the paper §8.2 extension: events that
+            would be dropped because their delivery would violate total
+            order are instead handed to the application tagged as
+            out-of-order, via a dedicated callback.
+        expose_stability: Enable the paper §8.4 extension: the process
+            exposes, for each known-but-undelivered event, an estimate
+            of its probability of being stable (see
+            :meth:`repro.core.process.EpToProcess.peek`).
+    """
+
+    fanout: int
+    ttl: int
+    round_interval: int = 125
+    clock: str = "global"
+    tagged_delivery: bool = False
+    expose_stability: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ConfigurationError(f"fanout must be >= 1, got {self.fanout}")
+        if self.ttl < 1:
+            raise ConfigurationError(f"ttl must be >= 1, got {self.ttl}")
+        if self.round_interval <= 0:
+            raise ConfigurationError(
+                f"round_interval must be > 0, got {self.round_interval}"
+            )
+        if self.clock not in ("global", "logical"):
+            raise ConfigurationError(f"unknown clock type {self.clock!r}")
+
+    def with_overrides(self, **changes: object) -> "EpToConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @classmethod
+    def for_system_size(
+        cls,
+        n: int,
+        c: float = DEFAULT_C,
+        clock: str = "global",
+        round_interval: int = 125,
+        churn_rate: float = 0.0,
+        loss_rate: float = 0.0,
+        drift_ratio: float = 1.0,
+        latency_bounded_by_round: bool = False,
+        **extra: object,
+    ) -> "EpToConfig":
+        """Build a config from the paper's theoretical bounds.
+
+        Computes ``fanout`` via Theorem 2/Lemma 7 and ``ttl`` via
+        Lemmas 3–6 for a system of *n* processes. Additional keyword
+        arguments (``tagged_delivery``, ``expose_stability``) are
+        forwarded verbatim.
+        """
+        return cls(
+            fanout=min_fanout(n, churn_rate=churn_rate, loss_rate=loss_rate),
+            ttl=min_ttl(
+                n,
+                c=c,
+                clock=clock,
+                latency_bounded_by_round=latency_bounded_by_round,
+                drift_ratio=drift_ratio,
+            ),
+            round_interval=round_interval,
+            clock=clock,
+            **extra,  # type: ignore[arg-type]
+        )

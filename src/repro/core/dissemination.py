@@ -1,0 +1,184 @@
+"""EpTO dissemination component (paper Algorithm 1).
+
+Relays events epidemically using the balls-and-bins scheme of
+Koldehofe [19]: every round, the set of events heard during the round
+(``nextBall``) is shipped to ``K`` uniformly random peers, and incoming
+events keep being relayed until their TTL reaches the configured bound.
+
+The component is driven by three entry points, mirroring the paper's
+three atomic procedures:
+
+* :meth:`DisseminationComponent.broadcast` — ``EpTO-broadcast(event)``,
+* :meth:`DisseminationComponent.receive_ball` — ``upon receive BALL``,
+* :meth:`DisseminationComponent.round_tick` — the periodic task
+  executed every ``delta`` time units.
+
+One deliberate refinement relative to the pseudocode: Algorithm 1
+guards the *whole* round body — including the ``orderEvents`` call —
+behind ``nextBall != empty``. Read literally, a process that stops
+hearing traffic would never age its received events and would never
+deliver them, violating validity in an otherwise quiet network. Known
+EpTO implementations invoke the ordering component every round; we do
+the same and only guard the *network send* on a non-empty ball (the
+aging in Algorithm 2 lines 6–7 must tick every round). See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .clock import StabilityOracle
+from .config import EpToConfig
+from .event import (
+    Ball,
+    Event,
+    EventId,
+    EventIdGenerator,
+    EventRecord,
+    make_ball,
+)
+from .interfaces import PeerSampler, Transport
+
+
+@dataclass(slots=True)
+class DisseminationStats:
+    """Counters exposed for instrumentation and experiments."""
+
+    events_broadcast: int = 0
+    balls_sent: int = 0
+    balls_received: int = 0
+    entries_received: int = 0
+    entries_relayed: int = 0
+    entries_expired: int = 0
+    rounds: int = 0
+
+
+class DisseminationComponent:
+    """Per-process dissemination state machine (Algorithm 1).
+
+    Args:
+        node_id: Identifier of the owning process.
+        config: Shared deployment configuration (fanout, TTL, ...).
+        oracle: Stability oracle supplying ``get_clock`` /
+            ``update_clock`` (Algorithm 3 or 4).
+        peer_sampler: Source of uniformly random peer ids (the PSS).
+        transport: Outgoing message channel.
+        order_events: Callback into the ordering component, invoked
+            once per round with the round's ball
+            (:meth:`repro.core.ordering.OrderingComponent.order_events`).
+        rng: Randomness source for peer selection; defaults to a fresh
+            unseeded generator (simulations pass a seeded one).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: EpToConfig,
+        oracle: StabilityOracle,
+        peer_sampler: PeerSampler,
+        transport: Transport,
+        order_events: Callable[[Ball], None],
+        rng: random.Random | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.oracle = oracle
+        self.peer_sampler = peer_sampler
+        self.transport = transport
+        self.order_events = order_events
+        self.rng = rng if rng is not None else random.Random()
+        self.stats = DisseminationStats()
+        self._id_generator = EventIdGenerator(node_id)
+        # nextBall: events to relay next round, keyed by event id.
+        self._next_ball: dict[EventId, EventRecord] = {}
+        # Only logical clocks react to update_clock; skip the per-entry
+        # call entirely for global clocks (hot path at scale).
+        self._clock_needs_updates = config.clock == "logical"
+
+    @property
+    def next_ball_size(self) -> int:
+        """Number of events queued for relay next round."""
+        return len(self._next_ball)
+
+    def broadcast(self, payload: Any = None) -> Event:
+        """EpTO-broadcast a new event (Algorithm 1 lines 6–10).
+
+        Stamps the event with the local clock, gives it TTL 0 and
+        queues it in ``nextBall`` for relay at the next round tick.
+
+        Returns:
+            The freshly created :class:`~repro.core.event.Event`, so
+            callers can track its id / order key.
+        """
+        event = Event(
+            id=self._id_generator.next_id(),
+            ts=self.oracle.get_clock(),
+            source_id=self.node_id,
+            payload=payload,
+        )
+        self._next_ball[event.id] = EventRecord(event, ttl=0)
+        self.stats.events_broadcast += 1
+        return event
+
+    def receive_ball(self, ball: Ball) -> None:
+        """Handle an incoming ball (Algorithm 1 lines 11–19).
+
+        Events still within their TTL are merged into ``nextBall`` for
+        further relaying, keeping the largest TTL when the event is
+        already queued (avoiding excessive retransmission). Events at
+        or past the TTL are *not* relayed — by then they have been in
+        the system long enough to have reached everyone w.h.p.
+
+        Note the expired events are dropped entirely: they do not reach
+        the ordering component either, exactly as in the pseudocode
+        where ``orderEvents`` only ever sees ``nextBall``.
+        """
+        self.stats.balls_received += 1
+        ttl_bound = self.config.ttl
+        next_ball = self._next_ball
+        for entry in ball:
+            self.stats.entries_received += 1
+            if entry.ttl >= ttl_bound:
+                self.stats.entries_expired += 1
+            else:
+                record = next_ball.get(entry.event.id)
+                if record is not None:
+                    record.merge_ttl(entry.ttl)
+                else:
+                    next_ball[entry.event.id] = EventRecord(entry.event, entry.ttl)
+            if self._clock_needs_updates:
+                self.oracle.update_clock(entry.event.ts)
+
+    def round_tick(self) -> None:
+        """Execute one relay round (Algorithm 1 lines 20–28).
+
+        Ages every queued event, ships the resulting ball to ``K``
+        random peers, feeds it to the ordering component, and resets
+        ``nextBall``. The ball object is immutable, so a single
+        instance is shared among all ``K`` receivers.
+        """
+        self.stats.rounds += 1
+        next_ball = self._next_ball
+        if next_ball:
+            for record in next_ball.values():
+                record.age()
+            ball = make_ball(record.to_entry() for record in next_ball.values())
+            peers = self.peer_sampler.sample(self.config.fanout)
+            for peer in peers:
+                self.transport.send(self.node_id, peer, ball)
+                self.stats.balls_sent += 1
+            self.stats.entries_relayed += len(ball) * len(peers)
+        else:
+            ball = ()
+        # Refinement: order/age every round, not only on non-empty
+        # balls (see module docstring).
+        self.order_events(ball)
+        self._next_ball = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DisseminationComponent(node={self.node_id}, "
+            f"queued={len(self._next_ball)}, rounds={self.stats.rounds})"
+        )

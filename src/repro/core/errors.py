@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers
+can catch everything raised by this package with a single handler while
+still being able to discriminate specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied.
+
+    Raised eagerly at construction time (fail fast) rather than deep
+    inside a simulation run, e.g. a non-positive fanout, a TTL below 1,
+    or a round interval that is not a positive number of ticks.
+    """
+
+
+class MembershipError(ReproError):
+    """A membership operation referenced an unknown or duplicate node."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state.
+
+    For example scheduling an action in the past, or running a
+    simulation whose event queue grows without bound past the configured
+    safety horizon.
+    """
+
+
+class TransportError(ReproError):
+    """A message could not be handed to the transport layer."""
+
+
+class OrderingInvariantError(ReproError):
+    """An internal total-order invariant was violated.
+
+    This error indicates a bug in the library (or deliberately corrupted
+    state in a test), never an expected runtime condition: EpTO
+    guarantees total order *deterministically*, so a violation must
+    abort loudly instead of delivering out of order.
+    """

@@ -1,0 +1,258 @@
+"""EpTO ordering component (paper Algorithm 2).
+
+Moves events from the ``received`` map to the ``delivered`` set while
+preserving total order. An event may be delivered once:
+
+1. the stability oracle deems it deliverable (it has been relayed for
+   more than TTL rounds, so w.h.p. every correct process knows it), and
+2. no *non-deliverable* event in ``received`` precedes it in the total
+   order — otherwise delivering it now could forever block that earlier
+   event (a total-order violation).
+
+Refinements relative to the pseudocode (argued in DESIGN.md):
+
+* **Tie-safe discards.** Algorithm 2 line 9 discards events with
+  ``ts < lastDeliveredTs`` and the final sort breaks ties by source id.
+  Comparing timestamps alone can admit an event that ties on ``ts`` but
+  precedes the last delivered event on the tie-breaker. We track the
+  full order key ``(ts, source_id, seq)`` of the last delivered event
+  and compare lexicographically, which strictly strengthens safety.
+* **Bounded memory.** The paper's ``delivered`` set grows forever. A
+  copy of an event can only keep arriving while the event is still
+  being relayed somewhere, i.e. for O(TTL) rounds after delivery, so
+  ids older than a generous ``2*TTL + 2``-round window are forgotten.
+  Late copies beyond the window are still rejected by the order-key
+  test; the window additionally guarantees the §8.2 tagged channel
+  never re-surfaces an event that was already delivered in order.
+* **Every-round invocation.** ``order_events`` is called each round
+  even with an empty ball so received events keep aging (see
+  :mod:`repro.core.dissemination`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Iterable, List, Optional
+
+from .clock import StabilityOracle
+from .errors import OrderingInvariantError
+from .event import Ball, Event, EventId, EventRecord, OrderKey
+
+#: Signature of the application delivery callback.
+DeliverCallback = Callable[[Event], None]
+
+#: Order key strictly below every real key (real timestamps are >= 0).
+_MINUS_INFINITY_KEY: OrderKey = (-1, -1, -1)
+
+
+@dataclass(slots=True)
+class OrderingStats:
+    """Counters exposed for instrumentation and experiments."""
+
+    delivered: int = 0
+    discarded_duplicates: int = 0
+    discarded_late: int = 0
+    tagged_out_of_order: int = 0
+    rounds: int = 0
+
+
+class OrderingComponent:
+    """Per-process ordering state machine (Algorithm 2).
+
+    Args:
+        oracle: Stability oracle (``isDeliverable``).
+        deliver: Callback receiving each event, in total order.
+        deliver_out_of_order: Optional callback for the paper §8.2
+            *tagged delivery* extension — events whose in-order
+            delivery is no longer possible are handed over tagged as
+            out-of-order instead of being silently dropped. ``None``
+            disables the extension (the paper's base behaviour).
+    """
+
+    def __init__(
+        self,
+        oracle: StabilityOracle,
+        deliver: DeliverCallback,
+        deliver_out_of_order: DeliverCallback | None = None,
+    ) -> None:
+        self.oracle = oracle
+        self.deliver = deliver
+        self.deliver_out_of_order = deliver_out_of_order
+        self.stats = OrderingStats()
+        # received: known but not yet delivered events.
+        self._received: dict[EventId, EventRecord] = {}
+        # Recently delivered ids; entries expire once no further copy
+        # of the event can arrive (see module docstring).
+        self._delivered_ids: set[EventId] = set()
+        self._delivered_expiry: Deque[tuple[int, EventId]] = deque()
+        self._last_delivered_key: OrderKey = _MINUS_INFINITY_KEY
+        # Tagged-delivery dedup (§8.2): remember recently tagged ids so
+        # further copies of the same late event are not re-tagged. A
+        # copy can only keep arriving while the event is still being
+        # relayed, i.e. for O(TTL) more rounds, so entries expire after
+        # a generous multiple of the oracle's TTL.
+        self._tagged_ids: set[EventId] = set()
+        self._tagged_expiry: Deque[tuple[int, EventId]] = deque()
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests, metrics and the §8.4
+    # stability-exposure extension).
+    # ------------------------------------------------------------------
+
+    @property
+    def received_count(self) -> int:
+        """Number of known-but-undelivered events."""
+        return len(self._received)
+
+    @property
+    def last_delivered_key(self) -> OrderKey:
+        """Order key of the most recently delivered event."""
+        return self._last_delivered_key
+
+    def pending_records(self) -> Iterable[EventRecord]:
+        """Snapshot of the received-but-undelivered records."""
+        return list(self._received.values())
+
+    def is_delivered(self, event_id: EventId) -> bool:
+        """Whether *event_id* was delivered within the retention window.
+
+        Ids older than the ``2*TTL + 2``-round window are forgotten
+        (their copies can no longer arrive); such ids report ``False``
+        here but are still rejected by the order-key test.
+        """
+        return event_id in self._delivered_ids
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+
+    def order_events(self, ball: Ball) -> None:
+        """Run one ordering round over *ball* (Algorithm 2).
+
+        Called once per round by the dissemination component with the
+        ball relayed this round (possibly empty).
+        """
+        self.stats.rounds += 1
+        received = self._received
+        self._expire_tagged()
+        self._prune_delivered()
+
+        # Lines 6-7: age every previously received event.
+        for record in received.values():
+            record.age()
+
+        # Lines 8-14: merge the ball into `received`.
+        for entry in ball:
+            event = entry.event
+            if event.id in self._delivered_ids:
+                self.stats.discarded_duplicates += 1
+                continue
+            if event.order_key <= self._last_delivered_key:
+                # Delivering now would violate total order (line 9).
+                self._handle_late_event(event)
+                continue
+            record = received.get(event.id)
+            if record is not None:
+                record.merge_ttl(entry.ttl)
+            else:
+                received[event.id] = EventRecord(event, entry.ttl)
+
+        if not received:
+            return
+
+        # Lines 15-21: split received into deliverable / queued and find
+        # the smallest order key among the non-deliverable ones.
+        is_deliverable = self.oracle.is_deliverable
+        deliverable: list[EventRecord] = []
+        min_queued_key: Optional[OrderKey] = None
+        for record in received.values():
+            if is_deliverable(record):
+                deliverable.append(record)
+            else:
+                key = record.event.order_key
+                if min_queued_key is None or key < min_queued_key:
+                    min_queued_key = key
+
+        if not deliverable:
+            return
+
+        # Lines 22-26: an event ordered after any still-queued event
+        # cannot be delivered yet without risking a total order
+        # violation once that queued event stabilizes.
+        if min_queued_key is not None:
+            deliverable = [
+                record
+                for record in deliverable
+                if record.event.order_key < min_queued_key
+            ]
+
+        # Lines 27-30: deliver in total order.
+        deliverable.sort(key=lambda record: record.event.order_key)
+        for record in deliverable:
+            event = record.event
+            del received[event.id]
+            self._mark_delivered(event)
+            self.deliver(event)
+            self.stats.delivered += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _handle_late_event(self, event: Event) -> None:
+        """Deal with an event whose in-order delivery window has passed.
+
+        Base EpTO silently drops it; with the §8.2 extension enabled the
+        event is delivered tagged as out-of-order so perturbed processes
+        still observe the payload. Tagged deliveries are deduplicated:
+        each late event is handed over at most once.
+        """
+        self.stats.discarded_late += 1
+        if self.deliver_out_of_order is not None and event.id not in self._tagged_ids:
+            self._tagged_ids.add(event.id)
+            self._tagged_expiry.append((self.stats.rounds, event.id))
+            self.stats.tagged_out_of_order += 1
+            self.deliver_out_of_order(event)
+
+    def _expire_tagged(self) -> None:
+        """Forget tagged ids old enough that no further copy can arrive."""
+        horizon = self.stats.rounds - (2 * self.oracle.ttl + 2)
+        expiry = self._tagged_expiry
+        while expiry and expiry[0][0] < horizon:
+            _, event_id = expiry.popleft()
+            self._tagged_ids.discard(event_id)
+
+    def _mark_delivered(self, event: Event) -> None:
+        """Record a delivery, enforcing and advancing the order mark."""
+        key = event.order_key
+        if key <= self._last_delivered_key:
+            raise OrderingInvariantError(
+                f"delivery of {event!r} (key {key}) would not advance the "
+                f"last delivered key {self._last_delivered_key}"
+            )
+        self._last_delivered_key = key
+        self._delivered_ids.add(event.id)
+        self._delivered_expiry.append((self.stats.rounds, event.id))
+
+    def _prune_delivered(self) -> None:
+        """Forget delivered ids once no further copy can arrive.
+
+        An event stops circulating at most TTL relay rounds after its
+        creation; a ``2*TTL + 2``-round retention window (matching the
+        tagged-dedup window and covering cross-process round skew)
+        therefore keeps every id that could still be duplicated while
+        bounding memory by the recent delivery rate.
+        """
+        horizon = self.stats.rounds - (2 * self.oracle.ttl + 2)
+        expiry = self._delivered_expiry
+        while expiry and expiry[0][0] < horizon:
+            _, event_id = expiry.popleft()
+            self._delivered_ids.discard(event_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OrderingComponent(received={len(self._received)}, "
+            f"delivered={self.stats.delivered}, "
+            f"last_key={self._last_delivered_key})"
+        )

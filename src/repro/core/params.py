@@ -1,0 +1,189 @@
+"""Parameter derivation for EpTO (paper Theorem 2 and Lemmas 3–7).
+
+EpTO has two tunables:
+
+* the **fanout** ``K`` — to how many uniformly random peers each
+  process relays its ball every round, and
+* the **TTL** — for how many rounds each event is relayed (and aged
+  before it may be delivered).
+
+The paper derives lower bounds for both from the balls-and-bins gossip
+analysis of Koldehofe [19]:
+
+* Theorem 2 / Lemma 3: ``K >= ceil(2e * ln n / ln ln n)`` and
+  ``TTL >= ceil((c + 1) * log2 n)`` with ``c > 1`` give probabilistic
+  agreement — every process receives every event with probability
+  ``1 - O(n^-(c+1))``.
+* Lemma 4 (logical time): double the TTL.
+* Lemma 5 (process drift bounded by ``delta_min <= delta <= delta_max``):
+  multiply the TTL by ``delta_max / delta_min``.
+* Lemma 6 (network latency below the round duration): add one round.
+* Lemma 7 (churn ``alpha`` processes per round, message loss rate
+  ``epsilon``): inflate the fanout by ``(n / (n - alpha)) / (1 - eps)``.
+
+Paper §6 notes the bounds are conservative: with ``n = 100`` the
+analysis gives TTL = 15 but in simulations TTL = 5 still delivered every
+event in total order. The helpers below expose the exact bound; callers
+are free to pass smaller values to explore the slack (see
+``benchmarks/test_ablation_ttl.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+#: Default safety constant ``c`` of Theorem 2. ``c`` must exceed 1; the
+#: paper's headline configuration (TTL = 15 at n = 100) corresponds to
+#: ``c = 1.25`` since ``ceil(2.25 * log2(100)) = 15``.
+DEFAULT_C = 1.25
+
+
+def min_fanout(n: int, churn_rate: float = 0.0, loss_rate: float = 0.0) -> int:
+    """Minimum fanout ``K`` per Theorem 2, adjusted per Lemma 7.
+
+    Args:
+        n: System size (number of processes). Must be >= 2.
+        churn_rate: Fraction of processes replaced each round
+            (``alpha / n`` in the paper's notation), in ``[0, 1)``.
+        loss_rate: Message loss probability ``epsilon`` in ``[0, 1)``.
+
+    Returns:
+        ``ceil(2e * ln n / ln ln n * 1/(1 - churn) * 1/(1 - loss))``,
+        capped at ``n - 1`` (a process cannot usefully gossip to more
+        distinct peers than exist).
+
+    Raises:
+        ConfigurationError: On out-of-range arguments.
+    """
+    if n < 2:
+        raise ConfigurationError(f"system size must be >= 2, got {n}")
+    if not 0.0 <= churn_rate < 1.0:
+        raise ConfigurationError(f"churn_rate must be in [0, 1), got {churn_rate}")
+    if not 0.0 <= loss_rate < 1.0:
+        raise ConfigurationError(f"loss_rate must be in [0, 1), got {loss_rate}")
+
+    # ln ln n is <= 0 for n <= e; the asymptotic bound is meaningless at
+    # such tiny sizes, so fall back to full fanout (everyone).
+    if n <= 3:
+        return n - 1
+
+    base = 2.0 * math.e * math.log(n) / math.log(math.log(n))
+    # Lemma 7: alpha processes churn per round => factor n / (n - alpha)
+    # = 1 / (1 - churn_rate); loss epsilon => factor 1 / (1 - eps).
+    adjusted = base / (1.0 - churn_rate) / (1.0 - loss_rate)
+    return min(n - 1, math.ceil(adjusted))
+
+
+def min_ttl(
+    n: int,
+    c: float = DEFAULT_C,
+    clock: str = "global",
+    latency_bounded_by_round: bool = False,
+    drift_ratio: float = 1.0,
+) -> int:
+    """Minimum TTL per Lemma 3, adjusted per Lemmas 4–6.
+
+    Args:
+        n: System size. Must be >= 2.
+        c: Safety constant of Theorem 2 (must be > 1). Larger ``c``
+            drives the hole probability down polynomially
+            (``O(n^-(c+1))``) at linear TTL cost.
+        clock: ``"global"`` (Lemma 3) or ``"logical"`` (Lemma 4 —
+            doubles the round count to absorb concurrency holes).
+        latency_bounded_by_round: Apply Lemma 6's ``+1`` round for
+            networks whose latency is below the round duration ``delta``.
+        drift_ratio: ``delta_max / delta_min`` bound on relative round
+            duration drift (Lemma 5). ``1.0`` means no drift.
+
+    Returns:
+        The smallest integer TTL satisfying the relevant lemma.
+
+    Raises:
+        ConfigurationError: On out-of-range arguments.
+    """
+    if n < 2:
+        raise ConfigurationError(f"system size must be >= 2, got {n}")
+    if c <= 1.0:
+        raise ConfigurationError(f"Theorem 2 requires c > 1, got {c}")
+    if drift_ratio < 1.0:
+        raise ConfigurationError(
+            f"drift_ratio is delta_max/delta_min and must be >= 1, got {drift_ratio}"
+        )
+    if clock not in ("global", "logical"):
+        raise ConfigurationError(f"unknown clock type {clock!r}")
+
+    rounds = math.ceil((c + 1.0) * math.log2(n))
+    if clock == "logical":
+        rounds *= 2  # Lemma 4
+    rounds = math.ceil(rounds * drift_ratio)  # Lemma 5
+    if latency_bounded_by_round:
+        rounds += 1  # Lemma 6
+    return rounds
+
+
+@dataclass(frozen=True, slots=True)
+class DerivedParameters:
+    """Fanout and TTL derived from a deployment description.
+
+    Produced by :func:`derive_parameters`; immutable so a configuration
+    can be logged and reused verbatim across runs.
+    """
+
+    n: int
+    fanout: int
+    ttl: int
+    c: float
+    clock: str
+    churn_rate: float
+    loss_rate: float
+    drift_ratio: float
+    latency_bounded_by_round: bool
+
+    def hole_probability_bound(self) -> float:
+        """Theorem 2 upper bound ``O(n^-(c+1))`` on a per-process hole.
+
+        Returns the concrete bound ``(1 - 1/n) ** (c * n * log2 n)``
+        used for paper Figure 3a (see
+        :func:`repro.analysis.bounds.p_hole_fixed_process`).
+        """
+        # Local import to keep core free of an analysis dependency at
+        # module import time.
+        from ..analysis.bounds import p_hole_fixed_process
+
+        return p_hole_fixed_process(self.n, self.c)
+
+
+def derive_parameters(
+    n: int,
+    c: float = DEFAULT_C,
+    clock: str = "global",
+    churn_rate: float = 0.0,
+    loss_rate: float = 0.0,
+    drift_ratio: float = 1.0,
+    latency_bounded_by_round: bool = False,
+) -> DerivedParameters:
+    """Derive a full ``(fanout, TTL)`` pair for a deployment.
+
+    Convenience wrapper combining :func:`min_fanout` and
+    :func:`min_ttl`; see those functions for argument semantics.
+    """
+    return DerivedParameters(
+        n=n,
+        fanout=min_fanout(n, churn_rate=churn_rate, loss_rate=loss_rate),
+        ttl=min_ttl(
+            n,
+            c=c,
+            clock=clock,
+            latency_bounded_by_round=latency_bounded_by_round,
+            drift_ratio=drift_ratio,
+        ),
+        c=c,
+        clock=clock,
+        churn_rate=churn_rate,
+        loss_rate=loss_rate,
+        drift_ratio=drift_ratio,
+        latency_bounded_by_round=latency_bounded_by_round,
+    )

@@ -1,0 +1,331 @@
+"""Ablation drivers: design-choice experiments beyond the paper's figures.
+
+Each driver mirrors the per-figure modules: a ``run_*`` function
+returning a result object with ``table()`` / ``render()``. The
+benchmark suite asserts shapes on these results, and the
+``epto-experiment`` CLI exposes them alongside the figures.
+
+Covered ablations (DESIGN.md §3, rows A1–A5):
+
+* **TTL sensitivity** — the §6 observation that the theoretical TTL is
+  conservative (15 → 5 at n = 100 with zero holes);
+* **fanout starvation** — the K-vs-rounds trade behind Lemma 7;
+* **round phase** — paper-style synchronized round starts vs staggered
+  phases (safety identical, staggered delivers earlier under low
+  latency);
+* **ordering guards** — EpTO's Algorithm 2 guards vs Pbcast-style
+  stability-only delivery under asynchrony (§7);
+* **empirical bounds** — Monte-Carlo miss probabilities vs the
+  Figure 3 analytic bound (§8.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.empirical import HoleEstimate, smallest_reliable_ttl, ttl_sweep
+from ..core.params import DEFAULT_C, min_fanout, min_ttl
+from ..metrics.report import format_table
+from ..sim.latency import FixedLatency
+from .common import ExperimentResult, ExperimentSpec, run_experiment
+from .scale import ScalePreset, get_scale
+
+
+# ----------------------------------------------------------------------
+# A1: TTL sensitivity
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TtlAblationResult:
+    """Per-TTL results plus the theoretical reference value."""
+
+    n: int
+    theory_ttl: int
+    results: Dict[int, ExperimentResult]
+
+    def table(self) -> str:
+        rows = []
+        for ttl, res in sorted(self.results.items()):
+            undelivered = res.events_broadcast * self.n - res.deliveries
+            rows.append(
+                (
+                    ttl,
+                    "-" if res.summary is None else round(res.summary.p50, 0),
+                    res.holes,
+                    undelivered,
+                    "OK" if not res.report.order_violations else "VIOLATED",
+                )
+            )
+        return format_table(
+            ["TTL", "p50 delay", "holes", "undelivered", "order"], rows
+        )
+
+    def render(self) -> str:
+        return (
+            f"n={self.n}, theory TTL={self.theory_ttl}\n" + self.table()
+        )
+
+
+def run_ablation_ttl(
+    scale: ScalePreset | str | None = None, seed: int = 60
+) -> TtlAblationResult:
+    """A1: sweep the TTL from starved to theoretical."""
+    preset = scale if isinstance(scale, ScalePreset) else get_scale(scale)
+    n = preset.fig6_n
+    theory = ExperimentSpec(name="theory", n=n).resolved_ttl()
+    ttls = sorted({2, 3, 5, max(5, theory // 2), theory})
+    results = {}
+    for ttl in ttls:
+        spec = ExperimentSpec(
+            name=f"ablation-ttl-{ttl}",
+            n=n,
+            seed=seed,
+            ttl=ttl,
+            broadcast_rate=0.05,
+            broadcast_rounds=preset.fig6_broadcast_rounds,
+        )
+        results[ttl] = run_experiment(spec)
+    return TtlAblationResult(n=n, theory_ttl=theory, results=results)
+
+
+# ----------------------------------------------------------------------
+# A2: fanout starvation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FanoutAblationResult:
+    """Per-fanout results at a deliberately starved TTL."""
+
+    n: int
+    theory_fanout: int
+    starved_ttl: int
+    results: Dict[int, ExperimentResult]
+
+    def coverage(self, fanout: int) -> float:
+        res = self.results[fanout]
+        possible = res.events_broadcast * self.n
+        return res.deliveries / possible if possible else 1.0
+
+    def table(self) -> str:
+        rows = []
+        for fanout, res in sorted(self.results.items()):
+            rows.append(
+                (
+                    fanout,
+                    res.events_broadcast,
+                    f"{self.coverage(fanout):.1%}",
+                    res.holes,
+                    "OK" if not res.report.order_violations else "VIOLATED",
+                )
+            )
+        return format_table(
+            ["K", "events", "delivery coverage", "holes", "order"], rows
+        )
+
+    def render(self) -> str:
+        return (
+            f"n={self.n}, starved TTL={self.starved_ttl}, "
+            f"theory K={self.theory_fanout}\n" + self.table()
+        )
+
+
+def run_ablation_fanout(
+    scale: ScalePreset | str | None = None, seed: int = 61
+) -> FanoutAblationResult:
+    """A2: sweep the fanout at a starved TTL (Lemma 7's trade)."""
+    preset = scale if isinstance(scale, ScalePreset) else get_scale(scale)
+    n = preset.sweep_n
+    theory_k = min_fanout(n)
+    starved_ttl = 4
+    fanouts = sorted({1, 2, max(3, theory_k // 4), theory_k})
+    results = {}
+    for k in fanouts:
+        spec = ExperimentSpec(
+            name=f"ablation-k-{k}",
+            n=n,
+            seed=seed,
+            fanout=k,
+            ttl=starved_ttl,
+            broadcast_rate=0.05,
+            broadcast_rounds=3,
+        )
+        results[k] = run_experiment(spec)
+    return FanoutAblationResult(
+        n=n, theory_fanout=theory_k, starved_ttl=starved_ttl, results=results
+    )
+
+
+# ----------------------------------------------------------------------
+# A3: round phase
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseAblationResult:
+    """Synchronized vs staggered round starts."""
+
+    results: Dict[str, ExperimentResult]
+
+    def table(self) -> str:
+        rows = [
+            (
+                phase,
+                round(res.summary.p50, 0) if res.summary else "-",
+                round(res.summary.p95, 0) if res.summary else "-",
+                res.holes,
+                "OK" if res.report.safety_ok else "VIOLATED",
+            )
+            for phase, res in self.results.items()
+        ]
+        return format_table(
+            ["phase", "p50 delay", "p95 delay", "holes", "safety"], rows
+        )
+
+    def render(self) -> str:
+        return self.table()
+
+    def speedup(self) -> float:
+        """Staggered median over synchronized median (< 1 = faster)."""
+        sync = self.results["synchronized"].summary
+        stag = self.results["staggered"].summary
+        if sync is None or stag is None:
+            return float("nan")
+        return stag.p50 / sync.p50
+
+
+def run_ablation_phase(
+    scale: ScalePreset | str | None = None, seed: int = 62
+) -> PhaseAblationResult:
+    """A3: compare paper-style synchronized starts with staggered ones."""
+    preset = scale if isinstance(scale, ScalePreset) else get_scale(scale)
+    n = preset.sweep_n
+    results = {}
+    for phase in ("synchronized", "staggered"):
+        spec = ExperimentSpec(
+            name=f"ablation-phase-{phase}",
+            n=n,
+            seed=seed,
+            latency=FixedLatency(5),
+            round_phase=phase,
+            broadcast_rate=0.05,
+            broadcast_rounds=3,
+        )
+        results[phase] = run_experiment(spec)
+    return PhaseAblationResult(results=results)
+
+
+# ----------------------------------------------------------------------
+# A4: ordering guards vs stability-only delivery
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class GuardAblationResult:
+    """Multi-seed order-violation tallies per protocol."""
+
+    n: int
+    seeds: Tuple[int, ...]
+    results: Dict[str, List[ExperimentResult]]
+
+    def violations(self, kind: str) -> int:
+        return sum(len(r.report.order_violations) for r in self.results[kind])
+
+    def table(self) -> str:
+        rows = []
+        for kind, runs in self.results.items():
+            medians = [r.summary.p50 for r in runs if r.summary]
+            rows.append(
+                (
+                    kind,
+                    len(runs),
+                    self.violations(kind),
+                    round(sum(medians) / len(medians), 0) if medians else "-",
+                )
+            )
+        return format_table(
+            ["protocol", "runs", "order violations", "mean p50"], rows
+        )
+
+    def render(self) -> str:
+        return f"n={self.n}, tight TTL=4, seeds={list(self.seeds)}\n" + self.table()
+
+
+def run_ablation_guards(
+    scale: ScalePreset | str | None = None,
+    seeds: Sequence[int] = (40, 41, 42, 43, 44),
+) -> GuardAblationResult:
+    """A4: EpTO vs Pbcast-style delivery under identical asynchrony."""
+    preset = scale if isinstance(scale, ScalePreset) else get_scale(scale)
+    n = preset.sweep_n // 2 or 24
+    results: Dict[str, List[ExperimentResult]] = {}
+    for kind in ("epto", "pbcast"):
+        runs = []
+        for seed in seeds:
+            spec = ExperimentSpec(
+                name=f"guard-{kind}-{seed}",
+                n=n,
+                seed=seed,
+                process_kind=kind,
+                ttl=4,
+                broadcast_rate=0.1,
+                broadcast_rounds=4,
+            )
+            runs.append(run_experiment(spec))
+        results[kind] = runs
+    return GuardAblationResult(n=n, seeds=tuple(seeds), results=results)
+
+
+# ----------------------------------------------------------------------
+# A5: empirical bound looseness
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class EmpiricalBoundsResult:
+    """Miss-rate sweep plus the smallest hole-free TTL."""
+
+    n: int
+    fanout: int
+    theory_ttl: int
+    sweep: List[HoleEstimate]
+    smallest_reliable: int
+
+    def table(self) -> str:
+        rows = [
+            (
+                e.rounds,
+                e.misses,
+                f"{e.miss_rate:.2e}",
+                f"{e.wilson_upper():.1e}",
+            )
+            for e in self.sweep
+        ]
+        return format_table(["TTL", "misses", "miss rate", "99% Wilson upper"], rows)
+
+    def render(self) -> str:
+        return (
+            f"n={self.n}, K={self.fanout}, theory TTL={self.theory_ttl}, "
+            f"smallest hole-free TTL observed={self.smallest_reliable}\n"
+            + self.table()
+        )
+
+
+def run_empirical_bounds(
+    n: int = 100, trials: int = 300, seed: int = 3
+) -> EmpiricalBoundsResult:
+    """A5: Monte-Carlo the §8.1 bound-looseness measurement."""
+    fanout = min_fanout(n)
+    theory_ttl = min_ttl(n, c=DEFAULT_C)
+    ttls = sorted({2, 3, 4, 5, 7, 10, theory_ttl})
+    sweep = ttl_sweep(n, fanout, ttls=ttls, trials=trials, seed=seed)
+    reliable = smallest_reliable_ttl(n, fanout, max_ttl=theory_ttl, trials=trials)
+    return EmpiricalBoundsResult(
+        n=n,
+        fanout=fanout,
+        theory_ttl=theory_ttl,
+        sweep=sweep,
+        smallest_reliable=reliable,
+    )

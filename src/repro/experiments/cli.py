@@ -1,0 +1,69 @@
+"""Command-line entry point: ``epto-experiment <figure-id>``.
+
+Runs one paper artifact and prints the same rows/series the paper
+plots. Example::
+
+    epto-experiment fig6 --scale small
+    epto-experiment fig3
+    REPRO_SCALE=paper epto-experiment fig7b
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .registry import REGISTRY, get_experiment
+from .scale import get_scale
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="epto-experiment",
+        description="Reproduce one EpTO paper figure/table.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(REGISTRY),
+        help="experiment id from DESIGN.md (e.g. fig6)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default=None,
+        help="size preset (default: $REPRO_SCALE or 'small')",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the experiment's default seed",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    entry = get_experiment(args.experiment)
+    print(f"# {entry.id}: {entry.description}")
+
+    kwargs: dict[str, object] = {}
+    if entry.takes_scale:
+        kwargs["scale"] = get_scale(args.scale)
+    if args.seed is not None and entry.id != "ablation-guards":
+        kwargs["seed"] = args.seed
+
+    result = entry.runner(**kwargs)
+    if hasattr(result, "render"):
+        print(result.render())
+    elif hasattr(result, "table"):
+        print(result.table())
+    else:  # pragma: no cover - all current results render
+        print(result)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

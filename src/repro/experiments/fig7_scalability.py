@@ -1,0 +1,150 @@
+"""Figure 7 reproduction: scalability in events and processes.
+
+* **Figure 7a** — delivery-delay CDFs while the per-process broadcast
+  probability grows from 1% to 10% (500 processes in the paper). The
+  expected shape: "the broadcast rate has little impact on delivery
+  delay when using either global or logical clocks".
+* **Figure 7b** — delivery-delay CDFs while the system grows from 100
+  to 10,000 processes (5% broadcast rate). Expected shape: "the
+  delivery delay increases logarithmically with the number of
+  processes" — growing the system by two orders of magnitude less than
+  doubles the delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..metrics.report import format_cdf_series, format_table
+from .common import ExperimentResult, ExperimentSpec, run_experiment
+from .scale import ScalePreset, get_scale
+
+
+@dataclass(frozen=True, slots=True)
+class Fig7aResult:
+    """Broadcast-rate sweep results, keyed by ``(rate, clock)``."""
+
+    results: Dict[Tuple[float, str], ExperimentResult]
+
+    def table(self) -> str:
+        rows = []
+        for (rate, clock), result in sorted(self.results.items()):
+            summary = result.summary
+            rows.append(
+                (
+                    f"{rate:.0%}",
+                    clock,
+                    result.events_broadcast,
+                    "-" if summary is None else round(summary.p50, 0),
+                    "-" if summary is None else round(summary.p95, 0),
+                    result.holes,
+                )
+            )
+        return format_table(
+            ["bcast rate", "clock", "events", "p50 delay", "p95 delay", "holes"],
+            rows,
+        )
+
+    def cdf_series(self) -> Dict[str, List[Tuple[float, float]]]:
+        return {
+            f"{rate:.0%} bcast {clock}": result.cdf
+            for (rate, clock), result in sorted(self.results.items())
+        }
+
+    def render(self) -> str:
+        return self.table() + "\n\n" + format_cdf_series(self.cdf_series())
+
+
+@dataclass(frozen=True, slots=True)
+class Fig7bResult:
+    """System-size sweep results, keyed by ``(n, clock)``."""
+
+    results: Dict[Tuple[int, str], ExperimentResult]
+
+    def table(self) -> str:
+        rows = []
+        for (n, clock), result in sorted(self.results.items()):
+            summary = result.summary
+            rows.append(
+                (
+                    n,
+                    clock,
+                    result.spec.resolved_ttl(),
+                    result.events_broadcast,
+                    "-" if summary is None else round(summary.p50, 0),
+                    "-" if summary is None else round(summary.p95, 0),
+                    result.holes,
+                )
+            )
+        return format_table(
+            ["n", "clock", "TTL", "events", "p50 delay", "p95 delay", "holes"],
+            rows,
+        )
+
+    def cdf_series(self) -> Dict[str, List[Tuple[float, float]]]:
+        return {
+            f"{n}proc {clock}": result.cdf
+            for (n, clock), result in sorted(self.results.items())
+        }
+
+    def median_growth_factor(self, clock: str = "global") -> float:
+        """Median delay at the largest size over the smallest size.
+
+        The paper's shape check: two orders of magnitude more processes
+        should *less than double* the delivery delay.
+        """
+        sized = sorted(
+            (n, result) for (n, c), result in self.results.items() if c == clock
+        )
+        first, last = sized[0][1].summary, sized[-1][1].summary
+        if first is None or last is None:
+            return float("nan")
+        return last.p50 / first.p50
+
+    def render(self) -> str:
+        return self.table() + "\n\n" + format_cdf_series(self.cdf_series())
+
+
+def run_fig7a(
+    scale: ScalePreset | str | None = None,
+    clocks: Sequence[str] = ("global", "logical"),
+    seed: int = 70,
+) -> Fig7aResult:
+    """Sweep the broadcast rate at a fixed system size."""
+    preset = scale if isinstance(scale, ScalePreset) else get_scale(scale)
+    results: Dict[Tuple[float, str], ExperimentResult] = {}
+    for clock in clocks:
+        for rate in preset.fig7a_rates:
+            spec = ExperimentSpec(
+                name=f"fig7a-{rate:.0%}-{clock}",
+                n=preset.fig7a_n,
+                seed=seed,
+                clock=clock,
+                broadcast_rate=rate,
+                broadcast_rounds=preset.fig7a_broadcast_rounds,
+            )
+            results[(rate, clock)] = run_experiment(spec)
+    return Fig7aResult(results=results)
+
+
+def run_fig7b(
+    scale: ScalePreset | str | None = None,
+    clocks: Sequence[str] = ("global", "logical"),
+    seed: int = 71,
+) -> Fig7bResult:
+    """Sweep the system size at a fixed broadcast rate."""
+    preset = scale if isinstance(scale, ScalePreset) else get_scale(scale)
+    results: Dict[Tuple[int, str], ExperimentResult] = {}
+    for clock in clocks:
+        for n in preset.fig7b_sizes:
+            spec = ExperimentSpec(
+                name=f"fig7b-{n}-{clock}",
+                n=n,
+                seed=seed,
+                clock=clock,
+                broadcast_rate=0.05,
+                broadcast_rounds=preset.fig7b_broadcast_rounds,
+            )
+            results[(n, clock)] = run_experiment(spec)
+    return Fig7bResult(results=results)

@@ -1,0 +1,94 @@
+"""Figure 8 reproduction: delivery delay under churn (idealized PSS).
+
+Subjects the system to churn by removing and adding ``churnRate``
+percent of the nodes every ``delta`` ticks during the broadcast window,
+with the idealized uniform-view PSS (failed nodes disappear from views
+immediately). Expected shapes: "the impact of churn on the delivery
+delay is small for most processes" with a heavier tail, and — crucially
+— zero holes among the processes that remained in the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..metrics.report import format_cdf_series, format_table
+from .common import ExperimentResult, ExperimentSpec, run_experiment
+from .scale import ScalePreset, get_scale
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnSweepResult:
+    """Churn sweep results keyed by churn rate (shared with Figure 9)."""
+
+    results: Dict[float, ExperimentResult]
+    pss: str
+
+    def table(self) -> str:
+        rows = []
+        for rate, result in sorted(self.results.items()):
+            summary = result.summary
+            rows.append(
+                (
+                    f"{rate:g}",
+                    result.stable_nodes,
+                    result.events_broadcast,
+                    "-" if summary is None else round(summary.p50, 0),
+                    "-" if summary is None else round(summary.p95, 0),
+                    result.holes,
+                )
+            )
+        return format_table(
+            ["churn", "stable nodes", "events", "p50 delay", "p95 delay", "holes"],
+            rows,
+        )
+
+    def cdf_series(self) -> Dict[str, List[Tuple[float, float]]]:
+        return {
+            f"{rate:g} churn": result.cdf
+            for rate, result in sorted(self.results.items())
+        }
+
+    def render(self) -> str:
+        return (
+            f"PSS: {self.pss}\n"
+            + self.table()
+            + "\n\n"
+            + format_cdf_series(self.cdf_series())
+        )
+
+
+def run_churn_sweep(
+    pss: str,
+    scale: ScalePreset | str | None = None,
+    rates: Sequence[float] | None = None,
+    seed: int = 8,
+) -> ChurnSweepResult:
+    """Shared driver for Figures 8 (uniform PSS) and 9 (Cyclon)."""
+    preset = scale if isinstance(scale, ScalePreset) else get_scale(scale)
+    if rates is None:
+        rates = preset.sweep_rates
+    warmup = preset.cyclon_warmup_rounds if pss == "cyclon" else 0
+    results: Dict[float, ExperimentResult] = {}
+    for rate in rates:
+        spec = ExperimentSpec(
+            name=f"fig-churn-{pss}-{rate:g}",
+            n=preset.sweep_n,
+            seed=seed,
+            clock="global",
+            broadcast_rate=0.05,
+            broadcast_rounds=preset.sweep_broadcast_rounds,
+            churn_rate=rate,
+            pss=pss,
+            warmup_rounds=warmup,
+        )
+        results[rate] = run_experiment(spec)
+    return ChurnSweepResult(results=results, pss=pss)
+
+
+def run_fig8(
+    scale: ScalePreset | str | None = None, seed: int = 8
+) -> ChurnSweepResult:
+    """Figure 8: churn sweep with the idealized uniform-view PSS."""
+    return run_churn_sweep("uniform", scale=scale, seed=seed)

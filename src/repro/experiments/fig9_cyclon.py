@@ -1,0 +1,22 @@
+"""Figure 9 reproduction: churn with Cyclon [28] as the PSS.
+
+Identical to the Figure 8 sweep except the idealized uniform view is
+replaced by a real Cyclon implementation: views are maintained by
+periodic shuffles over the same lossy network, so they transiently
+reference churned-out processes (balls sent to them are lost) and take
+time to learn about joiners. Expected shape: "there is a performance
+degradation due to the above factors" relative to Figure 8, while
+deliveries still complete and order is preserved.
+"""
+
+from __future__ import annotations
+
+from .fig8_churn import ChurnSweepResult, run_churn_sweep
+from .scale import ScalePreset
+
+
+def run_fig9(
+    scale: ScalePreset | str | None = None, seed: int = 9
+) -> ChurnSweepResult:
+    """Figure 9: churn sweep with Cyclon maintaining the views."""
+    return run_churn_sweep("cyclon", scale=scale, seed=seed)

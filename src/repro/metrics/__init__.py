@@ -1,0 +1,44 @@
+"""Run instrumentation: delivery metrics, spec checking, reporting."""
+
+from .cdf import DelaySummary, cdf_at, cdf_points, percentile
+from .checker import (
+    SpecReport,
+    check_integrity,
+    check_pairwise_order,
+    check_run,
+    check_total_order,
+    check_validity,
+)
+from .collector import (
+    BroadcastRecord,
+    DeliveryCollector,
+    DeliveryRecord,
+    NodeLifetime,
+)
+from .report import format_ascii_cdf, format_cdf_series, format_table
+from .trace import RoundStats, TraceError, export_trace, load_trace, round_timeline
+
+__all__ = [
+    "BroadcastRecord",
+    "DelaySummary",
+    "DeliveryCollector",
+    "DeliveryRecord",
+    "NodeLifetime",
+    "RoundStats",
+    "SpecReport",
+    "TraceError",
+    "cdf_at",
+    "cdf_points",
+    "check_integrity",
+    "check_pairwise_order",
+    "check_run",
+    "check_total_order",
+    "check_validity",
+    "export_trace",
+    "format_ascii_cdf",
+    "format_cdf_series",
+    "format_table",
+    "load_trace",
+    "percentile",
+    "round_timeline",
+]

@@ -1,0 +1,110 @@
+"""CDF and summary-statistics helpers for the evaluation figures.
+
+Every figure in the paper's §6 is a CDF of delivery delays;
+:func:`cdf_points` produces the same curve from delay samples, and
+:class:`DelaySummary` condenses a sample set into the statistics quoted
+in the text (mean, standard deviation, percentiles).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile (``p`` in ``[0, 100]``).
+
+    Matches numpy's default ``linear`` method so results are directly
+    comparable with ad-hoc analysis, without requiring numpy here.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        return float(ordered[low])
+    weight = rank - low
+    return float(ordered[low]) * (1.0 - weight) + float(ordered[high]) * weight
+
+
+def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as ``(value, cumulative_percent)`` steps.
+
+    Produces one point per distinct sample value, with the cumulative
+    percentage of samples less than or equal to it — the exact curve
+    plotted by the paper's figures.
+    """
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    total = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for idx, value in enumerate(ordered, start=1):
+        if idx == total or ordered[idx] != value:
+            points.append((float(value), 100.0 * idx / total))
+    return points
+
+
+def cdf_at(samples: Sequence[float], value: float) -> float:
+    """Fraction (in percent) of samples ``<= value``."""
+    if not samples:
+        return 0.0
+    count = sum(1 for s in samples if s <= value)
+    return 100.0 * count / len(samples)
+
+
+@dataclass(frozen=True, slots=True)
+class DelaySummary:
+    """Summary statistics of a delay sample set."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p5: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "DelaySummary":
+        """Compute the summary of *samples* (must be non-empty)."""
+        if not samples:
+            raise ValueError("cannot summarize an empty sample set")
+        n = len(samples)
+        mean = sum(samples) / n
+        variance = sum((s - mean) ** 2 for s in samples) / n
+        return cls(
+            count=n,
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=float(min(samples)),
+            p5=percentile(samples, 5),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            maximum=float(max(samples)),
+        )
+
+    def as_row(self) -> dict[str, float]:
+        """Flatten into a dict suitable for report tables."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 1),
+            "std": round(self.std, 1),
+            "min": self.minimum,
+            "p5": round(self.p5, 1),
+            "p50": round(self.p50, 1),
+            "p95": round(self.p95, 1),
+            "p99": round(self.p99, 1),
+            "max": self.maximum,
+        }

@@ -1,0 +1,176 @@
+"""Specification checker: the Table 1 properties over recorded runs.
+
+Validates a finished run (a :class:`~repro.metrics.collector.DeliveryCollector`)
+against the Total Order specification of paper Table 1:
+
+* **Integrity** — every process delivered each event at most once, and
+  only previously broadcast events;
+* **Total Order** — any two processes delivering two common events
+  delivered them in the same relative order (paper Figure 1b is the
+  canonical violation);
+* **Validity** — every correct (surviving) process delivered its own
+  broadcasts;
+* **Agreement** — holes (paper Figure 1a) are *allowed* but counted,
+  so experiments can report them (the paper observed zero across all
+  simulations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.event import EventId, OrderKey
+from .collector import DeliveryCollector
+
+
+@dataclass(slots=True)
+class SpecReport:
+    """Outcome of checking one run against the Table 1 specification.
+
+    ``integrity_violations``, ``order_violations`` and
+    ``validity_violations`` must be empty for any legal EpTO run
+    (deterministic guarantees); ``holes`` may be non-empty with
+    arbitrarily low probability (probabilistic agreement).
+    """
+
+    integrity_violations: List[str] = field(default_factory=list)
+    order_violations: List[str] = field(default_factory=list)
+    validity_violations: List[str] = field(default_factory=list)
+    holes: List[Tuple[int, EventId]] = field(default_factory=list)
+    checked_nodes: int = 0
+    checked_events: int = 0
+
+    @property
+    def safety_ok(self) -> bool:
+        """Deterministic safety: integrity + total order + validity."""
+        return not (
+            self.integrity_violations
+            or self.order_violations
+            or self.validity_violations
+        )
+
+    @property
+    def agreement_ok(self) -> bool:
+        """Probabilistic agreement held exactly (zero holes)."""
+        return not self.holes
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        return (
+            f"safety={'OK' if self.safety_ok else 'VIOLATED'} "
+            f"holes={len(self.holes)} nodes={self.checked_nodes} "
+            f"events={self.checked_events}"
+        )
+
+
+def check_integrity(collector: DeliveryCollector) -> List[str]:
+    """Integrity: at most once, and only broadcast events (Table 1)."""
+    violations: List[str] = []
+    known = collector.known_broadcast_ids()
+    seen: Dict[int, Set[EventId]] = {}
+    for record in collector.deliveries():
+        if record.event_id not in known:
+            violations.append(
+                f"node {record.node_id} delivered never-broadcast event "
+                f"{record.event_id}"
+            )
+        delivered = seen.setdefault(record.node_id, set())
+        if record.event_id in delivered:
+            violations.append(
+                f"node {record.node_id} delivered event {record.event_id} twice"
+            )
+        delivered.add(record.event_id)
+    return violations
+
+
+def check_total_order(sequences: Dict[int, Sequence[OrderKey]]) -> List[str]:
+    """Total order: common events appear in the same relative order.
+
+    Because EpTO's delivery order is the deterministic key order
+    ``(ts, src, seq)``, it suffices to check that every process's
+    sequence is strictly increasing in the key — two strictly
+    increasing sequences over the same key space can never order a
+    common pair differently. This turns the quadratic pairwise check
+    into a linear one; the pairwise semantics (paper Figure 1b) are
+    exercised directly in the test suite against adversarial sequences
+    via :func:`check_pairwise_order`.
+    """
+    violations: List[str] = []
+    for node_id, seq in sequences.items():
+        for earlier, later in zip(seq, seq[1:]):
+            if earlier >= later:
+                violations.append(
+                    f"node {node_id} delivered {later} after {earlier} "
+                    f"(non-increasing order keys)"
+                )
+    return violations
+
+
+def check_pairwise_order(
+    seq_p: Sequence[OrderKey], seq_q: Sequence[OrderKey]
+) -> List[Tuple[OrderKey, OrderKey]]:
+    """Direct Figure 1 check between two delivery sequences.
+
+    Returns the conflicting pairs, each normalized so the smaller order
+    key comes first — the exact condition violated in paper Figure 1b.
+    Quadratic in the common-event count; intended for tests and small
+    diagnostics rather than full runs.
+    """
+    pos_p = {key: idx for idx, key in enumerate(seq_p)}
+    common = [key for key in seq_q if key in pos_p]
+    conflicts: List[Tuple[OrderKey, OrderKey]] = []
+    pos_q = {key: idx for idx, key in enumerate(seq_q)}
+    for i, first in enumerate(common):
+        for second in common[i + 1 :]:
+            p_order = pos_p[first] < pos_p[second]
+            q_order = pos_q[first] < pos_q[second]
+            if p_order != q_order:
+                low, high = sorted((first, second))
+                conflicts.append((low, high))
+    return conflicts
+
+
+def check_validity(
+    collector: DeliveryCollector, correct_nodes: Set[int] | Sequence[int]
+) -> List[str]:
+    """Validity: correct processes delivered their own broadcasts."""
+    violations: List[str] = []
+    correct = set(correct_nodes)
+    for record in collector.broadcasts():
+        source = record.event.source_id
+        if source not in correct:
+            continue
+        if record.event.id not in collector.delivered_ids_of(source):
+            violations.append(
+                f"correct node {source} never delivered its own event "
+                f"{record.event.id}"
+            )
+    return violations
+
+
+def check_run(
+    collector: DeliveryCollector,
+    correct_nodes: Set[int] | Sequence[int] | None = None,
+) -> SpecReport:
+    """Full Table 1 check of a recorded run.
+
+    Args:
+        collector: The run's recorded broadcasts and deliveries.
+        correct_nodes: Processes expected to satisfy validity and to be
+            hole-free; defaults to every process that delivered at
+            least one event (i.e. the whole system when there is no
+            churn).
+    """
+    sequences = collector.sequences()
+    if correct_nodes is None:
+        correct_nodes = set(sequences)
+    correct_set = set(correct_nodes)
+    return SpecReport(
+        integrity_violations=check_integrity(collector),
+        order_violations=check_total_order(sequences),
+        validity_violations=check_validity(collector, correct_set),
+        holes=collector.holes(correct_set),
+        checked_nodes=len(correct_set),
+        checked_events=collector.broadcast_count,
+    )

@@ -1,0 +1,218 @@
+"""Delivery instrumentation for experiments (paper §6).
+
+The paper's evaluation focuses on the *delivery delay* — "the time
+elapsed between an event creation and its reception" — together with
+the absence of holes and order violations. :class:`DeliveryCollector`
+records every broadcast and delivery in a run and derives:
+
+* the delay samples that back all the CDF figures (6, 7a, 7b, 8, 9, 10);
+* per-process delivery sequences for the total-order checker;
+* hole accounting restricted to processes "that remained in the system
+  long enough" (paper §6, churn experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.event import Event, EventId, OrderKey
+
+
+@dataclass(slots=True)
+class BroadcastRecord:
+    """One broadcast: who sent what, when."""
+
+    event: Event
+    time: int
+
+
+@dataclass(slots=True)
+class DeliveryRecord:
+    """One delivery: which process delivered which event, when."""
+
+    node_id: int
+    event_id: EventId
+    time: int
+
+
+@dataclass(slots=True)
+class NodeLifetime:
+    """Join/leave interval of one process (end ``None`` = still alive)."""
+
+    joined: int
+    left: Optional[int] = None
+
+
+class DeliveryCollector:
+    """Accumulates broadcast/delivery records for one simulation run."""
+
+    def __init__(self) -> None:
+        self._broadcasts: Dict[EventId, BroadcastRecord] = {}
+        self._deliveries: List[DeliveryRecord] = []
+        # Per-node delivery sequence as order keys, in delivery order.
+        self._sequences: Dict[int, List[OrderKey]] = {}
+        self._delivered_sets: Dict[int, Set[EventId]] = {}
+        self._lifetimes: Dict[int, NodeLifetime] = {}
+        self._order_keys: Dict[EventId, OrderKey] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_node_added(self, node_id: int, time: int) -> None:
+        """A process joined the system at *time*."""
+        self._lifetimes[node_id] = NodeLifetime(joined=time)
+
+    def record_node_removed(self, node_id: int, time: int) -> None:
+        """A process left (or was churned out) at *time*."""
+        lifetime = self._lifetimes.get(node_id)
+        if lifetime is not None:
+            lifetime.left = time
+
+    def record_broadcast(self, event: Event, time: int) -> None:
+        """An event was EpTO-broadcast at *time*."""
+        self._broadcasts[event.id] = BroadcastRecord(event=event, time=time)
+        self._order_keys[event.id] = event.order_key
+
+    def record_delivery(self, node_id: int, event: Event, time: int) -> None:
+        """*node_id* EpTO-delivered *event* at *time*."""
+        self._deliveries.append(
+            DeliveryRecord(node_id=node_id, event_id=event.id, time=time)
+        )
+        self._sequences.setdefault(node_id, []).append(event.order_key)
+        self._delivered_sets.setdefault(node_id, set()).add(event.id)
+        self._order_keys.setdefault(event.id, event.order_key)
+
+    # ------------------------------------------------------------------
+    # Raw access
+    # ------------------------------------------------------------------
+
+    @property
+    def broadcast_count(self) -> int:
+        """Number of events broadcast during the run."""
+        return len(self._broadcasts)
+
+    @property
+    def delivery_count(self) -> int:
+        """Total (event, process) delivery pairs recorded."""
+        return len(self._deliveries)
+
+    def broadcasts(self) -> Sequence[BroadcastRecord]:
+        """All broadcast records."""
+        return list(self._broadcasts.values())
+
+    def deliveries(self) -> Sequence[DeliveryRecord]:
+        """All delivery records, in recording order."""
+        return list(self._deliveries)
+
+    def sequence_of(self, node_id: int) -> Sequence[OrderKey]:
+        """Order keys delivered by *node_id*, in delivery order."""
+        return tuple(self._sequences.get(node_id, ()))
+
+    def delivered_ids_of(self, node_id: int) -> Set[EventId]:
+        """Event ids delivered by *node_id*."""
+        return set(self._delivered_sets.get(node_id, set()))
+
+    def sequences(self) -> Dict[int, Sequence[OrderKey]]:
+        """All per-node delivery sequences."""
+        return {nid: tuple(seq) for nid, seq in self._sequences.items()}
+
+    def known_broadcast_ids(self) -> Set[EventId]:
+        """Ids of every event broadcast during the run."""
+        return set(self._broadcasts)
+
+    def lifetime_of(self, node_id: int) -> Optional[NodeLifetime]:
+        """Join/leave interval of *node_id*, if tracked."""
+        return self._lifetimes.get(node_id)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    def delivery_delays(self) -> List[int]:
+        """Delay samples: delivery time minus broadcast time, per pair.
+
+        Deliveries of events whose broadcast was not recorded (none in a
+        correctly wired run) are skipped.
+        """
+        delays: List[int] = []
+        broadcasts = self._broadcasts
+        for record in self._deliveries:
+            origin = broadcasts.get(record.event_id)
+            if origin is not None:
+                delays.append(record.time - origin.time)
+        return delays
+
+    def stable_nodes(self, since: int, until: int) -> Set[int]:
+        """Processes alive for the whole ``[since, until]`` window.
+
+        The churn experiments evaluate "processes that remained in the
+        system long enough" (paper §6); this selects exactly those.
+        """
+        stable: Set[int] = set()
+        for node_id, lifetime in self._lifetimes.items():
+            if lifetime.joined <= since and (
+                lifetime.left is None or lifetime.left >= until
+            ):
+                stable.add(node_id)
+        return stable
+
+    def holes(self, nodes: Sequence[int] | Set[int] | None = None) -> List[Tuple[int, EventId]]:
+        """Missing deliveries: ``(node, event)`` pairs with a hole.
+
+        A *hole* at process ``p`` for event ``e`` exists when ``p``
+        delivered some event ordered after ``e`` but never delivered
+        ``e`` itself (paper §2: holes in the sequence of delivered
+        events). Only events delivered by at least one checked node are
+        considered — an event that vanished entirely (e.g. its
+        broadcaster was churned out before relaying it) violates no
+        property, since agreement is conditional on *some* process
+        delivering. Restricting *nodes* to :meth:`stable_nodes`
+        reproduces the churn experiments' accounting; ``None`` checks
+        every process that delivered anything.
+        """
+        if nodes is None:
+            nodes = set(self._sequences)
+        holes: List[Tuple[int, EventId]] = []
+        delivered_by_any: Set[EventId] = set()
+        for node_id in nodes:
+            delivered_by_any |= self._delivered_sets.get(node_id, set())
+        # Events each node *should* have: all events ordered before its
+        # last delivered key that somebody actually delivered.
+        all_events = sorted(
+            (
+                rec
+                for rec in self._broadcasts.values()
+                if rec.event.id in delivered_by_any
+            ),
+            key=lambda rec: rec.event.order_key,
+        )
+        for node_id in nodes:
+            seq = self._sequences.get(node_id, [])
+            if not seq:
+                continue
+            last_key = max(seq)
+            delivered = self._delivered_sets.get(node_id, set())
+            for record in all_events:
+                if record.event.order_key > last_key:
+                    break
+                if record.event.id not in delivered:
+                    holes.append((node_id, record.event.id))
+        return holes
+
+    def undelivered_events(self, nodes: Sequence[int] | Set[int]) -> List[Tuple[int, EventId]]:
+        """Every ``(node, event)`` pair that never delivered, hole or not.
+
+        Unlike :meth:`holes` this also counts events after a node's last
+        delivery (useful for agreement accounting at run end, once the
+        system has quiesced).
+        """
+        missing: List[Tuple[int, EventId]] = []
+        event_ids = self.known_broadcast_ids()
+        for node_id in nodes:
+            delivered = self._delivered_sets.get(node_id, set())
+            for event_id in event_ids:
+                if event_id not in delivered:
+                    missing.append((node_id, event_id))
+        return missing

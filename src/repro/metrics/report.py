@@ -1,0 +1,81 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper plots;
+these helpers keep that output consistent: fixed-width tables for
+parameter sweeps and coarse ASCII CDF curves for eyeballing shapes in a
+terminal or CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width table with a header rule.
+
+    Args:
+        headers: Column titles.
+        rows: Row cell values; ``str()`` is applied to each.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[idx]) for idx, cell in enumerate(cells))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_cdf_series(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    percentiles: Sequence[float] = (10, 25, 50, 75, 90, 99, 100),
+) -> str:
+    """Summarize several CDF curves at shared percentile cut points.
+
+    Args:
+        series: Label -> CDF points ``(value, cumulative_percent)`` as
+            produced by :func:`repro.metrics.cdf.cdf_points`.
+        percentiles: Which cumulative levels to tabulate.
+
+    Returns:
+        A table with one row per series and one column per percentile,
+        containing the smallest value whose cumulative percentage
+        reaches the level.
+    """
+    headers = ["series"] + [f"p{int(p)}" for p in percentiles]
+    rows: List[List[object]] = []
+    for label, points in series.items():
+        row: List[object] = [label]
+        for level in percentiles:
+            value = next((v for v, c in points if c >= level), None)
+            row.append("-" if value is None else f"{value:.0f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_ascii_cdf(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 10,
+) -> str:
+    """Coarse ASCII plot of one CDF curve (for terminal eyeballing)."""
+    if not points:
+        return "(empty)"
+    max_x = points[-1][0] or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for value, cum in points:
+        col = min(width - 1, int(value / max_x * (width - 1)))
+        row = min(height - 1, int((100.0 - cum) / 100.0 * (height - 1)))
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"0{' ' * (width - len(str(int(max_x))) - 1)}{int(max_x)}")
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Run-trace export and timeline statistics.
+
+Experiments often outlive one Python session: this module serializes a
+:class:`~repro.metrics.collector.DeliveryCollector` to JSON-lines for
+archival / external plotting, loads traces back, and aggregates
+per-round timelines (broadcasts and deliveries per round interval) —
+the raw material behind delivery-delay CDFs and churn timelines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from ..core.errors import ReproError
+from ..core.event import Event
+from .collector import DeliveryCollector
+
+
+class TraceError(ReproError):
+    """Raised on malformed trace files."""
+
+
+def export_trace(collector: DeliveryCollector, path: Union[str, Path]) -> int:
+    """Write the collector's full record to *path* as JSON lines.
+
+    One object per line, ``kind`` in ``{broadcast, delivery, node}``.
+    Returns the number of lines written. Payloads must be
+    JSON-serializable (non-serializable payloads are stored via
+    ``repr`` with a marker, so the trace always writes).
+    """
+    path = Path(path)
+    lines = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for node_id, lifetime in sorted(
+            (nid, collector.lifetime_of(nid))
+            for nid in _tracked_nodes(collector)
+        ):
+            if lifetime is None:
+                continue
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "node",
+                        "node": node_id,
+                        "joined": lifetime.joined,
+                        "left": lifetime.left,
+                    }
+                )
+                + "\n"
+            )
+            lines += 1
+        for record in collector.broadcasts():
+            event = record.event
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "broadcast",
+                        "time": record.time,
+                        "id": list(event.id),
+                        "ts": event.ts,
+                        "src": event.source_id,
+                        "payload": _jsonable(event.payload),
+                    }
+                )
+                + "\n"
+            )
+            lines += 1
+        for record in collector.deliveries():
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "delivery",
+                        "time": record.time,
+                        "node": record.node_id,
+                        "id": list(record.event_id),
+                    }
+                )
+                + "\n"
+            )
+            lines += 1
+    return lines
+
+
+def load_trace(path: Union[str, Path]) -> DeliveryCollector:
+    """Rebuild a collector from a trace written by :func:`export_trace`.
+
+    Delivery-delay, hole and order analyses all work on the loaded
+    collector exactly as on a live one.
+    """
+    path = Path(path)
+    collector = DeliveryCollector()
+    events: Dict[tuple, Event] = {}
+    pending_deliveries: List[dict] = []
+    for line_no, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+            kind = obj["kind"]
+        except (ValueError, KeyError) as exc:
+            raise TraceError(f"{path}:{line_no}: malformed trace line: {exc}") from exc
+        if kind == "node":
+            collector.record_node_added(obj["node"], obj["joined"])
+            if obj.get("left") is not None:
+                collector.record_node_removed(obj["node"], obj["left"])
+        elif kind == "broadcast":
+            event = Event(
+                id=tuple(obj["id"]),  # type: ignore[arg-type]
+                ts=obj["ts"],
+                source_id=obj["src"],
+                payload=obj.get("payload"),
+            )
+            events[tuple(obj["id"])] = event
+            collector.record_broadcast(event, obj["time"])
+        elif kind == "delivery":
+            pending_deliveries.append(obj)
+        else:
+            raise TraceError(f"{path}:{line_no}: unknown record kind {kind!r}")
+    for obj in pending_deliveries:
+        event = events.get(tuple(obj["id"]))
+        if event is None:
+            raise TraceError(
+                f"delivery of unknown event {obj['id']} in {path}"
+            )
+        collector.record_delivery(obj["node"], event, obj["time"])
+    return collector
+
+
+@dataclass(frozen=True, slots=True)
+class RoundStats:
+    """Activity within one round interval."""
+
+    round_index: int
+    broadcasts: int
+    deliveries: int
+
+
+def round_timeline(
+    collector: DeliveryCollector, round_interval: int
+) -> List[RoundStats]:
+    """Aggregate broadcasts/deliveries per round interval.
+
+    Returns one entry per interval from 0 through the last interval
+    with any activity (empty intervals included, so the list plots
+    directly as a timeline).
+    """
+    if round_interval <= 0:
+        raise TraceError(f"round_interval must be > 0, got {round_interval}")
+    broadcasts: Dict[int, int] = {}
+    deliveries: Dict[int, int] = {}
+    for record in collector.broadcasts():
+        idx = record.time // round_interval
+        broadcasts[idx] = broadcasts.get(idx, 0) + 1
+    for record in collector.deliveries():
+        idx = record.time // round_interval
+        deliveries[idx] = deliveries.get(idx, 0) + 1
+    if not broadcasts and not deliveries:
+        return []
+    last = max(list(broadcasts) + list(deliveries))
+    return [
+        RoundStats(
+            round_index=idx,
+            broadcasts=broadcasts.get(idx, 0),
+            deliveries=deliveries.get(idx, 0),
+        )
+        for idx in range(last + 1)
+    ]
+
+
+def _tracked_nodes(collector: DeliveryCollector) -> Iterable[int]:
+    return list(collector._lifetimes)  # noqa: SLF001 - same-package helper
+
+
+def _jsonable(payload) -> object:
+    try:
+        json.dumps(payload)
+        return payload
+    except (TypeError, ValueError):
+        return {"__repr__": repr(payload)}

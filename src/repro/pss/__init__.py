@@ -1,0 +1,15 @@
+"""Peer sampling services: idealized uniform view and Cyclon [28]."""
+
+from .base import MembershipDirectory, PeerSamplingService
+from .cyclon import CyclonEntry, CyclonPss, CyclonRequest, CyclonResponse
+from .uniform import UniformViewPss
+
+__all__ = [
+    "CyclonEntry",
+    "CyclonPss",
+    "CyclonRequest",
+    "CyclonResponse",
+    "MembershipDirectory",
+    "PeerSamplingService",
+    "UniformViewPss",
+]

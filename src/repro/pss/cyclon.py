@@ -1,0 +1,212 @@
+"""Cyclon: inexpensive membership management for unstructured overlays.
+
+Implementation of the Cyclon peer-sampling protocol (Voulgaris, Gavidia
+and van Steen [28]) used by the paper's Figure 9 experiment. Each node
+keeps a small partial *view* — a set of ``(peer, age)`` entries — and
+periodically *shuffles* with its oldest neighbour:
+
+1. age every view entry, pick the entry ``q`` with the highest age and
+   remove it from the view (dead peers are thereby recycled even if
+   they never answer);
+2. send ``q`` a random subset of the view plus a fresh ``(self, 0)``
+   entry;
+3. ``q`` replies with a random subset of its own view and merges the
+   received entries, preferentially replacing the ones it just sent;
+4. the initiator merges the reply the same way.
+
+Views are therefore continuously mixed, approximate a uniform random
+sample of the live membership, and — crucially for EpTO under churn —
+may transiently contain failed peers or miss fresh ones. Balls gossiped
+to stale entries are lost, which is exactly the degradation Figure 9
+measures relative to the idealized PSS.
+
+Joining follows the simplified bootstrap used in practice: the joiner
+seeds its view from an introducer's sample. (The original paper's
+random-walk join refines load balance, not correctness; the difference
+is invisible at the shuffle rates the experiments use.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+
+#: A shuffled view entry: ``(peer_id, age)``.
+CyclonEntry = Tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class CyclonRequest:
+    """Active-thread shuffle request carrying a view subset."""
+
+    entries: Tuple[CyclonEntry, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class CyclonResponse:
+    """Passive-thread shuffle reply carrying a view subset."""
+
+    entries: Tuple[CyclonEntry, ...]
+
+
+class CyclonPss:
+    """One node's Cyclon instance.
+
+    Args:
+        node_id: Owning node id.
+        view_size: Maximum number of view entries (``c`` in [28]).
+        shuffle_size: Entries exchanged per shuffle (``l`` in [28]),
+            must be <= ``view_size``.
+        send: Outgoing channel ``send(dst, message)`` where message is
+            a :class:`CyclonRequest` or :class:`CyclonResponse`; the
+            hosting runtime routes these over the (lossy) network.
+        rng: Randomness for subset selection.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        view_size: int,
+        shuffle_size: int,
+        send: Callable[[int, object], None],
+        rng: random.Random,
+    ) -> None:
+        if view_size < 1:
+            raise ConfigurationError(f"view_size must be >= 1, got {view_size}")
+        if not 1 <= shuffle_size <= view_size:
+            raise ConfigurationError(
+                f"need 1 <= shuffle_size <= view_size, got {shuffle_size}/{view_size}"
+            )
+        self.node_id = node_id
+        self.view_size = view_size
+        self.shuffle_size = shuffle_size
+        self._send = send
+        self._rng = rng
+        self._view: Dict[int, int] = {}  # peer id -> age
+        # Subsets sent per outstanding shuffle, keyed by the remote
+        # peer; consumed when its response arrives.
+        self._pending: Dict[int, Tuple[CyclonEntry, ...]] = {}
+        self.shuffles_started = 0
+        self.shuffles_answered = 0
+
+    # ------------------------------------------------------------------
+    # Bootstrap / introspection
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, peer_ids: Iterable[int]) -> None:
+        """Seed the view with fresh entries for *peer_ids*."""
+        for peer in peer_ids:
+            if peer == self.node_id:
+                continue
+            if len(self._view) >= self.view_size:
+                break
+            self._view.setdefault(peer, 0)
+
+    def view_snapshot(self) -> Sequence[int]:
+        """Peer ids currently in the view (possibly stale)."""
+        return tuple(self._view)
+
+    def view_entries(self) -> Sequence[CyclonEntry]:
+        """Full ``(peer, age)`` view contents."""
+        return tuple(self._view.items())
+
+    @property
+    def view_fill(self) -> int:
+        """Number of entries currently in the view."""
+        return len(self._view)
+
+    # ------------------------------------------------------------------
+    # PeerSampler protocol
+    # ------------------------------------------------------------------
+
+    def sample(self, k: int) -> Sequence[int]:
+        """Up to *k* distinct peers from the current (possibly stale) view."""
+        peers = list(self._view)
+        if k >= len(peers):
+            self._rng.shuffle(peers)
+            return peers
+        return self._rng.sample(peers, k)
+
+    # ------------------------------------------------------------------
+    # Shuffling
+    # ------------------------------------------------------------------
+
+    def shuffle(self) -> None:
+        """Run one active shuffle step (called periodically)."""
+        if not self._view:
+            return
+        self.shuffles_started += 1
+        # 1. Age the whole view, pick the oldest peer.
+        for peer in self._view:
+            self._view[peer] += 1
+        oldest = max(self._view, key=lambda peer: (self._view[peer], peer))
+        # 2. Remove it — if it is dead we forget it; if alive it comes
+        # back through future shuffles with a fresh age.
+        del self._view[oldest]
+        # 3. Ship a subset plus a fresh self-entry.
+        subset = self._random_subset(self.shuffle_size - 1, exclude=oldest)
+        sent = tuple(subset) + ((self.node_id, 0),)
+        self._pending[oldest] = sent
+        self._send(oldest, CyclonRequest(entries=sent))
+
+    def handle_request(self, src: int, request: CyclonRequest) -> None:
+        """Passive thread: answer a shuffle request from *src*."""
+        self.shuffles_answered += 1
+        reply = tuple(self._random_subset(self.shuffle_size, exclude=src))
+        self._send(src, CyclonResponse(entries=reply))
+        self._merge(request.entries, sent=reply)
+
+    def handle_response(self, src: int, response: CyclonResponse) -> None:
+        """Active thread: merge the reply to an earlier request."""
+        sent = self._pending.pop(src, ())
+        self._merge(response.entries, sent=sent)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _random_subset(self, k: int, exclude: int) -> List[CyclonEntry]:
+        """Up to *k* random view entries, never the *exclude* peer."""
+        candidates = [
+            (peer, age) for peer, age in self._view.items() if peer != exclude
+        ]
+        if k >= len(candidates):
+            return candidates
+        return self._rng.sample(candidates, k)
+
+    def _merge(self, received: Tuple[CyclonEntry, ...], sent: Tuple[CyclonEntry, ...]) -> None:
+        """Merge *received* entries, replacing *sent* ones when full.
+
+        Cyclon merge rules: drop entries pointing at self; for a peer
+        already in the view keep the younger occurrence; fill empty
+        slots first; once full, evict entries that were shipped out in
+        this shuffle (they live on at the other side).
+        """
+        evictable = [peer for peer, _ in sent if peer != self.node_id]
+        for peer, age in received:
+            if peer == self.node_id:
+                continue
+            if peer in self._view:
+                if age < self._view[peer]:
+                    self._view[peer] = age
+                continue
+            if len(self._view) < self.view_size:
+                self._view[peer] = age
+                continue
+            # Full: replace one of the entries we sent away, if any is
+            # still present; otherwise drop the received entry.
+            while evictable:
+                victim = evictable.pop()
+                if victim in self._view:
+                    del self._view[victim]
+                    self._view[peer] = age
+                    break
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CyclonPss(node={self.node_id}, view={len(self._view)}/"
+            f"{self.view_size}, shuffles={self.shuffles_started})"
+        )

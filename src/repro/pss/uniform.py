@@ -1,0 +1,50 @@
+"""Idealized peer sampling: a perfect, always-fresh global view.
+
+This is the PSS the paper's main evaluation assumes: "a uniform random
+sample of other processes" with inaccuracies treated separately (the
+Cyclon experiment of Figure 9 quantifies the cost of a realistic PSS).
+
+Every sample is drawn uniformly from the *current* ground-truth
+membership, so failed processes are never selected and new processes
+are immediately visible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .base import MembershipDirectory
+
+
+class UniformViewPss:
+    """Perfect-view PSS for one node, backed by the shared directory.
+
+    Args:
+        node_id: The owning node (never returned by :meth:`sample`).
+        directory: Ground-truth membership maintained by the cluster.
+        rng: Randomness for sampling (seeded per node by the cluster).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        directory: MembershipDirectory,
+        rng: random.Random,
+    ) -> None:
+        self.node_id = node_id
+        self._directory = directory
+        self._rng = rng
+
+    def sample(self, k: int) -> Sequence[int]:
+        """Up to *k* distinct live peers, uniformly at random."""
+        return self._directory.sample(self._rng, k, exclude=self.node_id)
+
+    def view_snapshot(self) -> Sequence[int]:
+        """The full live membership (minus self)."""
+        return tuple(
+            nid for nid in self._directory.alive_ids() if nid != self.node_id
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformViewPss(node={self.node_id}, n={len(self._directory)})"

@@ -1,0 +1,173 @@
+"""Convenience orchestration for asyncio EpTO clusters (paper §8.5)."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.config import EpToConfig
+from ..core.errors import MembershipError
+from ..core.event import Event
+from ..pss.base import MembershipDirectory
+from ..pss.cyclon import CyclonPss
+from ..pss.uniform import UniformViewPss
+from .node import AsyncEpToNode
+from .transport import AsyncNetwork
+
+
+class AsyncCluster:
+    """A set of :class:`~repro.runtime.node.AsyncEpToNode` on one loop.
+
+    Mirrors :class:`repro.sim.cluster.SimCluster` for the asyncio
+    runtime: node provisioning, PSS wiring (uniform or Cyclon), a
+    shared delivery journal, and quiescence helpers for tests and
+    examples.
+
+    Args:
+        config: EpTO configuration (``round_interval`` in milliseconds).
+        network: Message fabric; a lossless zero-latency one is built
+            when omitted.
+        pss: ``"uniform"`` or ``"cyclon"``.
+        drift_fraction: Per-round sleep jitter for every node.
+        seed: Base seed for node randomness.
+        expected_size: System-size hint forwarded to nodes; required
+            when ``config.expose_stability`` is set.
+    """
+
+    def __init__(
+        self,
+        config: EpToConfig,
+        network: AsyncNetwork | None = None,
+        pss: str = "uniform",
+        drift_fraction: float = 0.0,
+        seed: int = 0,
+        expected_size: Optional[int] = None,
+    ) -> None:
+        if pss not in ("uniform", "cyclon"):
+            raise MembershipError(f"unknown PSS kind {pss!r}")
+        self.config = config
+        self.network = network if network is not None else AsyncNetwork(seed=seed)
+        self.pss_kind = pss
+        self.drift_fraction = drift_fraction
+        self.seed = seed
+        self.expected_size = expected_size
+        self.directory = MembershipDirectory()
+        self.nodes: Dict[int, AsyncEpToNode] = {}
+        #: node id -> events delivered, in order (the shared journal).
+        self.deliveries: Dict[int, List[Event]] = {}
+        self._next_id = 0
+        import random as _random
+
+        self._rng = _random.Random(f"{seed}:async-cluster")
+
+    # ------------------------------------------------------------------
+    # Provisioning
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        on_deliver: Callable[[Event], None] | None = None,
+    ) -> AsyncEpToNode:
+        """Create, register and return one node (call :meth:`start_all`
+        or ``node.start()`` afterwards to begin gossiping)."""
+        node_id = self._next_id
+        self._next_id += 1
+        self.deliveries[node_id] = []
+
+        def journal(event: Event) -> None:
+            self.deliveries[node_id].append(event)
+            if on_deliver is not None:
+                on_deliver(event)
+
+        if self.pss_kind == "uniform":
+            pss = UniformViewPss(
+                node_id,
+                self.directory,
+                rng=self._fork_rng(f"pss:{node_id}"),
+            )
+        else:
+            fanout = self.config.fanout
+            pss = CyclonPss(
+                node_id=node_id,
+                view_size=2 * fanout,
+                shuffle_size=max(1, fanout),
+                send=lambda dst, msg: self.network.send(node_id, dst, msg),
+                rng=self._fork_rng(f"pss:{node_id}"),
+            )
+            pss.bootstrap(self.directory.sample(self._rng, 2 * fanout))
+
+        node = AsyncEpToNode(
+            node_id=node_id,
+            config=self.config,
+            network=self.network,
+            peer_sampler=pss,
+            on_deliver=journal,
+            drift_fraction=self.drift_fraction,
+            seed=self.seed,
+            system_size_hint=self.expected_size,
+        )
+        self.directory.add(node_id)
+        self.nodes[node_id] = node
+        return node
+
+    def add_nodes(self, count: int) -> List[AsyncEpToNode]:
+        """Provision *count* nodes."""
+        return [self.add_node() for _ in range(count)]
+
+    async def remove_node(self, node_id: int) -> None:
+        """Stop and deregister *node_id* (crash/leave)."""
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            raise MembershipError(f"node {node_id} is not in the cluster")
+        await node.stop()
+        self.directory.remove(node_id)
+
+    def start_all(self) -> None:
+        """Start every node's round loop."""
+        for node in self.nodes.values():
+            node.start()
+
+    async def stop_all(self) -> None:
+        """Stop every node."""
+        for node in list(self.nodes.values()):
+            await node.stop()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    async def wait_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        poll: float = 0.01,
+    ) -> bool:
+        """Poll *predicate* until true or *timeout* seconds elapse."""
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            if predicate():
+                return True
+            await asyncio.sleep(poll)
+        return predicate()
+
+    async def wait_for_deliveries(self, count: int, timeout: float) -> bool:
+        """Wait until every live node delivered at least *count* events."""
+        return await self.wait_until(
+            lambda: all(
+                len(self.deliveries[node_id]) >= count for node_id in self.nodes
+            ),
+            timeout,
+        )
+
+    def delivery_payload_sequences(self) -> Dict[int, List[Any]]:
+        """Per-node delivered payloads, in delivery order."""
+        return {
+            node_id: [event.payload for event in events]
+            for node_id, events in self.deliveries.items()
+        }
+
+    def _fork_rng(self, label: str):
+        import random as _random
+
+        return _random.Random(f"{self.seed}:{label}")

@@ -1,0 +1,174 @@
+"""Wire codec for EpTO messages (paper §8.5).
+
+A compact, dependency-free binary encoding for everything EpTO and
+Cyclon put on the wire, used by the UDP transport. Deliberately **not**
+pickle: decoding untrusted bytes must never execute code, so the format
+is fixed-layout structs plus JSON-encoded payloads.
+
+Layout (all integers big-endian):
+
+```
+header:   magic "EP" | version u8 | kind u8 | sender i64 | count u32
+ball:     count x { ts i64 | source i64 | seq i64 | ttl i32 |
+                    payload_len u32 | payload (UTF-8 JSON) }
+cyclon:   count x { peer i64 | age i32 }
+```
+
+Payloads must be JSON-serializable — the natural constraint for data
+crossing process boundaries. Encoded messages are capped at
+:data:`MAX_DATAGRAM` bytes so they fit in a UDP datagram; EpTO's
+per-round batching keeps balls small at the scales the runtime demo
+targets (fragmenting giant balls across datagrams is a transport
+concern left out of scope, and flagged loudly instead of silently
+truncated).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Tuple, Union
+
+from ..core.errors import TransportError
+from ..core.event import Ball, BallEntry, Event, make_ball
+from ..pss.cyclon import CyclonRequest, CyclonResponse
+
+#: Largest message the codec will produce (safe single-datagram size).
+MAX_DATAGRAM = 60_000
+
+_MAGIC = b"EP"
+_VERSION = 1
+_KIND_BALL = 1
+_KIND_CYCLON_REQ = 2
+_KIND_CYCLON_RESP = 3
+
+_HEADER = struct.Struct("!2sBBqI")
+_BALL_ENTRY = struct.Struct("!qqqiI")
+_CYCLON_ENTRY = struct.Struct("!qi")
+
+#: Everything the codec can carry.
+WireMessage = Union[Ball, CyclonRequest, CyclonResponse]
+
+
+class CodecError(TransportError):
+    """Raised on malformed, oversized or incompatible wire data."""
+
+
+def encode(sender: int, message: WireMessage) -> bytes:
+    """Serialize *message* from *sender* into a datagram.
+
+    Raises:
+        CodecError: If a payload is not JSON-serializable or the
+            encoded message exceeds :data:`MAX_DATAGRAM`.
+    """
+    if isinstance(message, CyclonRequest):
+        body = _encode_cyclon(message.entries)
+        kind, count = _KIND_CYCLON_REQ, len(message.entries)
+    elif isinstance(message, CyclonResponse):
+        body = _encode_cyclon(message.entries)
+        kind, count = _KIND_CYCLON_RESP, len(message.entries)
+    elif isinstance(message, tuple):
+        body = _encode_ball(message)
+        kind, count = _KIND_BALL, len(message)
+    else:
+        raise CodecError(f"cannot encode message of type {type(message).__name__}")
+
+    datagram = _HEADER.pack(_MAGIC, _VERSION, kind, sender, count) + body
+    if len(datagram) > MAX_DATAGRAM:
+        raise CodecError(
+            f"encoded message is {len(datagram)} bytes, exceeding the "
+            f"{MAX_DATAGRAM}-byte datagram cap"
+        )
+    return datagram
+
+
+def decode(datagram: bytes) -> Tuple[int, WireMessage]:
+    """Parse a datagram; returns ``(sender, message)``.
+
+    Raises:
+        CodecError: On any malformed or version-incompatible input.
+    """
+    if len(datagram) < _HEADER.size:
+        raise CodecError(f"datagram too short ({len(datagram)} bytes)")
+    magic, version, kind, sender, count = _HEADER.unpack_from(datagram)
+    if magic != _MAGIC:
+        raise CodecError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise CodecError(f"unsupported version {version}")
+    body = datagram[_HEADER.size :]
+    if kind == _KIND_BALL:
+        return sender, _decode_ball(body, count)
+    if kind == _KIND_CYCLON_REQ:
+        return sender, CyclonRequest(entries=_decode_cyclon(body, count))
+    if kind == _KIND_CYCLON_RESP:
+        return sender, CyclonResponse(entries=_decode_cyclon(body, count))
+    raise CodecError(f"unknown message kind {kind}")
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+
+def _encode_ball(ball: Ball) -> bytes:
+    chunks = []
+    for entry in ball:
+        event = entry.event
+        try:
+            payload = json.dumps(event.payload).encode()
+        except (TypeError, ValueError) as exc:
+            raise CodecError(
+                f"payload of event {event.id} is not JSON-serializable: {exc}"
+            ) from exc
+        chunks.append(
+            _BALL_ENTRY.pack(
+                event.ts, event.source_id, event.seq, entry.ttl, len(payload)
+            )
+        )
+        chunks.append(payload)
+    return b"".join(chunks)
+
+
+def _decode_ball(body: bytes, count: int) -> Ball:
+    entries = []
+    offset = 0
+    for _ in range(count):
+        if offset + _BALL_ENTRY.size > len(body):
+            raise CodecError("truncated ball entry header")
+        ts, source, seq, ttl, payload_len = _BALL_ENTRY.unpack_from(body, offset)
+        offset += _BALL_ENTRY.size
+        if offset + payload_len > len(body):
+            raise CodecError("truncated ball entry payload")
+        raw = body[offset : offset + payload_len]
+        offset += payload_len
+        try:
+            payload = json.loads(raw.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CodecError(f"corrupt payload: {exc}") from exc
+        if ttl < 0:
+            raise CodecError(f"negative ttl {ttl}")
+        entries.append(
+            BallEntry(
+                Event(id=(source, seq), ts=ts, source_id=source, payload=payload),
+                ttl=ttl,
+            )
+        )
+    if offset != len(body):
+        raise CodecError(f"{len(body) - offset} trailing bytes after ball")
+    return make_ball(entries)
+
+
+def _encode_cyclon(entries) -> bytes:
+    return b"".join(_CYCLON_ENTRY.pack(peer, age) for peer, age in entries)
+
+
+def _decode_cyclon(body: bytes, count: int):
+    expected = count * _CYCLON_ENTRY.size
+    if len(body) != expected:
+        raise CodecError(
+            f"cyclon body is {len(body)} bytes, expected {expected}"
+        )
+    return tuple(
+        _CYCLON_ENTRY.unpack_from(body, i * _CYCLON_ENTRY.size)
+        for i in range(count)
+    )

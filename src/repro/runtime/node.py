@@ -1,0 +1,166 @@
+"""An EpTO node running on the asyncio event loop (paper §8.5).
+
+The exact same :class:`repro.core.process.EpToProcess` object that runs
+under the discrete-event simulator is driven here by real timers: a
+round task awaiting ``round_interval`` (with optional drift jitter) and
+an inbox callback wired to an :class:`~repro.runtime.transport.AsyncNetwork`.
+Nothing in the core is aware of the substitution — the demonstration
+the paper's §8.5 calls for.
+
+Time base: ``EpToConfig.round_interval`` is interpreted as
+*milliseconds* in this runtime (the simulator interprets it as ticks),
+and the global-clock oracle samples the loop's monotonic clock in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Callable, Optional
+
+from ..core.config import EpToConfig
+from ..core.event import Event
+from ..core.interfaces import PeerSampler
+from ..core.process import EpToProcess
+from .transport import AsyncNetwork, AsyncNodeTransport
+
+
+def _monotonic_millis() -> int:
+    """Monotonic wall time in milliseconds (global-clock source)."""
+    return int(time.monotonic() * 1000)
+
+
+class AsyncEpToNode:
+    """One EpTO participant hosted on asyncio.
+
+    Args:
+        node_id: Unique node identifier.
+        config: EpTO configuration (``round_interval`` in ms here).
+        network: Shared in-process async fabric.
+        peer_sampler: PSS view (e.g.
+            :class:`repro.pss.uniform.UniformViewPss` over the
+            cluster's directory, or a :class:`repro.pss.cyclon.CyclonPss`).
+        on_deliver: Total-order delivery callback.
+        on_out_of_order: Optional §8.2 tagged-delivery callback.
+        drift_fraction: Uniform jitter applied to each round sleep.
+        seed: Seed for this node's randomness (peer choice, drift).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: EpToConfig,
+        network: AsyncNetwork,
+        peer_sampler: PeerSampler,
+        on_deliver: Callable[[Event], None],
+        on_out_of_order: Callable[[Event], None] | None = None,
+        drift_fraction: float = 0.0,
+        seed: int = 0,
+        system_size_hint: int | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.network = network
+        self._drift_fraction = drift_fraction
+        self._rng = random.Random(f"{seed}:async:{node_id}")
+        self.process = EpToProcess(
+            node_id=node_id,
+            config=config,
+            peer_sampler=peer_sampler,
+            transport=AsyncNodeTransport(network),
+            on_deliver=on_deliver,
+            on_out_of_order=on_out_of_order,
+            time_source=_monotonic_millis,
+            rng=self._rng,
+            system_size_hint=system_size_hint,
+        )
+        self._task: Optional[asyncio.Task] = None
+        self._shuffle_task: Optional[asyncio.Task] = None
+        self._pss = peer_sampler
+        network.register(node_id, self._handle_message)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the periodic round (and Cyclon shuffle) tasks."""
+        loop = asyncio.get_event_loop()
+        if self._task is None or self._task.done():
+            self._task = loop.create_task(self._round_loop())
+        from ..pss.cyclon import CyclonPss
+
+        if isinstance(self._pss, CyclonPss) and (
+            self._shuffle_task is None or self._shuffle_task.done()
+        ):
+            self._shuffle_task = loop.create_task(self._shuffle_loop())
+
+    async def stop(self) -> None:
+        """Cancel the periodic tasks and leave the network."""
+        for attr in ("_task", "_shuffle_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
+        self.network.unregister(self.node_id)
+
+    @property
+    def running(self) -> bool:
+        """Whether the round loop is active."""
+        return self._task is not None and not self._task.done()
+
+    # ------------------------------------------------------------------
+    # EpTO surface
+    # ------------------------------------------------------------------
+
+    def broadcast(self, payload: Any = None) -> Event:
+        """EpTO-broadcast *payload* from this node."""
+        return self.process.broadcast(payload)
+
+    @property
+    def delivered_count(self) -> int:
+        """Events delivered in total order so far."""
+        return self.process.delivered_count
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _handle_message(self, src: int, message: Any) -> None:
+        # Cyclon traffic (when the PSS is a CyclonPss) or a ball.
+        from ..pss.cyclon import CyclonRequest, CyclonResponse
+
+        if isinstance(message, CyclonRequest):
+            self._pss.handle_request(src, message)  # type: ignore[attr-defined]
+        elif isinstance(message, CyclonResponse):
+            self._pss.handle_response(src, message)  # type: ignore[attr-defined]
+        else:
+            self.process.on_ball(message)
+
+    async def _round_loop(self) -> None:
+        interval_s = self.config.round_interval / 1000.0
+        while True:
+            sleep_for = interval_s
+            if self._drift_fraction > 0.0:
+                jitter = self._rng.uniform(-self._drift_fraction, self._drift_fraction)
+                sleep_for = max(0.001, interval_s * (1.0 + jitter))
+            await asyncio.sleep(sleep_for)
+            self.process.on_round()
+
+    async def _shuffle_loop(self) -> None:
+        interval_s = self.config.round_interval / 1000.0
+        while True:
+            await asyncio.sleep(interval_s)
+            self._pss.shuffle()  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AsyncEpToNode(id={self.node_id}, running={self.running}, "
+            f"delivered={self.delivered_count})"
+        )

@@ -1,0 +1,104 @@
+"""Asyncio message fabric for the real-runtime EpTO nodes (paper §8.5).
+
+Provides an in-process asyncio network with the same failure surface as
+the simulated one — per-message latency and independent loss — but
+driven by the real event loop clock instead of simulator ticks. Nodes
+communicate through :class:`AsyncNetwork`, and
+:class:`AsyncNodeTransport` adapts it to the
+:class:`repro.core.interfaces.Transport` protocol one EpTO process
+expects.
+
+The in-memory fabric is intentionally the default: the §8.5 runtime
+exists to prove the algorithm runs unmodified outside the simulator,
+and an in-memory loop keeps the test suite hermetic. Swapping in a
+datagram socket is a matter of implementing the same three-method
+surface (``register`` / ``unregister`` / ``send``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..core.errors import MembershipError
+
+#: Inbox callback: ``handler(src, message)`` (synchronous, loop thread).
+AsyncMessageHandler = Callable[[int, Any], None]
+
+
+@dataclass(slots=True)
+class AsyncNetworkStats:
+    """Counters mirroring :class:`repro.sim.network.NetworkStats`."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_dead: int = 0
+
+
+class AsyncNetwork:
+    """In-process asyncio network with latency and loss injection.
+
+    Args:
+        latency: Mean one-way delay in seconds; each message draws a
+            uniformly random delay in ``[0.5, 1.5] * latency``. Zero
+            delivers on the next loop iteration.
+        loss_rate: Probability a message is silently dropped.
+        seed: Seed for the loss/latency randomness.
+    """
+
+    def __init__(
+        self,
+        latency: float = 0.0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.latency = latency
+        self.loss_rate = loss_rate
+        self.stats = AsyncNetworkStats()
+        self._handlers: Dict[int, AsyncMessageHandler] = {}
+        self._rng = random.Random(seed)
+
+    def register(self, node_id: int, handler: AsyncMessageHandler) -> None:
+        """Attach *handler* as the inbox of *node_id*."""
+        if node_id in self._handlers:
+            raise MembershipError(f"node {node_id} is already registered")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: int) -> None:
+        """Detach *node_id*; in-flight messages to it are lost."""
+        self._handlers.pop(node_id, None)
+
+    def send(self, src: int, dst: int, message: Any) -> None:
+        """Best-effort asynchronous send (never raises on loss)."""
+        self.stats.sent += 1
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.stats.dropped_loss += 1
+            return
+        loop = asyncio.get_event_loop()
+        if self.latency > 0.0:
+            delay = self.latency * self._rng.uniform(0.5, 1.5)
+            loop.call_later(delay, self._deliver, src, dst, message)
+        else:
+            loop.call_soon(self._deliver, src, dst, message)
+
+    def _deliver(self, src: int, dst: int, message: Any) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.stats.dropped_dead += 1
+            return
+        self.stats.delivered += 1
+        handler(src, message)
+
+
+class AsyncNodeTransport:
+    """Adapts :class:`AsyncNetwork` to the core ``Transport`` protocol."""
+
+    def __init__(self, network: AsyncNetwork) -> None:
+        self._network = network
+
+    def send(self, src: int, dst: int, ball: Any) -> None:
+        """Forward a ball onto the async fabric."""
+        self._network.send(src, dst, ball)

@@ -1,0 +1,156 @@
+"""UDP transport: EpTO over real datagram sockets (paper §8.5).
+
+Exposes the same three-method surface as
+:class:`~repro.runtime.transport.AsyncNetwork` (``register`` /
+``unregister`` / ``send``) so :class:`~repro.runtime.node.AsyncEpToNode`
+runs over genuine loopback UDP without modification: each registered
+node gets its own socket, messages are serialized with
+:mod:`repro.runtime.codec`, and malformed datagrams are counted and
+dropped rather than crashing the node — exactly how an internet-facing
+gossip process must behave.
+
+Lifecycle: ``register`` records the inbox synchronously (so node
+construction stays synchronous); ``await open_all()`` binds the sockets
+before starting the nodes; ``await close()`` tears everything down.
+Sends to nodes whose socket is not open yet are counted as drops — UDP
+gives no delivery guarantee anyway, and EpTO is built for exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.errors import MembershipError
+from .codec import CodecError, decode, encode
+
+#: Inbox callback: ``handler(src, message)``.
+UdpMessageHandler = Callable[[int, Any], None]
+
+
+@dataclass(slots=True)
+class UdpStats:
+    """Counters for the UDP fabric."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_unopened: int = 0
+    dropped_encode: int = 0
+    dropped_malformed: int = 0
+
+
+class _NodeProtocol(asyncio.DatagramProtocol):
+    """Per-node datagram protocol: decode and dispatch."""
+
+    def __init__(self, network: "UdpNetwork", node_id: int) -> None:
+        self._network = network
+        self._node_id = node_id
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._network._on_datagram(self._node_id, data)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - OS-dependent
+        pass
+
+
+class UdpNetwork:
+    """Loopback UDP fabric hosting any number of in-process nodes.
+
+    Args:
+        host: Interface to bind (default loopback).
+    """
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self.stats = UdpStats()
+        self._handlers: Dict[int, UdpMessageHandler] = {}
+        self._transports: Dict[int, asyncio.DatagramTransport] = {}
+        self._addresses: Dict[int, Tuple[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # AsyncNetwork-compatible surface
+    # ------------------------------------------------------------------
+
+    def register(self, node_id: int, handler: UdpMessageHandler) -> None:
+        """Record *handler* as the inbox of *node_id* (socket bound by
+        :meth:`open` / :meth:`open_all`)."""
+        if node_id in self._handlers:
+            raise MembershipError(f"node {node_id} is already registered")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: int) -> None:
+        """Forget *node_id* and close its socket if open."""
+        self._handlers.pop(node_id, None)
+        transport = self._transports.pop(node_id, None)
+        self._addresses.pop(node_id, None)
+        if transport is not None:
+            transport.close()
+
+    def send(self, src: int, dst: int, message: Any) -> None:
+        """Encode and ship one datagram from *src* to *dst*."""
+        self.stats.sent += 1
+        sender_transport = self._transports.get(src)
+        address = self._addresses.get(dst)
+        if sender_transport is None or address is None:
+            self.stats.dropped_unopened += 1
+            return
+        try:
+            datagram = encode(src, message)
+        except CodecError:
+            self.stats.dropped_encode += 1
+            return
+        sender_transport.sendto(datagram, address)
+
+    # ------------------------------------------------------------------
+    # Socket lifecycle
+    # ------------------------------------------------------------------
+
+    async def open(self, node_id: int) -> Tuple[str, int]:
+        """Bind *node_id*'s socket on an ephemeral port; returns it."""
+        if node_id not in self._handlers:
+            raise MembershipError(f"node {node_id} is not registered")
+        if node_id in self._transports:
+            return self._addresses[node_id]
+        loop = asyncio.get_event_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _NodeProtocol(self, node_id),
+            local_addr=(self.host, 0),
+        )
+        address = transport.get_extra_info("sockname")[:2]
+        self._transports[node_id] = transport
+        self._addresses[node_id] = (address[0], address[1])
+        return self._addresses[node_id]
+
+    async def open_all(self) -> None:
+        """Bind a socket for every registered node."""
+        for node_id in list(self._handlers):
+            await self.open(node_id)
+
+    async def close(self) -> None:
+        """Close every socket."""
+        for node_id in list(self._transports):
+            self._transports.pop(node_id).close()
+        self._addresses.clear()
+        # Give the loop one tick to process the closes.
+        await asyncio.sleep(0)
+
+    def address_of(self, node_id: int) -> Optional[Tuple[str, int]]:
+        """The (host, port) of *node_id*, if its socket is open."""
+        return self._addresses.get(node_id)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _on_datagram(self, node_id: int, data: bytes) -> None:
+        handler = self._handlers.get(node_id)
+        if handler is None:
+            return
+        try:
+            sender, message = decode(data)
+        except CodecError:
+            self.stats.dropped_malformed += 1
+            return
+        self.stats.delivered += 1
+        handler(sender, message)

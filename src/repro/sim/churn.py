@@ -1,0 +1,100 @@
+"""Churn driver (paper §5.4 and §6, Figures 8 and 9).
+
+The paper's churn model keeps the population constant: every round,
+``alpha`` processes leave and ``alpha`` fresh processes join. The §6
+experiments "subject the system to a given churn rate by removing
+churnRate percent nodes uniformly at random and adding churnRate
+percent nodes every delta simulator ticks"; :class:`ChurnDriver`
+implements exactly that on top of a :class:`~repro.sim.cluster.SimCluster`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.errors import ConfigurationError
+from .cluster import SimCluster
+from .engine import PeriodicTask, Simulator
+
+
+@dataclass(slots=True)
+class ChurnStats:
+    """What the churn driver did during a run."""
+
+    rounds: int = 0
+    removed: int = 0
+    added: int = 0
+
+
+class ChurnDriver:
+    """Replaces a fixed fraction of nodes every period.
+
+    Args:
+        sim: Host simulator.
+        cluster: Cluster whose membership is churned.
+        rate: Fraction of the current population replaced each period
+            (paper's ``churnRate``), in ``[0, 1)``.
+        period: Ticks between churn steps; defaults to the cluster's
+            round interval ``delta``, matching the paper.
+        start: Tick of the first churn step.
+        stop_after: Stop churning past this tick (``None`` = never) —
+            experiments stop churn near the end of a run so the system
+            can quiesce and agreement can be evaluated on survivors.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: SimCluster,
+        rate: float,
+        period: Optional[int] = None,
+        start: int = 0,
+        stop_after: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"churn rate must be in [0, 1), got {rate}")
+        self.sim = sim
+        self.cluster = cluster
+        self.rate = rate
+        self.period = period or cluster.config.epto.round_interval
+        self.stop_after = stop_after
+        self.stats = ChurnStats()
+        self._rng = sim.fork_rng("churn")
+        self._task: Optional[PeriodicTask] = None
+        if rate > 0.0:
+            self._task = PeriodicTask(
+                sim,
+                self._churn_step,
+                period_source=lambda: self.period,
+                initial_delay=max(1, start),
+            )
+
+    def _churn_step(self) -> None:
+        if self.stop_after is not None and self.sim.now() > self.stop_after:
+            self.stop()
+            return
+        self.stats.rounds += 1
+        population = self.cluster.size
+        count = math.ceil(self.rate * population)
+        victims: List[int] = list(
+            self.cluster.directory.sample(self._rng, count)
+        )
+        for node_id in victims:
+            self.cluster.remove_node(node_id)
+            self.stats.removed += 1
+        for _ in range(len(victims)):
+            self.cluster.add_node()
+            self.stats.added += 1
+
+    def stop(self) -> None:
+        """Stop churning permanently (idempotent)."""
+        if self._task is not None:
+            self._task.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChurnDriver(rate={self.rate}, period={self.period}, "
+            f"removed={self.stats.removed}, added={self.stats.added})"
+        )

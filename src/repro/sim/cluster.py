@@ -1,0 +1,316 @@
+"""Simulated cluster: hosts gossip processes over the simulated network.
+
+Ties together everything a §6 experiment needs: the discrete-event
+engine, the network model, per-node peer sampling (idealized uniform
+view or Cyclon), round scheduling with drift, delivery instrumentation,
+and membership management (used by the churn driver).
+
+The cluster is generic over the hosted process type: any object with
+``broadcast(payload)``, ``on_ball(ball)`` and ``on_round()`` can be
+hosted, which is how the EpTO processes (:class:`repro.core.EpToProcess`)
+and the unordered baseline (:class:`repro.broadcast.BallsBinsProcess`)
+share all the surrounding machinery in the Figure 6 comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Protocol, Sequence
+
+from ..core.config import EpToConfig
+from ..core.errors import MembershipError
+from ..core.event import Ball, Event
+from ..core.process import EpToProcess
+from ..metrics.collector import DeliveryCollector
+from ..pss.base import MembershipDirectory
+from ..pss.cyclon import CyclonPss, CyclonRequest, CyclonResponse
+from ..pss.uniform import UniformViewPss
+from .drift import DriftModel, UniformDrift
+from .engine import PeriodicTask, Simulator
+from .network import SimNetwork
+
+
+class GossipProcess(Protocol):
+    """Minimal interface a cluster-hosted process must implement."""
+
+    def broadcast(self, payload: Any = None) -> Event: ...
+
+    def on_ball(self, ball: Ball) -> None: ...
+
+    def on_round(self) -> None: ...
+
+
+#: Builds a hosted process. Receives everything the cluster provisions
+#: per node; returns the process object.
+ProcessFactory = Callable[..., GossipProcess]
+
+
+@dataclass(slots=True)
+class ClusterConfig:
+    """Static description of a simulated deployment.
+
+    Attributes:
+        epto: EpTO algorithm configuration shared by every node.
+        pss: ``"uniform"`` (idealized, paper default) or ``"cyclon"``
+            (realistic, paper Figure 9).
+        drift: Round-period drift model (paper default: 1% uniform).
+        cyclon_view_size: Cyclon view capacity; defaults to
+            ``2 * fanout`` so the view always has enough entries to
+            serve a fanout-sized sample.
+        cyclon_shuffle_size: Entries exchanged per shuffle; defaults to
+            half the view size, the original paper's recommendation.
+        cyclon_period: Ticks between shuffles; defaults to the EpTO
+            round interval.
+        expected_size: System-size hint forwarded to processes that
+            need it (the §8.4 stability estimator).
+        round_phase: ``"synchronized"`` starts every node's round timer
+            a full round interval after it joins — the paper simulator's
+            ``now() + delta ± Delta`` schedule, under which an event's
+            TTL ages about once per ``delta`` and delivery delays match
+            the paper's ``~TTL * delta`` magnitudes. ``"staggered"``
+            starts each node at a random phase instead; relay chains
+            then hop between phase-offset nodes and age TTLs faster
+            than once per ``delta``, delivering earlier at identical
+            relay-generation counts (safety is unaffected — stability
+            counts relay generations, not wall time). See the phase
+            ablation benchmark.
+    """
+
+    epto: EpToConfig
+    pss: str = "uniform"
+    drift: DriftModel = field(default_factory=lambda: UniformDrift(0.01))
+    cyclon_view_size: Optional[int] = None
+    cyclon_shuffle_size: Optional[int] = None
+    cyclon_period: Optional[int] = None
+    expected_size: Optional[int] = None
+    round_phase: str = "synchronized"
+
+    def __post_init__(self) -> None:
+        if self.pss not in ("uniform", "cyclon"):
+            raise MembershipError(f"unknown PSS kind {self.pss!r}")
+        if self.round_phase not in ("synchronized", "staggered"):
+            raise MembershipError(f"unknown round phase {self.round_phase!r}")
+
+
+class _ClusterNode:
+    """Internal per-node wiring: process + PSS + scheduled tasks."""
+
+    __slots__ = ("node_id", "process", "pss", "round_task", "shuffle_task")
+
+    def __init__(
+        self,
+        node_id: int,
+        process: GossipProcess,
+        pss: object,
+        round_task: PeriodicTask,
+        shuffle_task: Optional[PeriodicTask],
+    ) -> None:
+        self.node_id = node_id
+        self.process = process
+        self.pss = pss
+        self.round_task = round_task
+        self.shuffle_task = shuffle_task
+
+    def stop(self) -> None:
+        self.round_task.stop()
+        if self.shuffle_task is not None:
+            self.shuffle_task.stop()
+
+
+class SimCluster:
+    """A set of gossip processes hosted on one simulated network.
+
+    Args:
+        sim: Discrete-event engine.
+        network: Message router (latency, loss, partitions).
+        config: Deployment description.
+        collector: Delivery instrumentation; a fresh one is created
+            when omitted.
+        process_factory: Alternative process constructor (defaults to
+            building :class:`~repro.core.process.EpToProcess`). The
+            factory is called with keyword arguments ``node_id``,
+            ``pss``, ``transport``, ``on_deliver``, ``time_source``,
+            ``rng``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: SimNetwork,
+        config: ClusterConfig,
+        collector: DeliveryCollector | None = None,
+        process_factory: ProcessFactory | None = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.collector = collector if collector is not None else DeliveryCollector()
+        self._process_factory = process_factory
+        self.directory = MembershipDirectory()
+        self._nodes: Dict[int, _ClusterNode] = {}
+        self._next_id = 0
+        self._rng = sim.fork_rng("cluster")
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of live nodes."""
+        return len(self._nodes)
+
+    def alive_ids(self) -> Sequence[int]:
+        """Snapshot of live node ids."""
+        return self.directory.alive_ids()
+
+    def node(self, node_id: int) -> GossipProcess:
+        """The hosted process of *node_id*."""
+        try:
+            return self._nodes[node_id].process
+        except KeyError:
+            raise MembershipError(f"node {node_id} is not in the cluster") from None
+
+    def pss_of(self, node_id: int) -> object:
+        """The PSS instance of *node_id* (for tests and metrics)."""
+        try:
+            return self._nodes[node_id].pss
+        except KeyError:
+            raise MembershipError(f"node {node_id} is not in the cluster") from None
+
+    def add_node(self) -> int:
+        """Provision, register and start one new node; returns its id."""
+        node_id = self._next_id
+        self._next_id += 1
+
+        node_rng = self.sim.fork_rng(f"node:{node_id}")
+        pss = self._build_pss(node_id, node_rng)
+        process = self._build_process(node_id, pss, node_rng)
+
+        def handle_message(src: int, message: Any) -> None:
+            if isinstance(message, CyclonRequest):
+                pss.handle_request(src, message)  # type: ignore[union-attr]
+            elif isinstance(message, CyclonResponse):
+                pss.handle_response(src, message)  # type: ignore[union-attr]
+            else:
+                process.on_ball(message)
+
+        self.network.register(node_id, handle_message)
+        self.directory.add(node_id)
+        self.collector.record_node_added(node_id, self.sim.now())
+
+        interval = self.config.epto.round_interval
+        drift = self.config.drift
+        if self.config.round_phase == "staggered":
+            first_round = self._rng.randrange(max(1, interval)) + 1
+        else:
+            # Paper schedule: first round a full (drifted) interval
+            # after joining.
+            first_round = drift.next_period(node_rng, node_id, interval)
+        round_task = PeriodicTask(
+            self.sim,
+            process.on_round,
+            period_source=lambda: drift.next_period(node_rng, node_id, interval),
+            initial_delay=first_round,
+        )
+        shuffle_task = None
+        if isinstance(pss, CyclonPss):
+            period = self.config.cyclon_period or interval
+            shuffle_task = PeriodicTask(
+                self.sim,
+                pss.shuffle,
+                period_source=lambda: period,
+                initial_delay=self._rng.randrange(max(1, period)),
+            )
+
+        self._nodes[node_id] = _ClusterNode(
+            node_id, process, pss, round_task, shuffle_task
+        )
+        return node_id
+
+    def add_nodes(self, count: int) -> Sequence[int]:
+        """Provision *count* nodes; returns their ids."""
+        return [self.add_node() for _ in range(count)]
+
+    def remove_node(self, node_id: int) -> None:
+        """Stop and deregister *node_id* (simulating a crash/leave)."""
+        node = self._nodes.pop(node_id, None)
+        if node is None:
+            raise MembershipError(f"node {node_id} is not in the cluster")
+        node.stop()
+        self.network.unregister(node_id)
+        self.directory.remove(node_id)
+        self.collector.record_node_removed(node_id, self.sim.now())
+
+    def random_alive(self, rng: random.Random | None = None) -> int:
+        """A uniformly random live node id."""
+        rng = rng if rng is not None else self._rng
+        ids = self.directory.alive_ids()
+        if not ids:
+            raise MembershipError("cluster is empty")
+        return ids[rng.randrange(len(ids))]
+
+    # ------------------------------------------------------------------
+    # Broadcasting
+    # ------------------------------------------------------------------
+
+    def broadcast_from(self, node_id: int, payload: Any = None) -> Event:
+        """EpTO-broadcast *payload* from *node_id*, recording metrics."""
+        event = self.node(node_id).broadcast(payload)
+        self.collector.record_broadcast(event, self.sim.now())
+        return event
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _build_pss(self, node_id: int, node_rng: random.Random):
+        if self.config.pss == "uniform":
+            return UniformViewPss(node_id, self.directory, node_rng)
+        if self.config.pss == "cyclon":
+            fanout = self.config.epto.fanout
+            view_size = self.config.cyclon_view_size or 2 * fanout
+            shuffle_size = self.config.cyclon_shuffle_size or max(1, view_size // 2)
+            pss = CyclonPss(
+                node_id=node_id,
+                view_size=view_size,
+                shuffle_size=shuffle_size,
+                send=lambda dst, msg: self.network.send(node_id, dst, msg),
+                rng=node_rng,
+            )
+            # Simplified join: seed the view from an introducer sample
+            # of the current membership.
+            bootstrap = self.directory.sample(self._rng, view_size, exclude=node_id)
+            pss.bootstrap(bootstrap)
+            return pss
+        raise MembershipError(f"unknown PSS kind {self.config.pss!r}")
+
+    def _build_process(
+        self, node_id: int, pss: object, node_rng: random.Random
+    ) -> GossipProcess:
+        def on_deliver(event: Event) -> None:
+            self.collector.record_delivery(node_id, event, self.sim.now())
+
+        if self._process_factory is not None:
+            return self._process_factory(
+                node_id=node_id,
+                pss=pss,
+                transport=self.network,
+                on_deliver=on_deliver,
+                time_source=self.sim.now,
+                rng=node_rng,
+            )
+        return EpToProcess(
+            node_id=node_id,
+            config=self.config.epto,
+            peer_sampler=pss,  # type: ignore[arg-type]
+            transport=self.network,
+            on_deliver=on_deliver,
+            time_source=self.sim.now,
+            rng=node_rng,
+            system_size_hint=self.config.expected_size,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimCluster(size={self.size}, pss={self.config.pss!r})"

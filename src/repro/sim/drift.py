@@ -1,0 +1,92 @@
+"""Process drift models (paper §5.3, §6).
+
+The paper's simulator schedules rounds at ``now() + delta ± Delta``
+where ``Delta`` is the process drift; the evaluation uses a uniformly
+random drift of 1%. A drift model produces, for each node and each
+round, the next round duration in ticks.
+
+Lemma 5 covers drift bounded by ``delta_min <= delta <= delta_max`` by
+inflating the TTL by ``delta_max / delta_min``; :class:`BoundedDrift`
+exposes exactly that ratio so experiments can wire it into
+:func:`repro.core.params.min_ttl`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, runtime_checkable
+
+from ..core.errors import ConfigurationError
+
+
+@runtime_checkable
+class DriftModel(Protocol):
+    """Produces per-round period lengths for a node."""
+
+    def next_period(self, rng: random.Random, node_id: int, base_period: int) -> int:
+        """Next round duration in ticks for *node_id*."""
+        ...
+
+    def drift_ratio(self) -> float:
+        """``delta_max / delta_min`` bound for Lemma 5 (>= 1)."""
+        ...
+
+
+class NoDrift:
+    """Perfectly regular rounds — the §4 synchronous analysis setting."""
+
+    def next_period(self, rng: random.Random, node_id: int, base_period: int) -> int:
+        return base_period
+
+    def drift_ratio(self) -> float:
+        return 1.0
+
+
+class UniformDrift:
+    """Uniformly random symmetric drift: ``delta * (1 ± fraction)``.
+
+    The paper's evaluation default is ``fraction = 0.01`` (1%).
+    """
+
+    def __init__(self, fraction: float = 0.01) -> None:
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError(f"drift fraction must be in [0, 1), got {fraction}")
+        self.fraction = fraction
+
+    def next_period(self, rng: random.Random, node_id: int, base_period: int) -> int:
+        if self.fraction == 0.0:
+            return base_period
+        delta = rng.uniform(-self.fraction, self.fraction)
+        return max(1, int(round(base_period * (1.0 + delta))))
+
+    def drift_ratio(self) -> float:
+        return (1.0 + self.fraction) / (1.0 - self.fraction)
+
+
+class BoundedDrift:
+    """Per-node constant speed factor within ``[min_factor, max_factor]``.
+
+    Models heterogenous hardware: each node draws a speed factor once
+    (deterministically from its id) and keeps it for the whole run —
+    the Lemma 5 setting of persistently fast/slow processes, as opposed
+    to :class:`UniformDrift`'s per-round jitter.
+    """
+
+    def __init__(self, min_factor: float = 0.9, max_factor: float = 1.1, seed: int = 0) -> None:
+        if not 0.0 < min_factor <= max_factor:
+            raise ConfigurationError(
+                f"need 0 < min_factor <= max_factor, got [{min_factor}, {max_factor}]"
+            )
+        self.min_factor = min_factor
+        self.max_factor = max_factor
+        self._seed = seed
+
+    def _factor(self, node_id: int) -> float:
+        rng = random.Random(f"{self._seed}:drift:{node_id}")
+        return rng.uniform(self.min_factor, self.max_factor)
+
+    def next_period(self, rng: random.Random, node_id: int, base_period: int) -> int:
+        return max(1, int(round(base_period * self._factor(node_id))))
+
+    def drift_ratio(self) -> float:
+        return self.max_factor / self.min_factor

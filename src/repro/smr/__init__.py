@@ -1,0 +1,23 @@
+"""State-machine replication over EpTO (the paper's §1.1 motivation).
+
+Includes the §8.3 *corrective delivery* extension
+(:class:`CorrectableReplica`) implementing unconscious eventual
+consistency for perturbed replicas.
+"""
+
+from .corrective import CorrectableReplica, Correction
+from .machine import AppendLog, Counter, KeyValueStore, StateMachine
+from .replica import ConvergenceReport, MachineFactory, Replica, ReplicatedService
+
+__all__ = [
+    "AppendLog",
+    "ConvergenceReport",
+    "CorrectableReplica",
+    "Correction",
+    "Counter",
+    "KeyValueStore",
+    "MachineFactory",
+    "Replica",
+    "ReplicatedService",
+    "StateMachine",
+]

@@ -1,0 +1,145 @@
+"""Corrective delivery (paper §8.3): eventual consistency with rollback.
+
+Base EpTO drops an event whose in-order delivery window has passed;
+tagged delivery (§8.2) at least surfaces it. §8.3 sketches one step
+further — *corrective deliveries* "to fix mistakes as done in
+optimistic protocols", with the twist that EpTO has no final order, so
+corrections are never known to be the last word: the application is
+*unconscious* of whether its current order is definitive (Baldoni et
+al.'s unconscious eventual consistency [1]).
+
+:class:`CorrectableReplica` implements that model over a deterministic
+state machine:
+
+* in-order deliveries apply immediately (the optimistic fast path);
+* an out-of-order (tagged) event triggers a **correction**: the event
+  is spliced into its rightful place in the replica's ordered log and
+  the machine is rebuilt by replaying the log — state rolls back and
+  forward in one step;
+* the application observes corrections through a callback carrying the
+  splice position, so it can invalidate whatever it derived from the
+  overwritten suffix.
+
+A perturbed replica that missed events in order therefore still
+converges to exactly the healthy replicas' state — the paper's goal of
+integrating perturbed processes "otherwise difficult to integrate to
+the well-behaving part of the network".
+
+Replay cost is O(log length) per correction; corrections are rare by
+construction (they require a hole), so the simplicity of full replay
+beats snapshot machinery at the scales this library targets. The
+machine factory must produce machines that are deterministic from the
+empty state.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..core.event import Event, OrderKey
+from .machine import StateMachine
+from .replica import MachineFactory
+
+
+@dataclass(frozen=True, slots=True)
+class Correction:
+    """One corrective delivery: *event* spliced at *position*.
+
+    Attributes:
+        event: The late event now incorporated.
+        position: Index in the ordered log where it was inserted;
+            everything at or after this index was re-applied.
+        replayed: Number of commands re-applied after the rollback.
+    """
+
+    event: Event
+    position: int
+    replayed: int
+
+
+class CorrectableReplica:
+    """A replica that accepts corrections instead of dropping late events.
+
+    Wire :meth:`on_deliver` to the node's in-order stream and
+    :meth:`on_out_of_order` to its §8.2 tagged stream (requires
+    ``EpToConfig.tagged_delivery=True``).
+
+    Args:
+        node_id: Owning node.
+        machine_factory: Builds a fresh machine (used both initially
+            and for replays after corrections).
+        on_correction: Optional callback invoked with each
+            :class:`Correction` — the hook applications use to
+            invalidate derived state.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        machine_factory: MachineFactory,
+        on_correction: Callable[[Correction], None] | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self._machine_factory = machine_factory
+        self._on_correction = on_correction
+        self.machine: StateMachine = machine_factory()
+        self.corrections: List[Correction] = []
+        self.applied_count = 0
+        self._log: List[Event] = []
+        self._keys: List[OrderKey] = []
+
+    # ------------------------------------------------------------------
+    # Delivery hooks
+    # ------------------------------------------------------------------
+
+    def on_deliver(self, event: Event) -> None:
+        """Fast path: an in-order delivery appends and applies."""
+        self._log.append(event)
+        self._keys.append(event.order_key)
+        self.machine.apply(event.payload)
+        self.applied_count += 1
+
+    def on_out_of_order(self, event: Event) -> None:
+        """Correction path: splice the late event and replay."""
+        position = bisect.bisect_left(self._keys, event.order_key)
+        if position < len(self._keys) and self._keys[position] == event.order_key:
+            return  # duplicate correction; already incorporated
+        self._log.insert(position, event)
+        self._keys.insert(position, event.order_key)
+        self._replay()
+        correction = Correction(
+            event=event,
+            position=position,
+            replayed=len(self._log) - position,
+        )
+        self.corrections.append(correction)
+        if self._on_correction is not None:
+            self._on_correction(correction)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def log(self) -> List[Event]:
+        """The replica's current ordered event log."""
+        return list(self._log)
+
+    def digest(self) -> str:
+        """Fingerprint of the machine state."""
+        return self.machine.digest()
+
+    def _replay(self) -> None:
+        """Rebuild the machine from the (now corrected) log."""
+        self.machine = self._machine_factory()
+        for event in self._log:
+            self.machine.apply(event.payload)
+        self.applied_count = len(self._log)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CorrectableReplica(node={self.node_id}, "
+            f"log={len(self._log)}, corrections={len(self.corrections)})"
+        )

@@ -1,0 +1,129 @@
+"""Deterministic state machines for replication over EpTO.
+
+The paper motivates EpTO with systems like DataFlasks that lack
+ordering and must push version control onto clients (§1.1). Total
+order makes the classic state-machine-replication recipe available:
+apply the same deterministic commands in the same order everywhere and
+every replica's state is identical by construction.
+
+A :class:`StateMachine` must be **deterministic**: its state after
+applying a command sequence is a pure function of that sequence. The
+:meth:`StateMachine.digest` hook lets replicas cheaply compare states
+(divergence detection) without shipping snapshots.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Protocol, Tuple, runtime_checkable
+
+
+@runtime_checkable
+class StateMachine(Protocol):
+    """A deterministic command-applying machine."""
+
+    def apply(self, command: Any) -> Any:
+        """Apply *command*, mutate state, return a result."""
+        ...
+
+    def snapshot(self) -> Any:
+        """Return an immutable, comparable copy of the current state."""
+        ...
+
+    def digest(self) -> str:
+        """Return a short stable fingerprint of the current state."""
+        ...
+
+
+def _stable_digest(value: Any) -> str:
+    """SHA-256 over a canonical JSON encoding of *value*."""
+    encoded = json.dumps(value, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(encoded).hexdigest()[:16]
+
+
+class KeyValueStore:
+    """A replicated dictionary: ``("put", k, v)`` / ``("del", k)``.
+
+    Each key tracks a version counter incremented on every write, the
+    bookkeeping DataFlasks delegates to clients and total order makes
+    trivial.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Tuple[Any, int]] = {}
+
+    def apply(self, command: Tuple[str, ...]) -> Any:
+        op = command[0]
+        if op == "put":
+            _, key, value = command
+            _, version = self._data.get(key, (None, 0))
+            self._data[key] = (value, version + 1)
+            return version + 1
+        if op == "del":
+            _, key = command
+            return self._data.pop(key, None)
+        raise ValueError(f"unknown command {command!r}")
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Current value of *key* (local read)."""
+        entry = self._data.get(key)
+        return entry[0] if entry is not None else default
+
+    def version(self, key: str) -> int:
+        """Write count of *key* (0 when absent)."""
+        entry = self._data.get(key)
+        return entry[1] if entry is not None else 0
+
+    def snapshot(self) -> Tuple[Tuple[str, Any, int], ...]:
+        return tuple(
+            (key, value, version)
+            for key, (value, version) in sorted(self._data.items())
+        )
+
+    def digest(self) -> str:
+        return _stable_digest(self.snapshot())
+
+
+class Counter:
+    """A replicated counter: ``("add", n)`` / ``("reset",)``."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def apply(self, command: Tuple[str, ...]) -> int:
+        op = command[0]
+        if op == "add":
+            self.value += command[1]
+        elif op == "reset":
+            self.value = 0
+        else:
+            raise ValueError(f"unknown command {command!r}")
+        return self.value
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def digest(self) -> str:
+        return _stable_digest(self.value)
+
+
+class AppendLog:
+    """A replicated append-only log — the identity state machine.
+
+    Useful in tests: its state *is* the delivered command sequence, so
+    any ordering discrepancy is directly visible.
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[Any] = []
+
+    def apply(self, command: Any) -> int:
+        self.entries.append(command)
+        return len(self.entries)
+
+    def snapshot(self) -> Tuple[Any, ...]:
+        return tuple(self.entries)
+
+    def digest(self) -> str:
+        return _stable_digest(self.entries)

@@ -1,0 +1,177 @@
+"""State-machine replication over EpTO's total order.
+
+:class:`Replica` glues one deterministic state machine to one node's
+EpTO delivery stream; :class:`ReplicatedService` provisions a replica
+per node of a :class:`~repro.sim.cluster.SimCluster` and offers
+cluster-wide convergence checks. Because EpTO delivers the same
+command sequence everywhere, replicas are consistent by construction —
+the service's :meth:`ReplicatedService.converged` is how applications
+(and our tests) verify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..core.event import Event
+from ..core.errors import MembershipError
+from ..sim.cluster import SimCluster
+from .machine import StateMachine
+
+#: Builds a fresh state machine for one replica.
+MachineFactory = Callable[[], StateMachine]
+
+
+class Replica:
+    """One node's materialized state machine.
+
+    Feed :meth:`on_deliver` with the node's EpTO delivery stream (in
+    delivery order); the replica applies each event's payload as a
+    command and journals what it applied.
+
+    Args:
+        node_id: Owning node.
+        machine: The deterministic state machine instance.
+        journal_commands: Keep the applied command list (handy in
+            tests; off by default to bound memory).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        machine: StateMachine,
+        journal_commands: bool = False,
+    ) -> None:
+        self.node_id = node_id
+        self.machine = machine
+        self.applied_count = 0
+        self.last_result: Any = None
+        self._journal: Optional[List[Any]] = [] if journal_commands else None
+
+    def on_deliver(self, event: Event) -> None:
+        """Apply one totally ordered event to the machine."""
+        self.last_result = self.machine.apply(event.payload)
+        self.applied_count += 1
+        if self._journal is not None:
+            self._journal.append(event.payload)
+
+    @property
+    def journal(self) -> List[Any]:
+        """Applied commands in order (requires ``journal_commands``)."""
+        if self._journal is None:
+            raise MembershipError("journaling disabled for this replica")
+        return list(self._journal)
+
+    def digest(self) -> str:
+        """Fingerprint of the machine state."""
+        return self.machine.digest()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Replica(node={self.node_id}, applied={self.applied_count})"
+
+
+@dataclass(slots=True)
+class ConvergenceReport:
+    """Outcome of a cluster-wide state comparison."""
+
+    digests: Dict[int, str]
+    distinct: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.distinct = set(self.digests.values())
+
+    @property
+    def converged(self) -> bool:
+        """All compared replicas hold identical state."""
+        return len(self.distinct) <= 1
+
+    def divergent_nodes(self) -> List[int]:
+        """Nodes whose digest differs from the majority digest."""
+        if self.converged:
+            return []
+        counts: Dict[str, int] = {}
+        for digest in self.digests.values():
+            counts[digest] = counts.get(digest, 0) + 1
+        majority = max(counts, key=lambda d: counts[d])
+        return sorted(
+            node for node, digest in self.digests.items() if digest != majority
+        )
+
+
+class ReplicatedService:
+    """A state machine replicated across every node of a cluster.
+
+    Hooks replica application into the cluster's delivery recording, so
+    replicas advance exactly in EpTO delivery order with no extra
+    wiring at the call sites.
+
+    Args:
+        cluster: The simulated cluster hosting the EpTO processes.
+        machine_factory: Builds one fresh machine per replica.
+        journal_commands: Forwarded to every :class:`Replica`.
+    """
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        machine_factory: MachineFactory,
+        journal_commands: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self._machine_factory = machine_factory
+        self._journal_commands = journal_commands
+        self.replicas: Dict[int, Replica] = {}
+        for node_id in cluster.alive_ids():
+            self._attach(node_id)
+        # Intercept future deliveries (including nodes added later).
+        self._original_record = cluster.collector.record_delivery
+        cluster.collector.record_delivery = self._record_and_apply  # type: ignore[method-assign]
+
+    def _attach(self, node_id: int) -> Replica:
+        replica = Replica(
+            node_id,
+            self._machine_factory(),
+            journal_commands=self._journal_commands,
+        )
+        self.replicas[node_id] = replica
+        return replica
+
+    def _record_and_apply(self, node_id: int, event: Event, time: int) -> None:
+        self._original_record(node_id, event, time)
+        replica = self.replicas.get(node_id)
+        if replica is None:
+            # A node added after service creation (e.g. by churn).
+            replica = self._attach(node_id)
+        replica.on_deliver(event)
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    def submit(self, node_id: int, command: Any) -> Event:
+        """Submit *command* through *node_id* (EpTO-broadcast it)."""
+        return self.cluster.broadcast_from(node_id, command)
+
+    def replica(self, node_id: int) -> Replica:
+        """The replica hosted at *node_id*."""
+        try:
+            return self.replicas[node_id]
+        except KeyError:
+            raise MembershipError(f"no replica at node {node_id}") from None
+
+    def convergence(self, nodes: Optional[Set[int]] = None) -> ConvergenceReport:
+        """Compare replica digests (default: currently alive nodes)."""
+        if nodes is None:
+            nodes = set(self.cluster.alive_ids())
+        return ConvergenceReport(
+            digests={
+                node_id: self.replicas[node_id].digest()
+                for node_id in nodes
+                if node_id in self.replicas
+            }
+        )
+
+    def converged(self, nodes: Optional[Set[int]] = None) -> bool:
+        """Whether the compared replicas hold identical state."""
+        return self.convergence(nodes).converged

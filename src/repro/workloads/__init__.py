@@ -1,0 +1,22 @@
+"""Workload generators driving the evaluation experiments."""
+
+from .broadcast import (
+    FixedCountWorkload,
+    PayloadFactory,
+    PoissonWorkload,
+    ProbabilisticWorkload,
+    WorkloadStats,
+    broadcast_burst,
+)
+from .replay import ReplayStats, TraceReplayWorkload
+
+__all__ = [
+    "FixedCountWorkload",
+    "PayloadFactory",
+    "PoissonWorkload",
+    "ProbabilisticWorkload",
+    "ReplayStats",
+    "TraceReplayWorkload",
+    "WorkloadStats",
+    "broadcast_burst",
+]

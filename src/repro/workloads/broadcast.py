@@ -1,0 +1,219 @@
+"""Broadcast workload generators (paper §6).
+
+The paper's experiments drive the system with a per-process
+*probability of broadcast* (e.g. "5% prob. broadcast"): each round,
+each process broadcasts a fresh event with that probability.
+:class:`ProbabilisticWorkload` reproduces this; the simpler generators
+support targeted tests and the Figure 6 infection-time baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.event import Event
+from ..sim.cluster import SimCluster
+from ..sim.engine import PeriodicTask, Simulator
+
+#: Builds the payload for the *i*-th generated event.
+PayloadFactory = Callable[[int], Any]
+
+
+def _default_payload(index: int) -> Any:
+    return index
+
+
+@dataclass(slots=True)
+class WorkloadStats:
+    """What a workload generated."""
+
+    events: int = 0
+    rounds: int = 0
+
+
+class ProbabilisticWorkload:
+    """Each round, each live process broadcasts with probability *rate*.
+
+    Args:
+        sim: Host simulator.
+        cluster: Cluster whose nodes broadcast.
+        rate: Per-process per-round broadcast probability (the paper's
+            "x% prob. broadcast").
+        rounds: Number of broadcast rounds to generate, after which the
+            workload stops (the run then drains in silence so every
+            event can stabilize).
+        period: Ticks between workload rounds; defaults to the
+            cluster's round interval ``delta``.
+        start: Tick of the first workload round (lets PSS warm-up
+            finish first).
+        payload_factory: Builds payloads from a running event index.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: SimCluster,
+        rate: float,
+        rounds: int,
+        period: Optional[int] = None,
+        start: int = 0,
+        payload_factory: PayloadFactory = _default_payload,
+    ) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ConfigurationError(f"broadcast rate must be in (0, 1], got {rate}")
+        if rounds < 1:
+            raise ConfigurationError(f"need at least 1 round, got {rounds}")
+        self.sim = sim
+        self.cluster = cluster
+        self.rate = rate
+        self.rounds = rounds
+        self.period = period or cluster.config.epto.round_interval
+        self.payload_factory = payload_factory
+        self.stats = WorkloadStats()
+        self._rng = sim.fork_rng("workload")
+        self._task = PeriodicTask(
+            sim,
+            self._round,
+            period_source=lambda: self.period,
+            initial_delay=max(1, start),
+        )
+
+    @property
+    def finished(self) -> bool:
+        """Whether every broadcast round has been generated."""
+        return self.stats.rounds >= self.rounds
+
+    def _round(self) -> None:
+        if self.stats.rounds >= self.rounds:
+            self._task.stop()
+            return
+        self.stats.rounds += 1
+        rate = self.rate
+        rng = self._rng
+        for node_id in list(self.cluster.alive_ids()):
+            if rng.random() < rate:
+                payload = self.payload_factory(self.stats.events)
+                self.cluster.broadcast_from(node_id, payload)
+                self.stats.events += 1
+
+
+class FixedCountWorkload:
+    """Broadcasts exactly *count* events from random nodes, one per period.
+
+    Deterministic event count, useful when a test needs to reason about
+    the exact set of broadcast events.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: SimCluster,
+        count: int,
+        period: Optional[int] = None,
+        start: int = 0,
+        payload_factory: PayloadFactory = _default_payload,
+    ) -> None:
+        if count < 1:
+            raise ConfigurationError(f"need at least 1 event, got {count}")
+        self.sim = sim
+        self.cluster = cluster
+        self.count = count
+        self.period = period or cluster.config.epto.round_interval
+        self.payload_factory = payload_factory
+        self.stats = WorkloadStats()
+        self._rng = sim.fork_rng("workload.fixed")
+        self._task = PeriodicTask(
+            sim,
+            self._round,
+            period_source=lambda: self.period,
+            initial_delay=max(1, start),
+        )
+
+    def _round(self) -> None:
+        if self.stats.events >= self.count:
+            self._task.stop()
+            return
+        self.stats.rounds += 1
+        node_id = self.cluster.random_alive(self._rng)
+        self.cluster.broadcast_from(node_id, self.payload_factory(self.stats.events))
+        self.stats.events += 1
+
+
+class PoissonWorkload:
+    """Cluster-wide Poisson arrivals: ~``rate`` events per tick.
+
+    Unlike :class:`ProbabilisticWorkload` (per-process, per-round
+    coin flips), arrivals here are memoryless in *time*: inter-arrival
+    gaps are geometric with mean ``1/rate`` ticks, and each event's
+    broadcaster is a uniformly random live node. Useful for workloads
+    where the round structure should not imprint on the arrival
+    process.
+
+    Args:
+        sim: Host simulator.
+        cluster: Cluster whose nodes broadcast.
+        rate: Expected events per tick (e.g. ``0.02`` = one event per
+            50 ticks on average).
+        duration: Ticks during which arrivals are generated.
+        start: Tick of the first possible arrival.
+        payload_factory: Builds payloads from a running event index.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: SimCluster,
+        rate: float,
+        duration: int,
+        start: int = 0,
+        payload_factory: PayloadFactory = _default_payload,
+    ) -> None:
+        if rate <= 0.0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        if duration < 1:
+            raise ConfigurationError(f"duration must be >= 1, got {duration}")
+        self.sim = sim
+        self.cluster = cluster
+        self.rate = rate
+        self.payload_factory = payload_factory
+        self.stats = WorkloadStats()
+        self._rng = sim.fork_rng("workload.poisson")
+        self._deadline = sim.now() + start + duration
+        self._schedule_next(base_delay=start)
+
+    def _schedule_next(self, base_delay: int = 0) -> None:
+        # Geometric inter-arrival gap with mean 1/rate ticks.
+        gap = max(1, int(self._rng.expovariate(self.rate)))
+        self.sim.schedule(base_delay + gap, self._arrival)
+
+    def _arrival(self) -> None:
+        if self.sim.now() > self._deadline:
+            return
+        if self.cluster.size > 0:
+            node_id = self.cluster.random_alive(self._rng)
+            self.cluster.broadcast_from(
+                node_id, self.payload_factory(self.stats.events)
+            )
+            self.stats.events += 1
+        self._schedule_next()
+
+
+def broadcast_burst(
+    cluster: SimCluster,
+    count: int,
+    payload_factory: PayloadFactory = _default_payload,
+) -> List[Event]:
+    """Immediately broadcast *count* events from random live nodes.
+
+    All events share (approximately) the same creation tick — the
+    maximally concurrent workload, stressing the tie-breaking and
+    logical-clock paths.
+    """
+    rng = cluster.sim.fork_rng("workload.burst")
+    events = []
+    for index in range(count):
+        node_id = cluster.random_alive(rng)
+        events.append(cluster.broadcast_from(node_id, payload_factory(index)))
+    return events

@@ -1,0 +1,135 @@
+"""Tests for balls-in-bins machinery (repro.analysis.ballsbins)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.ballsbins import (
+    coupon_collector_threshold,
+    epidemic_growth,
+    expected_empty_bins,
+    p_all_bins_hit,
+    p_bin_empty,
+    simulate_gossip_coverage,
+    simulate_throws,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestOccupancyFormulas:
+    def test_zero_balls_all_empty(self):
+        assert expected_empty_bins(10, 0) == 10
+
+    def test_many_balls_nearly_none_empty(self):
+        assert expected_empty_bins(10, 1000) < 1e-10
+
+    def test_p_bin_empty_formula(self):
+        assert p_bin_empty(4, 4) == pytest.approx((3 / 4) ** 4)
+
+    def test_p_all_bins_hit_bounds(self):
+        assert p_all_bins_hit(10, 0) == 0.0
+        assert p_all_bins_hit(10, 10_000) == pytest.approx(1.0, abs=1e-9)
+
+    def test_coupon_collector(self):
+        # n * H_n; for n=10, H_10 ~ 2.929.
+        assert coupon_collector_threshold(10) == pytest.approx(29.29, abs=0.01)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            expected_empty_bins(0, 1)
+        with pytest.raises(ConfigurationError):
+            p_bin_empty(1, 1)
+
+
+class TestMonteCarloAgreement:
+    """The closed-form expectations must match direct simulation."""
+
+    def test_expected_empty_bins_matches_simulation(self):
+        rng = random.Random(8)
+        n, balls, trials = 50, 100, 300
+        simulated = sum(simulate_throws(n, balls, rng) for _ in range(trials)) / trials
+        assert simulated == pytest.approx(expected_empty_bins(n, balls), rel=0.15)
+
+    def test_coupon_collector_threshold_roughly_covers(self):
+        rng = random.Random(9)
+        n = 30
+        threshold = int(coupon_collector_threshold(n))
+        # At ~2x the threshold, coverage should be complete most times.
+        complete = sum(
+            1 for _ in range(50) if simulate_throws(n, 2 * threshold, rng) == 0
+        )
+        assert complete > 35
+
+
+class TestEpidemicGrowth:
+    def test_starts_with_one_infected(self):
+        trace = epidemic_growth(100, 5, 10)
+        assert trace.infected[0] == 1.0
+        assert trace.balls[0] == 0.0
+
+    def test_monotone_growth(self):
+        trace = epidemic_growth(100, 5, 20)
+        infected = list(trace.infected)
+        assert infected == sorted(infected)
+        assert infected[-1] <= 100.0
+
+    def test_early_rounds_multiply_by_fanout_plus_one(self):
+        # Theorem 2's doubling intuition: i_{t+1} ~ (1 + K) i_t early on.
+        trace = epidemic_growth(100_000, 3, 4)
+        ratio = trace.infected[2] / trace.infected[1]
+        assert ratio == pytest.approx(4.0, rel=0.01)
+
+    def test_saturates_at_n(self):
+        trace = epidemic_growth(50, 10, 30)
+        assert trace.infected[-1] == pytest.approx(50.0, abs=1e-6)
+
+    def test_rounds_to_cover(self):
+        trace = epidemic_growth(1000, 10, 30)
+        rounds = trace.rounds_to_cover(1000, 0.999)
+        # Should be on the order of log n, certainly under 10 for K=10.
+        assert 2 <= rounds <= 10
+
+    def test_coverage_normalized(self):
+        trace = epidemic_growth(100, 5, 10)
+        coverage = trace.coverage(100)
+        assert coverage[0] == pytest.approx(0.01)
+        assert all(0.0 <= c <= 1.0 for c in coverage)
+
+    def test_matches_gossip_simulation(self):
+        """Mean-field recurrence ~ Monte-Carlo gossip (Theorem 2)."""
+        n, fanout, rounds = 300, 4, 8
+        trace = epidemic_growth(n, fanout, rounds)
+        rng = random.Random(10)
+        trials = [simulate_gossip_coverage(n, fanout, rounds, rng) for _ in range(30)]
+        mean_final = sum(t[-1] for t in trials) / len(trials)
+        assert mean_final == pytest.approx(trace.infected[-1], rel=0.05)
+
+    @given(
+        st.integers(min_value=2, max_value=2000),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_growth_invariants(self, n, fanout, rounds):
+        trace = epidemic_growth(n, fanout, rounds)
+        assert len(trace.infected) == rounds + 1
+        assert all(1.0 <= i <= n for i in trace.infected)
+        balls = list(trace.balls)
+        assert balls == sorted(balls)
+
+
+class TestGossipSimulation:
+    def test_theorem2_parameters_cover_everyone(self):
+        """At K and m from Theorem 2, every process learns the rumor
+        in (nearly) every run — the theorem's claim, empirically."""
+        n = 128
+        fanout = math.ceil(2 * math.e * math.log(n) / math.log(math.log(n)))
+        rounds = math.ceil(2.25 * math.log2(n))
+        rng = random.Random(11)
+        for _ in range(20):
+            coverage = simulate_gossip_coverage(n, fanout, rounds, rng)
+            assert coverage[-1] == n

@@ -1,0 +1,120 @@
+"""Tests for the Figure 3 analytic bounds (repro.analysis.bounds)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.bounds import (
+    balls_thrown,
+    hole_bound_series,
+    log10_p_hole_any_process,
+    log10_p_hole_fixed_process,
+    p_hole_any_process,
+    p_hole_fixed_process,
+    smallest_c_for_target,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestBallsThrown:
+    def test_formula(self):
+        assert balls_thrown(100, 2.0) == pytest.approx(2 * 100 * math.log2(100))
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            balls_thrown(1, 2.0)
+        with pytest.raises(ConfigurationError):
+            balls_thrown(100, 0.0)
+
+
+class TestFixedProcessBound:
+    def test_matches_direct_formula(self):
+        n, c = 50, 2.0
+        direct = (1 - 1 / n) ** (c * n * math.log2(n))
+        assert p_hole_fixed_process(n, c) == pytest.approx(direct, rel=1e-9)
+
+    def test_figure3a_scale_at_n1000(self):
+        # Figure 3a: c=2 curve sits near 1e-9 at n=1000.
+        assert -9.5 < log10_p_hole_fixed_process(1000, 2.0) < -8.0
+
+    def test_larger_c_smaller_probability(self):
+        assert log10_p_hole_fixed_process(500, 3.0) < log10_p_hole_fixed_process(
+            500, 2.0
+        )
+
+    def test_no_underflow_in_log_space(self):
+        # Tiny probabilities stay finite and exact in log space.
+        value = log10_p_hole_fixed_process(100_000, 4.0)
+        assert value < -25  # ~1e-29: below float-print noise, finite
+        assert math.isfinite(value)
+        huge = log10_p_hole_fixed_process(10_000, 50.0)
+        assert huge < -100
+        assert math.isfinite(huge)
+
+    @given(
+        st.integers(min_value=2, max_value=5000),
+        st.floats(min_value=0.5, max_value=5.0),
+    )
+    def test_bound_is_a_probability(self, n, c):
+        p = p_hole_fixed_process(n, c)
+        assert 0.0 <= p <= 1.0
+
+
+class TestAnyProcessBound:
+    def test_union_bound_relationship(self):
+        n, c = 300, 2.0
+        assert log10_p_hole_any_process(n, c) == pytest.approx(
+            math.log10(n) + log10_p_hole_fixed_process(n, c)
+        )
+
+    def test_capped_at_one(self):
+        # For tiny c the union bound exceeds 1 and must cap.
+        assert p_hole_any_process(2, 0.1) <= 1.0
+        assert log10_p_hole_any_process(2, 0.1) == 0.0
+
+    def test_figure3b_scale_at_n1000(self):
+        # Figure 3b: c=2 curve sits near 1e-6 at n=1000.
+        assert -6.5 < log10_p_hole_any_process(1000, 2.0) < -5.0
+
+    @given(
+        st.integers(min_value=2, max_value=5000),
+        st.floats(min_value=0.5, max_value=5.0),
+    )
+    def test_any_is_weaker_than_fixed(self, n, c):
+        assert log10_p_hole_any_process(n, c) >= log10_p_hole_fixed_process(n, c)
+
+
+class TestSeries:
+    def test_series_shape(self):
+        series = hole_bound_series(2.0, sizes=[10, 100, 1000])
+        assert len(series) == 3
+        n, fixed, any_ = series[1]
+        assert n == 100
+        assert fixed <= any_ <= 0.0
+
+    def test_monotone_decreasing_in_n(self):
+        # The figure's visual: curves slope downward with n.
+        series = hole_bound_series(2.0, sizes=list(range(10, 1001, 10)))
+        fixed_values = [fixed for _, fixed, _ in series]
+        assert fixed_values[0] > fixed_values[-1]
+
+
+class TestSmallestC:
+    def test_inverts_the_bound(self):
+        n, target = 1000, 1e-12
+        c = smallest_c_for_target(n, target)
+        assert c > 1.0
+        # At the returned c, the bound is at or below the target.
+        assert log10_p_hole_any_process(n, c) <= math.log10(target) + 1e-6
+
+    def test_looser_target_needs_smaller_c(self):
+        assert smallest_c_for_target(1000, 1e-6) < smallest_c_for_target(1000, 1e-15)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            smallest_c_for_target(100, 0.0)
+        with pytest.raises(ConfigurationError):
+            smallest_c_for_target(100, 1.5)

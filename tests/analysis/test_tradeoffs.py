@@ -1,0 +1,94 @@
+"""Tests for §8.4 latency/confidence tradeoffs (repro.analysis.tradeoffs)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.tradeoffs import (
+    latency_saving,
+    rounds_for_coverage,
+    rounds_for_stability,
+    tradeoff_curve,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.params import min_fanout, min_ttl
+
+
+class TestTradeoffCurve:
+    def test_monotone_in_rounds(self):
+        curve = tradeoff_curve(200, 10)
+        stabilities = [p.probability_stable for p in curve]
+        coverages = [p.expected_coverage for p in curve]
+        assert stabilities == sorted(stabilities)
+        assert coverages == sorted(coverages)
+
+    def test_starts_uncertain_ends_confident(self):
+        curve = tradeoff_curve(200, 10)
+        assert curve[0].probability_stable == 0.0
+        assert curve[-1].probability_stable > 0.999
+
+    def test_rounds_are_sequential(self):
+        curve = tradeoff_curve(50, 5, max_rounds=12)
+        assert [p.rounds for p in curve] == list(range(13))
+
+
+class TestInverseQueries:
+    def test_rounds_for_stability_is_exact_inverse(self):
+        n, k = 300, 12
+        target = 0.99
+        rounds = rounds_for_stability(n, k, target)
+        curve = tradeoff_curve(n, k)
+        assert curve[rounds].probability_stable >= target
+        if rounds > 0:
+            assert curve[rounds - 1].probability_stable < target
+
+    def test_majority_needs_fewer_rounds_than_stability(self):
+        n, k = 500, 15
+        majority = rounds_for_coverage(n, k, 0.5)
+        stable = rounds_for_stability(n, k, 0.999)
+        assert majority < stable
+
+    def test_higher_target_needs_more_rounds(self):
+        n, k = 400, 10
+        assert rounds_for_stability(n, k, 0.999) >= rounds_for_stability(n, k, 0.5)
+
+    def test_full_coverage_reachable(self):
+        assert rounds_for_coverage(100, 10, 1.0) < 20
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_stability_target_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            rounds_for_stability(100, 10, bad)
+
+    @given(
+        st.integers(min_value=8, max_value=2000),
+        st.integers(min_value=2, max_value=20),
+        st.floats(min_value=0.05, max_value=0.99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_query_consistent(self, n, k, target):
+        rounds = rounds_for_coverage(n, k, target)
+        curve = tradeoff_curve(n, k)
+        assert curve[rounds].expected_coverage >= target
+
+
+class TestLatencySaving:
+    def test_paper_scale_saving_is_substantial(self):
+        """§6 empirically found TTL 15 -> 5 at n=100; the model should
+        likewise predict large savings at high confidence."""
+        n = 100
+        k = min_fanout(n)
+        ttl = min_ttl(n)
+        saving = latency_saving(n, k, ttl, target=0.999)
+        assert saving > 0.4  # act >40% earlier at 99.9% confidence
+
+    def test_zero_when_target_needs_full_ttl(self):
+        # A tiny TTL leaves nothing to save.
+        n, k = 100, min_fanout(100)
+        needed = rounds_for_stability(n, k, 0.999)
+        assert latency_saving(n, k, ttl=needed, target=0.999) == 0.0
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            latency_saving(100, 10, ttl=0, target=0.9)

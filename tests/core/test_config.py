@@ -1,0 +1,72 @@
+"""Unit tests for EpToConfig (repro.core.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EpToConfig
+from repro.core.errors import ConfigurationError
+from repro.core.params import min_fanout, min_ttl
+
+
+class TestValidation:
+    def test_valid_config(self):
+        config = EpToConfig(fanout=5, ttl=10)
+        assert config.fanout == 5
+        assert config.clock == "global"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fanout": 0, "ttl": 1},
+            {"fanout": 1, "ttl": 0},
+            {"fanout": 1, "ttl": 1, "round_interval": 0},
+            {"fanout": 1, "ttl": 1, "clock": "vector"},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EpToConfig(**kwargs)
+
+    def test_frozen(self):
+        config = EpToConfig(fanout=5, ttl=10)
+        with pytest.raises(AttributeError):
+            config.fanout = 6  # type: ignore[misc]
+
+
+class TestWithOverrides:
+    def test_overrides_selected_fields(self):
+        config = EpToConfig(fanout=5, ttl=10)
+        updated = config.with_overrides(ttl=3)
+        assert updated.ttl == 3
+        assert updated.fanout == 5
+        assert config.ttl == 10  # original untouched
+
+    def test_override_revalidates(self):
+        config = EpToConfig(fanout=5, ttl=10)
+        with pytest.raises(ConfigurationError):
+            config.with_overrides(ttl=0)
+
+
+class TestForSystemSize:
+    def test_uses_theoretical_bounds(self):
+        config = EpToConfig.for_system_size(200)
+        assert config.fanout == min_fanout(200)
+        assert config.ttl == min_ttl(200)
+
+    def test_logical_clock_propagates(self):
+        config = EpToConfig.for_system_size(200, clock="logical")
+        assert config.clock == "logical"
+        assert config.ttl == min_ttl(200, clock="logical")
+
+    def test_churn_and_loss_inflate_fanout(self):
+        lossy = EpToConfig.for_system_size(200, churn_rate=0.1, loss_rate=0.1)
+        clean = EpToConfig.for_system_size(200)
+        assert lossy.fanout > clean.fanout
+
+    def test_extra_flags_forwarded(self):
+        config = EpToConfig.for_system_size(
+            200, tagged_delivery=True, expose_stability=True
+        )
+        assert config.tagged_delivery
+        assert config.expose_stability

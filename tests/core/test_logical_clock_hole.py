@@ -1,0 +1,139 @@
+"""Deterministic reproduction of paper Figure 4 (concurrency hole).
+
+The walkthrough in §5.1: with logical clocks and the *single* (Lemma 3)
+TTL bound, a process ``q`` can deliver its own event ``e`` exactly when
+a concurrent event ``e'`` — broadcast by ``p`` with the same logical
+timestamp but higher precedence (``p.id`` precedes ``q.id``) — is still
+in flight. Delivering ``e`` forecloses the in-order delivery of ``e'``
+at ``q``: an unnecessary hole. Lemma 4's fix is doubling the TTL.
+
+These tests script the exact message timeline of Figure 4 by shuttling
+balls by hand between two processes, and verify:
+
+* with ``TTL = 2`` the hole occurs (q misses ``e'``; order still holds);
+* with the doubled TTL the hole disappears;
+* with tagged delivery (§8.2) enabled, the dropped event reaches the
+  application tagged instead of vanishing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import EpToConfig, EpToProcess, Event
+
+from ..conftest import RecordingTransport, StaticPeerSampler
+
+
+class Duo:
+    """Two hand-driven EpTO processes: p (id 0) precedes q (id 1)."""
+
+    def __init__(self, ttl: int, tagged: bool = False) -> None:
+        config = EpToConfig(
+            fanout=1, ttl=ttl, clock="logical", tagged_delivery=tagged
+        )
+        self.delivered: dict[int, List[Event]] = {0: [], 1: []}
+        self.tagged: dict[int, List[Event]] = {0: [], 1: []}
+        self.transports = {0: RecordingTransport(), 1: RecordingTransport()}
+        self.procs = {
+            node_id: EpToProcess(
+                node_id=node_id,
+                config=config,
+                peer_sampler=StaticPeerSampler([1 - node_id]),
+                transport=self.transports[node_id],
+                on_deliver=self.delivered[node_id].append,
+                on_out_of_order=(
+                    self.tagged[node_id].append if tagged else None
+                ),
+            )
+            for node_id in (0, 1)
+        }
+
+    def round(self, node_id: int):
+        """Run one round at *node_id*; return the balls it sent."""
+        transport = self.transports[node_id]
+        transport.clear()
+        self.procs[node_id].on_round()
+        return [ball for _, _, ball in transport.sent]
+
+    def handover(self, dst: int, balls) -> None:
+        """Deliver previously captured balls to *dst*."""
+        for ball in balls:
+            self.procs[dst].on_ball(ball)
+
+
+def run_figure4_timeline(ttl: int, tagged: bool = False) -> Duo:
+    """The exact Figure 4 schedule, parameterized by TTL.
+
+    q broadcasts ``e`` at round 0. The ball carrying ``e`` reaches p
+    only in round 2 — *just after* p broadcast ``e'``, so both carry
+    logical timestamp 1 and ``e'`` precedes ``e``. We then let both
+    processes run long enough for everything to stabilize.
+    """
+    duo = Duo(ttl=ttl, tagged=tagged)
+    p, q = duo.procs[0], duo.procs[1]
+
+    event_e = q.broadcast("e")  # ts = 1 at q
+    assert event_e.ts == 1
+
+    # Round 0: q relays e; the ball is delayed (withheld) for 2 rounds.
+    delayed = duo.round(1)
+    duo.round(0)
+
+    # Round 1: both tick; nothing in flight.
+    duo.round(1)
+    duo.round(0)
+
+    # Round 2 at p: p broadcasts e' *before* receiving e...
+    event_e_prime = p.broadcast("e'")  # ts = 1 at p too (clock unsynced)
+    assert event_e_prime.ts == 1
+    assert event_e_prime.order_key < event_e.order_key  # e' precedes e
+    # ...and only then the delayed ball lands.
+    duo.handover(0, delayed)
+    p_balls = duo.round(0)
+
+    # Round 2 at q: q ages e past the TTL *before* hearing about e'.
+    duo.round(1)
+    # Now p's ball (carrying e' and the aged e) reaches q.
+    duo.handover(1, p_balls)
+
+    # Let both run several more rounds, shuttling everything.
+    for _ in range(3 * ttl + 4):
+        duo.handover(1, duo.round(0))
+        duo.handover(0, duo.round(1))
+    return duo
+
+
+class TestFigure4:
+    def test_hole_occurs_with_single_ttl(self):
+        duo = run_figure4_timeline(ttl=2)
+        q_payloads = [e.payload for e in duo.delivered[1]]
+        p_payloads = [e.payload for e in duo.delivered[0]]
+        # q delivered e but can no longer deliver e' — the hole.
+        assert "e" in q_payloads
+        assert "e'" not in q_payloads
+        # p delivers both, in precedence order.
+        assert p_payloads == ["e'", "e"]
+
+    def test_total_order_never_violated_despite_hole(self):
+        duo = run_figure4_timeline(ttl=2)
+        # Common events must appear in the same relative order.
+        p_keys = [e.order_key for e in duo.delivered[0]]
+        q_keys = [e.order_key for e in duo.delivered[1]]
+        common = set(p_keys) & set(q_keys)
+        assert [k for k in p_keys if k in common] == [
+            k for k in q_keys if k in common
+        ]
+
+    def test_doubled_ttl_closes_the_hole(self):
+        # Lemma 4: doubling the TTL lets q learn e' before e stabilizes.
+        duo = run_figure4_timeline(ttl=4)
+        assert [e.payload for e in duo.delivered[0]] == ["e'", "e"]
+        assert [e.payload for e in duo.delivered[1]] == ["e'", "e"]
+
+    def test_tagged_delivery_surfaces_the_dropped_event(self):
+        duo = run_figure4_timeline(ttl=2, tagged=True)
+        assert [e.payload for e in duo.delivered[1]] == ["e"]
+        assert [e.payload for e in duo.tagged[1]] == ["e'"]
+        # p needed no tagging.
+        assert duo.tagged[0] == []

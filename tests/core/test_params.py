@@ -1,0 +1,134 @@
+"""Unit tests for parameter derivation (repro.core.params, Lemmas 3-7)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import (
+    DEFAULT_C,
+    derive_parameters,
+    min_fanout,
+    min_ttl,
+)
+
+
+class TestMinFanout:
+    def test_matches_theorem2_formula(self):
+        n = 100
+        expected = math.ceil(2 * math.e * math.log(n) / math.log(math.log(n)))
+        assert min_fanout(n) == expected
+
+    def test_paper_scale_values(self):
+        # Sanity at the paper's sizes: logarithmic growth, small values.
+        assert min_fanout(100) == 17
+        assert 17 <= min_fanout(500) <= 20
+        assert min_fanout(10_000) <= 24
+
+    def test_capped_at_n_minus_1(self):
+        assert min_fanout(2) == 1
+        assert min_fanout(3) == 2
+        assert min_fanout(4) <= 3
+
+    def test_churn_inflates_fanout(self):
+        base = min_fanout(1000)
+        churned = min_fanout(1000, churn_rate=0.1)
+        assert churned > base
+        # Lemma 7: factor 1/(1 - churn)
+        expected = math.ceil(
+            2 * math.e * math.log(1000) / math.log(math.log(1000)) / 0.9
+        )
+        assert churned == expected
+
+    def test_loss_inflates_fanout(self):
+        assert min_fanout(1000, loss_rate=0.1) > min_fanout(1000)
+
+    def test_combined_churn_and_loss(self):
+        combined = min_fanout(1000, churn_rate=0.05, loss_rate=0.05)
+        assert combined >= min_fanout(1000, churn_rate=0.05)
+        assert combined >= min_fanout(1000, loss_rate=0.05)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_rejects_bad_rates(self, bad):
+        with pytest.raises(ConfigurationError):
+            min_fanout(100, churn_rate=bad)
+        with pytest.raises(ConfigurationError):
+            min_fanout(100, loss_rate=bad)
+
+    def test_rejects_tiny_system(self):
+        with pytest.raises(ConfigurationError):
+            min_fanout(1)
+
+    @given(st.integers(min_value=4, max_value=100_000))
+    def test_monotone_nondecreasing_in_n(self, n):
+        # K grows (weakly) with the system size for n above the
+        # full-mesh regime.
+        assert min_fanout(n + 1) >= min_fanout(n) - 1  # allow ceil jitter
+
+
+class TestMinTtl:
+    def test_matches_lemma3_formula(self):
+        n, c = 100, 2.0
+        assert min_ttl(n, c=c) == math.ceil((c + 1) * math.log2(n))
+
+    def test_paper_headline_ttl(self):
+        # §6: "the TTL given by the theoretical analysis (TTL=15)" for
+        # n = 100 — our DEFAULT_C is calibrated to reproduce it.
+        assert min_ttl(100, c=DEFAULT_C) == 15
+
+    def test_logical_clock_doubles(self):
+        n = 256
+        assert min_ttl(n, clock="logical") == 2 * min_ttl(n, clock="global")
+
+    def test_latency_adds_one_round(self):
+        n = 256
+        assert (
+            min_ttl(n, latency_bounded_by_round=True)
+            == min_ttl(n, latency_bounded_by_round=False) + 1
+        )
+
+    def test_drift_ratio_scales(self):
+        base = min_ttl(256)
+        assert min_ttl(256, drift_ratio=2.0) == math.ceil(base * 2.0)
+
+    def test_c_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            min_ttl(100, c=1.0)
+
+    def test_drift_ratio_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            min_ttl(100, drift_ratio=0.5)
+
+    def test_unknown_clock_rejected(self):
+        with pytest.raises(ConfigurationError):
+            min_ttl(100, clock="vector")
+
+    @given(
+        st.integers(min_value=2, max_value=100_000),
+        st.floats(min_value=1.01, max_value=5.0),
+    )
+    def test_grows_logarithmically(self, n, c):
+        ttl = min_ttl(n, c=c)
+        assert ttl >= 1
+        assert ttl <= (c + 1) * math.log2(n) + 1
+
+
+class TestDeriveParameters:
+    def test_combines_both(self):
+        params = derive_parameters(500, clock="logical", churn_rate=0.05)
+        assert params.fanout == min_fanout(500, churn_rate=0.05)
+        assert params.ttl == min_ttl(500, clock="logical")
+        assert params.clock == "logical"
+
+    def test_hole_probability_bound_is_small(self):
+        params = derive_parameters(1000, c=2.0)
+        bound = params.hole_probability_bound()
+        assert 0.0 <= bound < 1e-6
+
+    def test_is_frozen(self):
+        params = derive_parameters(100)
+        with pytest.raises(AttributeError):
+            params.fanout = 1  # type: ignore[misc]

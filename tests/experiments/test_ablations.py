@@ -1,0 +1,74 @@
+"""Smoke tests for the ablation drivers at a miniature scale.
+
+Full-size shape assertions live in ``benchmarks/``; these check the
+drivers' mechanics (sweeps run, tables render, result accessors work).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_ablation_fanout,
+    run_ablation_guards,
+    run_ablation_phase,
+    run_ablation_ttl,
+    run_empirical_bounds,
+)
+
+from .test_figures import TINY
+
+
+class TestTtlAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_ttl(TINY)
+
+    def test_sweep_includes_theory_ttl(self, result):
+        assert result.theory_ttl in result.results
+
+    def test_safety_at_every_ttl(self, result):
+        for res in result.results.values():
+            assert not res.report.order_violations
+
+    def test_render(self, result):
+        assert "TTL" in result.render()
+
+
+class TestFanoutAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_fanout(TINY)
+
+    def test_theory_fanout_included(self, result):
+        assert result.theory_fanout in result.results
+
+    def test_coverage_accessor(self, result):
+        for k in result.results:
+            assert 0.0 <= result.coverage(k) <= 1.0
+
+    def test_render(self, result):
+        assert "coverage" in result.render()
+
+
+class TestPhaseAblation:
+    def test_both_phases_run_and_speedup_defined(self):
+        result = run_ablation_phase(TINY)
+        assert set(result.results) == {"synchronized", "staggered"}
+        assert result.speedup() > 0
+        assert "phase" in result.render()
+
+
+class TestGuardAblation:
+    def test_violation_accessor_and_render(self):
+        result = run_ablation_guards(TINY, seeds=(40, 41))
+        assert result.violations("epto") == 0
+        assert "protocol" in result.render()
+
+
+class TestEmpiricalBounds:
+    def test_small_run(self):
+        result = run_empirical_bounds(n=32, trials=30)
+        assert result.sweep
+        assert result.smallest_reliable >= 1
+        assert "Wilson" in result.render()

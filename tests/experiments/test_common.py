@@ -1,0 +1,121 @@
+"""Tests for the experiment harness (repro.experiments.common)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import min_fanout, min_ttl
+from repro.experiments.common import ExperimentSpec, run_experiment, run_sweep
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        name="tiny",
+        n=12,
+        seed=2,
+        broadcast_rate=0.2,
+        broadcast_rounds=2,
+        latency="fixed",
+    )
+    defaults.update(overrides)
+    if defaults.get("latency") == "fixed":
+        from repro.sim.latency import FixedLatency
+
+        defaults["latency"] = FixedLatency(10)
+    return ExperimentSpec(**defaults)
+
+
+class TestSpecResolution:
+    def test_defaults_use_theoretical_bounds(self):
+        spec = ExperimentSpec(name="x", n=100)
+        assert spec.resolved_fanout() == min_fanout(100)
+        assert spec.resolved_ttl() == min_ttl(100, latency_bounded_by_round=True)
+
+    def test_overrides_win(self):
+        spec = ExperimentSpec(name="x", n=100, fanout=5, ttl=4)
+        assert spec.resolved_fanout() == 5
+        assert spec.resolved_ttl() == 4
+
+    def test_churn_and_loss_feed_fanout(self):
+        spec = ExperimentSpec(name="x", n=100, churn_rate=0.1, loss_rate=0.1)
+        assert spec.resolved_fanout() == min_fanout(
+            100, churn_rate=0.1, loss_rate=0.1
+        )
+
+    def test_drain_rounds_default_covers_ttl(self):
+        spec = ExperimentSpec(name="x", n=100)
+        assert spec.resolved_drain_rounds() > spec.resolved_ttl()
+
+    def test_with_overrides(self):
+        spec = ExperimentSpec(name="x", n=100)
+        changed = spec.with_overrides(n=200, clock="logical")
+        assert changed.n == 200
+        assert changed.clock == "logical"
+        assert spec.n == 100
+
+    def test_unknown_process_kind_rejected_at_run(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment(tiny_spec(process_kind="raft"))
+
+
+class TestRunExperiment:
+    def test_complete_run_produces_metrics(self):
+        result = run_experiment(tiny_spec())
+        assert result.events_broadcast > 0
+        assert result.deliveries == result.events_broadcast * 12
+        assert result.summary is not None
+        assert result.cdf[-1][1] == 100.0
+        assert result.report.safety_ok
+        assert result.holes == 0
+        assert result.stable_nodes == 12
+
+    def test_delays_positive(self):
+        result = run_experiment(tiny_spec())
+        assert all(d > 0 for d in result.delays)
+
+    def test_reproducible_given_seed(self):
+        a = run_experiment(tiny_spec(seed=5))
+        b = run_experiment(tiny_spec(seed=5))
+        assert a.delays == b.delays
+        assert a.messages_sent == b.messages_sent
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(tiny_spec(seed=5))
+        b = run_experiment(tiny_spec(seed=6))
+        assert a.delays != b.delays
+
+    def test_loss_configured_network_drops(self):
+        result = run_experiment(tiny_spec(loss_rate=0.2, seed=3))
+        assert result.messages_dropped > 0
+        assert result.report.safety_ok
+
+    def test_churn_reduces_stable_nodes(self):
+        result = run_experiment(
+            tiny_spec(n=20, churn_rate=0.1, broadcast_rounds=3, seed=4)
+        )
+        assert result.stable_nodes < 20
+        assert result.report.safety_ok
+
+    def test_baseline_process_kind_runs(self):
+        result = run_experiment(tiny_spec(process_kind="ballsbins"))
+        assert result.deliveries > 0
+        # Baseline delivers faster than EpTO would.
+        epto = run_experiment(tiny_spec())
+        assert result.summary.p50 < epto.summary.p50
+
+    def test_fifo_process_kind_runs(self):
+        result = run_experiment(tiny_spec(process_kind="fifo"))
+        assert result.deliveries > 0
+
+    def test_as_row_contains_headline_fields(self):
+        row = run_experiment(tiny_spec()).as_row()
+        for key in ("name", "n", "events", "holes", "p50"):
+            assert key in row
+
+
+class TestRunSweep:
+    def test_runs_all_specs(self):
+        results = run_sweep([tiny_spec(seed=1), tiny_spec(seed=2)])
+        assert len(results) == 2
+        assert results[0].spec.seed == 1

@@ -1,0 +1,140 @@
+"""Smoke tests for the per-figure drivers at a tiny test scale.
+
+Each driver runs at a miniature preset (far below even the "small"
+benchmark scale) and is checked for the qualitative *shape* the paper
+reports — the full-size shape checks live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig3_bounds import run_fig3
+from repro.experiments.fig5_latency import (
+    PAPER_MEAN,
+    PAPER_P50,
+    PAPER_P95,
+    run_fig5,
+)
+from repro.experiments.fig6_baseline import run_fig6
+from repro.experiments.fig7_scalability import run_fig7a, run_fig7b
+from repro.experiments.fig8_churn import run_fig8
+from repro.experiments.fig9_cyclon import run_fig9
+from repro.experiments.fig10_loss import run_fig10
+from repro.experiments.scale import ScalePreset
+
+#: Miniature preset so the whole figure suite smoke-runs in seconds.
+TINY = ScalePreset(
+    name="tiny",
+    fig6_n=24,
+    fig6_broadcast_rounds=3,
+    fig7a_n=24,
+    fig7a_rates=(0.2, 0.4),
+    fig7a_broadcast_rounds=3,
+    fig7b_sizes=(12, 24),
+    fig7b_broadcast_rounds=2,
+    sweep_n=24,
+    sweep_rates=(0.0, 0.1),
+    sweep_broadcast_rounds=2,
+    cyclon_warmup_rounds=6,
+)
+
+
+class TestFig3:
+    def test_curves_produced_for_each_c(self):
+        result = run_fig3(cs=(2.0, 3.0), sizes=(10, 100, 1000))
+        assert set(result.fixed_process) == {2.0, 3.0}
+        assert len(result.fixed_process[2.0]) == 3
+
+    def test_any_weaker_than_fixed(self):
+        result = run_fig3(cs=(2.0,), sizes=(100,))
+        _, fixed_val = result.fixed_process[2.0][0]
+        _, any_val = result.any_process[2.0][0]
+        assert any_val >= fixed_val
+
+    def test_table_renders(self):
+        assert "c=2" in run_fig3().table()
+
+
+class TestFig5:
+    def test_summary_matches_paper_statistics(self):
+        result = run_fig5(draws=20000)
+        assert result.summary.mean == pytest.approx(PAPER_MEAN, rel=0.12)
+        assert result.summary.p50 == pytest.approx(PAPER_P50, rel=0.12)
+        assert result.summary.p95 == pytest.approx(PAPER_P95, rel=0.12)
+
+    def test_table_renders(self):
+        assert "statistic" in run_fig5(draws=2000).table()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(TINY)
+
+    def test_four_configurations(self, result):
+        assert len(result.results) == 4
+
+    def test_ordering_costs_more_than_baseline(self, result):
+        assert result.ordering_cost_factor() > 1.5
+
+    def test_reduced_ttl_cheaper_than_theory_ttl(self, result):
+        theory = result.results["global clock"].summary.p50
+        reduced = result.results["global clock TTL=5"].summary.p50
+        assert reduced < theory
+
+    def test_epto_runs_are_safe_and_hole_free(self, result):
+        for label, res in result.results.items():
+            if "baseline" in label:
+                continue
+            assert res.report.safety_ok, label
+            assert res.holes == 0, label
+
+    def test_render(self, result):
+        text = result.render()
+        assert "baseline (no order)" in text
+
+
+class TestFig7:
+    def test_fig7a_rate_has_small_impact(self):
+        result = run_fig7a(TINY, clocks=("global",))
+        medians = [res.summary.p50 for res in result.results.values()]
+        assert max(medians) < 1.5 * min(medians)
+        assert all(res.holes == 0 for res in result.results.values())
+
+    def test_fig7b_grows_sublinearly(self):
+        result = run_fig7b(TINY, clocks=("global",))
+        growth = result.median_growth_factor("global")
+        assert growth < 2.0  # 2x size -> way below 2x delay
+        assert "n" in result.table()
+
+
+class TestChurnSweeps:
+    def test_fig8_zero_holes_for_stable_nodes(self):
+        result = run_fig8(TINY)
+        for rate, res in result.results.items():
+            assert res.report.safety_ok, rate
+            assert res.holes == 0, rate
+        assert result.results[0.1].stable_nodes < TINY.sweep_n
+
+    def test_fig9_uses_cyclon(self):
+        result = run_fig9(TINY)
+        assert result.pss == "cyclon"
+        for rate, res in result.results.items():
+            assert res.report.safety_ok, rate
+
+    def test_renders(self):
+        assert "churn" in run_fig8(TINY).render()
+
+
+class TestFig10:
+    def test_loss_sweep_shapes(self):
+        result = run_fig10(TINY)
+        lossless = result.results[0.0]
+        lossy = result.results[0.1]
+        assert lossless.messages_dropped == 0
+        assert lossy.messages_dropped > 0
+        for res in result.results.values():
+            assert res.report.safety_ok
+            assert res.holes == 0
+        assert "loss" in result.render()

@@ -1,0 +1,83 @@
+"""Tests for the experiment registry and CLI (repro.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.cli import main
+from repro.experiments.registry import REGISTRY, get_experiment
+from repro.experiments.scale import PAPER, SMALL, get_scale
+
+
+class TestRegistry:
+    def test_every_design_md_figure_is_registered(self):
+        # The experiment index of DESIGN.md §3: figures + ablations.
+        figures = {"fig3", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10"}
+        ablations = {
+            "ablation-ttl",
+            "ablation-fanout",
+            "ablation-phase",
+            "ablation-guards",
+            "ablation-empirical",
+        }
+        assert set(REGISTRY) == figures | ablations
+
+    def test_scale_flag_matches_runner_signature(self):
+        for entry in REGISTRY.values():
+            import inspect
+
+            params = inspect.signature(entry.runner).parameters
+            assert ("scale" in params) == entry.takes_scale, entry.id
+
+    def test_entries_have_descriptions_and_runners(self):
+        for entry in REGISTRY.values():
+            assert entry.description
+            assert callable(entry.runner)
+
+    def test_lookup(self):
+        assert get_experiment("fig6").id == "fig6"
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+
+class TestScalePresets:
+    def test_lookup_by_name(self):
+        assert get_scale("small") is SMALL
+        assert get_scale("paper") is PAPER
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale() is PAPER
+        monkeypatch.delenv("REPRO_SCALE")
+        assert get_scale() is SMALL
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("huge")
+
+    def test_paper_preset_matches_paper_numbers(self):
+        assert PAPER.fig6_n == 100
+        assert PAPER.fig7a_n == 500
+        assert PAPER.fig7b_sizes[-1] == 10000
+        assert PAPER.sweep_rates == (0.0, 0.01, 0.05, 0.10)
+
+
+class TestCli:
+    def test_fig3_runs_and_prints(self, capsys):
+        assert main(["fig3"]) == 0
+        output = capsys.readouterr().out
+        assert "fig3" in output
+        assert "c=2" in output
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "statistic" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["figZZ"])
+
+    def test_scale_flag_parsed(self, capsys):
+        # fig3 ignores scale, but the flag must parse.
+        assert main(["fig3", "--scale", "small"]) == 0

@@ -1,0 +1,95 @@
+"""Tests for CDF helpers (repro.metrics.cdf)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.cdf import DelaySummary, cdf_at, cdf_points, percentile
+
+
+class TestPercentile:
+    def test_bounds(self):
+        data = [1, 2, 3, 4, 5]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 5
+
+    def test_median_odd(self):
+        assert percentile([5, 1, 3], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5.0
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_single_sample(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1))
+    def test_percentile_within_sample_range(self, data):
+        for p in (0, 25, 50, 75, 100):
+            value = percentile(data, p)
+            assert min(data) <= value <= max(data)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=2))
+    def test_monotone_in_p(self, data):
+        values = [percentile(data, p) for p in range(0, 101, 10)]
+        assert values == sorted(values)
+
+
+class TestCdfPoints:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_distinct_values_collapse(self):
+        points = cdf_points([1, 1, 2])
+        assert points == [(1.0, pytest.approx(66.666, rel=1e-3)), (2.0, 100.0)]
+
+    def test_last_point_is_100(self):
+        points = cdf_points([3, 1, 4, 1, 5])
+        assert points[-1][1] == 100.0
+
+    def test_monotone(self):
+        points = cdf_points([5, 3, 8, 1, 9, 2])
+        values = [v for v, _ in points]
+        cums = [c for _, c in points]
+        assert values == sorted(values)
+        assert cums == sorted(cums)
+
+    def test_cdf_at(self):
+        data = [10, 20, 30, 40]
+        assert cdf_at(data, 5) == 0.0
+        assert cdf_at(data, 20) == 50.0
+        assert cdf_at(data, 100) == 100.0
+        assert cdf_at([], 1) == 0.0
+
+
+class TestDelaySummary:
+    def test_basic_statistics(self):
+        summary = DelaySummary.from_samples([10, 20, 30])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(20)
+        assert summary.minimum == 10
+        assert summary.maximum == 30
+        assert summary.p50 == 20
+
+    def test_std_population(self):
+        summary = DelaySummary.from_samples([2, 4])
+        assert summary.std == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DelaySummary.from_samples([])
+
+    def test_as_row_keys(self):
+        row = DelaySummary.from_samples([1, 2, 3]).as_row()
+        assert set(row) == {
+            "count", "mean", "std", "min", "p5", "p50", "p95", "p99", "max"
+        }

@@ -1,0 +1,154 @@
+"""Tests for the Table 1 specification checker (repro.metrics.checker).
+
+Includes the two canonical runs of paper Figure 1: run A (order
+preserved, agreement violated — legal in EpTO) and run B (agreement
+preserved, order violated — illegal).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.checker import (
+    check_integrity,
+    check_pairwise_order,
+    check_run,
+    check_total_order,
+    check_validity,
+)
+from repro.metrics.collector import DeliveryCollector
+
+from ..conftest import make_event
+
+
+def record_run(deliveries_by_node, broadcasts):
+    """Build a collector from explicit broadcast and delivery plans."""
+    collector = DeliveryCollector()
+    for node in deliveries_by_node:
+        collector.record_node_added(node, 0)
+    for event in broadcasts:
+        collector.record_broadcast(event, 0)
+    for node, events in deliveries_by_node.items():
+        for t, event in enumerate(events):
+            collector.record_delivery(node, event, 10 + t)
+    return collector
+
+
+@pytest.fixture
+def figure1_events():
+    # e, e', e'' broadcast by p (0), q (1), r (2) respectively.
+    e = make_event(src=0, ts=1, payload="e")
+    e1 = make_event(src=1, ts=2, payload="e'")
+    e2 = make_event(src=2, ts=3, payload="e''")
+    return e, e1, e2
+
+
+class TestFigure1Runs:
+    def test_run_a_order_without_agreement_is_legal(self, figure1_events):
+        """Figure 1a: r misses e — a hole, but a valid EpTO run."""
+        e, e1, e2 = figure1_events
+        collector = record_run(
+            {0: [e, e1, e2], 1: [e, e1, e2], 2: [e1, e2]},
+            broadcasts=[e, e1, e2],
+        )
+        report = check_run(collector)
+        assert not report.order_violations
+        assert not report.integrity_violations
+        assert report.holes == [(2, e.id)]
+        assert report.safety_ok
+        assert not report.agreement_ok
+
+    def test_run_b_agreement_without_order_is_illegal(self, figure1_events):
+        """Figure 1b: r delivers e'' before e' — a total order violation."""
+        e, e1, e2 = figure1_events
+        collector = record_run(
+            {0: [e, e1, e2], 1: [e, e1, e2], 2: [e, e2, e1]},
+            broadcasts=[e, e1, e2],
+        )
+        report = check_run(collector)
+        assert report.order_violations  # run B must be flagged
+        assert not report.holes
+        assert not report.safety_ok
+
+    def test_pairwise_checker_flags_run_b(self, figure1_events):
+        e, e1, e2 = figure1_events
+        seq_p = [e.order_key, e1.order_key, e2.order_key]
+        seq_r = [e.order_key, e2.order_key, e1.order_key]
+        conflicts = check_pairwise_order(seq_p, seq_r)
+        assert (e1.order_key, e2.order_key) in conflicts
+
+    def test_pairwise_checker_accepts_run_a(self, figure1_events):
+        e, e1, e2 = figure1_events
+        seq_p = [e.order_key, e1.order_key, e2.order_key]
+        seq_r = [e1.order_key, e2.order_key]  # subsequence: fine
+        assert check_pairwise_order(seq_p, seq_r) == []
+
+
+class TestIntegrity:
+    def test_duplicate_delivery_flagged(self):
+        e = make_event(src=0, ts=1)
+        collector = record_run({0: [e, e]}, broadcasts=[e])
+        violations = check_integrity(collector)
+        assert any("twice" in v for v in violations)
+
+    def test_spurious_event_flagged(self):
+        e = make_event(src=0, ts=1)
+        ghost = make_event(src=9, ts=9)
+        collector = record_run({0: [e]}, broadcasts=[e])
+        collector.record_delivery(0, ghost, 99)
+        violations = check_integrity(collector)
+        assert any("never-broadcast" in v for v in violations)
+
+    def test_clean_run_passes(self):
+        e = make_event(src=0, ts=1)
+        collector = record_run({0: [e], 1: [e]}, broadcasts=[e])
+        assert check_integrity(collector) == []
+
+
+class TestTotalOrder:
+    def test_non_increasing_keys_flagged(self):
+        a = make_event(src=0, ts=5)
+        b = make_event(src=1, ts=2)
+        collector = record_run({0: [a, b]}, broadcasts=[a, b])
+        assert check_total_order(collector.sequences())
+
+    def test_increasing_keys_pass(self):
+        a = make_event(src=0, ts=2)
+        b = make_event(src=1, ts=5)
+        collector = record_run({0: [a, b], 1: [a, b]}, broadcasts=[a, b])
+        assert check_total_order(collector.sequences()) == []
+
+
+class TestValidity:
+    def test_correct_node_missing_own_event_flagged(self):
+        mine = make_event(src=0, ts=1)
+        collector = record_run({0: [], 1: [mine]}, broadcasts=[mine])
+        violations = check_validity(collector, correct_nodes={0})
+        assert len(violations) == 1
+
+    def test_faulty_nodes_exempt(self):
+        mine = make_event(src=0, ts=1)
+        collector = record_run({0: [], 1: [mine]}, broadcasts=[mine])
+        assert check_validity(collector, correct_nodes={1}) == []
+
+    def test_satisfied_validity(self):
+        mine = make_event(src=0, ts=1)
+        collector = record_run({0: [mine]}, broadcasts=[mine])
+        assert check_validity(collector, correct_nodes={0}) == []
+
+
+class TestReport:
+    def test_summary_format(self, figure1_events):
+        e, e1, e2 = figure1_events
+        collector = record_run({0: [e, e1, e2]}, broadcasts=[e, e1, e2])
+        report = check_run(collector)
+        summary = report.summary()
+        assert "safety=OK" in summary
+        assert "holes=0" in summary
+
+    def test_default_correct_nodes_are_delivering_nodes(self, figure1_events):
+        e, e1, e2 = figure1_events
+        collector = record_run({0: [e, e1, e2], 5: [e, e1, e2]},
+                               broadcasts=[e, e1, e2])
+        report = check_run(collector)
+        assert report.checked_nodes == 2

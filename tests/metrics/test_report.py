@@ -1,0 +1,49 @@
+"""Tests for plain-text report rendering (repro.metrics.report)."""
+
+from __future__ import annotations
+
+from repro.metrics.cdf import cdf_points
+from repro.metrics.report import format_ascii_cdf, format_cdf_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        table = format_table(["name", "n"], [["alpha", 1], ["b", 200]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # All rows share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_wide_cells_stretch_columns(self):
+        table = format_table(["x"], [["very-long-cell-value"]])
+        assert "very-long-cell-value" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestFormatCdfSeries:
+    def test_percentile_extraction(self):
+        series = {"fast": cdf_points([1, 2, 3, 4]), "slow": cdf_points([10, 20, 30, 40])}
+        rendered = format_cdf_series(series, percentiles=(50, 100))
+        lines = rendered.splitlines()
+        assert "p50" in lines[0] and "p100" in lines[0]
+        fast_row = next(line for line in lines if "fast" in line)
+        assert "2" in fast_row and "4" in fast_row
+
+    def test_empty_series_renders_dashes(self):
+        rendered = format_cdf_series({"none": []}, percentiles=(50,))
+        assert "-" in rendered.splitlines()[-1]
+
+
+class TestAsciiCdf:
+    def test_empty(self):
+        assert format_ascii_cdf([]) == "(empty)"
+
+    def test_shape(self):
+        plot = format_ascii_cdf(cdf_points(list(range(1, 101))), width=40, height=8)
+        lines = plot.splitlines()
+        assert len(lines) == 10  # grid + axis + labels
+        assert any("*" in line for line in lines)

@@ -1,0 +1,143 @@
+"""Tests for trace export/import and timelines (repro.metrics.trace)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metrics.checker import check_run
+from repro.metrics.collector import DeliveryCollector
+from repro.metrics.trace import (
+    TraceError,
+    export_trace,
+    load_trace,
+    round_timeline,
+)
+
+from ..conftest import build_small_world, make_event
+
+
+@pytest.fixture
+def recorded_collector():
+    collector = DeliveryCollector()
+    collector.record_node_added(0, 0)
+    collector.record_node_added(1, 0)
+    collector.record_node_removed(1, 500)
+    a = make_event(src=0, ts=1, payload={"k": 1})
+    b = make_event(src=1, ts=2, payload="text")
+    collector.record_broadcast(a, 10)
+    collector.record_broadcast(b, 130)
+    collector.record_delivery(0, a, 260)
+    collector.record_delivery(0, b, 270)
+    collector.record_delivery(1, a, 265)
+    return collector
+
+
+class TestExportImport:
+    def test_roundtrip_preserves_analysis(self, recorded_collector, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = export_trace(recorded_collector, path)
+        assert lines == 7  # 2 nodes + 2 broadcasts + 3 deliveries
+        loaded = load_trace(path)
+        assert loaded.broadcast_count == 2
+        assert loaded.delivery_count == 3
+        assert sorted(loaded.delivery_delays()) == sorted(
+            recorded_collector.delivery_delays()
+        )
+        assert loaded.sequence_of(0) == recorded_collector.sequence_of(0)
+        assert loaded.lifetime_of(1).left == 500
+
+    def test_loaded_trace_passes_checker(self, recorded_collector, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        export_trace(recorded_collector, path)
+        report = check_run(load_trace(path), correct_nodes={0})
+        assert report.safety_ok
+
+    def test_non_json_payload_survives_via_repr(self, tmp_path):
+        collector = DeliveryCollector()
+        event = make_event(src=0, ts=1, payload=object())
+        collector.record_broadcast(event, 0)
+        path = tmp_path / "trace.jsonl"
+        export_trace(collector, path)
+        loaded = load_trace(path)
+        payload = loaded.broadcasts()[0].event.payload
+        assert "__repr__" in payload
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "broadcast"\n', encoding="utf-8")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "mystery"}) + "\n", encoding="utf-8")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_delivery_of_unknown_event_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "delivery", "time": 1, "node": 0, "id": [9, 9]})
+            + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_out_of_order_lines_tolerated(self, tmp_path):
+        # Deliveries may precede their broadcast in file order.
+        path = tmp_path / "shuffled.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    json.dumps(
+                        {"kind": "delivery", "time": 50, "node": 0, "id": [0, 0]}
+                    ),
+                    json.dumps(
+                        {
+                            "kind": "broadcast",
+                            "time": 10,
+                            "id": [0, 0],
+                            "ts": 1,
+                            "src": 0,
+                            "payload": None,
+                        }
+                    ),
+                ]
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        loaded = load_trace(path)
+        assert loaded.delivery_delays() == [40]
+
+
+class TestRoundTimeline:
+    def test_buckets_by_interval(self, recorded_collector):
+        timeline = round_timeline(recorded_collector, round_interval=125)
+        by_index = {stats.round_index: stats for stats in timeline}
+        assert by_index[0].broadcasts == 1  # t=10
+        assert by_index[1].broadcasts == 1  # t=130
+        assert by_index[2].deliveries == 3  # t=260..270
+        # Timeline is dense from 0 to the last active interval.
+        assert [s.round_index for s in timeline] == list(range(3))
+
+    def test_empty_collector(self):
+        assert round_timeline(DeliveryCollector(), 125) == []
+
+    def test_bad_interval_rejected(self, recorded_collector):
+        with pytest.raises(TraceError):
+            round_timeline(recorded_collector, 0)
+
+    def test_full_simulation_trace_roundtrip(self, tmp_path):
+        world = build_small_world(n=6)
+        world.cluster.broadcast_from(0, "traced")
+        world.quiesce()
+        path = tmp_path / "run.jsonl"
+        export_trace(world.cluster.collector, path)
+        loaded = load_trace(path)
+        assert loaded.delivery_count == world.cluster.collector.delivery_count
+        timeline = round_timeline(loaded, world.config.round_interval)
+        assert sum(s.deliveries for s in timeline) == 6

@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the Cyclon overlay.
+
+Drive a small Cyclon universe through arbitrary interleavings of
+shuffles, message losses and node crashes, and assert the structural
+invariants that must survive any schedule:
+
+* no view ever contains its owner or duplicates, or exceeds capacity;
+* the union of all views only references nodes that ever existed;
+* message loss and crashes never corrupt state (shuffles keep working).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pss.cyclon import CyclonPss, CyclonRequest, CyclonResponse
+
+NODES = 8
+VIEW_SIZE = 4
+SHUFFLE_SIZE = 2
+
+
+@st.composite
+def schedules(draw):
+    """A list of (actor, deliver_request, deliver_response, crash)."""
+    steps = draw(st.integers(min_value=1, max_value=60))
+    schedule = []
+    for _ in range(steps):
+        schedule.append(
+            (
+                draw(st.integers(min_value=0, max_value=NODES - 1)),
+                draw(st.booleans()),  # request survives the network?
+                draw(st.booleans()),  # response survives?
+            )
+        )
+    crash_at = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=steps - 1)))
+    crash_node = draw(st.integers(min_value=0, max_value=NODES - 1))
+    return schedule, crash_at, crash_node
+
+
+def run_universe(schedule, crash_at, crash_node):
+    outbox: List[tuple] = []
+    nodes: Dict[int, CyclonPss] = {}
+    for node_id in range(NODES):
+        nodes[node_id] = CyclonPss(
+            node_id=node_id,
+            view_size=VIEW_SIZE,
+            shuffle_size=SHUFFLE_SIZE,
+            send=lambda dst, msg, nid=node_id: outbox.append((nid, dst, msg)),
+            rng=random.Random(node_id),
+        )
+    for node_id in range(NODES):
+        nodes[node_id].bootstrap([(node_id + 1) % NODES, (node_id + 3) % NODES])
+
+    for step, (actor, deliver_req, deliver_resp) in enumerate(schedule):
+        if crash_at == step:
+            nodes.pop(crash_node, None)
+        if actor not in nodes:
+            continue
+        outbox.clear()
+        nodes[actor].shuffle()
+        # Route the request (maybe lost; maybe to a crashed node).
+        for src, dst, msg in list(outbox):
+            if isinstance(msg, CyclonRequest) and deliver_req and dst in nodes:
+                nodes[dst].handle_request(src, msg)
+        for src, dst, msg in list(outbox):
+            if isinstance(msg, CyclonResponse) and deliver_resp and dst in nodes:
+                nodes[dst].handle_response(src, msg)
+    return nodes
+
+
+@settings(max_examples=150, deadline=None)
+@given(schedules())
+def test_view_structural_invariants(batch):
+    schedule, crash_at, crash_node = batch
+    nodes = run_universe(schedule, crash_at, crash_node)
+    for node in nodes.values():
+        view = node.view_snapshot()
+        assert node.node_id not in view
+        assert len(view) == len(set(view))
+        assert len(view) <= VIEW_SIZE
+        assert all(0 <= peer < NODES for peer in view)
+        assert all(age >= 0 for _, age in node.view_entries())
+
+
+@settings(max_examples=150, deadline=None)
+@given(schedules())
+def test_sample_is_subset_of_view(batch):
+    schedule, crash_at, crash_node = batch
+    nodes = run_universe(schedule, crash_at, crash_node)
+    for node in nodes.values():
+        sample = node.sample(3)
+        assert set(sample) <= set(node.view_snapshot())
+        assert len(sample) == len(set(sample))
+
+
+@settings(max_examples=100, deadline=None)
+@given(schedules())
+def test_shuffling_survives_any_schedule(batch):
+    """After any loss/crash schedule, every survivor can still shuffle
+    without raising (no corrupted pending state)."""
+    schedule, crash_at, crash_node = batch
+    nodes = run_universe(schedule, crash_at, crash_node)
+    for node in nodes.values():
+        node.shuffle()  # must not raise

@@ -1,0 +1,110 @@
+"""Unit tests for the membership directory (repro.pss.base)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pss.base import MembershipDirectory
+
+
+@pytest.fixture
+def rng():
+    return random.Random(13)
+
+
+class TestDirectory:
+    def test_add_and_contains(self):
+        directory = MembershipDirectory()
+        directory.add(1)
+        directory.add(2)
+        assert 1 in directory
+        assert 3 not in directory
+        assert len(directory) == 2
+
+    def test_add_is_idempotent(self):
+        directory = MembershipDirectory()
+        directory.add(1)
+        directory.add(1)
+        assert len(directory) == 1
+
+    def test_remove(self):
+        directory = MembershipDirectory()
+        for i in range(5):
+            directory.add(i)
+        directory.remove(2)
+        assert 2 not in directory
+        assert len(directory) == 4
+        assert set(directory.alive_ids()) == {0, 1, 3, 4}
+
+    def test_remove_unknown_is_noop(self):
+        directory = MembershipDirectory()
+        directory.add(1)
+        directory.remove(9)
+        assert len(directory) == 1
+
+    def test_remove_last_element(self):
+        directory = MembershipDirectory()
+        directory.add(1)
+        directory.remove(1)
+        assert len(directory) == 0
+
+    def test_swap_remove_keeps_index_consistent(self):
+        directory = MembershipDirectory()
+        for i in range(10):
+            directory.add(i)
+        directory.remove(0)  # head: swap with tail
+        directory.remove(9)  # the swapped element
+        assert set(directory.alive_ids()) == set(range(1, 9))
+        # Every remaining element can still be removed cleanly.
+        for i in range(1, 9):
+            directory.remove(i)
+        assert len(directory) == 0
+
+
+class TestSampling:
+    def test_sample_excludes_requested_id(self, rng):
+        directory = MembershipDirectory()
+        for i in range(10):
+            directory.add(i)
+        for _ in range(50):
+            assert 3 not in directory.sample(rng, 5, exclude=3)
+
+    def test_sample_returns_distinct_ids(self, rng):
+        directory = MembershipDirectory()
+        for i in range(20):
+            directory.add(i)
+        sample = directory.sample(rng, 10)
+        assert len(sample) == len(set(sample)) == 10
+
+    def test_sample_truncates_to_population(self, rng):
+        directory = MembershipDirectory()
+        for i in range(3):
+            directory.add(i)
+        assert len(directory.sample(rng, 10)) == 3
+        assert len(directory.sample(rng, 10, exclude=0)) == 2
+
+    def test_sample_from_empty(self, rng):
+        directory = MembershipDirectory()
+        assert directory.sample(rng, 5) == []
+
+    def test_sampling_is_roughly_uniform(self, rng):
+        directory = MembershipDirectory()
+        for i in range(10):
+            directory.add(i)
+        counts = {i: 0 for i in range(10)}
+        for _ in range(5000):
+            for nid in directory.sample(rng, 3):
+                counts[nid] += 1
+        # Expected 1500 each; allow generous slack.
+        assert all(1200 < c < 1800 for c in counts.values())
+
+    def test_dense_request_uses_shuffle_path(self, rng):
+        directory = MembershipDirectory()
+        for i in range(6):
+            directory.add(i)
+        # k * 3 >= n forces the shuffle fallback.
+        sample = directory.sample(rng, 5, exclude=0)
+        assert len(sample) == 5
+        assert 0 not in sample

@@ -1,0 +1,60 @@
+"""Unit tests for the idealized uniform-view PSS (repro.pss.uniform)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pss.base import MembershipDirectory
+from repro.pss.uniform import UniformViewPss
+
+
+@pytest.fixture
+def directory():
+    d = MembershipDirectory()
+    for i in range(10):
+        d.add(i)
+    return d
+
+
+def make_pss(node_id, directory, seed=3):
+    return UniformViewPss(node_id, directory, random.Random(seed))
+
+
+class TestUniformViewPss:
+    def test_never_samples_self(self, directory):
+        pss = make_pss(4, directory)
+        for _ in range(100):
+            assert 4 not in pss.sample(5)
+
+    def test_sample_size(self, directory):
+        pss = make_pss(0, directory)
+        assert len(pss.sample(3)) == 3
+        assert len(pss.sample(100)) == 9  # capped at population - self
+
+    def test_view_snapshot_excludes_self(self, directory):
+        pss = make_pss(2, directory)
+        snapshot = pss.view_snapshot()
+        assert 2 not in snapshot
+        assert len(snapshot) == 9
+
+    def test_tracks_membership_changes_instantly(self, directory):
+        pss = make_pss(0, directory)
+        directory.remove(5)
+        for _ in range(100):
+            assert 5 not in pss.sample(9)
+        directory.add(42)
+        seen = set()
+        for _ in range(200):
+            seen.update(pss.sample(3))
+        assert 42 in seen
+
+    def test_uniformity(self, directory):
+        pss = make_pss(0, directory)
+        counts = {i: 0 for i in range(1, 10)}
+        for _ in range(3000):
+            for nid in pss.sample(3):
+                counts[nid] += 1
+        expected = 3000 * 3 / 9
+        assert all(0.8 * expected < c < 1.2 * expected for c in counts.values())

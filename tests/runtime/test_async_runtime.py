@@ -1,0 +1,205 @@
+"""Tests for the asyncio runtime (repro.runtime, paper §8.5).
+
+These run real (miniature) EpTO clusters on the event loop with short
+round intervals, so they take a few hundred milliseconds each.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import EpToConfig
+from repro.core.errors import MembershipError
+from repro.runtime import AsyncCluster, AsyncNetwork
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def small_config(**overrides):
+    defaults = dict(fanout=3, ttl=5, round_interval=15, clock="logical")
+    defaults.update(overrides)
+    return EpToConfig(**defaults)
+
+
+class TestAsyncNetwork:
+    def test_zero_latency_delivery(self):
+        async def scenario():
+            network = AsyncNetwork()
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append((src, msg)))
+            network.send(0, 1, "hi")
+            await asyncio.sleep(0.01)
+            return inbox
+
+        assert run(scenario()) == [(0, "hi")]
+
+    def test_loss(self):
+        async def scenario():
+            network = AsyncNetwork(loss_rate=0.5, seed=1)
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            for i in range(200):
+                network.send(0, 1, i)
+            await asyncio.sleep(0.05)
+            return len(inbox), network.stats.dropped_loss
+
+        delivered, dropped = run(scenario())
+        assert delivered + dropped == 200
+        assert 50 < delivered < 150
+
+    def test_dead_destination_counted(self):
+        async def scenario():
+            network = AsyncNetwork()
+            network.send(0, 42, "void")
+            await asyncio.sleep(0.01)
+            return network.stats.dropped_dead
+
+        assert run(scenario()) == 1
+
+    def test_duplicate_registration_rejected(self):
+        network = AsyncNetwork()
+        network.register(1, lambda s, m: None)
+        with pytest.raises(MembershipError):
+            network.register(1, lambda s, m: None)
+
+
+class TestAsyncCluster:
+    def test_total_order_across_real_timers(self):
+        async def scenario():
+            cluster = AsyncCluster(small_config(), seed=2)
+            cluster.add_nodes(6)
+            cluster.start_all()
+            cluster.nodes[0].broadcast("a")
+            cluster.nodes[3].broadcast("b")
+            cluster.nodes[5].broadcast("c")
+            ok = await cluster.wait_for_deliveries(3, timeout=8.0)
+            await cluster.stop_all()
+            return ok, cluster.delivery_payload_sequences()
+
+        ok, sequences = run(scenario())
+        assert ok
+        assert len({tuple(seq) for seq in sequences.values()}) == 1
+
+    def test_total_order_under_latency_and_loss(self):
+        async def scenario():
+            network = AsyncNetwork(latency=0.003, loss_rate=0.05, seed=5)
+            cluster = AsyncCluster(
+                small_config(fanout=4, ttl=6),
+                network=network,
+                drift_fraction=0.05,
+                seed=5,
+            )
+            cluster.add_nodes(8)
+            cluster.start_all()
+            for i in range(4):
+                cluster.nodes[i].broadcast(f"event-{i}")
+            ok = await cluster.wait_for_deliveries(4, timeout=10.0)
+            await cluster.stop_all()
+            return ok, cluster.delivery_payload_sequences()
+
+        ok, sequences = run(scenario())
+        assert ok
+        assert len({tuple(seq) for seq in sequences.values()}) == 1
+
+    def test_cyclon_pss_runtime(self):
+        async def scenario():
+            cluster = AsyncCluster(small_config(), pss="cyclon", seed=7)
+            cluster.add_nodes(6)
+            cluster.start_all()
+            await asyncio.sleep(0.1)  # let views mix
+            cluster.nodes[2].broadcast("x")
+            ok = await cluster.wait_for_deliveries(1, timeout=8.0)
+            await cluster.stop_all()
+            return ok
+
+        assert run(scenario())
+
+    def test_node_stop_and_removal(self):
+        async def scenario():
+            cluster = AsyncCluster(small_config(), seed=3)
+            cluster.add_nodes(4)
+            cluster.start_all()
+            await cluster.remove_node(2)
+            assert 2 not in cluster.nodes
+            assert 2 not in cluster.directory
+            # Remaining nodes still agree.
+            cluster.nodes[0].broadcast("after-crash")
+            ok = await cluster.wait_for_deliveries(1, timeout=8.0)
+            await cluster.stop_all()
+            return ok
+
+        assert run(scenario())
+
+    def test_remove_unknown_rejected(self):
+        async def scenario():
+            cluster = AsyncCluster(small_config(), seed=3)
+            with pytest.raises(MembershipError):
+                await cluster.remove_node(9)
+
+        run(scenario())
+
+    def test_invalid_pss_rejected(self):
+        with pytest.raises(MembershipError):
+            AsyncCluster(small_config(), pss="oracle")
+
+    def test_node_running_lifecycle(self):
+        async def scenario():
+            cluster = AsyncCluster(small_config(), seed=4)
+            node = cluster.add_node()
+            assert not node.running
+            node.start()
+            assert node.running
+            await node.stop()
+            assert not node.running
+
+        run(scenario())
+
+
+class TestLateJoin:
+    def test_late_joiner_delivers_subsequent_events(self):
+        """A node added mid-run (the runtime's churn-join path) sees
+        every event broadcast after it joined, in the same order."""
+
+        async def scenario():
+            cluster = AsyncCluster(small_config(), seed=8)
+            cluster.add_nodes(5)
+            cluster.start_all()
+            cluster.nodes[0].broadcast("before-join")
+            await cluster.wait_for_deliveries(1, timeout=8.0)
+
+            joiner = cluster.add_node()
+            joiner.start()
+            await asyncio.sleep(0.05)  # let it tick a few rounds
+            cluster.nodes[1].broadcast("after-join")
+
+            def joiner_and_veterans_done() -> bool:
+                joiner_ok = any(
+                    e.payload == "after-join"
+                    for e in cluster.deliveries[joiner.node_id]
+                )
+                veterans_ok = all(
+                    len(cluster.deliveries[n]) >= 2 for n in range(5)
+                )
+                return joiner_ok and veterans_ok
+
+            ok = await cluster.wait_until(joiner_and_veterans_done, timeout=10.0)
+            await cluster.stop_all()
+            veterans = {
+                tuple(e.payload for e in cluster.deliveries[n]) for n in range(5)
+            }
+            joiner_payloads = [
+                e.payload for e in cluster.deliveries[joiner.node_id]
+            ]
+            return ok, veterans, joiner_payloads
+
+        ok, veterans, joiner_payloads = run(scenario())
+        assert ok
+        assert veterans == {("before-join", "after-join")}
+        # The joiner saw the post-join event; it may additionally have
+        # caught "before-join" if that was still circulating — in-order
+        # either way.
+        assert joiner_payloads[-1] == "after-join"

@@ -1,0 +1,147 @@
+"""Tests for the wire codec (repro.runtime.codec)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.event import BallEntry, Event, make_ball
+from repro.pss.cyclon import CyclonRequest, CyclonResponse
+from repro.runtime.codec import MAX_DATAGRAM, CodecError, decode, encode
+
+
+def ball_of(*entries):
+    return make_ball(entries)
+
+
+def entry(src=0, seq=0, ts=0, ttl=0, payload=None):
+    return BallEntry(Event(id=(src, seq), ts=ts, source_id=src, payload=payload),
+                     ttl=ttl)
+
+
+class TestBallRoundtrip:
+    def test_empty_ball(self):
+        sender, message = decode(encode(7, ball_of()))
+        assert sender == 7
+        assert message == ()
+
+    def test_single_entry(self):
+        ball = ball_of(entry(src=3, seq=2, ts=99, ttl=4, payload={"k": [1, 2]}))
+        sender, decoded = decode(encode(3, ball))
+        assert sender == 3
+        assert decoded == ball
+
+    def test_multiple_entries_preserve_order(self):
+        ball = ball_of(
+            entry(src=1, payload="a"),
+            entry(src=2, payload="b"),
+            entry(src=3, payload=None),
+        )
+        _, decoded = decode(encode(0, ball))
+        assert [e.event.payload for e in decoded] == ["a", "b", None]
+
+    def test_negative_timestamps_and_large_ids(self):
+        ball = ball_of(entry(src=2**40, seq=2**33, ts=-5, ttl=0))
+        _, decoded = decode(encode(2**40, ball))
+        assert decoded[0].event.id == (2**40, 2**33)
+        assert decoded[0].event.ts == -5
+
+    def test_unicode_payload(self):
+        ball = ball_of(entry(payload="héllo ✓ 漢字"))
+        _, decoded = decode(encode(0, ball))
+        assert decoded[0].event.payload == "héllo ✓ 漢字"
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),  # src
+                st.integers(min_value=0, max_value=50),  # seq
+                st.integers(min_value=0, max_value=10**6),  # ts
+                st.integers(min_value=0, max_value=100),  # ttl
+                st.one_of(
+                    st.none(),
+                    st.integers(),
+                    st.text(max_size=20),
+                    st.lists(st.integers(), max_size=5),
+                    st.dictionaries(st.text(max_size=5), st.integers(), max_size=4),
+                ),
+            ),
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, raw_entries):
+        ball = ball_of(
+            *(entry(src=s, seq=q, ts=t, ttl=l, payload=p)
+              for s, q, t, l, p in raw_entries)
+        )
+        sender, decoded = decode(encode(42, ball))
+        assert sender == 42
+        assert decoded == ball
+
+
+class TestCyclonRoundtrip:
+    def test_request(self):
+        message = CyclonRequest(entries=((1, 0), (2, 5), (99, 3)))
+        sender, decoded = decode(encode(1, message))
+        assert sender == 1
+        assert decoded == message
+
+    def test_response(self):
+        message = CyclonResponse(entries=())
+        _, decoded = decode(encode(2, message))
+        assert decoded == message
+
+
+class TestRejections:
+    def test_non_json_payload_rejected(self):
+        ball = ball_of(entry(payload=object()))
+        with pytest.raises(CodecError):
+            encode(0, ball)
+
+    def test_unknown_message_type_rejected(self):
+        with pytest.raises(CodecError):
+            encode(0, {"not": "a message"})  # type: ignore[arg-type]
+
+    def test_oversized_message_rejected(self):
+        huge = ball_of(entry(payload="x" * (MAX_DATAGRAM + 1)))
+        with pytest.raises(CodecError):
+            encode(0, huge)
+
+    @pytest.mark.parametrize(
+        "datagram",
+        [
+            b"",
+            b"EP",
+            b"XX" + b"\x00" * 20,  # bad magic
+            b"EP\x63\x01" + b"\x00" * 12,  # bad version
+            b"EP\x01\x63" + b"\x00" * 12,  # bad kind
+        ],
+    )
+    def test_malformed_datagrams_rejected(self, datagram):
+        with pytest.raises(CodecError):
+            decode(datagram)
+
+    def test_truncated_ball_rejected(self):
+        good = encode(0, ball_of(entry(payload="hello")))
+        with pytest.raises(CodecError):
+            decode(good[:-3])
+
+    def test_trailing_garbage_rejected(self):
+        good = encode(0, ball_of(entry()))
+        with pytest.raises(CodecError):
+            decode(good + b"junk")
+
+    def test_corrupt_payload_bytes_rejected(self):
+        good = bytearray(encode(0, ball_of(entry(payload="abcdef"))))
+        good[-3] = 0xFF  # break the UTF-8/JSON payload
+        with pytest.raises(CodecError):
+            decode(bytes(good))
+
+    @given(st.binary(max_size=200))
+    def test_random_bytes_never_crash(self, blob):
+        """Fuzz: arbitrary bytes either decode or raise CodecError —
+        never any other exception (untrusted-input hardening)."""
+        try:
+            decode(blob)
+        except CodecError:
+            pass

@@ -1,0 +1,177 @@
+"""Tests for the UDP transport (repro.runtime.udp) over real loopback sockets."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import EpToConfig
+from repro.core.errors import MembershipError
+from repro.core.event import BallEntry, Event, make_ball
+from repro.runtime.node import AsyncEpToNode
+from repro.runtime.udp import UdpNetwork
+from repro.pss.base import MembershipDirectory
+from repro.pss.uniform import UniformViewPss
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def a_ball(payload="x"):
+    return make_ball(
+        [BallEntry(Event(id=(9, 0), ts=1, source_id=9, payload=payload), 0)]
+    )
+
+
+class TestUdpFabric:
+    def test_datagram_roundtrip(self):
+        async def scenario():
+            network = UdpNetwork()
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append((src, msg)))
+            network.register(2, lambda src, msg: None)
+            await network.open_all()
+            network.send(2, 1, a_ball("hello"))
+            await asyncio.sleep(0.05)
+            await network.close()
+            return inbox
+
+        inbox = run(scenario())
+        assert len(inbox) == 1
+        src, ball = inbox[0]
+        assert src == 2
+        assert ball[0].event.payload == "hello"
+
+    def test_send_before_open_is_counted_drop(self):
+        async def scenario():
+            network = UdpNetwork()
+            network.register(1, lambda src, msg: None)
+            network.register(2, lambda src, msg: None)
+            network.send(2, 1, a_ball())  # sockets not bound yet
+            await network.open_all()
+            await network.close()
+            return network.stats.dropped_unopened
+
+        assert run(scenario()) == 1
+
+    def test_unencodable_message_is_counted_drop(self):
+        async def scenario():
+            network = UdpNetwork()
+            network.register(1, lambda src, msg: None)
+            network.register(2, lambda src, msg: None)
+            await network.open_all()
+            network.send(2, 1, a_ball(payload=object()))
+            await network.close()
+            return network.stats.dropped_encode
+
+        assert run(scenario()) == 1
+
+    def test_malformed_datagram_is_counted_and_survived(self):
+        async def scenario():
+            network = UdpNetwork()
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            host, port = None, None
+            await network.open_all()
+            address = network.address_of(1)
+            # Throw raw garbage at the node's socket.
+            loop = asyncio.get_event_loop()
+            transport, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, remote_addr=address
+            )
+            transport.sendto(b"this is not an EpTO datagram")
+            await asyncio.sleep(0.05)
+            transport.close()
+            # The node still works afterwards.
+            network.register(2, lambda src, msg: None)
+            await network.open(2)
+            network.send(2, 1, a_ball("still alive"))
+            await asyncio.sleep(0.05)
+            await network.close()
+            return network.stats.dropped_malformed, inbox
+
+        malformed, inbox = run(scenario())
+        assert malformed == 1
+        assert len(inbox) == 1
+        assert inbox[0][0].event.payload == "still alive"
+
+    def test_duplicate_registration_rejected(self):
+        network = UdpNetwork()
+        network.register(1, lambda s, m: None)
+        with pytest.raises(MembershipError):
+            network.register(1, lambda s, m: None)
+
+    def test_open_unregistered_rejected(self):
+        async def scenario():
+            network = UdpNetwork()
+            with pytest.raises(MembershipError):
+                await network.open(5)
+
+        run(scenario())
+
+    def test_unregister_closes_socket(self):
+        async def scenario():
+            network = UdpNetwork()
+            network.register(1, lambda s, m: None)
+            await network.open(1)
+            assert network.address_of(1) is not None
+            network.unregister(1)
+            assert network.address_of(1) is None
+            await network.close()
+
+        run(scenario())
+
+
+class TestEpToOverUdp:
+    def test_total_order_over_real_sockets(self):
+        """Full EpTO cluster gossiping over loopback UDP datagrams."""
+
+        async def scenario():
+            config = EpToConfig(fanout=3, ttl=5, round_interval=15, clock="logical")
+            network = UdpNetwork()
+            directory = MembershipDirectory()
+            deliveries: dict[int, list] = {}
+            nodes = []
+            for node_id in range(6):
+                deliveries[node_id] = []
+                import random as _random
+
+                pss = UniformViewPss(
+                    node_id, directory, _random.Random(f"udp:{node_id}")
+                )
+                node = AsyncEpToNode(
+                    node_id=node_id,
+                    config=config,
+                    network=network,  # type: ignore[arg-type]
+                    peer_sampler=pss,
+                    on_deliver=deliveries[node_id].append,
+                    seed=99,
+                )
+                directory.add(node_id)
+                nodes.append(node)
+            await network.open_all()
+            for node in nodes:
+                node.start()
+
+            nodes[0].broadcast("first")
+            nodes[4].broadcast("second")
+
+            deadline = asyncio.get_event_loop().time() + 10.0
+            while asyncio.get_event_loop().time() < deadline:
+                if all(len(seq) >= 2 for seq in deliveries.values()):
+                    break
+                await asyncio.sleep(0.02)
+
+            for node in nodes:
+                await node.stop()
+            await network.close()
+            return deliveries
+
+        deliveries = run(scenario())
+        sequences = {
+            tuple(e.payload for e in seq) for seq in deliveries.values()
+        }
+        assert len(sequences) == 1
+        assert set(next(iter(sequences))) == {"first", "second"}

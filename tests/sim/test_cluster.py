@@ -1,0 +1,154 @@
+"""Integration-style tests for SimCluster wiring (repro.sim.cluster)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EpToConfig
+from repro.core.errors import MembershipError
+from repro.pss.cyclon import CyclonPss
+from repro.pss.uniform import UniformViewPss
+from repro.sim import ClusterConfig, FixedLatency, SimCluster, SimNetwork, Simulator
+
+from ..conftest import build_small_world
+
+
+def build_cluster(n=6, pss="uniform", **config_kwargs):
+    sim = Simulator(seed=11)
+    network = SimNetwork(sim, latency=FixedLatency(5))
+    config = ClusterConfig(
+        epto=EpToConfig(fanout=3, ttl=4, round_interval=100), pss=pss, **config_kwargs
+    )
+    cluster = SimCluster(sim, network, config)
+    cluster.add_nodes(n)
+    return sim, network, cluster
+
+
+class TestMembership:
+    def test_add_nodes_assigns_sequential_ids(self):
+        _, _, cluster = build_cluster(4)
+        assert sorted(cluster.alive_ids()) == [0, 1, 2, 3]
+        assert cluster.size == 4
+
+    def test_remove_node_deregisters_everywhere(self):
+        sim, network, cluster = build_cluster(4)
+        cluster.remove_node(2)
+        assert cluster.size == 3
+        assert not network.is_registered(2)
+        assert 2 not in cluster.directory
+        with pytest.raises(MembershipError):
+            cluster.node(2)
+
+    def test_remove_unknown_rejected(self):
+        _, _, cluster = build_cluster(2)
+        with pytest.raises(MembershipError):
+            cluster.remove_node(99)
+
+    def test_removed_node_stops_gossiping(self):
+        sim, network, cluster = build_cluster(4)
+        sources = []
+        original = network.send
+
+        def spy(src, dst, msg):
+            sources.append(src)
+            original(src, dst, msg)
+
+        network.send = spy  # type: ignore[method-assign]
+        cluster.broadcast_from(0, "x")
+        cluster.remove_node(0)
+        sim.run(until=2000)
+        # Node 0's round task stopped before its first tick: the queued
+        # broadcast dies with it and node 0 never sends anything.
+        assert 0 not in sources
+
+    def test_random_alive(self):
+        _, _, cluster = build_cluster(5)
+        assert cluster.random_alive() in cluster.alive_ids()
+
+    def test_random_alive_on_empty_rejected(self):
+        sim = Simulator()
+        network = SimNetwork(sim)
+        cluster = SimCluster(
+            sim, network, ClusterConfig(epto=EpToConfig(fanout=1, ttl=1))
+        )
+        with pytest.raises(MembershipError):
+            cluster.random_alive()
+
+
+class TestPssWiring:
+    def test_uniform_pss_by_default(self):
+        _, _, cluster = build_cluster(3, pss="uniform")
+        assert isinstance(cluster.pss_of(0), UniformViewPss)
+
+    def test_cyclon_pss_selected(self):
+        _, _, cluster = build_cluster(6, pss="cyclon")
+        assert isinstance(cluster.pss_of(0), CyclonPss)
+
+    def test_cyclon_nodes_bootstrap_from_membership(self):
+        _, _, cluster = build_cluster(8, pss="cyclon")
+        # Later nodes see earlier ones at bootstrap.
+        assert cluster.pss_of(7).view_fill > 0
+
+    def test_invalid_pss_rejected(self):
+        with pytest.raises(MembershipError):
+            ClusterConfig(epto=EpToConfig(fanout=1, ttl=1), pss="oracle")
+
+    def test_invalid_round_phase_rejected(self):
+        with pytest.raises(MembershipError):
+            ClusterConfig(epto=EpToConfig(fanout=1, ttl=1), round_phase="chaotic")
+
+
+class TestEndToEnd:
+    def test_single_broadcast_reaches_everyone(self):
+        world = build_small_world(n=8)
+        world.cluster.broadcast_from(0, "payload")
+        world.quiesce()
+        collector = world.cluster.collector
+        assert collector.delivery_count == 8
+        assert world.spec_report().safety_ok
+
+    def test_concurrent_broadcasts_identically_ordered(self):
+        world = build_small_world(n=8)
+        for node_id in (0, 3, 5):
+            world.cluster.broadcast_from(node_id, f"from-{node_id}")
+        world.quiesce()
+        sequences = {
+            tuple(world.cluster.collector.sequence_of(nid))
+            for nid in world.cluster.alive_ids()
+        }
+        assert len(sequences) == 1
+        assert len(next(iter(sequences))) == 3
+
+    def test_staggered_phase_still_safe(self):
+        world = build_small_world(n=8, round_phase="staggered")
+        for node_id in (0, 1, 2):
+            world.cluster.broadcast_from(node_id, node_id)
+        world.quiesce()
+        report = world.spec_report()
+        assert report.safety_ok and report.agreement_ok
+
+    def test_logical_clock_end_to_end(self):
+        world = build_small_world(n=8, clock="logical")
+        world.cluster.broadcast_from(2, "l")
+        world.quiesce()
+        assert world.cluster.collector.delivery_count == 8
+        assert world.spec_report().safety_ok
+
+    def test_collector_lifetimes_tracked(self):
+        world = build_small_world(n=4)
+        world.cluster.remove_node(1)
+        lifetime = world.cluster.collector.lifetime_of(1)
+        assert lifetime is not None
+        assert lifetime.left is not None
+
+    def test_deterministic_given_seed(self):
+        def run():
+            world = build_small_world(n=6, seed=99)
+            world.cluster.broadcast_from(0, "d")
+            world.quiesce()
+            return [
+                (rec.node_id, rec.event_id, rec.time)
+                for rec in world.cluster.collector.deliveries()
+            ]
+
+        assert run() == run()

@@ -1,0 +1,79 @@
+"""Unit tests for process drift models (repro.sim.drift, paper §5.3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim.drift import BoundedDrift, NoDrift, UniformDrift
+
+
+@pytest.fixture
+def rng():
+    return random.Random(21)
+
+
+class TestNoDrift:
+    def test_exact_period(self, rng):
+        model = NoDrift()
+        assert model.next_period(rng, 0, 125) == 125
+        assert model.drift_ratio() == 1.0
+
+
+class TestUniformDrift:
+    def test_stays_within_fraction(self, rng):
+        model = UniformDrift(0.01)
+        periods = [model.next_period(rng, 0, 125) for _ in range(1000)]
+        assert min(periods) >= 123  # 125 * 0.99 rounded
+        assert max(periods) <= 127
+
+    def test_varies(self, rng):
+        model = UniformDrift(0.05)
+        periods = {model.next_period(rng, 0, 125) for _ in range(200)}
+        assert len(periods) > 3
+
+    def test_zero_fraction_is_exact(self, rng):
+        assert UniformDrift(0.0).next_period(rng, 0, 125) == 125
+
+    def test_drift_ratio_formula(self):
+        model = UniformDrift(0.25)
+        assert model.drift_ratio() == pytest.approx(1.25 / 0.75)
+
+    def test_never_below_one_tick(self, rng):
+        model = UniformDrift(0.9)
+        assert min(model.next_period(rng, 0, 1) for _ in range(100)) >= 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            UniformDrift(1.0)
+        with pytest.raises(ConfigurationError):
+            UniformDrift(-0.1)
+
+
+class TestBoundedDrift:
+    def test_per_node_factor_is_stable(self, rng):
+        model = BoundedDrift(0.8, 1.2, seed=4)
+        first = model.next_period(rng, 7, 100)
+        assert all(model.next_period(rng, 7, 100) == first for _ in range(10))
+
+    def test_different_nodes_differ(self, rng):
+        model = BoundedDrift(0.5, 1.5, seed=4)
+        periods = {model.next_period(rng, node, 1000) for node in range(20)}
+        assert len(periods) > 5
+
+    def test_within_bounds(self, rng):
+        model = BoundedDrift(0.9, 1.1, seed=4)
+        for node in range(50):
+            period = model.next_period(rng, node, 1000)
+            assert 900 <= period <= 1100
+
+    def test_drift_ratio(self):
+        assert BoundedDrift(0.5, 2.0).drift_ratio() == 4.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            BoundedDrift(1.5, 1.0)
+        with pytest.raises(ConfigurationError):
+            BoundedDrift(0.0, 1.0)

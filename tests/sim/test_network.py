@@ -1,0 +1,209 @@
+"""Unit tests for the simulated network (repro.sim.network)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MembershipError
+from repro.sim.engine import Simulator
+from repro.sim.latency import FixedLatency, UniformLatency
+from repro.sim.network import SimNetwork
+
+
+def build(latency=None, loss_rate=0.0, seed=3):
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim, latency=latency, loss_rate=loss_rate)
+    return sim, network
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self):
+        sim, network = build(latency=FixedLatency(25))
+        inbox = []
+        network.register(1, lambda src, msg: inbox.append((sim.now(), src, msg)))
+        network.send(0, 1, "hello")
+        sim.run()
+        assert inbox == [(25, 0, "hello")]
+
+    def test_latency_sampled_per_message(self):
+        sim, network = build(latency=UniformLatency(1, 100))
+        times = []
+        network.register(1, lambda src, msg: times.append(sim.now()))
+        for _ in range(50):
+            network.send(0, 1, "x")
+        sim.run()
+        assert len(set(times)) > 5  # latencies actually vary
+
+    def test_stats_track_deliveries(self):
+        sim, network = build()
+        network.register(1, lambda src, msg: None)
+        network.send(0, 1, "a")
+        network.send(0, 1, "b")
+        sim.run()
+        assert network.stats.sent == 2
+        assert network.stats.delivered == 2
+        assert network.stats.delivery_ratio == 1.0
+
+
+class TestLoss:
+    def test_loss_rate_zero_loses_nothing(self):
+        sim, network = build(loss_rate=0.0)
+        inbox = []
+        network.register(1, lambda src, msg: inbox.append(msg))
+        for i in range(100):
+            network.send(0, 1, i)
+        sim.run()
+        assert len(inbox) == 100
+
+    def test_loss_rate_drops_roughly_proportionally(self):
+        sim, network = build(loss_rate=0.3)
+        inbox = []
+        network.register(1, lambda src, msg: inbox.append(msg))
+        for i in range(2000):
+            network.send(0, 1, i)
+        sim.run()
+        assert 1200 <= len(inbox) <= 1600  # ~1400 expected
+        assert network.stats.dropped_loss == 2000 - len(inbox)
+
+    def test_loss_rate_one_would_be_total(self):
+        sim, network = build(loss_rate=0.999999)
+        inbox = []
+        network.register(1, lambda src, msg: inbox.append(msg))
+        for i in range(50):
+            network.send(0, 1, i)
+        sim.run()
+        assert len(inbox) == 0
+
+
+class TestDeadDestinations:
+    def test_send_to_unregistered_is_counted_not_raised(self):
+        sim, network = build()
+        network.send(0, 99, "void")
+        sim.run()
+        assert network.stats.dropped_dead == 1
+
+    def test_death_mid_flight_loses_message(self):
+        sim, network = build(latency=FixedLatency(50))
+        inbox = []
+        network.register(1, lambda src, msg: inbox.append(msg))
+        network.send(0, 1, "x")
+        sim.schedule(10, lambda: network.unregister(1))
+        sim.run()
+        assert inbox == []
+        assert network.stats.dropped_dead == 1
+
+    def test_reregistration_after_death(self):
+        sim, network = build()
+        network.register(1, lambda src, msg: None)
+        network.unregister(1)
+        network.register(1, lambda src, msg: None)
+        assert network.is_registered(1)
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        _, network = build()
+        network.register(1, lambda src, msg: None)
+        with pytest.raises(MembershipError):
+            network.register(1, lambda src, msg: None)
+
+    def test_unregister_unknown_rejected(self):
+        _, network = build()
+        with pytest.raises(MembershipError):
+            network.unregister(42)
+
+    def test_registered_count(self):
+        _, network = build()
+        network.register(1, lambda src, msg: None)
+        network.register(2, lambda src, msg: None)
+        assert network.registered_count == 2
+
+
+class TestPartitions:
+    def test_cross_partition_messages_dropped(self):
+        sim, network = build()
+        inbox = []
+        network.register(1, lambda src, msg: inbox.append(msg))
+        network.register(2, lambda src, msg: inbox.append(msg))
+        network.set_partition({1: "a", 2: "b"})
+        network.send(1, 2, "blocked")
+        sim.run()
+        assert inbox == []
+        assert network.stats.dropped_partition == 1
+
+    def test_same_group_messages_flow(self):
+        sim, network = build()
+        inbox = []
+        network.register(1, lambda src, msg: None)
+        network.register(2, lambda src, msg: inbox.append(msg))
+        network.set_partition({1: "a", 2: "a"})
+        network.send(1, 2, "ok")
+        sim.run()
+        assert inbox == ["ok"]
+
+    def test_unlabelled_nodes_share_a_group(self):
+        sim, network = build()
+        inbox = []
+        network.register(1, lambda src, msg: None)
+        network.register(2, lambda src, msg: inbox.append(msg))
+        network.set_partition({3: "x"})
+        network.send(1, 2, "ok")
+        sim.run()
+        assert inbox == ["ok"]
+
+    def test_heal_restores_connectivity(self):
+        sim, network = build()
+        inbox = []
+        network.register(1, lambda src, msg: None)
+        network.register(2, lambda src, msg: inbox.append(msg))
+        network.set_partition({1: "a", 2: "b"})
+        network.send(1, 2, "lost")
+        network.heal_partition()
+        network.send(1, 2, "found")
+        sim.run()
+        assert inbox == ["found"]
+
+    def test_partition_checked_at_delivery_too(self):
+        # A message in flight when the partition forms is dropped.
+        sim, network = build(latency=FixedLatency(50))
+        inbox = []
+        network.register(1, lambda src, msg: None)
+        network.register(2, lambda src, msg: inbox.append(msg))
+        network.send(1, 2, "in-flight")
+        sim.schedule(10, lambda: network.set_partition({1: "a", 2: "b"}))
+        sim.run()
+        assert inbox == []
+
+
+class TestDuplication:
+    def test_duplicate_rate_zero_is_default(self):
+        sim, network = build()
+        inbox = []
+        network.register(1, lambda src, msg: inbox.append(msg))
+        for i in range(100):
+            network.send(0, 1, i)
+        sim.run()
+        assert len(inbox) == 100
+        assert network.stats.duplicated == 0
+
+    def test_duplicates_delivered_twice(self):
+        sim = Simulator(seed=3)
+        network = SimNetwork(sim, duplicate_rate=0.5)
+        inbox = []
+        network.register(1, lambda src, msg: inbox.append(msg))
+        for i in range(1000):
+            network.send(0, 1, i)
+        sim.run()
+        assert len(inbox) == 1000 + network.stats.duplicated
+        assert 350 < network.stats.duplicated < 650
+
+    def test_duplicate_has_independent_latency(self):
+        sim = Simulator(seed=5)
+        network = SimNetwork(
+            sim, latency=UniformLatency(1, 100), duplicate_rate=1.0
+        )
+        times = []
+        network.register(1, lambda src, msg: times.append(sim.now()))
+        network.send(0, 1, "x")
+        sim.run()
+        assert len(times) == 2

@@ -1,0 +1,95 @@
+"""Unit tests for the deterministic state machines (repro.smr.machine)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.smr.machine import AppendLog, Counter, KeyValueStore
+
+
+class TestKeyValueStore:
+    def test_put_and_get(self):
+        store = KeyValueStore()
+        store.apply(("put", "a", 1))
+        assert store.get("a") == 1
+        assert store.get("missing", "default") == "default"
+
+    def test_versions_increment_per_key(self):
+        store = KeyValueStore()
+        assert store.apply(("put", "a", 1)) == 1
+        assert store.apply(("put", "a", 2)) == 2
+        assert store.apply(("put", "b", 9)) == 1
+        assert store.version("a") == 2
+        assert store.version("nope") == 0
+
+    def test_delete(self):
+        store = KeyValueStore()
+        store.apply(("put", "a", 1))
+        assert store.apply(("del", "a")) == (1, 1)
+        assert store.get("a") is None
+        assert store.apply(("del", "ghost")) is None
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ValueError):
+            KeyValueStore().apply(("increment", "a"))
+
+    def test_digest_tracks_state(self):
+        a, b = KeyValueStore(), KeyValueStore()
+        assert a.digest() == b.digest()
+        a.apply(("put", "k", 1))
+        assert a.digest() != b.digest()
+        b.apply(("put", "k", 1))
+        assert a.digest() == b.digest()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["x", "y", "z"]),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=30,
+        )
+    )
+    def test_determinism_property(self, writes):
+        """Two stores fed identical command sequences agree exactly."""
+        a, b = KeyValueStore(), KeyValueStore()
+        for key, value in writes:
+            a.apply(("put", key, value))
+            b.apply(("put", key, value))
+        assert a.snapshot() == b.snapshot()
+        assert a.digest() == b.digest()
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        counter = Counter()
+        assert counter.apply(("add", 5)) == 5
+        assert counter.apply(("add", -2)) == 3
+        assert counter.apply(("reset",)) == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().apply(("mul", 2))
+
+    def test_snapshot_and_digest(self):
+        counter = Counter()
+        counter.apply(("add", 7))
+        assert counter.snapshot() == 7
+        other = Counter()
+        other.apply(("add", 7))
+        assert counter.digest() == other.digest()
+
+
+class TestAppendLog:
+    def test_appends_in_order(self):
+        log = AppendLog()
+        assert log.apply("a") == 1
+        assert log.apply("b") == 2
+        assert log.snapshot() == ("a", "b")
+
+    def test_digest_order_sensitive(self):
+        ab, ba = AppendLog(), AppendLog()
+        ab.apply("a"); ab.apply("b")
+        ba.apply("b"); ba.apply("a")
+        assert ab.digest() != ba.digest()

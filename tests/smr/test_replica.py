@@ -1,0 +1,137 @@
+"""Tests for replication over EpTO (repro.smr.replica)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.balls_bins import BallsBinsProcess
+from repro.core.errors import MembershipError
+from repro.sim import ChurnDriver
+from repro.smr import AppendLog, Counter, KeyValueStore, Replica, ReplicatedService
+
+from ..conftest import build_small_world, make_event
+
+
+class TestReplica:
+    def test_applies_payload_as_command(self):
+        replica = Replica(0, Counter())
+        replica.on_deliver(make_event(payload=("add", 3)))
+        replica.on_deliver(make_event(seq=1, payload=("add", 4)))
+        assert replica.machine.value == 7
+        assert replica.applied_count == 2
+        assert replica.last_result == 7
+
+    def test_journal_opt_in(self):
+        replica = Replica(0, AppendLog(), journal_commands=True)
+        replica.on_deliver(make_event(payload="x"))
+        assert replica.journal == ["x"]
+        bare = Replica(1, AppendLog())
+        with pytest.raises(MembershipError):
+            bare.journal
+
+
+class TestReplicatedService:
+    def test_replicas_converge_after_quiescence(self):
+        world = build_small_world(n=8)
+        service = ReplicatedService(world.cluster, KeyValueStore)
+        service.submit(0, ("put", "a", 1))
+        service.submit(3, ("put", "a", 2))
+        service.submit(5, ("put", "b", 9))
+        world.quiesce()
+        report = service.convergence()
+        assert report.converged
+        assert service.replica(0).applied_count == 3
+        # Versions reflect the agreed write order.
+        assert service.replica(0).machine.version("a") == 2
+
+    def test_append_log_replicas_identical(self):
+        world = build_small_world(n=6)
+        service = ReplicatedService(world.cluster, AppendLog, journal_commands=True)
+        for node, command in [(0, "x"), (2, "y"), (4, "z")]:
+            service.submit(node, command)
+        world.quiesce()
+        journals = {tuple(service.replica(n).journal) for n in world.cluster.alive_ids()}
+        assert len(journals) == 1
+        assert set(next(iter(journals))) == {"x", "y", "z"}
+
+    def test_convergence_under_loss(self):
+        world = build_small_world(n=10, loss_rate=0.1, seed=31)
+        service = ReplicatedService(world.cluster, Counter)
+        for node in (0, 2, 4, 6):
+            service.submit(node, ("add", node + 1))
+        world.quiesce()
+        assert service.converged()
+        assert service.replica(0).machine.value == 1 + 3 + 5 + 7
+
+    def test_churn_joiners_get_replicas(self):
+        world = build_small_world(n=10, seed=32)
+        service = ReplicatedService(world.cluster, Counter)
+        driver = ChurnDriver(world.sim, world.cluster, rate=0.1, stop_after=300)
+        service.submit(0, ("add", 1))
+        world.quiesce()
+        # Nodes added by churn were attached lazily on first delivery.
+        new_nodes = [n for n in world.cluster.alive_ids() if n >= 10]
+        for node in new_nodes:
+            if service.replicas.get(node) is not None:
+                assert service.replicas[node].applied_count >= 0
+
+    def test_divergent_nodes_reported(self):
+        # Hand-corrupt one replica and verify detection.
+        world = build_small_world(n=4)
+        service = ReplicatedService(world.cluster, Counter)
+        service.submit(0, ("add", 5))
+        world.quiesce()
+        assert service.converged()
+        service.replica(2).machine.value = 999
+        report = service.convergence()
+        assert not report.converged
+        assert report.divergent_nodes() == [2]
+
+    def test_unknown_replica_rejected(self):
+        world = build_small_world(n=3)
+        service = ReplicatedService(world.cluster, Counter)
+        with pytest.raises(MembershipError):
+            service.replica(42)
+
+
+class TestNegativeControl:
+    def test_unordered_transport_diverges(self):
+        """The same service over first-sight delivery loses convergence
+        on contended state — demonstrating that the EpTO layer, not
+        luck, is what makes the replicas identical."""
+        from repro.core import EpToConfig
+        from repro.sim import (
+            ClusterConfig,
+            PlanetLabLatency,
+            SimCluster,
+            SimNetwork,
+            Simulator,
+        )
+
+        sim = Simulator(seed=33)
+        network = SimNetwork(sim, latency=PlanetLabLatency())
+        config = EpToConfig.for_system_size(10)
+
+        def factory(*, node_id, pss, transport, on_deliver, time_source, rng):
+            return BallsBinsProcess(
+                node_id=node_id,
+                config=config,
+                peer_sampler=pss,
+                transport=transport,
+                on_deliver=on_deliver,
+                time_source=time_source,
+                rng=rng,
+            )
+
+        cluster = SimCluster(
+            sim, network, ClusterConfig(epto=config), process_factory=factory
+        )
+        cluster.add_nodes(10)
+        service = ReplicatedService(cluster, AppendLog)
+        # Many concurrent contended writes: arrival orders differ.
+        for round_idx in range(3):
+            for node in list(cluster.alive_ids()):
+                service.submit(node, f"w{round_idx}-{node}")
+            sim.run_for(config.round_interval)
+        sim.run_for((config.ttl + 10) * config.round_interval)
+        assert not service.converged()

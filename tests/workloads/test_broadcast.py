@@ -1,0 +1,157 @@
+"""Tests for workload generators (repro.workloads.broadcast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.workloads.broadcast import (
+    FixedCountWorkload,
+    ProbabilisticWorkload,
+    broadcast_burst,
+)
+
+from ..conftest import build_small_world
+
+
+class TestProbabilisticWorkload:
+    def test_generates_roughly_rate_times_population(self):
+        world = build_small_world(n=20)
+        workload = ProbabilisticWorkload(
+            world.sim, world.cluster, rate=0.5, rounds=10
+        )
+        world.run_rounds(12)
+        assert workload.finished
+        # E[events] = 20 * 0.5 * 10 = 100; generous tolerance.
+        assert 60 <= workload.stats.events <= 140
+        assert workload.stats.events == world.cluster.collector.broadcast_count
+
+    def test_stops_after_configured_rounds(self):
+        world = build_small_world(n=5)
+        workload = ProbabilisticWorkload(world.sim, world.cluster, rate=1.0, rounds=3)
+        world.run_rounds(20)
+        assert workload.stats.rounds == 3
+        assert workload.stats.events == 15
+
+    def test_start_offset_respected(self):
+        world = build_small_world(n=5)
+        start = 5 * world.config.round_interval
+        ProbabilisticWorkload(
+            world.sim, world.cluster, rate=1.0, rounds=1, start=start
+        )
+        world.run_rounds(3)
+        assert world.cluster.collector.broadcast_count == 0
+        world.run_rounds(4)
+        assert world.cluster.collector.broadcast_count == 5
+
+    def test_payload_factory_receives_index(self):
+        world = build_small_world(n=3)
+        ProbabilisticWorkload(
+            world.sim,
+            world.cluster,
+            rate=1.0,
+            rounds=1,
+            payload_factory=lambda i: f"event-{i}",
+        )
+        world.run_rounds(2)
+        payloads = {
+            rec.event.payload for rec in world.cluster.collector.broadcasts()
+        }
+        assert payloads == {"event-0", "event-1", "event-2"}
+
+    @pytest.mark.parametrize("rate", [0.0, 1.5, -0.2])
+    def test_invalid_rate_rejected(self, rate):
+        world = build_small_world(n=3)
+        with pytest.raises(ConfigurationError):
+            ProbabilisticWorkload(world.sim, world.cluster, rate=rate, rounds=1)
+
+    def test_invalid_rounds_rejected(self):
+        world = build_small_world(n=3)
+        with pytest.raises(ConfigurationError):
+            ProbabilisticWorkload(world.sim, world.cluster, rate=0.5, rounds=0)
+
+
+class TestFixedCountWorkload:
+    def test_exact_count(self):
+        world = build_small_world(n=6)
+        workload = FixedCountWorkload(world.sim, world.cluster, count=7)
+        world.run_rounds(15)
+        assert workload.stats.events == 7
+        assert world.cluster.collector.broadcast_count == 7
+
+    def test_one_event_per_period(self):
+        world = build_small_world(n=6)
+        FixedCountWorkload(world.sim, world.cluster, count=3)
+        world.run_rounds(2)
+        assert world.cluster.collector.broadcast_count == 2
+
+    def test_invalid_count_rejected(self):
+        world = build_small_world(n=3)
+        with pytest.raises(ConfigurationError):
+            FixedCountWorkload(world.sim, world.cluster, count=0)
+
+
+class TestBroadcastBurst:
+    def test_burst_count_and_concurrency(self):
+        world = build_small_world(n=8)
+        events = broadcast_burst(world.cluster, 5)
+        assert len(events) == 5
+        assert world.cluster.collector.broadcast_count == 5
+        # All created at the same simulation instant.
+        times = {rec.time for rec in world.cluster.collector.broadcasts()}
+        assert len(times) == 1
+
+    def test_burst_events_eventually_totally_ordered(self):
+        world = build_small_world(n=8)
+        broadcast_burst(world.cluster, 4)
+        world.quiesce()
+        report = world.spec_report()
+        assert report.safety_ok and report.agreement_ok
+        assert world.cluster.collector.delivery_count == 4 * 8
+
+
+class TestPoissonWorkload:
+    def test_generates_roughly_rate_times_duration(self):
+        from repro.workloads import PoissonWorkload
+
+        world = build_small_world(n=10)
+        duration = 200 * world.config.round_interval
+        workload = PoissonWorkload(
+            world.sim, world.cluster, rate=0.01, duration=duration
+        )
+        world.sim.run(until=duration + 1000)
+        # E[events] = 0.01 * 25000 = 250; generous tolerance.
+        assert 150 <= workload.stats.events <= 350
+
+    def test_stops_after_duration(self):
+        from repro.workloads import PoissonWorkload
+
+        world = build_small_world(n=5)
+        workload = PoissonWorkload(
+            world.sim, world.cluster, rate=0.05, duration=1000
+        )
+        world.sim.run(until=1200)
+        at_deadline = workload.stats.events
+        world.sim.run(until=20_000)
+        assert workload.stats.events == at_deadline
+
+    def test_invalid_parameters_rejected(self):
+        from repro.workloads import PoissonWorkload
+
+        world = build_small_world(n=3)
+        with pytest.raises(ConfigurationError):
+            PoissonWorkload(world.sim, world.cluster, rate=0.0, duration=10)
+        with pytest.raises(ConfigurationError):
+            PoissonWorkload(world.sim, world.cluster, rate=0.1, duration=0)
+
+    def test_events_eventually_totally_ordered(self):
+        from repro.workloads import PoissonWorkload
+
+        world = build_small_world(n=8)
+        PoissonWorkload(
+            world.sim, world.cluster, rate=0.01,
+            duration=5 * world.config.round_interval,
+        )
+        world.quiesce(extra_rounds=15)
+        report = world.spec_report()
+        assert report.safety_ok and report.agreement_ok

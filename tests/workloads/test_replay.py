@@ -1,0 +1,91 @@
+"""Tests for the trace-replay workload (repro.workloads.replay)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.collector import DeliveryCollector
+from repro.metrics.trace import export_trace, load_trace
+from repro.workloads import ProbabilisticWorkload, TraceReplayWorkload
+
+from ..conftest import build_small_world
+
+
+def record_source_run(n=8, seed=41):
+    world = build_small_world(n=n, seed=seed)
+    ProbabilisticWorkload(world.sim, world.cluster, rate=0.3, rounds=3)
+    world.quiesce()
+    return world
+
+
+class TestReplay:
+    def test_replays_every_broadcast(self):
+        source = record_source_run()
+        target = build_small_world(n=8, seed=99)
+        workload = TraceReplayWorkload(
+            target.sim, target.cluster, source.cluster.collector
+        )
+        target.quiesce(extra_rounds=15)
+        assert workload.stats.replayed == source.cluster.collector.broadcast_count
+        assert (
+            target.cluster.collector.broadcast_count
+            == source.cluster.collector.broadcast_count
+        )
+
+    def test_preserves_relative_timing(self):
+        source = record_source_run()
+        target = build_small_world(n=8, seed=99)
+        TraceReplayWorkload(target.sim, target.cluster, source.cluster.collector)
+        target.quiesce(extra_rounds=15)
+        source_times = sorted(
+            rec.time for rec in source.cluster.collector.broadcasts()
+        )
+        target_times = sorted(
+            rec.time for rec in target.cluster.collector.broadcasts()
+        )
+        source_gaps = [b - a for a, b in zip(source_times, source_times[1:])]
+        target_gaps = [b - a for a, b in zip(target_times, target_times[1:])]
+        assert source_gaps == target_gaps
+
+    def test_event_map_links_replayed_to_original(self):
+        source = record_source_run()
+        target = build_small_world(n=8, seed=99)
+        workload = TraceReplayWorkload(
+            target.sim, target.cluster, source.cluster.collector
+        )
+        target.quiesce(extra_rounds=15)
+        originals = {rec.event.id for rec in source.cluster.collector.broadcasts()}
+        assert set(workload.event_map.values()) == originals
+
+    def test_missing_sources_get_stand_ins(self):
+        source = record_source_run(n=8)
+        target = build_small_world(n=4, seed=99)  # fewer nodes than source
+        workload = TraceReplayWorkload(
+            target.sim, target.cluster, source.cluster.collector
+        )
+        target.quiesce(extra_rounds=15)
+        assert workload.stats.replayed == workload.stats.scheduled
+        assert workload.stats.resourced > 0
+
+    def test_replayed_run_still_totally_ordered(self):
+        source = record_source_run()
+        target = build_small_world(n=8, seed=99, loss_rate=0.05)
+        TraceReplayWorkload(target.sim, target.cluster, source.cluster.collector)
+        target.quiesce(extra_rounds=20)
+        report = target.spec_report()
+        assert report.safety_ok and report.agreement_ok
+
+    def test_replay_from_exported_trace_file(self, tmp_path):
+        source = record_source_run()
+        path = tmp_path / "run.jsonl"
+        export_trace(source.cluster.collector, path)
+        target = build_small_world(n=8, seed=99)
+        workload = TraceReplayWorkload(target.sim, target.cluster, load_trace(path))
+        target.quiesce(extra_rounds=15)
+        assert workload.stats.replayed == source.cluster.collector.broadcast_count
+
+    def test_empty_source_rejected(self):
+        target = build_small_world(n=4)
+        with pytest.raises(ConfigurationError):
+            TraceReplayWorkload(target.sim, target.cluster, DeliveryCollector())
