@@ -62,6 +62,16 @@ from .core import (
     min_fanout,
     min_ttl,
 )
+from .faults import (
+    AsyncFaultInjector,
+    FaultSchedule,
+    NodeSupervisor,
+    ObservedConditions,
+    SimFaultInjector,
+    SurvivorReport,
+    adapt_config,
+    check_survivors,
+)
 from .metrics import DeliveryCollector, SpecReport, check_run
 from .pss import CyclonPss, MembershipDirectory, UniformViewPss
 from .smr import KeyValueStore, Replica, ReplicatedService
@@ -77,6 +87,7 @@ from .sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncFaultInjector",
     "Ball",
     "BallEntry",
     "BallsBinsProcess",
@@ -90,25 +101,32 @@ __all__ = [
     "EpToProcess",
     "Event",
     "EventId",
+    "FaultSchedule",
     "FifoProcess",
     "GlobalClockOracle",
     "KeyValueStore",
     "LogicalClockOracle",
     "MembershipDirectory",
+    "NodeSupervisor",
+    "ObservedConditions",
     "OrderingInvariantError",
     "PlanetLabLatency",
     "Replica",
     "ReplicatedService",
     "ReproError",
     "SimCluster",
+    "SimFaultInjector",
     "SimNetwork",
     "Simulator",
     "SpecReport",
     "StabilityEstimate",
     "StabilityEstimator",
+    "SurvivorReport",
     "TaggedEvent",
     "UniformViewPss",
+    "adapt_config",
     "check_run",
+    "check_survivors",
     "derive_parameters",
     "min_fanout",
     "min_ttl",

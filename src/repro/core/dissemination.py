@@ -177,6 +177,15 @@ class DisseminationComponent:
         self.order_events(ball)
         self._next_ball = {}
 
+    def resume_sequence(self, next_seq: int) -> None:
+        """Fast-forward the event-id sequence (same-identity restart)."""
+        self._id_generator.resume(next_seq)
+
+    @property
+    def issued_sequence(self) -> int:
+        """Event ids issued so far (restart handover point)."""
+        return self._id_generator.issued
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"DisseminationComponent(node={self.node_id}, "

@@ -38,6 +38,17 @@ class TransportError(ReproError):
     """A message could not be handed to the transport layer."""
 
 
+class FaultInjectionError(ReproError):
+    """A fault schedule or injector was misused.
+
+    Raised eagerly when a schedule is malformed (negative times, empty
+    crash target, out-of-range rates) or when an interpreter is asked
+    to apply an action its fabric cannot express (e.g. a latency spike
+    on real UDP sockets). Never raised by the faults themselves — an
+    injected fault must look exactly like the real failure it models.
+    """
+
+
 class OrderingInvariantError(ReproError):
     """An internal total-order invariant was violated.
 

@@ -119,6 +119,16 @@ class EpToProcess:
         """Timer entry point: one round (``delta`` time units) elapsed."""
         self.dissemination.round_tick()
 
+    def resume_sequence(self, next_seq: int) -> None:
+        """Fast-forward the broadcast sequence counter (crash recovery).
+
+        A process restarted under the same identity must never reissue
+        a ``(source, seq)`` event id its previous incarnation already
+        used; the hosting runtime calls this with the predecessor's
+        issued count before the replacement broadcasts anything.
+        """
+        self.dissemination.resume_sequence(next_seq)
+
     # ------------------------------------------------------------------
     # Introspection and §8.4 extension
     # ------------------------------------------------------------------

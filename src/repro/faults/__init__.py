@@ -1,0 +1,52 @@
+"""Unified fault injection and self-healing (robustness layer).
+
+One declarative :class:`~repro.faults.schedule.FaultSchedule` — crash
+and recover, partition and heal, loss bursts, latency spikes, datagram
+corruption — with two interpreters, so the exact same scenario runs
+against the discrete-event simulator
+(:class:`~repro.faults.sim_injector.SimFaultInjector`) and the asyncio
+runtime (:class:`~repro.faults.runtime_injector.AsyncFaultInjector`).
+Self-healing comes from
+:class:`~repro.faults.supervisor.NodeSupervisor` (backoff restarts of
+crashed nodes), post-mortems from
+:func:`~repro.faults.verify.check_survivors`, and parameter feedback
+from the Lemma 7 helpers in :mod:`repro.faults.adaptive`.
+"""
+
+from .adaptive import MAX_RATE, ObservedConditions, adapt_config, lemma7_parameters
+from .runtime_injector import AsyncFaultInjector
+from .schedule import (
+    CorruptDatagrams,
+    CrashNodes,
+    FaultAction,
+    FaultSchedule,
+    HealPartition,
+    LatencySpike,
+    LossBurst,
+    PartitionNetwork,
+)
+from .sim_injector import FaultStats, SimFaultInjector
+from .supervisor import NodeSupervisor, SupervisorStats
+from .verify import SurvivorReport, check_survivors
+
+__all__ = [
+    "AsyncFaultInjector",
+    "CorruptDatagrams",
+    "CrashNodes",
+    "FaultAction",
+    "FaultSchedule",
+    "FaultStats",
+    "HealPartition",
+    "LatencySpike",
+    "LossBurst",
+    "MAX_RATE",
+    "NodeSupervisor",
+    "ObservedConditions",
+    "PartitionNetwork",
+    "SimFaultInjector",
+    "SupervisorStats",
+    "SurvivorReport",
+    "adapt_config",
+    "check_survivors",
+    "lemma7_parameters",
+]

@@ -1,0 +1,260 @@
+"""Fault-schedule interpreter for the asyncio runtime.
+
+Runs the same :class:`~repro.faults.schedule.FaultSchedule` that drives
+the simulator against a live :class:`~repro.runtime.cluster.AsyncCluster`,
+on real wall-clock timers: a round is ``config.round_interval``
+milliseconds. Crashes call :meth:`AsyncCluster.crash_node` (abrupt
+death — tasks killed, inbox dropped); recoveries respawn the *same*
+node ids via :meth:`AsyncCluster.respawn_node` unless a
+:class:`~repro.faults.supervisor.NodeSupervisor` already resurrected
+them; partitions, loss bursts, latency spikes and corruption windows
+map onto the fabric's fault surface
+(:class:`~repro.runtime.transport.AsyncNetwork` or
+:class:`~repro.runtime.udp.UdpNetwork`).
+
+Fabric capabilities differ — real UDP sockets cannot stretch latency,
+and the in-memory fabric has no wire bytes to corrupt — so the
+injector validates the schedule against the fabric up front
+(:meth:`AsyncFaultInjector.run` raises
+:class:`~repro.core.errors.FaultInjectionError` before touching
+anything) and degrades corruption to a loss burst where no codec
+exists, recording the approximation in its log.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from typing import Any, Callable, List, Set, Tuple
+
+from ..core.errors import FaultInjectionError
+from ..runtime.cluster import AsyncCluster
+from .schedule import (
+    CorruptDatagrams,
+    CrashNodes,
+    FaultSchedule,
+    HealPartition,
+    LatencySpike,
+    LossBurst,
+    PartitionNetwork,
+)
+from .sim_injector import FaultStats
+
+
+class AsyncFaultInjector:
+    """Drives one fault schedule against a live asyncio cluster.
+
+    Args:
+        cluster: The running cluster (``start_all()`` before or after
+            creating the injector; actions fire relative to
+            :meth:`run`'s start).
+        schedule: Declarative scenario; round times become
+            ``round_interval`` milliseconds each.
+        seed: Seed for victim/partition sampling.
+
+    Usage::
+
+        injector = AsyncFaultInjector(cluster, FaultSchedule.standard_drill())
+        await injector.run()          # returns when the last action fired
+    """
+
+    def __init__(
+        self,
+        cluster: AsyncCluster,
+        schedule: FaultSchedule,
+        seed: int = 0,
+    ) -> None:
+        import random as _random
+
+        self.cluster = cluster
+        self.schedule = schedule
+        self.stats = FaultStats()
+        #: (seconds since run() started, description) per applied action.
+        self.log: List[Tuple[float, str]] = []
+        #: Ids this injector crashed (and, with ``recover_after``,
+        #: respawned under the same identity).
+        self.crashed_ids: Set[int] = set()
+        self._rng = _random.Random(f"{seed}:async-faults")
+        self._started_at = 0.0
+        self._initial_population: Set[int] = set()
+        # Victims per crash action (keyed by action identity), recorded
+        # at crash time for the matching recovery timeline entry.
+        self._victims: dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Apply the whole schedule, sleeping between actions.
+
+        Returns once the final action (including recoveries and heals)
+        has been applied. Raises
+        :class:`~repro.core.errors.FaultInjectionError` before applying
+        anything if the fabric cannot express an action.
+        """
+        self._check_fabric()
+        round_s = self.cluster.config.round_interval / 1000.0
+        timeline: List[Tuple[float, Callable[[], Any]]] = []
+        for action in self.schedule:
+            when = action.at_round * round_s
+            if isinstance(action, CrashNodes):
+                timeline.append((when, lambda a=action: self._crash(a)))
+                if action.recover_after is not None:
+                    timeline.append(
+                        (
+                            when + action.recover_after * round_s,
+                            lambda a=action: self._recover(a),
+                        )
+                    )
+            elif isinstance(action, PartitionNetwork):
+                timeline.append((when, lambda a=action: self._partition(a)))
+                if action.heal_after is not None:
+                    timeline.append(
+                        (when + action.heal_after * round_s, self._heal)
+                    )
+            elif isinstance(action, HealPartition):
+                timeline.append((when, self._heal))
+            elif isinstance(action, LossBurst):
+                timeline.append(
+                    (when, lambda a=action: self._loss_burst(a, round_s))
+                )
+            elif isinstance(action, CorruptDatagrams):
+                timeline.append((when, lambda a=action: self._corrupt(a, round_s)))
+            elif isinstance(action, LatencySpike):
+                timeline.append((when, lambda a=action: self._spike(a, round_s)))
+            else:  # pragma: no cover - schedule validates kinds
+                raise FaultInjectionError(f"unsupported action {action!r}")
+        timeline.sort(key=lambda item: item[0])
+
+        loop = asyncio.get_running_loop()
+        self._started_at = loop.time()
+        self._initial_population = set(self.cluster.live_ids())
+        for when, apply in timeline:
+            delay = self._started_at + when - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            result = apply()
+            if asyncio.iscoroutine(result):
+                await result
+
+    def _check_fabric(self) -> None:
+        network = self.cluster.network
+        for action in self.schedule:
+            if isinstance(action, (PartitionNetwork, HealPartition)) and not hasattr(
+                network, "set_partition"
+            ):
+                raise FaultInjectionError(
+                    f"{type(network).__name__} does not support partitions"
+                )
+            if isinstance(action, (LossBurst, CorruptDatagrams)) and not hasattr(
+                network, "set_loss_burst"
+            ):
+                raise FaultInjectionError(
+                    f"{type(network).__name__} does not support loss bursts"
+                )
+            if isinstance(action, LatencySpike) and not hasattr(
+                network, "set_latency_spike"
+            ):
+                raise FaultInjectionError(
+                    f"{type(network).__name__} cannot stretch latency "
+                    "(real sockets have real delays)"
+                )
+
+    # ------------------------------------------------------------------
+    # Survivor accounting
+    # ------------------------------------------------------------------
+
+    def continuous_survivors(self) -> Set[int]:
+        """Ids live now, live at start, and never crashed in between."""
+        return self._initial_population & (
+            set(self.cluster.live_ids()) - self.crashed_ids
+        )
+
+    # ------------------------------------------------------------------
+    # Action handlers
+    # ------------------------------------------------------------------
+
+    def _crash(self, action: CrashNodes) -> None:
+        alive = self.cluster.live_ids()
+        if action.nodes is not None:
+            victims = [nid for nid in action.nodes if nid in set(alive)]
+        else:
+            count = min(len(alive), math.ceil(action.fraction * len(alive)))
+            victims = self._rng.sample(alive, count)
+        for node_id in victims:
+            self.cluster.crash_node(node_id)
+            self.crashed_ids.add(node_id)
+            self.stats.crashes += 1
+        self._victims[id(action)] = list(victims)
+        self._log(f"crashed {sorted(victims)}")
+
+    async def _recover(self, action: CrashNodes) -> None:
+        victims = self._victims.get(id(action), [])
+        recovered: List[int] = []
+        for node_id in victims:
+            node = self.cluster.nodes.get(node_id)
+            if node is None or not node.crashed:
+                continue  # a supervisor beat us to it, or it was removed
+            replacement = await self.cluster.respawn_node(node_id)
+            replacement.start()
+            self.stats.recoveries += 1
+            recovered.append(node_id)
+        self._log(f"recovered {sorted(recovered)} under their own ids")
+
+    def _partition(self, action: PartitionNetwork) -> None:
+        if action.groups is not None:
+            groups = dict(action.groups)
+        else:
+            alive = self.cluster.live_ids()
+            minority_size = max(1, math.ceil(action.fraction * len(alive)))
+            minority = set(self._rng.sample(alive, min(minority_size, len(alive))))
+            groups = {nid: (1 if nid in minority else 0) for nid in alive}
+        self.cluster.network.set_partition(groups)
+        self.stats.partitions += 1
+        sizes = sorted(
+            [list(groups.values()).count(g) for g in set(groups.values())]
+        )
+        self._log(f"partitioned into groups of sizes {sizes}")
+
+    def _heal(self) -> None:
+        self.cluster.network.heal_partition()
+        self.stats.heals += 1
+        self._log("healed partition")
+
+    def _loss_burst(self, action: LossBurst, round_s: float) -> None:
+        self.cluster.network.set_loss_burst(action.rate, action.duration * round_s)
+        self.stats.loss_bursts += 1
+        self._log(f"loss burst rate={action.rate} for {action.duration} rounds")
+
+    def _corrupt(self, action: CorruptDatagrams, round_s: float) -> None:
+        network = self.cluster.network
+        duration_s = action.duration * round_s
+        if hasattr(network, "set_corruption"):
+            network.set_corruption(action.rate, duration_s)
+            self.stats.corruption_windows += 1
+            self._log(f"corrupting datagrams rate={action.rate}")
+        else:
+            network.set_loss_burst(action.rate, duration_s)
+            self.stats.corruption_windows += 1
+            self._log(
+                f"corruption window rate={action.rate} (approximated as loss "
+                "— this fabric has no wire bytes to mangle)"
+            )
+
+    def _spike(self, action: LatencySpike, round_s: float) -> None:
+        self.cluster.network.set_latency_spike(
+            action.factor, action.duration * round_s
+        )
+        self.stats.latency_spikes += 1
+        self._log(f"latency spike x{action.factor}")
+
+    def _log(self, message: str) -> None:
+        loop = asyncio.get_running_loop()
+        self.log.append((loop.time() - self._started_at, message))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AsyncFaultInjector(actions={len(self.schedule)}, "
+            f"applied={len(self.log)})"
+        )

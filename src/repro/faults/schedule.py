@@ -1,0 +1,359 @@
+"""Declarative fault schedules, portable across runtimes.
+
+A :class:`FaultSchedule` is a runtime-agnostic description of *what
+goes wrong when*: crashes (with optional recovery), network partitions
+(with optional healing), loss bursts, latency spikes and datagram
+corruption windows. Times are expressed in **rounds** — multiples of
+the deployment's EpTO round interval ``delta`` — so the very same
+scenario drives the discrete-event simulator (where a round is
+``round_interval`` ticks, via
+:class:`repro.faults.sim_injector.SimFaultInjector`) and the asyncio
+runtime (where it is ``round_interval`` milliseconds, via
+:class:`repro.faults.runtime_injector.AsyncFaultInjector`).
+
+Schedules are plain data: build them programmatically, or load them
+from dicts/JSON (:meth:`FaultSchedule.from_dict` /
+:meth:`FaultSchedule.from_json`) so scenario files can live next to
+experiment configurations. Validation happens eagerly at construction
+(:class:`repro.core.errors.FaultInjectionError`), never mid-run.
+
+The motivation is the paper's central claim — deterministic safety
+under probabilistic, failure-prone dissemination — plus the
+recovery-after-transient-fault concern of self-stabilizing total-order
+broadcast (Lundström et al., 2022) and tolerance of corrupted (not
+just dropped) payloads (Malkhi et al., *On Diffusing Updates in a
+Byzantine Environment*).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.errors import FaultInjectionError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise FaultInjectionError(message)
+
+
+@dataclass(frozen=True, slots=True)
+class CrashNodes:
+    """Kill processes abruptly at ``at_round``.
+
+    Exactly one of *fraction* (of the then-current live population,
+    sampled uniformly by the interpreter) or *nodes* (explicit ids)
+    must be given. With *recover_after*, the interpreter brings
+    replacements back ``recover_after`` rounds later — the same ids
+    restarted in the asyncio runtime, fresh joiners in the simulator
+    (whose cluster assigns ids monotonically, matching the paper's
+    churn model).
+    """
+
+    at_round: float
+    fraction: Optional[float] = None
+    nodes: Optional[Tuple[int, ...]] = None
+    recover_after: Optional[float] = None
+
+    kind: ClassVar[str] = "crash"
+
+    def __post_init__(self) -> None:
+        _require(self.at_round >= 0, f"at_round must be >= 0, got {self.at_round}")
+        _require(
+            (self.fraction is None) != (self.nodes is None),
+            "crash needs exactly one of fraction= or nodes=",
+        )
+        if self.fraction is not None:
+            _require(
+                0.0 < self.fraction <= 1.0,
+                f"crash fraction must be in (0, 1], got {self.fraction}",
+            )
+        if self.nodes is not None:
+            object.__setattr__(self, "nodes", tuple(self.nodes))
+            _require(len(self.nodes) > 0, "crash nodes= must not be empty")
+        if self.recover_after is not None:
+            _require(
+                self.recover_after > 0,
+                f"recover_after must be > 0 rounds, got {self.recover_after}",
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionNetwork:
+    """Split the network into two groups at ``at_round``.
+
+    Either *groups* maps node ids to explicit group labels, or
+    *fraction* of the live population (interpreter-sampled) is moved to
+    a minority group. With *heal_after*, connectivity is restored that
+    many rounds later.
+    """
+
+    at_round: float
+    fraction: Optional[float] = 0.5
+    groups: Optional[Dict[int, Any]] = None
+    heal_after: Optional[float] = None
+
+    kind: ClassVar[str] = "partition"
+
+    def __post_init__(self) -> None:
+        _require(self.at_round >= 0, f"at_round must be >= 0, got {self.at_round}")
+        if self.groups is not None:
+            object.__setattr__(self, "fraction", None)
+            _require(len(self.groups) > 0, "partition groups= must not be empty")
+        else:
+            _require(
+                self.fraction is not None and 0.0 < self.fraction < 1.0,
+                f"partition fraction must be in (0, 1), got {self.fraction}",
+            )
+        if self.heal_after is not None:
+            _require(
+                self.heal_after > 0,
+                f"heal_after must be > 0 rounds, got {self.heal_after}",
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class HealPartition:
+    """Restore full connectivity at ``at_round``."""
+
+    at_round: float
+
+    kind: ClassVar[str] = "heal"
+
+    def __post_init__(self) -> None:
+        _require(self.at_round >= 0, f"at_round must be >= 0, got {self.at_round}")
+
+
+@dataclass(frozen=True, slots=True)
+class LossBurst:
+    """Raise the message loss probability to *rate* for *duration* rounds."""
+
+    at_round: float
+    rate: float
+    duration: float
+
+    kind: ClassVar[str] = "loss_burst"
+
+    def __post_init__(self) -> None:
+        _require(self.at_round >= 0, f"at_round must be >= 0, got {self.at_round}")
+        _require(0.0 < self.rate <= 1.0, f"loss rate must be in (0, 1], got {self.rate}")
+        _require(self.duration > 0, f"duration must be > 0 rounds, got {self.duration}")
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySpike:
+    """Multiply the mean network latency by *factor* for *duration* rounds."""
+
+    at_round: float
+    factor: float
+    duration: float
+
+    kind: ClassVar[str] = "latency_spike"
+
+    def __post_init__(self) -> None:
+        _require(self.at_round >= 0, f"at_round must be >= 0, got {self.at_round}")
+        _require(self.factor > 1.0, f"spike factor must be > 1, got {self.factor}")
+        _require(self.duration > 0, f"duration must be > 0 rounds, got {self.duration}")
+
+
+@dataclass(frozen=True, slots=True)
+class CorruptDatagrams:
+    """Corrupt in-transit messages with probability *rate* for
+    *duration* rounds.
+
+    On the UDP fabric this mangles real datagram bytes, exercising the
+    receiver's codec defence (``UdpStats.dropped_malformed``). Fabrics
+    without a wire format (the simulator, the in-memory asyncio fabric)
+    degrade it to an equivalent loss burst — a corrupted message can
+    never be parsed, so to the application the two are
+    indistinguishable; interpreters record the approximation in their
+    log.
+    """
+
+    at_round: float
+    rate: float
+    duration: float
+
+    kind: ClassVar[str] = "corrupt"
+
+    def __post_init__(self) -> None:
+        _require(self.at_round >= 0, f"at_round must be >= 0, got {self.at_round}")
+        _require(
+            0.0 < self.rate <= 1.0, f"corrupt rate must be in (0, 1], got {self.rate}"
+        )
+        _require(self.duration > 0, f"duration must be > 0 rounds, got {self.duration}")
+
+
+#: Every concrete action type.
+FaultAction = Union[
+    CrashNodes,
+    PartitionNetwork,
+    HealPartition,
+    LossBurst,
+    LatencySpike,
+    CorruptDatagrams,
+]
+
+_ACTION_TYPES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        CrashNodes,
+        PartitionNetwork,
+        HealPartition,
+        LossBurst,
+        LatencySpike,
+        CorruptDatagrams,
+    )
+}
+
+
+class FaultSchedule:
+    """An ordered list of fault actions over one run.
+
+    Args:
+        actions: Fault actions in any order; stored sorted by
+            ``at_round`` (ties keep the given order).
+    """
+
+    def __init__(self, actions: Iterable[FaultAction]) -> None:
+        actions = list(actions)
+        for action in actions:
+            _require(
+                type(action) in _ACTION_TYPES.values(),
+                f"not a fault action: {action!r}",
+            )
+        self.actions: Tuple[FaultAction, ...] = tuple(
+            sorted(actions, key=lambda a: a.at_round)
+        )
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    @property
+    def horizon_rounds(self) -> float:
+        """Last round at which the schedule still has an effect pending
+        (including recoveries, heals and window ends). Size runs past
+        this so every action lands and the system can quiesce after."""
+        horizon = 0.0
+        for action in self.actions:
+            end = action.at_round
+            tail = (
+                getattr(action, "recover_after", None)
+                or getattr(action, "heal_after", None)
+                or getattr(action, "duration", None)
+            )
+            if tail is not None:
+                end += tail
+            horizon = max(horizon, end)
+        return horizon
+
+    # ------------------------------------------------------------------
+    # (De)serialization — scenario files
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form, JSON-ready."""
+        serialized: List[Dict[str, Any]] = []
+        for action in self.actions:
+            entry: Dict[str, Any] = {"kind": action.kind}
+            for spec in fields(action):
+                value = getattr(action, spec.name)
+                if value is None:
+                    continue
+                if spec.name == "nodes":
+                    value = list(value)
+                entry[spec.name] = value
+            serialized.append(entry)
+        return {"actions": serialized}
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """JSON scenario-file form."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSchedule":
+        """Parse a scenario mapping (see :meth:`to_dict` for the shape).
+
+        Raises:
+            FaultInjectionError: On unknown kinds, unknown fields, or
+                out-of-range values.
+        """
+        _require(isinstance(data, dict), f"scenario must be a mapping, got {type(data)}")
+        raw_actions = data.get("actions")
+        _require(
+            isinstance(raw_actions, list),
+            "scenario must have an 'actions' list",
+        )
+        actions: List[FaultAction] = []
+        for raw in raw_actions:
+            _require(isinstance(raw, dict), f"action must be a mapping, got {raw!r}")
+            kind = raw.get("kind")
+            action_type = _ACTION_TYPES.get(kind)
+            _require(action_type is not None, f"unknown fault kind {kind!r}")
+            kwargs = {k: v for k, v in raw.items() if k != "kind"}
+            known = {spec.name for spec in fields(action_type)}
+            unknown = set(kwargs) - known
+            _require(not unknown, f"unknown fields for {kind!r}: {sorted(unknown)}")
+            if "nodes" in kwargs and kwargs["nodes"] is not None:
+                kwargs["nodes"] = tuple(kwargs["nodes"])
+            try:
+                actions.append(action_type(**kwargs))
+            except TypeError as exc:
+                raise FaultInjectionError(f"bad {kind!r} action: {exc}") from exc
+        return cls(actions)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        """Parse a JSON scenario file's contents."""
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise FaultInjectionError(f"scenario is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Canned scenarios
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def standard_drill(
+        cls,
+        crash_fraction: float = 0.2,
+        crash_at: float = 4.0,
+        recover_after: float = 12.0,
+        partition_at: float = 8.0,
+        heal_after: float = 6.0,
+        loss_burst_at: float = 18.0,
+        loss_burst_rate: float = 0.3,
+        loss_burst_duration: float = 3.0,
+    ) -> "FaultSchedule":
+        """The reference drill: crash a fifth of the cluster, split the
+        network and heal it, recover the crashed processes, and throw
+        in a loss burst — the scenario every runtime must survive with
+        total order intact on the survivors."""
+        return cls(
+            [
+                CrashNodes(
+                    at_round=crash_at,
+                    fraction=crash_fraction,
+                    recover_after=recover_after,
+                ),
+                PartitionNetwork(
+                    at_round=partition_at, fraction=0.5, heal_after=heal_after
+                ),
+                LossBurst(
+                    at_round=loss_burst_at,
+                    rate=loss_burst_rate,
+                    duration=loss_burst_duration,
+                ),
+            ]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ", ".join(a.kind for a in self.actions)
+        return f"FaultSchedule([{kinds}], horizon={self.horizon_rounds})"

@@ -1,0 +1,238 @@
+"""Fault-schedule interpreter for the discrete-event simulator.
+
+Translates a :class:`~repro.faults.schedule.FaultSchedule` into
+simulator-tick actions against a :class:`~repro.sim.cluster.SimCluster`
+and its :class:`~repro.sim.network.SimNetwork`: crashes become
+``remove_node`` calls (recoveries re-add fresh processes, the paper's
+churn model), partitions use the network's partition groups, loss
+bursts temporarily raise ``loss_rate``, latency spikes wrap the latency
+model, and corruption windows degrade to loss bursts (the simulator has
+no wire format to mangle — a corrupted message is an undeliverable
+message).
+
+Every applied action is appended to :attr:`SimFaultInjector.log` as a
+``(tick, description)`` pair so experiments can line failures up with
+delivery traces.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from ..core.errors import FaultInjectionError
+from ..sim.cluster import SimCluster
+from ..sim.engine import Simulator
+from ..sim.latency import LatencyModel
+from ..sim.network import SimNetwork
+from .schedule import (
+    CorruptDatagrams,
+    CrashNodes,
+    FaultSchedule,
+    HealPartition,
+    LatencySpike,
+    LossBurst,
+    PartitionNetwork,
+)
+
+
+@dataclass(slots=True)
+class FaultStats:
+    """What an injector actually did."""
+
+    crashes: int = 0
+    recoveries: int = 0
+    partitions: int = 0
+    heals: int = 0
+    loss_bursts: int = 0
+    latency_spikes: int = 0
+    corruption_windows: int = 0
+
+
+class _ScaledLatency:
+    """Latency model wrapper multiplying every sample (latency spike)."""
+
+    def __init__(self, base: LatencyModel, factor: float) -> None:
+        self._base = base
+        self._factor = factor
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> int:
+        return max(1, round(self._base.sample(rng, src, dst) * self._factor))
+
+
+class SimFaultInjector:
+    """Drives one fault schedule against a simulated cluster.
+
+    Args:
+        sim: Host simulator (supplies scheduling and forked randomness).
+        cluster: Cluster whose membership the crashes mutate.
+        schedule: The declarative scenario; times in rounds are
+            converted to ticks with the cluster's EpTO round interval.
+
+    Call :meth:`install` once before ``sim.run(...)``; size the run
+    past ``schedule.horizon_rounds * round_interval`` ticks so every
+    action lands.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: SimCluster,
+        schedule: FaultSchedule,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.schedule = schedule
+        self.network: SimNetwork = cluster.network
+        self.stats = FaultStats()
+        #: (tick, human-readable description) per applied action.
+        self.log: List[Tuple[int, str]] = []
+        #: Ids crashed by this injector (never recovered under the same
+        #: id in the simulator — recoveries join as fresh processes).
+        self.crashed_ids: Set[int] = set()
+        self._rng = sim.fork_rng("faults")
+        self._installed = False
+        self._initial_population: Set[int] = set()
+
+    def install(self) -> None:
+        """Schedule every action on the simulator (idempotent-guarded)."""
+        if self._installed:
+            raise FaultInjectionError("injector is already installed")
+        self._installed = True
+        self._initial_population = set(self.cluster.alive_ids())
+        interval = self.cluster.config.epto.round_interval
+        base = self.sim.now()
+
+        def at(rounds: float):
+            return base + max(0, round(rounds * interval))
+
+        for action in self.schedule:
+            if isinstance(action, CrashNodes):
+                self.sim.schedule_at(
+                    at(action.at_round), lambda a=action: self._crash(a)
+                )
+            elif isinstance(action, PartitionNetwork):
+                self.sim.schedule_at(
+                    at(action.at_round), lambda a=action: self._partition(a)
+                )
+                if action.heal_after is not None:
+                    self.sim.schedule_at(
+                        at(action.at_round + action.heal_after), self._heal
+                    )
+            elif isinstance(action, HealPartition):
+                self.sim.schedule_at(at(action.at_round), self._heal)
+            elif isinstance(action, (LossBurst, CorruptDatagrams)):
+                self.sim.schedule_at(
+                    at(action.at_round), lambda a=action: self._loss_burst(a)
+                )
+                self.sim.schedule_at(
+                    at(action.at_round + action.duration),
+                    lambda a=action: self._end_loss_burst(a),
+                )
+            elif isinstance(action, LatencySpike):
+                self.sim.schedule_at(
+                    at(action.at_round), lambda a=action: self._spike(a)
+                )
+                self.sim.schedule_at(
+                    at(action.at_round + action.duration), self._end_spike
+                )
+            else:  # pragma: no cover - schedule validates kinds
+                raise FaultInjectionError(f"unsupported action {action!r}")
+
+    # ------------------------------------------------------------------
+    # Survivor accounting
+    # ------------------------------------------------------------------
+
+    def continuous_survivors(self) -> Set[int]:
+        """Nodes alive now that were alive when the schedule was
+        installed — the population agreement is evaluated on."""
+        return self._initial_population & set(self.cluster.alive_ids())
+
+    # ------------------------------------------------------------------
+    # Action handlers
+    # ------------------------------------------------------------------
+
+    def _crash(self, action: CrashNodes) -> None:
+        alive = list(self.cluster.alive_ids())
+        if action.nodes is not None:
+            victims = [nid for nid in action.nodes if nid in set(alive)]
+        else:
+            count = min(len(alive), math.ceil(action.fraction * len(alive)))
+            victims = self._rng.sample(alive, count)
+        for node_id in victims:
+            self.cluster.remove_node(node_id)
+            self.crashed_ids.add(node_id)
+            self.stats.crashes += 1
+        self._log(f"crashed {sorted(victims)}")
+        if action.recover_after is not None and victims:
+            delay = round(
+                action.recover_after * self.cluster.config.epto.round_interval
+            )
+            self.sim.schedule(
+                max(1, delay), lambda n=len(victims): self._recover(n)
+            )
+
+    def _recover(self, count: int) -> None:
+        joined = [self.cluster.add_node() for _ in range(count)]
+        self.stats.recoveries += count
+        self._log(f"recovered {count} processes as fresh ids {joined}")
+
+    def _partition(self, action: PartitionNetwork) -> None:
+        if action.groups is not None:
+            groups = dict(action.groups)
+        else:
+            alive = list(self.cluster.alive_ids())
+            minority_size = max(1, math.ceil(action.fraction * len(alive)))
+            minority = set(self._rng.sample(alive, min(minority_size, len(alive))))
+            groups = {nid: (1 if nid in minority else 0) for nid in alive}
+        self.network.set_partition(groups)
+        self.stats.partitions += 1
+        sizes = sorted(
+            [list(groups.values()).count(g) for g in set(groups.values())]
+        )
+        self._log(f"partitioned into groups of sizes {sizes}")
+
+    def _heal(self) -> None:
+        self.network.heal_partition()
+        self.stats.heals += 1
+        self._log("healed partition")
+
+    def _loss_burst(self, action) -> None:
+        # One saved baseline per burst; bursts are expected not to
+        # overlap (the schedule is declarative, keep scenarios sane).
+        self._saved_loss = self.network.loss_rate
+        self.network.loss_rate = max(self.network.loss_rate, action.rate)
+        if isinstance(action, CorruptDatagrams):
+            self.stats.corruption_windows += 1
+            self._log(
+                f"corruption window rate={action.rate} (approximated as loss "
+                "— the simulator has no wire bytes to mangle)"
+            )
+        else:
+            self.stats.loss_bursts += 1
+            self._log(f"loss burst rate={action.rate}")
+
+    def _end_loss_burst(self, action) -> None:
+        self.network.loss_rate = getattr(self, "_saved_loss", 0.0)
+        self._log(f"loss restored to {self.network.loss_rate}")
+
+    def _spike(self, action: LatencySpike) -> None:
+        self._saved_latency = self.network.latency
+        self.network.latency = _ScaledLatency(self.network.latency, action.factor)
+        self.stats.latency_spikes += 1
+        self._log(f"latency spike x{action.factor}")
+
+    def _end_spike(self) -> None:
+        self.network.latency = getattr(self, "_saved_latency", self.network.latency)
+        self._log("latency restored")
+
+    def _log(self, message: str) -> None:
+        self.log.append((self.sim.now(), message))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimFaultInjector(actions={len(self.schedule)}, "
+            f"applied={len(self.log)})"
+        )

@@ -1,0 +1,153 @@
+"""Post-scenario assertions: total order and agreement on survivors.
+
+After a fault drill the interesting question is not "did anything
+happen" but "did the Table 1 guarantees hold for the processes that
+lived to tell": :func:`check_survivors` validates the delivery journal
+an :class:`~repro.runtime.cluster.AsyncCluster` keeps (sequences of
+:class:`~repro.core.event.Event`) against
+
+* **total order** — every survivor's delivery sequence is strictly
+  increasing in the deterministic order key ``(ts, src, seq)``, which
+  makes any two survivor sequences automatically consistent on common
+  events (two strictly increasing sequences over one key space cannot
+  order a shared pair differently);
+* **agreement** — every event delivered by any continuous survivor was
+  delivered by all of them (evaluate after quiescence);
+* **recovered nodes** — a node resurrected mid-run is checked on its
+  post-restart suffix only: the suffix must itself be in order and
+  must not conflict pairwise with a reference survivor (paper
+  Figure 1b), but agreement is not required for events that flew while
+  the node was dead.
+
+For simulator runs prefer :func:`repro.metrics.checker.check_run` on
+the :class:`~repro.metrics.collector.DeliveryCollector`, which also
+validates integrity and validity; this module covers the asyncio
+runtime, whose journal lives on the cluster rather than a collector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Set
+
+from ..core.event import Event
+from ..metrics.checker import check_pairwise_order
+
+
+@dataclass(slots=True)
+class SurvivorReport:
+    """Verdict of one post-scenario check."""
+
+    order_violations: List[str] = field(default_factory=list)
+    agreement_violations: List[str] = field(default_factory=list)
+    checked_nodes: int = 0
+    checked_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Both total order and agreement held on the survivors."""
+        return not (self.order_violations or self.agreement_violations)
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        status = "OK" if self.ok else "VIOLATED"
+        return (
+            f"survivors={status} order_violations={len(self.order_violations)} "
+            f"agreement_violations={len(self.agreement_violations)} "
+            f"nodes={self.checked_nodes} events={self.checked_events}"
+        )
+
+
+def _strictly_increasing(
+    node_id: int, events: Sequence[Event], label: str
+) -> List[str]:
+    violations: List[str] = []
+    keys = [event.order_key for event in events]
+    for earlier, later in zip(keys, keys[1:]):
+        if earlier >= later:
+            violations.append(
+                f"node {node_id} ({label}) delivered {later} after {earlier} "
+                f"(non-increasing order keys)"
+            )
+    return violations
+
+
+def check_survivors(
+    deliveries: Mapping[int, Sequence[Event]],
+    survivors: Iterable[int],
+    recovered: Iterable[int] = (),
+    restart_indices: Mapping[int, Sequence[int]] | None = None,
+) -> SurvivorReport:
+    """Validate a fault scenario's outcome on the processes that survived.
+
+    Args:
+        deliveries: Per-node delivered events in delivery order (the
+            :attr:`AsyncCluster.deliveries` journal, or any equivalent).
+        survivors: Nodes that were continuously alive; checked for
+            total order over their whole journal and for mutual
+            agreement.
+        recovered: Nodes that crashed and were resurrected under the
+            same id; checked on their post-restart suffix for order
+            (including pairwise consistency against a survivor), but
+            exempt from agreement.
+        restart_indices: Per-node journal indices where each respawn
+            began (:attr:`AsyncCluster.restart_indices`); a recovered
+            node's suffix starts at its last restart index (0 when
+            absent).
+
+    Returns:
+        A :class:`SurvivorReport`; assert on ``report.ok``.
+    """
+    survivors = sorted(set(survivors))
+    recovered = sorted(set(recovered) - set(survivors))
+    restart_indices = restart_indices or {}
+    report = SurvivorReport(checked_nodes=len(survivors) + len(recovered))
+
+    # Total order, survivors: whole journal strictly increasing.
+    for node_id in survivors:
+        report.order_violations.extend(
+            _strictly_increasing(node_id, deliveries.get(node_id, ()), "survivor")
+        )
+
+    # Agreement, survivors: identical delivered-id sets.
+    delivered_ids: Dict[int, Set] = {
+        node_id: {event.id for event in deliveries.get(node_id, ())}
+        for node_id in survivors
+    }
+    union: Set = set()
+    for ids in delivered_ids.values():
+        union |= ids
+    report.checked_events = len(union)
+    for node_id in survivors:
+        missing = union - delivered_ids[node_id]
+        for event_id in sorted(missing):
+            report.agreement_violations.append(
+                f"survivor {node_id} never delivered event {event_id} "
+                f"(delivered elsewhere)"
+            )
+
+    # Recovered nodes: post-restart suffix in order and consistent with
+    # a reference survivor.
+    reference = survivors[0] if survivors else None
+    reference_keys = (
+        [event.order_key for event in deliveries.get(reference, ())]
+        if reference is not None
+        else []
+    )
+    for node_id in recovered:
+        starts = restart_indices.get(node_id, ())
+        start = starts[-1] if starts else 0
+        suffix = list(deliveries.get(node_id, ()))[start:]
+        report.order_violations.extend(
+            _strictly_increasing(node_id, suffix, "recovered suffix")
+        )
+        if reference is not None:
+            conflicts = check_pairwise_order(
+                reference_keys, [event.order_key for event in suffix]
+            )
+            for low, high in conflicts:
+                report.order_violations.append(
+                    f"recovered node {node_id} orders {low}/{high} against "
+                    f"survivor {reference}"
+                )
+    return report

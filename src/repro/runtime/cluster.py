@@ -20,13 +20,17 @@ class AsyncCluster:
 
     Mirrors :class:`repro.sim.cluster.SimCluster` for the asyncio
     runtime: node provisioning, PSS wiring (uniform or Cyclon), a
-    shared delivery journal, and quiescence helpers for tests and
-    examples.
+    shared delivery journal, quiescence helpers for tests and examples,
+    and crash/respawn support for fault injection
+    (:mod:`repro.faults`).
 
     Args:
         config: EpTO configuration (``round_interval`` in milliseconds).
         network: Message fabric; a lossless zero-latency one is built
-            when omitted.
+            when omitted. Any object with the ``register`` /
+            ``unregister`` / ``send`` surface works, including
+            :class:`repro.runtime.udp.UdpNetwork` (open its sockets
+            with ``await network.open_all()`` before ``start_all``).
         pss: ``"uniform"`` or ``"cyclon"``.
         drift_fraction: Per-round sleep jitter for every node.
         seed: Base seed for node randomness.
@@ -55,6 +59,11 @@ class AsyncCluster:
         self.nodes: Dict[int, AsyncEpToNode] = {}
         #: node id -> events delivered, in order (the shared journal).
         self.deliveries: Dict[int, List[Event]] = {}
+        #: node id -> journal indices at which each respawn began, so
+        #: checkers can evaluate a recovered node's post-restart suffix.
+        self.restart_indices: Dict[int, List[int]] = {}
+        #: user delivery callbacks, kept so respawned nodes re-wire them.
+        self._on_deliver: Dict[int, Optional[Callable[[Event], None]]] = {}
         self._next_id = 0
         import random as _random
 
@@ -73,11 +82,22 @@ class AsyncCluster:
         node_id = self._next_id
         self._next_id += 1
         self.deliveries[node_id] = []
+        self._on_deliver[node_id] = on_deliver
+        return self._provision(node_id)
+
+    def add_nodes(self, count: int) -> List[AsyncEpToNode]:
+        """Provision *count* nodes."""
+        return [self.add_node() for _ in range(count)]
+
+    def _provision(self, node_id: int) -> AsyncEpToNode:
+        """Build and register a node object for *node_id* (fresh or
+        respawned); the delivery journal must already exist."""
 
         def journal(event: Event) -> None:
             self.deliveries[node_id].append(event)
-            if on_deliver is not None:
-                on_deliver(event)
+            callback = self._on_deliver.get(node_id)
+            if callback is not None:
+                callback(event)
 
         if self.pss_kind == "uniform":
             pss = UniformViewPss(
@@ -110,17 +130,51 @@ class AsyncCluster:
         self.nodes[node_id] = node
         return node
 
-    def add_nodes(self, count: int) -> List[AsyncEpToNode]:
-        """Provision *count* nodes."""
-        return [self.add_node() for _ in range(count)]
-
     async def remove_node(self, node_id: int) -> None:
-        """Stop and deregister *node_id* (crash/leave)."""
+        """Stop and deregister *node_id* (graceful leave)."""
         node = self.nodes.pop(node_id, None)
         if node is None:
             raise MembershipError(f"node {node_id} is not in the cluster")
         await node.stop()
         self.directory.remove(node_id)
+
+    def crash_node(self, node_id: int) -> AsyncEpToNode:
+        """Abruptly kill *node_id* (fault injection).
+
+        Unlike :meth:`remove_node`, the corpse stays in :attr:`nodes`
+        (flagged ``crashed``) so a supervisor or
+        :meth:`respawn_node` can resurrect it under the same identity.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise MembershipError(f"node {node_id} is not in the cluster")
+        node.crash()
+        self.directory.remove(node_id)
+        return node
+
+    async def respawn_node(self, node_id: int) -> AsyncEpToNode:
+        """Replace a crashed node with a fresh process of the same id.
+
+        The replacement keeps the node's delivery journal and user
+        callback, resumes the predecessor's broadcast sequence (so
+        event ids stay unique), re-registers with the network fabric
+        and the PSS directory, and — on socket-backed fabrics — rebinds
+        its socket. The caller starts it (``node.start()``).
+        """
+        corpse = self.nodes.get(node_id)
+        if corpse is None:
+            raise MembershipError(f"node {node_id} is not in the cluster")
+        if corpse.running:
+            raise MembershipError(f"node {node_id} is still running")
+        self.restart_indices.setdefault(node_id, []).append(
+            len(self.deliveries[node_id])
+        )
+        node = self._provision(node_id)
+        node.process.resume_sequence(corpse.process.dissemination.issued_sequence)
+        open_socket = getattr(self.network, "open", None)
+        if open_socket is not None:
+            await open_socket(node_id)
+        return node
 
     def start_all(self) -> None:
         """Start every node's round loop."""
@@ -136,6 +190,10 @@ class AsyncCluster:
     # Helpers
     # ------------------------------------------------------------------
 
+    def live_ids(self) -> List[int]:
+        """Ids of nodes that are neither crashed nor removed."""
+        return [nid for nid, node in self.nodes.items() if not node.crashed]
+
     async def wait_until(
         self,
         predicate: Callable[[], bool],
@@ -143,7 +201,7 @@ class AsyncCluster:
         poll: float = 0.01,
     ) -> bool:
         """Poll *predicate* until true or *timeout* seconds elapse."""
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
         while loop.time() < deadline:
             if predicate():
@@ -152,10 +210,13 @@ class AsyncCluster:
         return predicate()
 
     async def wait_for_deliveries(self, count: int, timeout: float) -> bool:
-        """Wait until every live node delivered at least *count* events."""
+        """Wait until every live (non-crashed) node delivered at least
+        *count* events."""
         return await self.wait_until(
             lambda: all(
-                len(self.deliveries[node_id]) >= count for node_id in self.nodes
+                len(self.deliveries[node_id]) >= count
+                for node_id, node in self.nodes.items()
+                if not node.crashed
             ),
             timeout,
         )

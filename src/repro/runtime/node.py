@@ -79,6 +79,7 @@ class AsyncEpToNode:
         self._task: Optional[asyncio.Task] = None
         self._shuffle_task: Optional[asyncio.Task] = None
         self._pss = peer_sampler
+        self._crashed = False
         network.register(node_id, self._handle_message)
 
     # ------------------------------------------------------------------
@@ -87,9 +88,11 @@ class AsyncEpToNode:
 
     def start(self) -> None:
         """Start the periodic round (and Cyclon shuffle) tasks."""
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
+        self._crashed = False
         if self._task is None or self._task.done():
             self._task = loop.create_task(self._round_loop())
+            self._task.add_done_callback(self._on_round_task_done)
         from ..pss.cyclon import CyclonPss
 
         if isinstance(self._pss, CyclonPss) and (
@@ -108,12 +111,49 @@ class AsyncEpToNode:
                 except asyncio.CancelledError:
                     pass
                 setattr(self, attr, None)
+        self._crashed = False
+        self.network.unregister(self.node_id)
+
+    def crash(self) -> None:
+        """Simulate abrupt process death (fault injection).
+
+        Kills the periodic tasks and drops the inbox without the
+        orderly shutdown of :meth:`stop`. The node object survives so a
+        :class:`repro.faults.supervisor.NodeSupervisor` (or
+        :meth:`repro.runtime.cluster.AsyncCluster.respawn_node`) can
+        observe the corpse and bring a replacement up under the same
+        identity.
+        """
+        self._crashed = True
+        for attr in ("_task", "_shuffle_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
         self.network.unregister(self.node_id)
 
     @property
     def running(self) -> bool:
         """Whether the round loop is active."""
         return self._task is not None and not self._task.done()
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the node died (injected crash or round-task error)
+        rather than being deliberately stopped."""
+        return self._crashed
+
+    def _on_round_task_done(self, task: asyncio.Task) -> None:
+        # Self-detection of an unexpected death: a round task that
+        # finishes with an exception (not a cancellation) means the
+        # process is effectively dead — leave the network so peers'
+        # sends fail like against a crashed process, and flag the
+        # corpse for the supervisor.
+        if task.cancelled() or task.exception() is None:
+            return
+        self._crashed = True
+        self.network.unregister(self.node_id)
+        if self._shuffle_task is not None:
+            self._shuffle_task.cancel()
 
     # ------------------------------------------------------------------
     # EpTO surface

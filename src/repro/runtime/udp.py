@@ -14,12 +14,26 @@ construction stays synchronous); ``await open_all()`` binds the sockets
 before starting the nodes; ``await close()`` tears everything down.
 Sends to nodes whose socket is not open yet are counted as drops — UDP
 gives no delivery guarantee anyway, and EpTO is built for exactly that.
+
+Fault injection surface (driven by
+:class:`repro.faults.runtime_injector.AsyncFaultInjector`):
+
+* :meth:`UdpNetwork.set_partition` / :meth:`UdpNetwork.heal_partition`
+  drop datagrams crossing partition groups at send time;
+* :meth:`UdpNetwork.set_loss_burst` drops outgoing datagrams with a
+  given probability for a wall-clock window;
+* :meth:`UdpNetwork.set_corruption` mangles outgoing datagrams with a
+  given probability (garbled magic, truncation, or a corrupted entry
+  count), exercising the receiver-side ``dropped_malformed`` defence
+  with real bytes on real sockets, in the spirit of update diffusion
+  under Byzantine payload corruption (Malkhi et al.).
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..core.errors import MembershipError
@@ -38,6 +52,10 @@ class UdpStats:
     dropped_unopened: int = 0
     dropped_encode: int = 0
     dropped_malformed: int = 0
+    dropped_partition: int = 0
+    dropped_burst: int = 0
+    corrupted: int = 0
+    transport_errors: int = 0
 
 
 class _NodeProtocol(asyncio.DatagramProtocol):
@@ -50,8 +68,10 @@ class _NodeProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr) -> None:
         self._network._on_datagram(self._node_id, data)
 
-    def error_received(self, exc) -> None:  # pragma: no cover - OS-dependent
-        pass
+    def error_received(self, exc) -> None:
+        # OS-level send/receive errors (e.g. ICMP port unreachable).
+        # UDP gives no guarantees, so these are counted, not raised.
+        self._network.stats.transport_errors += 1
 
 
 class UdpNetwork:
@@ -59,14 +79,25 @@ class UdpNetwork:
 
     Args:
         host: Interface to bind (default loopback).
+        seed: Seed for the fault-injection randomness (loss bursts,
+            corruption).
     """
 
-    def __init__(self, host: str = "127.0.0.1") -> None:
+    def __init__(self, host: str = "127.0.0.1", seed: int = 0) -> None:
         self.host = host
         self.stats = UdpStats()
         self._handlers: Dict[int, UdpMessageHandler] = {}
         self._transports: Dict[int, asyncio.DatagramTransport] = {}
         self._addresses: Dict[int, Tuple[str, int]] = {}
+        self._rng = random.Random(seed)
+        # Partition: node id -> group label (None group is implicit).
+        self._partition: Dict[int, object] = {}
+        self._partitioned = False
+        # Fault windows, in loop.time() seconds (None = open-ended).
+        self._burst_rate = 0.0
+        self._burst_until = 0.0
+        self._corrupt_rate = 0.0
+        self._corrupt_until: Optional[float] = 0.0
 
     # ------------------------------------------------------------------
     # AsyncNetwork-compatible surface
@@ -87,20 +118,107 @@ class UdpNetwork:
         if transport is not None:
             transport.close()
 
+    def is_registered(self, node_id: int) -> bool:
+        """Whether *node_id* currently has an inbox."""
+        return node_id in self._handlers
+
     def send(self, src: int, dst: int, message: Any) -> None:
         """Encode and ship one datagram from *src* to *dst*."""
         self.stats.sent += 1
+        if self._crosses_partition(src, dst):
+            self.stats.dropped_partition += 1
+            return
         sender_transport = self._transports.get(src)
         address = self._addresses.get(dst)
         if sender_transport is None or address is None:
             self.stats.dropped_unopened += 1
+            return
+        if (
+            self._burst_rate > 0.0
+            and asyncio.get_running_loop().time() < self._burst_until
+            and self._rng.random() < self._burst_rate
+        ):
+            self.stats.dropped_burst += 1
             return
         try:
             datagram = encode(src, message)
         except CodecError:
             self.stats.dropped_encode += 1
             return
+        if self._corruption_active() and self._rng.random() < self._corrupt_rate:
+            datagram = self._corrupt(datagram)
+            self.stats.corrupted += 1
         sender_transport.sendto(datagram, address)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def set_partition(self, groups: Dict[int, object]) -> None:
+        """Partition the fabric: datagrams crossing groups are dropped.
+
+        Args:
+            groups: Mapping from node id to an arbitrary group label.
+                Nodes absent from the mapping share the implicit
+                ``None`` group.
+        """
+        self._partition = dict(groups)
+        self._partitioned = True
+
+    def heal_partition(self) -> None:
+        """Remove any partition; full connectivity is restored."""
+        self._partition = {}
+        self._partitioned = False
+
+    def set_loss_burst(self, rate: float, duration: float) -> None:
+        """Drop outgoing datagrams with probability *rate* for
+        *duration* seconds (counted in ``stats.dropped_burst``)."""
+        self._burst_rate = float(rate)
+        self._burst_until = asyncio.get_running_loop().time() + duration
+
+    def set_corruption(self, rate: float, duration: float | None = None) -> None:
+        """Corrupt outgoing datagrams with probability *rate*.
+
+        Corrupted datagrams still hit the wire — the receiving node's
+        codec must reject them (``stats.dropped_malformed``) without
+        crashing. *duration* limits the window in seconds; ``None``
+        keeps corrupting until :meth:`clear_corruption`.
+        """
+        self._corrupt_rate = float(rate)
+        if duration is None:
+            self._corrupt_until = None
+        else:
+            self._corrupt_until = asyncio.get_running_loop().time() + duration
+
+    def clear_corruption(self) -> None:
+        """Stop corrupting datagrams."""
+        self._corrupt_rate = 0.0
+        self._corrupt_until = 0.0
+
+    def _corruption_active(self) -> bool:
+        if self._corrupt_rate <= 0.0:
+            return False
+        if self._corrupt_until is None:
+            return True
+        return asyncio.get_running_loop().time() < self._corrupt_until
+
+    def _corrupt(self, datagram: bytes) -> bytes:
+        """Mangle *datagram* so the receiving codec must reject it."""
+        mode = self._rng.randrange(3)
+        if mode == 0:
+            # Garble the magic: instant decode rejection.
+            return b"XX" + datagram[2:]
+        if mode == 1 and len(datagram) > 1:
+            # Truncate: simulates a datagram cut short in transit.
+            return datagram[: self._rng.randrange(1, len(datagram))]
+        # Flip the entry count high (header byte 12 starts the u32
+        # count in "!2sBBqI"): body length no longer matches.
+        return datagram[:12] + b"\xff" + datagram[13:]
+
+    def _crosses_partition(self, src: int, dst: int) -> bool:
+        if not self._partitioned:
+            return False
+        return self._partition.get(src) != self._partition.get(dst)
 
     # ------------------------------------------------------------------
     # Socket lifecycle
@@ -112,7 +230,7 @@ class UdpNetwork:
             raise MembershipError(f"node {node_id} is not registered")
         if node_id in self._transports:
             return self._addresses[node_id]
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         transport, _ = await loop.create_datagram_endpoint(
             lambda: _NodeProtocol(self, node_id),
             local_addr=(self.host, 0),
@@ -128,10 +246,16 @@ class UdpNetwork:
             await self.open(node_id)
 
     async def close(self) -> None:
-        """Close every socket."""
+        """Close every socket and forget every inbox.
+
+        After ``close()`` the fabric is inert: stale node ids can be
+        re-registered without collisions, and late sends are counted as
+        ``dropped_unopened``.
+        """
         for node_id in list(self._transports):
             self._transports.pop(node_id).close()
         self._addresses.clear()
+        self._handlers.clear()
         # Give the loop one tick to process the closes.
         await asyncio.sleep(0)
 

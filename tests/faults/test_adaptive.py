@@ -1,0 +1,109 @@
+"""Tests for the Lemma 7 adaptive-parameter helpers (repro.faults.adaptive)."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import EpToConfig
+from repro.core.errors import ConfigurationError
+from repro.faults import MAX_RATE, ObservedConditions, adapt_config, lemma7_parameters
+
+
+class TestObservedConditions:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ObservedConditions(population=1, churn_rate=0.0, loss_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            ObservedConditions(population=10, churn_rate=-0.1, loss_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            ObservedConditions(population=10, churn_rate=0.0, loss_rate=1.5)
+
+    def test_from_run_reads_network_counters(self):
+        stats = SimpleNamespace(sent=1000, dropped_loss=50, dropped_burst=150)
+        observed = ObservedConditions.from_run(
+            population=20, rounds=100, network_stats=stats
+        )
+        assert observed.loss_rate == pytest.approx(0.2)
+        assert observed.churn_rate == 0.0
+
+        without_bursts = ObservedConditions.from_run(
+            population=20, rounds=100, network_stats=stats, include_bursts=False
+        )
+        assert without_bursts.loss_rate == pytest.approx(0.05)
+
+    def test_from_run_reads_churn_counters(self):
+        churn = SimpleNamespace(removed=10)
+        observed = ObservedConditions.from_run(
+            population=10, rounds=50, churn_stats=churn
+        )
+        assert observed.churn_rate == pytest.approx(10 / (50 * 10))
+
+    def test_from_run_accepts_fault_stats_crashes(self):
+        faults = SimpleNamespace(crashes=5)
+        observed = ObservedConditions.from_run(
+            population=10, rounds=25, churn_stats=faults
+        )
+        assert observed.churn_rate == pytest.approx(5 / (25 * 10))
+
+    def test_from_run_requires_rounds_for_churn(self):
+        with pytest.raises(ConfigurationError):
+            ObservedConditions.from_run(
+                population=10, rounds=0, churn_stats=SimpleNamespace(removed=1)
+            )
+
+    def test_catastrophic_rates_clamped(self):
+        stats = SimpleNamespace(sent=10, dropped_loss=10, dropped_burst=0)
+        observed = ObservedConditions.from_run(
+            population=10, rounds=1, network_stats=stats
+        )
+        assert observed.loss_rate == MAX_RATE
+
+    def test_zero_sent_means_zero_loss(self):
+        stats = SimpleNamespace(sent=0, dropped_loss=0)
+        observed = ObservedConditions.from_run(
+            population=10, rounds=1, network_stats=stats
+        )
+        assert observed.loss_rate == 0.0
+
+
+class TestLemma7:
+    def test_harsher_conditions_need_bigger_fanout(self):
+        calm = ObservedConditions(population=100, churn_rate=0.0, loss_rate=0.0)
+        stormy = ObservedConditions(population=100, churn_rate=0.05, loss_rate=0.2)
+        assert (
+            lemma7_parameters(stormy).fanout > lemma7_parameters(calm).fanout
+        )
+
+    def test_parameters_carry_the_observed_rates(self):
+        observed = ObservedConditions(population=50, churn_rate=0.01, loss_rate=0.1)
+        derived = lemma7_parameters(observed)
+        assert derived.n == 50
+        assert derived.churn_rate == pytest.approx(0.01)
+        assert derived.loss_rate == pytest.approx(0.1)
+
+
+class TestAdaptConfig:
+    def config(self):
+        return EpToConfig(fanout=4, ttl=6, round_interval=15, clock="logical")
+
+    def test_benign_window_never_weakens_config(self):
+        observed = ObservedConditions(population=5, churn_rate=0.0, loss_rate=0.0)
+        adapted = adapt_config(self.config(), observed)
+        assert adapted.fanout >= 4
+        assert adapted.ttl >= 6
+
+    def test_harsh_window_ratchets_up(self):
+        observed = ObservedConditions(
+            population=200, churn_rate=0.02, loss_rate=0.25
+        )
+        adapted = adapt_config(self.config(), observed)
+        assert adapted.fanout > 4
+        assert adapted.ttl > 6
+
+    def test_everything_else_preserved(self):
+        observed = ObservedConditions(population=100, churn_rate=0.0, loss_rate=0.1)
+        adapted = adapt_config(self.config(), observed)
+        assert adapted.round_interval == 15
+        assert adapted.clock == "logical"

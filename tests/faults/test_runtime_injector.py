@@ -1,0 +1,198 @@
+"""Tests for the asyncio fault-schedule interpreter.
+
+Runs the *same* ``standard_drill`` scenario as
+``test_sim_injector.py``, but against a live
+:class:`~repro.runtime.cluster.AsyncCluster` on real wall-clock timers
+— the cross-runtime portability the fault layer exists for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import EpToConfig
+from repro.core.errors import FaultInjectionError
+from repro.faults import (
+    AsyncFaultInjector,
+    CorruptDatagrams,
+    CrashNodes,
+    FaultSchedule,
+    LatencySpike,
+    PartitionNetwork,
+    check_survivors,
+)
+from repro.runtime import AsyncCluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def small_config(**overrides):
+    defaults = dict(fanout=4, ttl=6, round_interval=15, clock="logical")
+    defaults.update(overrides)
+    return EpToConfig(**defaults)
+
+
+class TestStandardDrill:
+    def test_shared_scenario_survives_with_total_order(self):
+        """Acceptance scenario, asyncio half: the same standard drill
+        completes on real timers and ``check_survivors`` passes —
+        including the crashed-and-respawned nodes' post-restart
+        suffixes."""
+
+        async def scenario():
+            cluster = AsyncCluster(small_config(), seed=13)
+            cluster.add_nodes(10)
+            cluster.start_all()
+            injector = AsyncFaultInjector(
+                cluster, FaultSchedule.standard_drill(), seed=13
+            )
+            for node_id in (0, 1, 2):
+                cluster.nodes[node_id].broadcast(f"pre-{node_id}")
+            await injector.run()  # returns once the last action fired
+            # Let the loss burst window (3 rounds) expire, then a
+            # post-drill wave from continuous survivors.
+            await asyncio.sleep(4 * cluster.config.round_interval / 1000.0)
+            survivors = injector.continuous_survivors()
+            for node_id in sorted(survivors)[:2]:
+                cluster.nodes[node_id].broadcast(f"post-{node_id}")
+
+            def done() -> bool:
+                return all(
+                    len(cluster.deliveries[nid]) >= 5 for nid in survivors
+                )
+
+            ok = await cluster.wait_until(done, timeout=10.0)
+            await cluster.stop_all()
+            report = check_survivors(
+                cluster.deliveries,
+                survivors=survivors,
+                recovered=injector.crashed_ids,
+                restart_indices=cluster.restart_indices,
+            )
+            return ok, injector, survivors, report, cluster
+
+        ok, injector, survivors, report, cluster = run(scenario())
+        assert ok
+        assert injector.stats.crashes == 2
+        assert injector.stats.recoveries == 2
+        assert injector.stats.partitions == 1
+        assert injector.stats.heals == 1
+        assert injector.stats.loss_bursts == 1
+        assert len(survivors) == 8
+        assert report.ok, report.summary()
+        # The respawned nodes kept their identities and delivered the
+        # post-drill wave in the same order as everyone else.
+        for node_id in injector.crashed_ids:
+            assert cluster.restart_indices[node_id]
+            suffix = [
+                e.payload
+                for e in cluster.deliveries[node_id][
+                    cluster.restart_indices[node_id][-1] :
+                ]
+            ]
+            assert [p for p in suffix if str(p).startswith("post-")] == [
+                f"post-{nid}" for nid in sorted(survivors)[:2]
+            ]
+
+    def test_respawned_node_resumes_its_sequence(self):
+        """A recovered node must not reuse ``(source, seq)`` event ids:
+        its replacement process resumes the predecessor's counter."""
+
+        async def scenario():
+            cluster = AsyncCluster(small_config(), seed=4)
+            cluster.add_nodes(5)
+            cluster.start_all()
+            first = cluster.nodes[0].broadcast("first-life")
+            schedule = FaultSchedule(
+                [CrashNodes(at_round=2.0, nodes=(0,), recover_after=3.0)]
+            )
+            injector = AsyncFaultInjector(cluster, schedule, seed=4)
+            await injector.run()
+            second = cluster.nodes[0].broadcast("second-life")
+            ok = await cluster.wait_until(
+                lambda: all(
+                    len(cluster.deliveries[nid]) >= 2
+                    for nid in cluster.live_ids()
+                ),
+                timeout=10.0,
+            )
+            await cluster.stop_all()
+            return ok, first, second, cluster
+
+        ok, first, second, cluster = run(scenario())
+        assert ok
+        assert first.id[0] == second.id[0] == 0
+        assert second.id[1] > first.id[1]
+        # No id collision: both lives' events live side by side in the
+        # survivors' journals.
+        for node_id in (1, 2, 3, 4):
+            ids = [e.id for e in cluster.deliveries[node_id]]
+            assert len(ids) == len(set(ids))
+
+
+class TestFabricChecks:
+    class _BareFabric:
+        """Minimal register/unregister/send fabric with no fault surface."""
+
+        def register(self, node_id, handler):
+            pass
+
+        def unregister(self, node_id):
+            pass
+
+        def send(self, src, dst, message):
+            pass
+
+    def test_unsupported_action_rejected_before_running(self):
+        async def scenario():
+            cluster = AsyncCluster(small_config(), network=self._BareFabric())
+            cluster.add_nodes(3)
+            schedule = FaultSchedule([PartitionNetwork(at_round=1.0)])
+            injector = AsyncFaultInjector(cluster, schedule)
+            with pytest.raises(FaultInjectionError):
+                await injector.run()
+            assert injector.log == []
+
+        run(scenario())
+
+    def test_corruption_degrades_to_loss_on_codecless_fabric(self):
+        """The in-memory fabric has no wire bytes; corruption becomes a
+        loss burst with an explicit note in the log."""
+
+        async def scenario():
+            cluster = AsyncCluster(small_config(round_interval=10), seed=6)
+            cluster.add_nodes(3)
+            cluster.start_all()
+            schedule = FaultSchedule(
+                [CorruptDatagrams(at_round=1.0, rate=0.5, duration=1.0)]
+            )
+            injector = AsyncFaultInjector(cluster, schedule, seed=6)
+            await injector.run()
+            await cluster.stop_all()
+            return injector
+
+        injector = run(scenario())
+        assert injector.stats.corruption_windows == 1
+        assert any("approximated as loss" in msg for _, msg in injector.log)
+
+    def test_latency_spike_applied_to_fabric(self):
+        async def scenario():
+            cluster = AsyncCluster(small_config(round_interval=10), seed=6)
+            cluster.add_nodes(3)
+            cluster.start_all()
+            schedule = FaultSchedule(
+                [LatencySpike(at_round=1.0, factor=5.0, duration=2.0)]
+            )
+            injector = AsyncFaultInjector(cluster, schedule, seed=6)
+            await injector.run()
+            factor = cluster.network._spike_factor
+            await cluster.stop_all()
+            return injector, factor
+
+        injector, factor = run(scenario())
+        assert injector.stats.latency_spikes == 1
+        assert factor == 5.0

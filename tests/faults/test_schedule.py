@@ -1,0 +1,169 @@
+"""Tests for the declarative fault schedule (repro.faults.schedule)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import FaultInjectionError
+from repro.faults import (
+    CorruptDatagrams,
+    CrashNodes,
+    FaultSchedule,
+    HealPartition,
+    LatencySpike,
+    LossBurst,
+    PartitionNetwork,
+)
+
+
+class TestActionValidation:
+    def test_crash_needs_exactly_one_target_spec(self):
+        with pytest.raises(FaultInjectionError):
+            CrashNodes(at_round=1.0)
+        with pytest.raises(FaultInjectionError):
+            CrashNodes(at_round=1.0, fraction=0.2, nodes=(1, 2))
+
+    def test_crash_fraction_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            CrashNodes(at_round=1.0, fraction=0.0)
+        with pytest.raises(FaultInjectionError):
+            CrashNodes(at_round=1.0, fraction=1.5)
+        assert CrashNodes(at_round=1.0, fraction=1.0).fraction == 1.0
+
+    def test_crash_nodes_normalized_to_tuple(self):
+        action = CrashNodes(at_round=0.0, nodes=[3, 1])
+        assert action.nodes == (3, 1)
+        with pytest.raises(FaultInjectionError):
+            CrashNodes(at_round=0.0, nodes=())
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            HealPartition(at_round=-1.0)
+
+    def test_recover_and_heal_delays_positive(self):
+        with pytest.raises(FaultInjectionError):
+            CrashNodes(at_round=0.0, fraction=0.5, recover_after=0)
+        with pytest.raises(FaultInjectionError):
+            PartitionNetwork(at_round=0.0, heal_after=-2)
+
+    def test_partition_fraction_open_interval(self):
+        with pytest.raises(FaultInjectionError):
+            PartitionNetwork(at_round=0.0, fraction=1.0)
+        with pytest.raises(FaultInjectionError):
+            PartitionNetwork(at_round=0.0, fraction=None, groups=None)
+
+    def test_partition_groups_override_fraction(self):
+        action = PartitionNetwork(at_round=0.0, groups={1: "a", 2: "b"})
+        assert action.fraction is None
+
+    def test_loss_burst_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            LossBurst(at_round=0.0, rate=0.0, duration=1.0)
+        with pytest.raises(FaultInjectionError):
+            LossBurst(at_round=0.0, rate=0.5, duration=0.0)
+
+    def test_latency_spike_needs_factor_above_one(self):
+        with pytest.raises(FaultInjectionError):
+            LatencySpike(at_round=0.0, factor=1.0, duration=1.0)
+
+    def test_corrupt_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            CorruptDatagrams(at_round=0.0, rate=2.0, duration=1.0)
+
+
+class TestSchedule:
+    def test_actions_sorted_by_round(self):
+        schedule = FaultSchedule(
+            [
+                LossBurst(at_round=9.0, rate=0.5, duration=1.0),
+                CrashNodes(at_round=2.0, fraction=0.5),
+                HealPartition(at_round=5.0),
+            ]
+        )
+        assert [a.at_round for a in schedule] == [2.0, 5.0, 9.0]
+        assert len(schedule) == 3
+
+    def test_non_action_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule(["crash at dawn"])
+
+    def test_horizon_includes_tails(self):
+        schedule = FaultSchedule(
+            [
+                CrashNodes(at_round=4.0, fraction=0.2, recover_after=12.0),
+                PartitionNetwork(at_round=8.0, heal_after=6.0),
+                LossBurst(at_round=3.0, rate=0.5, duration=2.0),
+            ]
+        )
+        assert schedule.horizon_rounds == 16.0
+
+    def test_standard_drill_shape(self):
+        drill = FaultSchedule.standard_drill()
+        kinds = [a.kind for a in drill]
+        assert kinds == ["crash", "partition", "loss_burst"]
+        crash = drill.actions[0]
+        assert crash.fraction == 0.2
+        assert crash.recover_after is not None
+
+
+class TestSerialization:
+    def drill(self):
+        return FaultSchedule(
+            [
+                CrashNodes(at_round=1.0, nodes=(0, 3), recover_after=4.0),
+                PartitionNetwork(at_round=2.0, fraction=0.25, heal_after=3.0),
+                LatencySpike(at_round=5.0, factor=3.0, duration=2.0),
+                CorruptDatagrams(at_round=6.0, rate=0.4, duration=1.0),
+            ]
+        )
+
+    def test_dict_roundtrip(self):
+        original = self.drill()
+        restored = FaultSchedule.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()
+        assert restored.actions == original.actions
+
+    def test_json_roundtrip(self):
+        original = self.drill()
+        restored = FaultSchedule.from_json(original.to_json())
+        assert restored.actions == original.actions
+
+    def test_none_fields_omitted(self):
+        data = FaultSchedule([CrashNodes(at_round=1.0, fraction=0.5)]).to_dict()
+        assert data["actions"] == [
+            {"kind": "crash", "at_round": 1.0, "fraction": 0.5}
+        ]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule.from_dict(
+                {"actions": [{"kind": "meteor_strike", "at_round": 1.0}]}
+            )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule.from_dict(
+                {"actions": [{"kind": "heal", "at_round": 1.0, "blast": 9}]}
+            )
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule.from_dict({"actions": [{"kind": "heal"}]})
+
+    def test_out_of_range_value_rejected_on_parse(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule.from_dict(
+                {
+                    "actions": [
+                        {"kind": "loss_burst", "at_round": 1.0, "rate": 7, "duration": 1}
+                    ]
+                }
+            )
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule.from_json("{not json")
+
+    def test_actions_must_be_list(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule.from_dict({"actions": "all of them"})

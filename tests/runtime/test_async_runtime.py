@@ -66,6 +66,108 @@ class TestAsyncNetwork:
         with pytest.raises(MembershipError):
             network.register(1, lambda s, m: None)
 
+    def test_implements_faultable_network_protocol(self):
+        from repro.core.interfaces import FaultableNetwork
+        from repro.runtime.udp import UdpNetwork
+
+        assert isinstance(AsyncNetwork(), FaultableNetwork)
+        assert isinstance(UdpNetwork(), FaultableNetwork)
+
+
+class TestAsyncNetworkFaults:
+    def test_partition_drops_cross_group_messages(self):
+        async def scenario():
+            network = AsyncNetwork()
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            network.register(2, lambda src, msg: None)
+            network.set_partition({1: "left", 2: "right"})
+            network.send(2, 1, "across")
+            await asyncio.sleep(0.01)
+            dropped_during = network.stats.dropped_partition
+            network.heal_partition()
+            network.send(2, 1, "after-heal")
+            await asyncio.sleep(0.01)
+            return dropped_during, inbox
+
+        dropped, inbox = run(scenario())
+        assert dropped == 1
+        assert inbox == ["after-heal"]
+
+    def test_partition_drops_messages_in_flight(self):
+        """A message launched before the partition forms is lost at
+        delivery time, like on a real network."""
+
+        async def scenario():
+            network = AsyncNetwork(latency=0.03, seed=1)
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            network.register(2, lambda src, msg: None)
+            network.send(2, 1, "in-flight")
+            network.set_partition({1: "a", 2: "b"})
+            await asyncio.sleep(0.1)
+            return network.stats.dropped_partition, inbox
+
+        dropped, inbox = run(scenario())
+        assert dropped == 1
+        assert inbox == []
+
+    def test_loss_burst_window(self):
+        async def scenario():
+            network = AsyncNetwork(seed=2)
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            network.set_loss_burst(1.0, duration=0.05)
+            for i in range(10):
+                network.send(0, 1, i)
+            await asyncio.sleep(0.1)  # window over
+            in_burst = len(inbox)
+            network.send(0, 1, "late")
+            await asyncio.sleep(0.01)
+            return in_burst, network.stats.dropped_burst, inbox
+
+        in_burst, dropped_burst, inbox = run(scenario())
+        assert in_burst == 0
+        assert dropped_burst == 10
+        assert inbox == ["late"]
+
+    def test_latency_spike_window_delays_delivery(self):
+        async def scenario():
+            network = AsyncNetwork(latency=0.02, seed=3)
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            network.set_latency_spike(10.0, duration=1.0)
+            network.send(0, 1, "slow")
+            # Normal latency is at most 0.03s; spiked is at least 0.1s.
+            await asyncio.sleep(0.05)
+            early = list(inbox)
+            await asyncio.sleep(0.4)
+            return early, inbox
+
+        early, inbox = run(scenario())
+        assert early == []
+        assert inbox == ["slow"]
+
+    def test_dropped_aggregate(self):
+        async def scenario():
+            network = AsyncNetwork()
+            network.register(1, lambda src, msg: None)
+            network.set_partition({0: "a", 1: "b"})
+            network.send(0, 1, "x")  # partition drop
+            network.heal_partition()
+            network.send(0, 9, "y")  # dead destination
+            await asyncio.sleep(0.01)
+            return network.stats
+
+        stats = run(scenario())
+        assert stats.dropped == 2
+        assert stats.dropped == (
+            stats.dropped_loss
+            + stats.dropped_dead
+            + stats.dropped_partition
+            + stats.dropped_burst
+        )
+
 
 class TestAsyncCluster:
     def test_total_order_across_real_timers(self):

@@ -124,6 +124,137 @@ class TestUdpFabric:
         run(scenario())
 
 
+class TestUdpDropPaths:
+    """Every datagram drop path is counted, never raised."""
+
+    async def _throw_raw(self, network, target_id, payload: bytes):
+        """Fire raw bytes at *target_id*'s socket from an anonymous
+        sender socket."""
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            asyncio.DatagramProtocol, remote_addr=network.address_of(target_id)
+        )
+        transport.sendto(payload)
+        await asyncio.sleep(0.05)
+        transport.close()
+
+    def test_truncated_datagram_is_counted_malformed(self):
+        """A real encoded ball cut short in transit must be rejected by
+        the codec, not crash the node."""
+        from repro.runtime.codec import encode
+
+        async def scenario():
+            network = UdpNetwork()
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            await network.open_all()
+            datagram = encode(9, a_ball("whole"))
+            # Cut inside the body: header parses, body length mismatches.
+            await self._throw_raw(network, 1, datagram[: len(datagram) - 3])
+            # Cut inside the header: too short to parse at all.
+            await self._throw_raw(network, 1, datagram[:7])
+            await network.close()
+            return network.stats.dropped_malformed, inbox
+
+        malformed, inbox = run(scenario())
+        assert malformed == 2
+        assert inbox == []
+
+    def test_corrupted_count_field_is_counted_malformed(self):
+        from repro.runtime.codec import encode
+
+        async def scenario():
+            network = UdpNetwork()
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            await network.open_all()
+            datagram = encode(9, a_ball("whole"))
+            # Blow up the big-endian u32 entry count at header offset 12.
+            await self._throw_raw(
+                network, 1, datagram[:12] + b"\xff" + datagram[13:]
+            )
+            await network.close()
+            return network.stats.dropped_malformed, inbox
+
+        malformed, inbox = run(scenario())
+        assert malformed == 1
+        assert inbox == []
+
+    def test_error_received_is_counted_not_raised(self):
+        from repro.runtime.udp import _NodeProtocol
+
+        network = UdpNetwork()
+        protocol = _NodeProtocol(network, 1)
+        protocol.error_received(OSError("ICMP port unreachable"))
+        protocol.error_received(OSError("again"))
+        assert network.stats.transport_errors == 2
+
+    def test_close_clears_handlers_for_reuse(self):
+        """After ``close()`` the fabric is inert and ids can be
+        re-registered without a collision."""
+
+        async def scenario():
+            network = UdpNetwork()
+            network.register(1, lambda s, m: None)
+            await network.open_all()
+            await network.close()
+            assert not network.is_registered(1)
+            network.register(1, lambda s, m: None)  # no MembershipError
+            network.send(1, 1, a_ball())  # socket gone: counted drop
+            return network.stats.dropped_unopened
+
+        assert run(scenario()) == 1
+
+
+class TestCorruption:
+    def test_corrupted_datagrams_dropped_by_receiver_codec(self):
+        """With corruption at rate 1.0 every datagram is mangled on the
+        way out and rejected (counted) on the way in."""
+
+        async def scenario():
+            network = UdpNetwork(seed=3)
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            network.register(2, lambda src, msg: None)
+            await network.open_all()
+            network.set_corruption(1.0)  # open-ended window
+            for i in range(20):
+                network.send(2, 1, a_ball(f"m{i}"))
+            await asyncio.sleep(0.1)
+            corrupted_phase = (len(inbox), network.stats.corrupted,
+                               network.stats.dropped_malformed)
+            network.clear_corruption()
+            network.send(2, 1, a_ball("clean"))
+            await asyncio.sleep(0.05)
+            await network.close()
+            return corrupted_phase, inbox
+
+        (delivered, corrupted, malformed), inbox = run(scenario())
+        assert delivered == 0
+        assert corrupted == 20
+        assert malformed == 20
+        assert len(inbox) == 1  # the post-window datagram got through
+        assert inbox[0][0].event.payload == "clean"
+
+    def test_corruption_window_expires(self):
+        async def scenario():
+            network = UdpNetwork(seed=3)
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            network.register(2, lambda src, msg: None)
+            await network.open_all()
+            network.set_corruption(1.0, duration=0.05)
+            await asyncio.sleep(0.1)  # window over
+            network.send(2, 1, a_ball("late"))
+            await asyncio.sleep(0.05)
+            await network.close()
+            return network.stats.corrupted, inbox
+
+        corrupted, inbox = run(scenario())
+        assert corrupted == 0
+        assert len(inbox) == 1
+
+
 class TestEpToOverUdp:
     def test_total_order_over_real_sockets(self):
         """Full EpTO cluster gossiping over loopback UDP datagrams."""
@@ -175,3 +306,60 @@ class TestEpToOverUdp:
         }
         assert len(sequences) == 1
         assert set(next(iter(sequences))) == {"first", "second"}
+
+    def test_agreement_holds_under_datagram_corruption(self):
+        """Acceptance scenario: real datagrams are corrupted in transit,
+        the receivers' codec counts and drops them
+        (``dropped_malformed > 0``), and EpTO's redundancy still gets
+        every event delivered in one total order."""
+
+        async def scenario():
+            config = EpToConfig(fanout=4, ttl=6, round_interval=15, clock="logical")
+            network = UdpNetwork(seed=17)
+            directory = MembershipDirectory()
+            deliveries: dict[int, list] = {}
+            nodes = []
+            for node_id in range(6):
+                deliveries[node_id] = []
+                import random as _random
+
+                pss = UniformViewPss(
+                    node_id, directory, _random.Random(f"corrupt:{node_id}")
+                )
+                node = AsyncEpToNode(
+                    node_id=node_id,
+                    config=config,
+                    network=network,  # type: ignore[arg-type]
+                    peer_sampler=pss,
+                    on_deliver=deliveries[node_id].append,
+                    seed=17,
+                )
+                directory.add(node_id)
+                nodes.append(node)
+            await network.open_all()
+            network.set_corruption(0.2)  # a fifth of all datagrams mangled
+            for node in nodes:
+                node.start()
+
+            nodes[1].broadcast("alpha")
+            nodes[5].broadcast("beta")
+
+            deadline = asyncio.get_event_loop().time() + 15.0
+            while asyncio.get_event_loop().time() < deadline:
+                if all(len(seq) >= 2 for seq in deliveries.values()):
+                    break
+                await asyncio.sleep(0.02)
+
+            for node in nodes:
+                await node.stop()
+            await network.close()
+            return deliveries, network.stats
+
+        deliveries, stats = run(scenario())
+        assert stats.corrupted > 0
+        assert stats.dropped_malformed > 0
+        sequences = {
+            tuple(e.payload for e in seq) for seq in deliveries.values()
+        }
+        assert len(sequences) == 1
+        assert set(next(iter(sequences))) == {"alpha", "beta"}
