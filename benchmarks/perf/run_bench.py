@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the ordering/dissemination hot path.
+
+Times three scenarios and writes the results to ``BENCH_core.json`` at
+the repository root:
+
+* ``ordering_round_loop`` — the tentpole: drives the optimized
+  :class:`repro.core.ordering.OrderingComponent` and the preserved seed
+  implementation (:mod:`repro.core.ordering_baseline`) through the same
+  deterministic schedule at n ∈ {256, 1024, 4096} events and reports
+  the speedup. Both implementations must produce identical delivery
+  metrics — the harness aborts if they diverge.
+* ``encode_fanout`` — micro-benchmark of the encode-once ball fan-out:
+  serializing one ball per round versus once per peer at fanout K.
+* ``sim_macro`` — an end-to-end seeded :class:`repro.sim.cluster.SimCluster`
+  run; its counters double as the determinism fixture (same seed ⇒
+  identical metrics, asserted by ``tests/sim/test_bench_determinism.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py              # full run
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --check --sizes 256
+
+``--check`` is the CI smoke mode: one small size, one repeat, exit
+non-zero only on crash or a metrics mismatch — never on timing, so a
+slow shared runner cannot flake the build. Timing numbers in the JSON
+are machine-dependent; the ``metrics`` blocks are not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.analysis.profiling import Timing, speedup, time_callable  # noqa: E402
+from workloads import (  # noqa: E402
+    BALL_SIZE,
+    TTL,
+    build_codec_ball,
+    build_ordering_schedule,
+    new_ordering,
+    ordering_metrics,
+    run_round_loop,
+)
+
+DEFAULT_SIZES = (256, 1024, 4096)
+FANOUT = 16
+CODEC_ENTRIES = 120
+
+
+def bench_ordering(n: int, seed: int, repeats: int) -> dict:
+    """Round-loop timing, baseline vs optimized, at *n* events."""
+    schedule = build_ordering_schedule(n, seed)
+    results = {}
+    metrics = {}
+    for kind in ("baseline", "optimized"):
+        def run(kind=kind):
+            component, delivered = new_ordering(kind)
+            run_round_loop(component, schedule)
+            return ordering_metrics(component, delivered)
+
+        timing = time_callable(run, label=f"ordering[{kind}] n={n}", repeats=repeats)
+        results[kind] = timing
+        metrics[kind] = timing.result
+    if metrics["baseline"] != metrics["optimized"]:
+        raise AssertionError(
+            f"ordering implementations diverged at n={n}: "
+            f"baseline={metrics['baseline']} optimized={metrics['optimized']}"
+        )
+    return {
+        "baseline": results["baseline"].as_dict(),
+        "optimized": results["optimized"].as_dict(),
+        "speedup": round(speedup(results["baseline"], results["optimized"]), 2),
+        "metrics": metrics["optimized"],
+    }
+
+
+def bench_encode_fanout(seed: int, repeats: int) -> dict:
+    """Serializing a ball once per round vs once per peer."""
+    from repro.runtime import codec
+
+    ball = build_codec_ball(CODEC_ENTRIES, seed)
+
+    def per_peer():
+        for _ in range(FANOUT):
+            datagram = codec.encode(7, ball)
+        return len(datagram)
+
+    def encode_once():
+        datagram = codec.encode(7, ball)
+        for _ in range(FANOUT):
+            pass  # same bytes handed to every peer
+        return len(datagram)
+
+    per_peer_t = time_callable(per_peer, label="encode per peer", repeats=repeats)
+    once_t = time_callable(encode_once, label="encode once", repeats=repeats)
+    return {
+        "per_peer": per_peer_t.as_dict(),
+        "encode_once": once_t.as_dict(),
+        "speedup": round(speedup(per_peer_t, once_t), 2),
+        "metrics": {
+            "fanout": FANOUT,
+            "entries": CODEC_ENTRIES,
+            "datagram_bytes": once_t.result,
+        },
+    }
+
+
+def bench_sim_macro(seed: int, repeats: int) -> dict:
+    """End-to-end simulated cluster run (seeded, fully deterministic)."""
+    from repro.core.config import EpToConfig
+    from repro.sim.cluster import ClusterConfig, SimCluster
+    from repro.sim.engine import Simulator
+    from repro.sim.network import SimNetwork
+
+    nodes, broadcasts = 24, 40
+
+    def run():
+        sim = Simulator(seed=seed)
+        network = SimNetwork(sim)
+        config = ClusterConfig(
+            epto=EpToConfig(fanout=4, ttl=12, round_interval=10),
+            expected_size=nodes,
+        )
+        cluster = SimCluster(sim, network, config)
+        cluster.add_nodes(nodes)
+        rng = sim.fork_rng("bench.broadcast")
+        for i in range(broadcasts):
+            sim.schedule_at(
+                5 + i * 7,
+                lambda: cluster.broadcast_from(cluster.random_alive(rng)),
+            )
+        sim.run(until=5 + broadcasts * 7 + 4 * 12 * 10)
+        return {
+            "broadcasts": cluster.collector.broadcast_count,
+            "deliveries": cluster.collector.delivery_count,
+            "messages_sent": network.stats.sent,
+            "messages_delivered": network.stats.delivered,
+        }
+
+    timing = time_callable(run, label="sim_macro", repeats=repeats)
+    return {"timing": timing.as_dict(), "metrics": timing.result}
+
+
+def run_all(sizes, seed: int, repeats: int) -> dict:
+    results = {
+        "schema": 1,
+        "seed": seed,
+        "repeats": repeats,
+        "config": {"ttl": TTL, "ball_size": BALL_SIZE},
+        "scenarios": {
+            "ordering_round_loop": {},
+            "encode_fanout": None,
+            "sim_macro": None,
+        },
+    }
+    for n in sizes:
+        print(f"ordering_round_loop n={n} ...", flush=True)
+        entry = bench_ordering(n, seed, repeats)
+        results["scenarios"]["ordering_round_loop"][f"n{n}"] = entry
+        print(
+            f"  baseline {entry['baseline']['best_s'] * 1e3:8.2f} ms   "
+            f"optimized {entry['optimized']['best_s'] * 1e3:8.2f} ms   "
+            f"speedup {entry['speedup']:.2f}x"
+        )
+    print("encode_fanout ...", flush=True)
+    results["scenarios"]["encode_fanout"] = bench_encode_fanout(seed, repeats)
+    print(f"  speedup {results['scenarios']['encode_fanout']['speedup']:.2f}x")
+    print("sim_macro ...", flush=True)
+    results["scenarios"]["sim_macro"] = bench_sim_macro(seed, repeats)
+    print(f"  {results['scenarios']['sim_macro']['metrics']}")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated event counts (default: 256,1024,4096; --check: 256)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats (default 3; --check: 1)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke mode: small, single repeat, fail on crash not timing",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_core.json"),
+        help="where to write the results JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.sizes:
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+    else:
+        sizes = (256,) if args.check else DEFAULT_SIZES
+    repeats = args.repeats if args.repeats is not None else (1 if args.check else 3)
+
+    results = run_all(sizes, args.seed, repeats)
+    output = Path(args.output)
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,5 @@
-"""Analytic machinery: hole-probability bounds and balls-in-bins math."""
+"""Analytic machinery: hole-probability bounds, balls-in-bins math,
+and the timing/profiling helpers behind ``benchmarks/perf``."""
 
 from .ballsbins import (
     EpidemicTrace,
@@ -23,6 +24,12 @@ from .tradeoffs import (
     rounds_for_stability,
     tradeoff_curve,
 )
+from .profiling import (
+    Timing,
+    profile_callable,
+    speedup,
+    time_callable,
+)
 from .bounds import (
     balls_thrown,
     hole_bound_series,
@@ -36,7 +43,11 @@ from .bounds import (
 __all__ = [
     "EpidemicTrace",
     "HoleEstimate",
+    "Timing",
     "TradeoffPoint",
+    "profile_callable",
+    "speedup",
+    "time_callable",
     "balls_thrown",
     "latency_saving",
     "rounds_for_coverage",

@@ -1,0 +1,134 @@
+"""Timing and profiling helpers for the perf-regression harness.
+
+Small, dependency-free instrumentation used by ``benchmarks/perf`` (and
+handy interactively): repeatable wall-clock timing with GC disabled, a
+speedup comparator, and a cProfile wrapper that returns the hot-spot
+table as text instead of printing it.
+
+Timing methodology: each measurement runs the callable ``repeats``
+times and reports the **best** repeat as the headline number — the
+minimum is the least noisy estimator of intrinsic cost on a shared
+machine (warmer caches and scheduler preemption only ever make runs
+slower, never faster). The mean and all raw samples are kept for
+inspection.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import gc
+import io
+import pstats
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+
+@dataclass(slots=True, frozen=True)
+class Timing:
+    """Result of timing one callable.
+
+    Attributes:
+        label: Human-readable name of the measured operation.
+        times: Wall-clock seconds per repeat, in run order.
+        result: Whatever the callable returned on its last run (lets
+            benchmarks both time a workload and inspect its output
+            without running it twice).
+    """
+
+    label: str
+    times: Tuple[float, ...]
+    result: Any = None
+
+    @property
+    def best(self) -> float:
+        """Fastest repeat in seconds — the headline number."""
+        return min(self.times)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all repeats in seconds."""
+        return sum(self.times) / len(self.times)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (used for BENCH_core.json)."""
+        return {
+            "label": self.label,
+            "best_s": self.best,
+            "mean_s": self.mean,
+            "repeats": len(self.times),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.label}: best {self.best * 1e3:.3f} ms over {len(self.times)} runs"
+
+
+def time_callable(
+    fn: Callable[[], Any],
+    *,
+    label: str = "",
+    repeats: int = 3,
+) -> Timing:
+    """Time ``fn()`` over *repeats* runs with the GC paused.
+
+    The garbage collector is disabled around each run (and re-enabled
+    after) so an unlucky collection inside one repeat does not skew the
+    comparison between two implementations allocating different
+    amounts.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    times = []
+    result = None
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    try:
+        for _ in range(repeats):
+            if gc_was_enabled:
+                gc.disable()
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+            if gc_was_enabled:
+                gc.enable()
+            times.append(elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return Timing(label=label or getattr(fn, "__name__", "callable"), times=tuple(times), result=result)
+
+
+def speedup(baseline: Timing, candidate: Timing) -> float:
+    """How many times faster *candidate* is than *baseline* (best/best).
+
+    Values above 1.0 mean the candidate wins; below 1.0 it regressed.
+    """
+    if candidate.best <= 0.0:
+        return float("inf")
+    return baseline.best / candidate.best
+
+
+def profile_callable(
+    fn: Callable[[], Any],
+    *,
+    top: int = 15,
+    sort: str = "cumulative",
+) -> str:
+    """Run ``fn()`` under cProfile; return the top-*top* rows as text.
+
+    Useful for answering "where did the round loop spend its time" when
+    a perf regression shows up in the harness:
+
+    >>> from repro.analysis import profile_callable
+    >>> print(profile_callable(lambda: run_round_loop(...)))  # doctest: +SKIP
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return buffer.getvalue()

@@ -33,6 +33,7 @@ from .clock import StabilityOracle
 from .config import EpToConfig
 from .event import (
     Ball,
+    BallEntry,
     Event,
     EventId,
     EventIdGenerator,
@@ -96,6 +97,10 @@ class DisseminationComponent:
         # Only logical clocks react to update_clock; skip the per-entry
         # call entirely for global clocks (hot path at scale).
         self._clock_needs_updates = config.clock == "logical"
+        # Fan-out path: transports offering send_many ship one ball to
+        # all K peers in a single call (encode-once on wire fabrics);
+        # plain transports get K individual send calls.
+        self._send_many = getattr(transport, "send_many", None)
 
     @property
     def next_ball_size(self) -> int:
@@ -162,13 +167,20 @@ class DisseminationComponent:
         self.stats.rounds += 1
         next_ball = self._next_ball
         if next_ball:
-            for record in next_ball.values():
-                record.age()
-            ball = make_ball(record.to_entry() for record in next_ball.values())
+            # Age + snapshot fused: a nextBall record lives exactly one
+            # round, so ``ttl + 1`` lands directly in the shipped entry
+            # instead of mutating records that are discarded below.
+            ball = make_ball(
+                BallEntry(record.event, record.ttl + 1)
+                for record in next_ball.values()
+            )
             peers = self.peer_sampler.sample(self.config.fanout)
-            for peer in peers:
-                self.transport.send(self.node_id, peer, ball)
-                self.stats.balls_sent += 1
+            if self._send_many is not None:
+                self._send_many(self.node_id, peers, ball)
+            else:
+                for peer in peers:
+                    self.transport.send(self.node_id, peer, ball)
+            self.stats.balls_sent += len(peers)
             self.stats.entries_relayed += len(ball) * len(peers)
         else:
             ball = ()

@@ -30,6 +30,35 @@ class Transport(Protocol):
 
 
 @runtime_checkable
+class FanoutTransport(Protocol):
+    """A transport that can ship one ball to many peers at once.
+
+    EpTO's round tick sends the *same* immutable ball to ``K`` peers.
+    A transport that serializes (or otherwise prepares) messages can
+    amortize that work across the fan-out — e.g. the UDP fabric encodes
+    the datagram once and ``sendto``s the same bytes to every
+    destination. The dissemination component uses this surface when the
+    transport offers it and falls back to ``K`` individual
+    :meth:`Transport.send` calls otherwise, so plain transports (and
+    test doubles) keep working unchanged.
+    """
+
+    def send(self, src: int, dst: int, ball: Ball) -> None:
+        """Best-effort delivery of *ball* from *src* to *dst*."""
+        ...
+
+    def send_many(self, src: int, dsts: Sequence[int], ball: Ball) -> None:
+        """Best-effort delivery of one *ball* to every id in *dsts*.
+
+        Semantically identical to calling :meth:`send` once per
+        destination (per-destination loss, partitions and fault
+        injection still apply individually); implementations may share
+        the encoded representation across destinations.
+        """
+        ...
+
+
+@runtime_checkable
 class FaultableNetwork(Protocol):
     """A network fabric that supports partition fault injection.
 

@@ -27,13 +27,49 @@ Refinements relative to the pseudocode (argued in DESIGN.md):
 * **Every-round invocation.** ``order_events`` is called each round
   even with an empty ball so received events keep aging (see
   :mod:`repro.core.dissemination`).
+
+Hot-path structure (see docs/PERFORMANCE.md)
+--------------------------------------------
+
+The seed implementation (preserved in
+:mod:`repro.core.ordering_baseline`) did O(|received|) Python-level
+work on *every* round: re-age every pending record, rescan the whole
+map for deliverable records, rescan again for the minimum queued order
+key. This version does amortized work proportional to what *changes*
+per round instead:
+
+* **Lazy aging** — records store the round they were (re)based at and
+  derive their TTL on demand (:meth:`EventRecord.ttl_at`); nothing is
+  touched on quiet rounds.
+* **Deliverability frontier** — with the shipped oracles an event's
+  deliverability round is known the moment it is received
+  (``received_round + TTL - ttl + 1``), so records are bucketed by
+  that round and promoted O(1) when it arrives. Promotion re-checks
+  ``oracle.is_deliverable`` and reschedules one round ahead if a
+  custom oracle disagrees, so correctness never depends on the
+  prediction. (The schedule does assume ``oracle.ttl`` is fixed for
+  the life of the component — true of both shipped oracles; dynamic
+  reconfiguration happens via process restart.)
+* **Lazy-deletion min-heap of queued keys** — the "earliest
+  non-deliverable order key" guard is answered by a heap whose stale
+  heads (promoted or delivered ids) are popped amortized O(1), not by
+  a full scan.
+* **Ready heap** — deliverable-but-blocked records wait in a second
+  heap; each round pops only what actually gets delivered.
+
+A round with an empty ball and nothing newly stable is O(1); a round
+that delivers d events from a ball of b entries is
+O((b + d) log n) rather than O(|received|). Delivery sequences are
+bit-identical to the baseline — enforced by the randomized equivalence
+suite in ``tests/core/test_ordering_equivalence.py``.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, List, Optional, Tuple
 
 from .clock import StabilityOracle
 from .errors import OrderingInvariantError
@@ -80,8 +116,17 @@ class OrderingComponent:
         self.deliver = deliver
         self.deliver_out_of_order = deliver_out_of_order
         self.stats = OrderingStats()
-        # received: known but not yet delivered events.
+        # received: known but not yet delivered events (lazy TTLs).
         self._received: dict[EventId, EventRecord] = {}
+        # Frontier: round -> ids predicted to become deliverable then.
+        self._frontier: dict[int, List[EventId]] = {}
+        # Min-heap of (order_key, id) over records not yet deliverable.
+        # Lazy deletion: entries whose id was promoted or delivered are
+        # skipped when the heap head is inspected.
+        self._queued_heap: List[Tuple[OrderKey, EventId]] = []
+        # Deliverable-but-blocked records, in order-key order.
+        self._ready_heap: List[Tuple[OrderKey, EventId]] = []
+        self._ready_ids: set[EventId] = set()
         # Recently delivered ids; entries expire once no further copy
         # of the event can arrive (see module docstring).
         self._delivered_ids: set[EventId] = set()
@@ -111,8 +156,16 @@ class OrderingComponent:
         return self._last_delivered_key
 
     def pending_records(self) -> Iterable[EventRecord]:
-        """Snapshot of the received-but-undelivered records."""
-        return list(self._received.values())
+        """Snapshot of the received-but-undelivered records.
+
+        Lazy TTLs are materialized to the current round first, so
+        ``record.ttl`` reads as if the paper's eager aging had run.
+        """
+        now = self.stats.rounds
+        records = list(self._received.values())
+        for record in records:
+            record.rebase(now)
+        return records
 
     def is_delivered(self, event_id: EventId) -> bool:
         """Whether *event_id* was delivered within the retention window.
@@ -134,71 +187,130 @@ class OrderingComponent:
         ball relayed this round (possibly empty).
         """
         self.stats.rounds += 1
-        received = self._received
+        now = self.stats.rounds
         self._expire_tagged()
         self._prune_delivered()
 
-        # Lines 6-7: age every previously received event.
-        for record in received.values():
-            record.age()
+        # Lines 6-7 (lazy form): previously received events age by
+        # derivation — no per-record sweep happens here.
 
         # Lines 8-14: merge the ball into `received`.
+        if ball:
+            self._merge_ball(ball, now)
+
+        # Promote records whose deliverability round arrived.
+        bucket = self._frontier.pop(now, None)
+        if bucket:
+            self._promote(bucket, now)
+
+        # Lines 15-30 (heap form): deliver every ready record ordered
+        # before the earliest still-queued key, in total order.
+        if self._ready_heap:
+            self._deliver_ready()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _merge_ball(self, ball: Ball, now: int) -> None:
+        """Merge one round's ball into ``received`` (lines 8-14)."""
+        received = self._received
+        delivered_ids = self._delivered_ids
+        ready_ids = self._ready_ids
+        frontier = self._frontier
+        ttl_bound = self.oracle.ttl
         for entry in ball:
             event = entry.event
-            if event.id in self._delivered_ids:
+            event_id = event.id
+            if event_id in delivered_ids:
                 self.stats.discarded_duplicates += 1
                 continue
             if event.order_key <= self._last_delivered_key:
                 # Delivering now would violate total order (line 9).
                 self._handle_late_event(event)
                 continue
-            record = received.get(event.id)
+            record = received.get(event_id)
             if record is not None:
-                record.merge_ttl(entry.ttl)
+                if event_id in ready_ids:
+                    # Already deliverable; a larger TTL changes nothing.
+                    record.merge_ttl_at(entry.ttl, now)
+                    continue
+                old_due = now + ttl_bound - record.ttl_at(now) + 1
+                record.merge_ttl_at(entry.ttl, now)
+                new_due = now + ttl_bound - record.ttl + 1
+                if new_due < old_due:
+                    # The merged copy aged further elsewhere: the record
+                    # becomes deliverable earlier than first scheduled.
+                    # The old bucket entry goes stale and is skipped.
+                    frontier.setdefault(max(new_due, now), []).append(event_id)
             else:
-                received[event.id] = EventRecord(event, entry.ttl)
+                record = EventRecord(event, entry.ttl, now)
+                received[event_id] = record
+                due = now + ttl_bound - entry.ttl + 1
+                if due <= now:
+                    # Stable on arrival (relayed past the TTL already).
+                    self._promote([event_id], now)
+                else:
+                    frontier.setdefault(due, []).append(event_id)
+                    heapq.heappush(
+                        self._queued_heap, (event.order_key, event_id)
+                    )
 
-        if not received:
-            return
-
-        # Lines 15-21: split received into deliverable / queued and find
-        # the smallest order key among the non-deliverable ones.
+    def _promote(self, bucket: List[EventId], now: int) -> None:
+        """Move newly deliverable ids from queued to ready."""
+        received = self._received
+        ready_ids = self._ready_ids
         is_deliverable = self.oracle.is_deliverable
-        deliverable: list[EventRecord] = []
-        min_queued_key: Optional[OrderKey] = None
-        for record in received.values():
+        for event_id in bucket:
+            record = received.get(event_id)
+            if record is None or event_id in ready_ids:
+                continue  # delivered meanwhile, or rescheduled twice
+            record.rebase(now)
             if is_deliverable(record):
-                deliverable.append(record)
+                ready_ids.add(event_id)
+                heapq.heappush(
+                    self._ready_heap, (record.event.order_key, event_id)
+                )
             else:
-                key = record.event.order_key
-                if min_queued_key is None or key < min_queued_key:
-                    min_queued_key = key
+                # A custom oracle departing from the ttl > TTL rule:
+                # keep the record queued and ask again next round.
+                self._frontier.setdefault(now + 1, []).append(event_id)
 
-        if not deliverable:
-            return
+    def _min_queued_key(self) -> Optional[OrderKey]:
+        """Smallest order key among non-deliverable records (lazy heap).
 
-        # Lines 22-26: an event ordered after any still-queued event
-        # cannot be delivered yet without risking a total order
-        # violation once that queued event stabilizes.
-        if min_queued_key is not None:
-            deliverable = [
-                record
-                for record in deliverable
-                if record.event.order_key < min_queued_key
-            ]
+        Heads whose id was promoted or delivered are discarded as they
+        surface — each entry is popped at most once over its lifetime,
+        so the scan is amortized O(1) per event.
+        """
+        heap = self._queued_heap
+        received = self._received
+        ready_ids = self._ready_ids
+        while heap:
+            key, event_id = heap[0]
+            if event_id in received and event_id not in ready_ids:
+                return key
+            heapq.heappop(heap)
+        return None
 
-        # Lines 27-30: deliver in total order.
-        deliverable.sort(key=lambda record: record.event.order_key)
-        for record in deliverable:
+    def _deliver_ready(self) -> None:
+        """Deliver ready records ordered before every queued key."""
+        ready_heap = self._ready_heap
+        received = self._received
+        min_queued_key = self._min_queued_key()
+        while ready_heap:
+            key, event_id = ready_heap[0]
+            if min_queued_key is not None and key >= min_queued_key:
+                # Lines 22-26: delivering past a still-queued event
+                # could violate total order once it stabilizes.
+                break
+            heapq.heappop(ready_heap)
+            record = received.pop(event_id)
+            self._ready_ids.discard(event_id)
             event = record.event
-            del received[event.id]
             self._mark_delivered(event)
             self.deliver(event)
             self.stats.delivered += 1
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
 
     def _handle_late_event(self, event: Event) -> None:
         """Deal with an event whose in-order delivery window has passed.

@@ -1,0 +1,208 @@
+"""Seed (pre-optimization) ordering component, preserved verbatim.
+
+This module freezes the original O(|received|)-per-round implementation
+of Algorithm 2 exactly as it shipped before the hot-path rework in
+:mod:`repro.core.ordering`: every round it re-ages every pending record
+and rescans the whole ``received`` map for deliverability and for the
+minimum queued order key.
+
+It exists for two reasons:
+
+* the randomized **equivalence suite** proves the optimized component
+  delivers bit-identical sequences (including §8.2 tagged deliveries)
+  to this reference across adversarial ball schedules;
+* the **perf harness** (``benchmarks/perf``) times both components on
+  the same workload so every PR records the speedup trajectory in
+  ``BENCH_core.json``.
+
+Do not "fix" or optimize this file — its value is being the unchanged
+seed semantics. Behavioural bugs found here should be fixed in
+:mod:`repro.core.ordering` and surfaced by the equivalence suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, List, Optional
+
+from .clock import StabilityOracle
+from .errors import OrderingInvariantError
+from .event import Ball, BallEntry, Event, EventId, OrderKey
+from .ordering import OrderingStats
+
+#: Signature of the application delivery callback.
+DeliverCallback = Callable[[Event], None]
+
+#: Order key strictly below every real key (real timestamps are >= 0).
+_MINUS_INFINITY_KEY: OrderKey = (-1, -1, -1)
+
+
+@dataclass(slots=True)
+class _EagerRecord:
+    """The seed's mutable record: TTL aged in place every round."""
+
+    event: Event
+    ttl: int
+
+    def age(self) -> None:
+        self.ttl += 1
+
+    def merge_ttl(self, other_ttl: int) -> None:
+        if other_ttl > self.ttl:
+            self.ttl = other_ttl
+
+    def to_entry(self) -> BallEntry:
+        return BallEntry(self.event, self.ttl)
+
+
+class BaselineOrderingComponent:
+    """Per-process ordering state machine — the seed implementation.
+
+    Same constructor surface and observable behaviour as
+    :class:`repro.core.ordering.OrderingComponent`; kept only as the
+    reference/benchmark twin (see module docstring).
+    """
+
+    def __init__(
+        self,
+        oracle: StabilityOracle,
+        deliver: DeliverCallback,
+        deliver_out_of_order: DeliverCallback | None = None,
+    ) -> None:
+        self.oracle = oracle
+        self.deliver = deliver
+        self.deliver_out_of_order = deliver_out_of_order
+        self.stats = OrderingStats()
+        # received: known but not yet delivered events.
+        self._received: dict[EventId, _EagerRecord] = {}
+        # Recently delivered ids; entries expire once no further copy
+        # of the event can arrive.
+        self._delivered_ids: set[EventId] = set()
+        self._delivered_expiry: Deque[tuple[int, EventId]] = deque()
+        self._last_delivered_key: OrderKey = _MINUS_INFINITY_KEY
+        # Tagged-delivery dedup (§8.2).
+        self._tagged_ids: set[EventId] = set()
+        self._tagged_expiry: Deque[tuple[int, EventId]] = deque()
+
+    @property
+    def received_count(self) -> int:
+        """Number of known-but-undelivered events."""
+        return len(self._received)
+
+    @property
+    def last_delivered_key(self) -> OrderKey:
+        """Order key of the most recently delivered event."""
+        return self._last_delivered_key
+
+    def pending_records(self) -> Iterable[_EagerRecord]:
+        """Snapshot of the received-but-undelivered records."""
+        return list(self._received.values())
+
+    def is_delivered(self, event_id: EventId) -> bool:
+        """Whether *event_id* was delivered within the retention window."""
+        return event_id in self._delivered_ids
+
+    def order_events(self, ball: Ball) -> None:
+        """Run one ordering round over *ball* (Algorithm 2, seed form)."""
+        self.stats.rounds += 1
+        received = self._received
+        self._expire_tagged()
+        self._prune_delivered()
+
+        # Lines 6-7: age every previously received event.
+        for record in received.values():
+            record.age()
+
+        # Lines 8-14: merge the ball into `received`.
+        for entry in ball:
+            event = entry.event
+            if event.id in self._delivered_ids:
+                self.stats.discarded_duplicates += 1
+                continue
+            if event.order_key <= self._last_delivered_key:
+                # Delivering now would violate total order (line 9).
+                self._handle_late_event(event)
+                continue
+            record = received.get(event.id)
+            if record is not None:
+                record.merge_ttl(entry.ttl)
+            else:
+                received[event.id] = _EagerRecord(event, entry.ttl)
+
+        if not received:
+            return
+
+        # Lines 15-21: split received into deliverable / queued and find
+        # the smallest order key among the non-deliverable ones.
+        is_deliverable = self.oracle.is_deliverable
+        deliverable: list[_EagerRecord] = []
+        min_queued_key: Optional[OrderKey] = None
+        for record in received.values():
+            if is_deliverable(record):
+                deliverable.append(record)
+            else:
+                key = record.event.order_key
+                if min_queued_key is None or key < min_queued_key:
+                    min_queued_key = key
+
+        if not deliverable:
+            return
+
+        # Lines 22-26: an event ordered after any still-queued event
+        # cannot be delivered yet.
+        if min_queued_key is not None:
+            deliverable = [
+                record
+                for record in deliverable
+                if record.event.order_key < min_queued_key
+            ]
+
+        # Lines 27-30: deliver in total order.
+        deliverable.sort(key=lambda record: record.event.order_key)
+        for record in deliverable:
+            event = record.event
+            del received[event.id]
+            self._mark_delivered(event)
+            self.deliver(event)
+            self.stats.delivered += 1
+
+    def _handle_late_event(self, event: Event) -> None:
+        self.stats.discarded_late += 1
+        if self.deliver_out_of_order is not None and event.id not in self._tagged_ids:
+            self._tagged_ids.add(event.id)
+            self._tagged_expiry.append((self.stats.rounds, event.id))
+            self.stats.tagged_out_of_order += 1
+            self.deliver_out_of_order(event)
+
+    def _expire_tagged(self) -> None:
+        horizon = self.stats.rounds - (2 * self.oracle.ttl + 2)
+        expiry = self._tagged_expiry
+        while expiry and expiry[0][0] < horizon:
+            _, event_id = expiry.popleft()
+            self._tagged_ids.discard(event_id)
+
+    def _mark_delivered(self, event: Event) -> None:
+        key = event.order_key
+        if key <= self._last_delivered_key:
+            raise OrderingInvariantError(
+                f"delivery of {event!r} (key {key}) would not advance the "
+                f"last delivered key {self._last_delivered_key}"
+            )
+        self._last_delivered_key = key
+        self._delivered_ids.add(event.id)
+        self._delivered_expiry.append((self.stats.rounds, event.id))
+
+    def _prune_delivered(self) -> None:
+        horizon = self.stats.rounds - (2 * self.oracle.ttl + 2)
+        expiry = self._delivered_expiry
+        while expiry and expiry[0][0] < horizon:
+            _, event_id = expiry.popleft()
+            self._delivered_ids.discard(event_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BaselineOrderingComponent(received={len(self._received)}, "
+            f"delivered={self.stats.delivered}, "
+            f"last_key={self._last_delivered_key})"
+        )

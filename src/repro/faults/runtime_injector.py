@@ -12,13 +12,15 @@ map onto the fabric's fault surface
 (:class:`~repro.runtime.transport.AsyncNetwork` or
 :class:`~repro.runtime.udp.UdpNetwork`).
 
-Fabric capabilities differ — real UDP sockets cannot stretch latency,
-and the in-memory fabric has no wire bytes to corrupt — so the
-injector validates the schedule against the fabric up front
-(:meth:`AsyncFaultInjector.run` raises
+Fabric capabilities differ — e.g. the in-memory fabric has no wire
+bytes to corrupt — so the injector validates the schedule against the
+fabric up front (:meth:`AsyncFaultInjector.run` raises
 :class:`~repro.core.errors.FaultInjectionError` before touching
 anything) and degrades corruption to a loss burst where no codec
-exists, recording the approximation in its log.
+exists, recording the approximation in its log. Latency spikes run on
+both fabrics: :class:`~repro.runtime.transport.AsyncNetwork` stretches
+its simulated delay, and :class:`~repro.runtime.udp.UdpNetwork` defers
+``sendto`` sender-side (observationally identical to a slower wire).
 """
 
 from __future__ import annotations
@@ -157,8 +159,7 @@ class AsyncFaultInjector:
                 network, "set_latency_spike"
             ):
                 raise FaultInjectionError(
-                    f"{type(network).__name__} cannot stretch latency "
-                    "(real sockets have real delays)"
+                    f"{type(network).__name__} cannot stretch latency"
                 )
 
     # ------------------------------------------------------------------

@@ -4,7 +4,10 @@ Translates a :class:`~repro.faults.schedule.FaultSchedule` into
 simulator-tick actions against a :class:`~repro.sim.cluster.SimCluster`
 and its :class:`~repro.sim.network.SimNetwork`: crashes become
 ``remove_node`` calls (recoveries re-add fresh processes, the paper's
-churn model), partitions use the network's partition groups, loss
+churn model) or, with ``recovery="same_id"``, ``crash_node`` calls
+whose recoveries respawn the same ids with resumed broadcast sequences
+(mirroring the asyncio runtime), partitions use the network's
+partition groups, loss
 bursts temporarily raise ``loss_rate``, latency spikes wrap the latency
 model, and corruption windows degrade to loss bursts (the simulator has
 no wire format to mangle — a corrupted message is an undeliverable
@@ -70,6 +73,14 @@ class SimFaultInjector:
         cluster: Cluster whose membership the crashes mutate.
         schedule: The declarative scenario; times in rounds are
             converted to ticks with the cluster's EpTO round interval.
+        recovery: What ``recover_after`` means. ``"fresh"`` (default,
+            the paper's churn model) replaces each crashed process with
+            a brand-new identity; ``"same_id"`` respawns the *same*
+            node ids with their broadcast sequences resumed, mirroring
+            the asyncio runtime's
+            :meth:`~repro.runtime.cluster.AsyncCluster.respawn_node`
+            semantics so crash-recovery scenarios are comparable across
+            both runtimes.
 
     Call :meth:`install` once before ``sim.run(...)``; size the run
     past ``schedule.horizon_rounds * round_interval`` ticks so every
@@ -81,20 +92,30 @@ class SimFaultInjector:
         sim: Simulator,
         cluster: SimCluster,
         schedule: FaultSchedule,
+        recovery: str = "fresh",
     ) -> None:
+        if recovery not in ("fresh", "same_id"):
+            raise FaultInjectionError(
+                f"unknown recovery mode {recovery!r}; use 'fresh' or 'same_id'"
+            )
         self.sim = sim
         self.cluster = cluster
         self.schedule = schedule
+        self.recovery = recovery
         self.network: SimNetwork = cluster.network
         self.stats = FaultStats()
         #: (tick, human-readable description) per applied action.
         self.log: List[Tuple[int, str]] = []
-        #: Ids crashed by this injector (never recovered under the same
-        #: id in the simulator — recoveries join as fresh processes).
+        #: Ids crashed by this injector. Under ``recovery="fresh"``
+        #: they never return; under ``"same_id"`` recoveries respawn
+        #: them with resumed sequences.
         self.crashed_ids: Set[int] = set()
         self._rng = sim.fork_rng("faults")
         self._installed = False
         self._initial_population: Set[int] = set()
+        # Victims per crash action (keyed by action identity), recorded
+        # at crash time for the matching same-id recovery.
+        self._victims: dict[int, List[int]] = {}
 
     def install(self) -> None:
         """Schedule every action on the simulator (idempotent-guarded)."""
@@ -162,22 +183,38 @@ class SimFaultInjector:
             count = min(len(alive), math.ceil(action.fraction * len(alive)))
             victims = self._rng.sample(alive, count)
         for node_id in victims:
-            self.cluster.remove_node(node_id)
+            if self.recovery == "same_id":
+                self.cluster.crash_node(node_id)
+            else:
+                self.cluster.remove_node(node_id)
             self.crashed_ids.add(node_id)
             self.stats.crashes += 1
+        self._victims[id(action)] = list(victims)
         self._log(f"crashed {sorted(victims)}")
         if action.recover_after is not None and victims:
             delay = round(
                 action.recover_after * self.cluster.config.epto.round_interval
             )
             self.sim.schedule(
-                max(1, delay), lambda n=len(victims): self._recover(n)
+                max(1, delay), lambda a=action: self._recover(a)
             )
 
-    def _recover(self, count: int) -> None:
-        joined = [self.cluster.add_node() for _ in range(count)]
-        self.stats.recoveries += count
-        self._log(f"recovered {count} processes as fresh ids {joined}")
+    def _recover(self, action: CrashNodes) -> None:
+        victims = self._victims.get(id(action), [])
+        if self.recovery == "same_id":
+            recovered: List[int] = []
+            for node_id in victims:
+                if node_id not in self.cluster.crashed_ids():
+                    continue  # already respawned by an earlier action
+                self.cluster.respawn_node(node_id)
+                self.stats.recoveries += 1
+                recovered.append(node_id)
+            self._log(f"recovered {sorted(recovered)} under their own ids")
+        else:
+            count = len(victims)
+            joined = [self.cluster.add_node() for _ in range(count)]
+            self.stats.recoveries += count
+            self._log(f"recovered {count} processes as fresh ids {joined}")
 
     def _partition(self, action: PartitionNetwork) -> None:
         if action.groups is not None:

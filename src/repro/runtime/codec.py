@@ -111,8 +111,14 @@ def decode(datagram: bytes) -> Tuple[int, WireMessage]:
 
 
 def _encode_ball(ball: Ball) -> bytes:
+    # The cumulative size is tracked while encoding so an oversized
+    # ball is rejected at the first entry that crosses the cap, instead
+    # of serializing every remaining entry first and failing at the
+    # end. The error names how far encoding got, which is what callers
+    # need to size their balls (or split them) correctly.
     chunks = []
-    for entry in ball:
+    size = _HEADER.size
+    for index, entry in enumerate(ball):
         event = entry.event
         try:
             payload = json.dumps(event.payload).encode()
@@ -120,6 +126,13 @@ def _encode_ball(ball: Ball) -> bytes:
             raise CodecError(
                 f"payload of event {event.id} is not JSON-serializable: {exc}"
             ) from exc
+        size += _BALL_ENTRY.size + len(payload)
+        if size > MAX_DATAGRAM:
+            raise CodecError(
+                f"ball entry {index + 1} of {len(ball)} (event {event.id}) "
+                f"pushes the encoded message to {size} bytes, exceeding the "
+                f"{MAX_DATAGRAM}-byte datagram cap"
+            )
         chunks.append(
             _BALL_ENTRY.pack(
                 event.ts, event.source_id, event.seq, entry.ttl, len(payload)

@@ -175,6 +175,16 @@ class AsyncNetwork:
         else:
             loop.call_soon(self._deliver, src, dst, message)
 
+    def send_many(self, src: int, dsts, message: Any) -> None:
+        """Fan one message out to every id in *dsts*.
+
+        Per-destination loss/burst/partition decisions are unchanged
+        relative to sequential :meth:`send` calls; the message object
+        is shared across all deliveries, never copied.
+        """
+        for dst in dsts:
+            self.send(src, dst, message)
+
     def _deliver(self, src: int, dst: int, message: Any) -> None:
         if self._crosses_partition(src, dst):
             # Partition formed while the message was in flight.
@@ -193,7 +203,16 @@ class AsyncNodeTransport:
 
     def __init__(self, network: AsyncNetwork) -> None:
         self._network = network
+        self._send_many = getattr(network, "send_many", None)
 
     def send(self, src: int, dst: int, ball: Any) -> None:
         """Forward a ball onto the async fabric."""
         self._network.send(src, dst, ball)
+
+    def send_many(self, src: int, dsts, ball: Any) -> None:
+        """Forward one ball to many peers (encode-once on UDP fabrics)."""
+        if self._send_many is not None:
+            self._send_many(src, dsts, ball)
+        else:
+            for dst in dsts:
+                self._network.send(src, dst, ball)

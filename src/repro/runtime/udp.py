@@ -26,7 +26,16 @@ Fault injection surface (driven by
   given probability (garbled magic, truncation, or a corrupted entry
   count), exercising the receiver-side ``dropped_malformed`` defence
   with real bytes on real sockets, in the spirit of update diffusion
-  under Byzantine payload corruption (Malkhi et al.).
+  under Byzantine payload corruption (Malkhi et al.);
+* :meth:`UdpNetwork.set_latency_spike` defers ``sendto`` calls for a
+  wall-clock window — real sockets cannot stretch the wire, but a
+  sender-side delay is indistinguishable to the receiver, so the full
+  :class:`~repro.faults.schedule.FaultSchedule` vocabulary runs over
+  genuine UDP.
+
+The EpTO fan-out uses :meth:`UdpNetwork.send_many`: one ball is
+serialized once per round and the same bytes are shipped to all K
+peers (``stats.encoded_datagrams`` vs ``stats.sent`` shows the saving).
 """
 
 from __future__ import annotations
@@ -55,7 +64,9 @@ class UdpStats:
     dropped_partition: int = 0
     dropped_burst: int = 0
     corrupted: int = 0
+    delayed: int = 0
     transport_errors: int = 0
+    encoded_datagrams: int = 0
 
 
 class _NodeProtocol(asyncio.DatagramProtocol):
@@ -74,17 +85,38 @@ class _NodeProtocol(asyncio.DatagramProtocol):
         self._network.stats.transport_errors += 1
 
 
+#: Base sender-side delay (seconds) a latency spike multiplies when the
+#: fabric's own artificial ``latency`` is zero. Real loopback latency
+#: is effectively unmeasurable, so spikes need a non-zero unit to
+#: stretch; one millisecond is large against loopback and small against
+#: any realistic round interval.
+DEFAULT_SPIKE_BASE = 0.001
+
+
 class UdpNetwork:
     """Loopback UDP fabric hosting any number of in-process nodes.
 
     Args:
         host: Interface to bind (default loopback).
         seed: Seed for the fault-injection randomness (loss bursts,
-            corruption).
+            corruption, latency jitter).
+        latency: Optional artificial sender-side mean delay in seconds
+            applied to every outgoing datagram (each send draws a
+            uniformly random delay in ``[0.5, 1.5] * latency``). Real
+            sockets cannot stretch the wire, but delaying ``sendto``
+            is observationally identical to the receiver — this is
+            what lets :class:`~repro.faults.schedule.LatencySpike`
+            actions run over genuine UDP.
     """
 
-    def __init__(self, host: str = "127.0.0.1", seed: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        seed: int = 0,
+        latency: float = 0.0,
+    ) -> None:
         self.host = host
+        self.latency = float(latency)
         self.stats = UdpStats()
         self._handlers: Dict[int, UdpMessageHandler] = {}
         self._transports: Dict[int, asyncio.DatagramTransport] = {}
@@ -98,6 +130,8 @@ class UdpNetwork:
         self._burst_until = 0.0
         self._corrupt_rate = 0.0
         self._corrupt_until: Optional[float] = 0.0
+        self._spike_factor = 1.0
+        self._spike_until = 0.0
 
     # ------------------------------------------------------------------
     # AsyncNetwork-compatible surface
@@ -124,6 +158,43 @@ class UdpNetwork:
 
     def send(self, src: int, dst: int, message: Any) -> None:
         """Encode and ship one datagram from *src* to *dst*."""
+        try:
+            datagram = self._encode(src, message)
+        except CodecError:
+            self.stats.sent += 1
+            self.stats.dropped_encode += 1
+            return
+        self._dispatch(src, dst, datagram)
+
+    def send_many(self, src: int, dsts, message: Any) -> None:
+        """Encode *message* once, then ship the same bytes to every id
+        in *dsts*.
+
+        This is the encode-once fan-out path: an EpTO round sends one
+        identical ball to K peers, so serialization cost is paid once
+        per round instead of once per destination. Partitions, loss
+        bursts, corruption and latency spikes still apply per
+        destination (corruption mangles a per-destination copy — the
+        shared buffer is never mutated).
+        """
+        try:
+            datagram = self._encode(src, message)
+        except CodecError:
+            for _ in dsts:
+                self.stats.sent += 1
+                self.stats.dropped_encode += 1
+            return
+        for dst in dsts:
+            self._dispatch(src, dst, datagram)
+
+    def _encode(self, src: int, message: Any) -> bytes:
+        """Serialize one message, counting successful encodes."""
+        datagram = encode(src, message)
+        self.stats.encoded_datagrams += 1
+        return datagram
+
+    def _dispatch(self, src: int, dst: int, datagram: bytes) -> None:
+        """Apply per-destination fault surfaces and ship *datagram*."""
         self.stats.sent += 1
         if self._crosses_partition(src, dst):
             self.stats.dropped_partition += 1
@@ -133,22 +204,48 @@ class UdpNetwork:
         if sender_transport is None or address is None:
             self.stats.dropped_unopened += 1
             return
+        loop = asyncio.get_running_loop()
+        now = loop.time()
         if (
             self._burst_rate > 0.0
-            and asyncio.get_running_loop().time() < self._burst_until
+            and now < self._burst_until
             and self._rng.random() < self._burst_rate
         ):
             self.stats.dropped_burst += 1
             return
-        try:
-            datagram = encode(src, message)
-        except CodecError:
-            self.stats.dropped_encode += 1
-            return
         if self._corruption_active() and self._rng.random() < self._corrupt_rate:
             datagram = self._corrupt(datagram)
             self.stats.corrupted += 1
-        sender_transport.sendto(datagram, address)
+        delay = self._send_delay(now)
+        if delay > 0.0:
+            self.stats.delayed += 1
+            loop.call_later(delay, self._sendto_later, src, datagram, address)
+        else:
+            sender_transport.sendto(datagram, address)
+
+    def _send_delay(self, now: float) -> float:
+        """Sender-side artificial delay for a datagram sent at *now*.
+
+        Returns zero on the default fast path (no artificial latency,
+        no active spike). During a spike the base latency — or
+        :data:`DEFAULT_SPIKE_BASE` on an otherwise-zero-latency fabric
+        — is multiplied by the spike factor and jittered ±50%, matching
+        :meth:`repro.runtime.transport.AsyncNetwork.send` semantics.
+        """
+        latency = self.latency
+        if now < self._spike_until:
+            latency = (latency or DEFAULT_SPIKE_BASE) * self._spike_factor
+        if latency <= 0.0:
+            return 0.0
+        return latency * self._rng.uniform(0.5, 1.5)
+
+    def _sendto_later(self, src: int, datagram: bytes, address) -> None:
+        """Fire a delayed send; the sender may have died meanwhile."""
+        transport = self._transports.get(src)
+        if transport is None or transport.is_closing():
+            self.stats.dropped_unopened += 1
+            return
+        transport.sendto(datagram, address)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -189,6 +286,19 @@ class UdpNetwork:
             self._corrupt_until = None
         else:
             self._corrupt_until = asyncio.get_running_loop().time() + duration
+
+    def set_latency_spike(self, factor: float, duration: float) -> None:
+        """Delay outgoing datagrams for *duration* seconds.
+
+        Sender-side spike: every ``sendto`` in the window is deferred
+        by ``latency * factor`` (jittered ±50%), where a zero
+        configured latency falls back to :data:`DEFAULT_SPIKE_BASE`.
+        This completes the :class:`~repro.faults.schedule.FaultSchedule`
+        vocabulary over real sockets — the receiver observes stretched
+        delivery times exactly as if the wire itself had slowed.
+        """
+        self._spike_factor = float(factor)
+        self._spike_until = asyncio.get_running_loop().time() + duration
 
     def clear_corruption(self) -> None:
         """Stop corrupting datagrams."""

@@ -151,6 +151,10 @@ class SimCluster:
         self._nodes: Dict[int, _ClusterNode] = {}
         self._next_id = 0
         self._rng = sim.fork_rng("cluster")
+        # Crash corpses: node id -> broadcast sequence issued so far,
+        # kept so a same-id respawn can resume where its predecessor
+        # stopped (mirrors AsyncCluster.respawn_node).
+        self._crashed: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -183,10 +187,21 @@ class SimCluster:
         """Provision, register and start one new node; returns its id."""
         node_id = self._next_id
         self._next_id += 1
+        return self._start_node(node_id)
 
+    def _start_node(self, node_id: int, resume_seq: Optional[int] = None) -> int:
+        """Wire up and start a process under *node_id* (fresh or respawn)."""
         node_rng = self.sim.fork_rng(f"node:{node_id}")
         pss = self._build_pss(node_id, node_rng)
         process = self._build_process(node_id, pss, node_rng)
+        if resume_seq is not None:
+            # Same-identity restart: never reissue a used (source, seq)
+            # event id (see EventIdGenerator.resume). Hosted process
+            # kinds without a sequence (the unordered baselines) have
+            # nothing to resume.
+            resume = getattr(process, "resume_sequence", None)
+            if resume is not None:
+                resume(resume_seq)
 
         def handle_message(src: int, message: Any) -> None:
             if isinstance(message, CyclonRequest):
@@ -242,6 +257,46 @@ class SimCluster:
         self.network.unregister(node_id)
         self.directory.remove(node_id)
         self.collector.record_node_removed(node_id, self.sim.now())
+
+    def crash_node(self, node_id: int) -> None:
+        """Crash *node_id*, remembering its broadcast sequence.
+
+        Identical to :meth:`remove_node` on the network and membership
+        surface, but the issued event-id sequence is kept so
+        :meth:`respawn_node` can later bring a replacement up under the
+        *same* identity — mirroring
+        :meth:`repro.runtime.cluster.AsyncCluster.crash_node` /
+        ``respawn_node`` semantics in the simulator.
+        """
+        process = self.node(node_id)
+        issued = getattr(
+            getattr(process, "dissemination", None), "issued_sequence", 0
+        )
+        self.remove_node(node_id)
+        self._crashed[node_id] = issued
+
+    def respawn_node(self, node_id: int) -> int:
+        """Replace a crashed node with a fresh process of the same id.
+
+        The replacement resumes the predecessor's broadcast sequence
+        (event ids stay unique — the same guarantee
+        :meth:`repro.runtime.cluster.AsyncCluster.respawn_node` gives
+        the asyncio runtime), re-registers with the network and the PSS
+        directory, and starts a new round timer. Its ordering state
+        starts empty, exactly like a real process restarted from a
+        checkpoint-free crash.
+        """
+        try:
+            issued = self._crashed.pop(node_id)
+        except KeyError:
+            raise MembershipError(
+                f"node {node_id} has not crashed (or already respawned)"
+            ) from None
+        return self._start_node(node_id, resume_seq=issued)
+
+    def crashed_ids(self) -> Sequence[int]:
+        """Ids crashed via :meth:`crash_node` and not yet respawned."""
+        return sorted(self._crashed)
 
     def random_alive(self, rng: random.Random | None = None) -> int:
         """A uniformly random live node id."""

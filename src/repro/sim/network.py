@@ -166,6 +166,17 @@ class SimNetwork:
             extra = self.latency.sample(self._latency_rng, src, dst)
             self.sim.schedule(extra, lambda: self._deliver(src, dst, message))
 
+    def send_many(self, src: int, dsts, message: Any) -> None:
+        """Fan one message out to every id in *dsts*.
+
+        Loss, partition and duplication decisions stay independent per
+        destination (identical randomness consumption to *dsts*
+        sequential :meth:`send` calls, keeping seeded runs bit-stable);
+        the message object itself is shared, never copied.
+        """
+        for dst in dsts:
+            self.send(src, dst, message)
+
     def _deliver(self, src: int, dst: int, message: Any) -> None:
         handler = self._handlers.get(dst)
         if handler is None:

@@ -1,0 +1,134 @@
+"""Equivalence of the optimized ordering component and the seed one.
+
+The frontier/heap rework in :mod:`repro.core.ordering` claims to be a
+pure performance change: for every possible round schedule it must
+produce the exact delivery sequence of the seed implementation
+(preserved verbatim in :mod:`repro.core.ordering_baseline`). These
+tests drive both components through identical randomized schedules —
+duplicates, relayed copies with larger TTLs, stale events, tagged
+delivery on and off — and compare them round by round.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.event import BallEntry, Event, make_ball
+from repro.core.ordering import OrderingComponent
+from repro.core.ordering_baseline import BaselineOrderingComponent
+
+from ..conftest import ManualOracle
+
+
+def _build_pair(ttl: int, tagged: bool):
+    """Baseline and optimized components sharing oracle parameters."""
+    pairs = []
+    for cls in (BaselineOrderingComponent, OrderingComponent):
+        delivered: List[Event] = []
+        out_of_order: List[Event] = []
+        component = cls(
+            ManualOracle(ttl=ttl),
+            delivered.append,
+            out_of_order.append if tagged else None,
+        )
+        pairs.append((component, delivered, out_of_order))
+    return pairs
+
+
+def _random_schedule(rng: random.Random, ttl: int) -> List[Tuple[BallEntry, ...]]:
+    """A random multi-round ball schedule exercising every merge path.
+
+    Events are drawn from a small id space so duplicates and relayed
+    copies (same event, different TTL) are frequent; timestamps overlap
+    across rounds so late arrivals and ties on the order key occur.
+    """
+    sources = rng.randrange(2, 5)
+    seqs = [0] * sources
+    pool: List[Event] = []
+    rounds = rng.randrange(5, 30)
+    schedule = []
+    for r in range(rounds):
+        entries = []
+        for _ in range(rng.randrange(0, 6)):
+            if pool and rng.random() < 0.35:
+                # A relayed copy of a known event, possibly aged further.
+                event = rng.choice(pool[-12:])
+            else:
+                src = rng.randrange(sources)
+                seq = seqs[src]
+                seqs[src] += 1
+                # Timestamps loosely follow the round number but reach
+                # backwards often enough to trip the late-discard path.
+                ts = max(0, r + rng.randrange(-ttl - 3, 3))
+                event = Event(id=(src, seq), ts=ts, source_id=src, payload=None)
+                pool.append(event)
+            entries.append(BallEntry(event, ttl=rng.randrange(0, ttl + 3)))
+        schedule.append(make_ball(entries))
+    # Drain: enough empty rounds for everything pending to stabilize.
+    schedule.extend(() for _ in range(2 * ttl + 4))
+    return schedule
+
+
+def _assert_equivalent(ttl: int, tagged: bool, schedule) -> None:
+    (base, base_del, base_tag), (opt, opt_del, opt_tag) = _build_pair(ttl, tagged)
+    for round_no, ball in enumerate(schedule):
+        base.order_events(ball)
+        opt.order_events(ball)
+        assert opt_del == base_del, f"delivery diverged at round {round_no}"
+        assert opt_tag == base_tag, f"tagged delivery diverged at round {round_no}"
+        assert opt.received_count == base.received_count, (
+            f"received set size diverged at round {round_no}"
+        )
+        assert opt.last_delivered_key == base.last_delivered_key
+    assert opt.stats == base.stats
+
+
+@pytest.mark.parametrize("tagged", [False, True], ids=["plain", "tagged"])
+def test_equivalent_over_many_random_schedules(tagged):
+    """Bit-identical delivery across >= 50 randomized schedules."""
+    for seed in range(60):
+        rng = random.Random(f"ordering-equivalence:{seed}:{tagged}")
+        ttl = rng.randrange(1, 7)
+        schedule = _random_schedule(rng, ttl)
+        _assert_equivalent(ttl, tagged, schedule)
+
+
+def test_equivalent_when_everything_arrives_at_once():
+    """One giant ball, then silence: the all-at-once stabilization case."""
+    events = [
+        Event(id=(src, seq), ts=ts, source_id=src, payload=None)
+        for src in range(3)
+        for seq, ts in enumerate([5, 1, 3, 3, 9])
+    ]
+    ball = make_ball(BallEntry(e, ttl=i % 4) for i, e in enumerate(events))
+    schedule = [ball] + [() for _ in range(12)]
+    _assert_equivalent(3, True, schedule)
+
+
+def test_equivalent_on_already_stable_arrivals():
+    """Entries arriving with ttl already past the threshold."""
+    ball = make_ball(
+        [
+            BallEntry(Event(id=(0, 0), ts=4, source_id=0), ttl=9),
+            BallEntry(Event(id=(1, 0), ts=2, source_id=1), ttl=9),
+        ]
+    )
+    schedule = [ball, (), ()]
+    _assert_equivalent(2, False, schedule)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_equivalence_property(data):
+    """Hypothesis-driven schedules: same deliveries, stats, state sizes."""
+    ttl = data.draw(st.integers(min_value=1, max_value=5), label="ttl")
+    tagged = data.draw(st.booleans(), label="tagged")
+    seed = data.draw(st.integers(min_value=0, max_value=2**32), label="seed")
+    rng = random.Random(seed)
+    schedule = _random_schedule(rng, ttl)
+    _assert_equivalent(ttl, tagged, schedule)

@@ -1,0 +1,102 @@
+"""Same-identity recovery mode of the simulator fault injector.
+
+``recovery="same_id"`` mirrors what the asyncio interpreter does with
+:meth:`AsyncCluster.respawn_node`: crashed processes come back under
+their own ids with resumed broadcast sequences, instead of being
+replaced by fresh joiners (the default, the paper's churn model).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EpToConfig
+from repro.core.errors import FaultInjectionError
+from repro.faults import CrashNodes, FaultSchedule, SimFaultInjector
+from repro.metrics import check_run
+from repro.sim import ClusterConfig, SimCluster, SimNetwork, Simulator
+
+ROUND = 10
+
+
+def build_cluster(n=8, seed=21):
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim)
+    cluster = SimCluster(
+        sim,
+        network,
+        ClusterConfig(epto=EpToConfig(fanout=4, ttl=8, round_interval=ROUND)),
+    )
+    cluster.add_nodes(n)
+    return sim, network, cluster
+
+
+def test_same_id_recovery_respawns_the_victims():
+    sim, network, cluster = build_cluster()
+    schedule = FaultSchedule(
+        [CrashNodes(at_round=2.0, nodes=(1, 4), recover_after=6.0)]
+    )
+    injector = SimFaultInjector(sim, cluster, schedule, recovery="same_id")
+    injector.install()
+
+    # Sequence state that must survive the restart.
+    pre = cluster.broadcast_from(1, "pre-crash")
+    assert pre.id == (1, 0)
+
+    sim.run(until=30 * ROUND)
+
+    assert injector.stats.crashes == 2
+    assert injector.stats.recoveries == 2
+    # Same ids, not fresh joiners.
+    assert set(cluster.alive_ids()) == set(range(8))
+    assert cluster.crashed_ids() == []
+    joined = " | ".join(message for _, message in injector.log)
+    assert "recovered [1, 4] under their own ids" in joined
+
+    # The respawned process resumes its predecessor's sequence.
+    post = cluster.broadcast_from(1, "post-recovery")
+    assert post.id == (1, 1)
+
+
+def test_same_id_recovery_preserves_total_order_for_survivors():
+    sim, network, cluster = build_cluster(n=8, seed=5)
+    schedule = FaultSchedule(
+        [CrashNodes(at_round=3.0, nodes=(6,), recover_after=4.0)]
+    )
+    injector = SimFaultInjector(sim, cluster, schedule, recovery="same_id")
+    injector.install()
+
+    for node_id in (0, 1, 2):
+        cluster.broadcast_from(node_id, f"wave-{node_id}")
+    sim.schedule_at(
+        20 * ROUND, lambda: cluster.broadcast_from(6, "from-the-respawned")
+    )
+    sim.run(until=50 * ROUND)
+
+    survivors = injector.continuous_survivors() - injector.crashed_ids
+    report = check_run(cluster.collector, correct_nodes=survivors)
+    assert report.safety_ok, report.summary()
+    assert report.agreement_ok, report.summary()
+
+
+def test_fresh_stays_the_default():
+    sim, network, cluster = build_cluster(n=6, seed=2)
+    injector = SimFaultInjector(
+        sim,
+        cluster,
+        FaultSchedule([CrashNodes(at_round=1.0, nodes=(0,), recover_after=2.0)]),
+    )
+    assert injector.recovery == "fresh"
+    injector.install()
+    sim.run(until=10 * ROUND)
+    # The replacement is a new identity, not node 0 again.
+    assert 0 not in cluster.alive_ids()
+    assert 6 in cluster.alive_ids()
+
+
+def test_unknown_recovery_mode_is_rejected():
+    sim, network, cluster = build_cluster(n=4)
+    with pytest.raises(FaultInjectionError):
+        SimFaultInjector(
+            sim, cluster, FaultSchedule.standard_drill(), recovery="zombie"
+        )

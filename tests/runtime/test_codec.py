@@ -107,6 +107,28 @@ class TestRejections:
         with pytest.raises(CodecError):
             encode(0, huge)
 
+    def test_oversized_ball_names_the_offending_entry(self):
+        """Encoding stops at the first entry crossing the cap, and the
+        error reports how far it got — not just that the total is big."""
+        chunk = "y" * 9_000
+        entries = [
+            entry(src=1, seq=i, payload=chunk) for i in range(8)
+        ]
+        with pytest.raises(CodecError) as excinfo:
+            encode(0, make_ball(entries))
+        message = str(excinfo.value)
+        # 6 entries of ~9KB fit under 60KB; the 7th crosses the cap.
+        assert "ball entry 7 of 8" in message
+        assert "event (1, 6)" in message
+        assert str(MAX_DATAGRAM) in message
+
+    def test_ball_just_under_the_cap_still_encodes(self):
+        chunk = "y" * 9_000
+        entries = [entry(src=1, seq=i, payload=chunk) for i in range(6)]
+        sender, decoded = decode(encode(0, make_ball(entries)))
+        assert sender == 0
+        assert len(decoded) == 6
+
     @pytest.mark.parametrize(
         "datagram",
         [

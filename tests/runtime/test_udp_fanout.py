@@ -1,0 +1,145 @@
+"""UDP encode-once fan-out and sender-side latency spikes."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.event import BallEntry, Event, make_ball
+from repro.runtime.udp import DEFAULT_SPIKE_BASE, UdpNetwork
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def a_ball(payload="x"):
+    return make_ball(
+        [BallEntry(Event(id=(9, 0), ts=1, source_id=9, payload=payload), 0)]
+    )
+
+
+class TestEncodeOnceFanout:
+    def test_send_many_encodes_once_for_all_peers(self):
+        async def scenario():
+            network = UdpNetwork()
+            inboxes = {nid: [] for nid in (1, 2, 3)}
+            for nid in inboxes:
+                network.register(nid, lambda src, msg, n=nid: inboxes[n].append(msg))
+            network.register(0, lambda src, msg: None)
+            await network.open_all()
+            network.send_many(0, [1, 2, 3], a_ball("fan-out"))
+            await asyncio.sleep(0.05)
+            await network.close()
+            return network.stats, inboxes
+
+        stats, inboxes = run(scenario())
+        assert stats.encoded_datagrams == 1  # one serialization per round
+        assert stats.sent == 3
+        assert stats.delivered == 3
+        for inbox in inboxes.values():
+            assert len(inbox) == 1
+            assert inbox[0][0].event.payload == "fan-out"
+
+    def test_per_peer_send_encodes_per_destination(self):
+        async def scenario():
+            network = UdpNetwork()
+            for nid in (0, 1, 2):
+                network.register(nid, lambda src, msg: None)
+            await network.open_all()
+            network.send(0, 1, a_ball())
+            network.send(0, 2, a_ball())
+            await network.close()
+            return network.stats
+
+        stats = run(scenario())
+        assert stats.encoded_datagrams == 2
+
+    def test_send_many_unencodable_counts_every_destination(self):
+        async def scenario():
+            network = UdpNetwork()
+            for nid in (0, 1, 2):
+                network.register(nid, lambda src, msg: None)
+            await network.open_all()
+            bad = make_ball(
+                [BallEntry(Event(id=(0, 0), ts=1, source_id=0, payload=object()), 0)]
+            )
+            network.send_many(0, [1, 2], bad)
+            await network.close()
+            return network.stats
+
+        stats = run(scenario())
+        assert stats.dropped_encode == 2
+        assert stats.encoded_datagrams == 0
+        assert stats.delivered == 0
+
+
+class TestLatencySpike:
+    def test_spike_defers_but_still_delivers(self):
+        async def scenario():
+            network = UdpNetwork(seed=4)
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            network.register(2, lambda src, msg: None)
+            await network.open_all()
+            network.set_latency_spike(factor=3.0, duration=5.0)
+            network.send(2, 1, a_ball("slow"))
+            assert network.stats.delayed == 1
+            assert inbox == []  # still parked on the loop timer
+            # 3x the default base, +50% jitter, plus loopback slack.
+            await asyncio.sleep(10 * DEFAULT_SPIKE_BASE + 0.05)
+            await network.close()
+            return network.stats, inbox
+
+        stats, inbox = run(scenario())
+        assert stats.delivered == 1
+        assert len(inbox) == 1
+        assert inbox[0][0].event.payload == "slow"
+
+    def test_spike_window_expires(self):
+        async def scenario():
+            network = UdpNetwork(seed=4)
+            network.register(1, lambda src, msg: None)
+            network.register(2, lambda src, msg: None)
+            await network.open_all()
+            network.set_latency_spike(factor=10.0, duration=0.0)
+            await asyncio.sleep(0.01)
+            network.send(2, 1, a_ball())
+            delayed = network.stats.delayed
+            await network.close()
+            return delayed
+
+        assert run(scenario()) == 0
+
+    def test_configured_latency_delays_without_spike(self):
+        async def scenario():
+            network = UdpNetwork(seed=1, latency=0.002)
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            network.register(2, lambda src, msg: None)
+            await network.open_all()
+            network.send(2, 1, a_ball())
+            delayed = network.stats.delayed
+            await asyncio.sleep(0.05)
+            await network.close()
+            return delayed, inbox
+
+        delayed, inbox = run(scenario())
+        assert delayed == 1
+        assert len(inbox) == 1
+
+    def test_delayed_send_after_close_is_counted_dropped(self):
+        async def scenario():
+            network = UdpNetwork(seed=2)
+            network.register(1, lambda src, msg: None)
+            network.register(2, lambda src, msg: None)
+            await network.open_all()
+            network.set_latency_spike(factor=100.0, duration=5.0)
+            network.send(2, 1, a_ball())
+            await network.close()  # sender socket gone before the timer fires
+            await asyncio.sleep(0.5)
+            return network.stats
+
+        stats = run(scenario())
+        assert stats.delayed == 1
+        assert stats.dropped_unopened == 1
+        assert stats.delivered == 0

@@ -1,0 +1,68 @@
+"""Determinism of the perf harness's simulated metrics.
+
+``BENCH_core.json`` mixes machine-dependent wall times with seeded
+*metrics* blocks. The metrics must be bit-identical across runs with
+the same seed — otherwise the perf harness (and CI's check mode) could
+not distinguish a real behavioural regression from noise. This runs
+the harness twice as a subprocess, exactly as CI does, and compares
+every metrics block.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RUN_BENCH = REPO_ROOT / "benchmarks" / "perf" / "run_bench.py"
+
+
+def _run_harness(output: Path) -> dict:
+    subprocess.run(
+        [
+            sys.executable,
+            str(RUN_BENCH),
+            "--check",
+            "--sizes",
+            "256",
+            "--seed",
+            "13",
+            "--output",
+            str(output),
+        ],
+        check=True,
+        capture_output=True,
+        cwd=REPO_ROOT,
+    )
+    return json.loads(output.read_text())
+
+
+def _metrics_only(results: dict) -> dict:
+    scenarios = results["scenarios"]
+    return {
+        "ordering": {
+            size: entry["metrics"]
+            for size, entry in scenarios["ordering_round_loop"].items()
+        },
+        "encode_fanout": scenarios["encode_fanout"]["metrics"],
+        "sim_macro": scenarios["sim_macro"]["metrics"],
+    }
+
+
+def test_same_seed_runs_produce_identical_metrics(tmp_path):
+    first = _run_harness(tmp_path / "bench_a.json")
+    second = _run_harness(tmp_path / "bench_b.json")
+    assert _metrics_only(first) == _metrics_only(second)
+
+
+def test_sim_macro_metrics_are_meaningful(tmp_path):
+    results = _run_harness(tmp_path / "bench.json")
+    macro = results["scenarios"]["sim_macro"]["metrics"]
+    # Every broadcast reaches every one of the 24 nodes.
+    assert macro["broadcasts"] == 40
+    assert macro["deliveries"] == macro["broadcasts"] * 24
+    assert macro["messages_sent"] > 0
+    ordering = results["scenarios"]["ordering_round_loop"]["n256"]["metrics"]
+    assert ordering["delivered"] > 0

@@ -1,0 +1,81 @@
+"""SimCluster same-identity crash/respawn and the fan-out send path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EpToConfig
+from repro.core.errors import MembershipError
+from repro.sim import ClusterConfig, SimCluster, SimNetwork, Simulator
+
+from ..conftest import build_small_world, make_event
+
+
+def build_cluster(n=6, seed=3):
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim)
+    cluster = SimCluster(
+        sim,
+        network,
+        ClusterConfig(epto=EpToConfig(fanout=3, ttl=6, round_interval=10)),
+    )
+    cluster.add_nodes(n)
+    return sim, network, cluster
+
+
+class TestCrashRespawn:
+    def test_respawn_resumes_broadcast_sequence(self):
+        sim, network, cluster = build_cluster()
+        first = cluster.broadcast_from(2, "a")
+        second = cluster.broadcast_from(2, "b")
+        assert [first.seq, second.seq] == [0, 1]
+
+        cluster.crash_node(2)
+        assert 2 not in cluster.alive_ids()
+        assert cluster.crashed_ids() == [2]
+
+        respawned = cluster.respawn_node(2)
+        assert respawned == 2
+        assert 2 in cluster.alive_ids()
+        assert cluster.crashed_ids() == []
+        # The replacement never reissues a used (source, seq) id.
+        third = cluster.broadcast_from(2, "c")
+        assert third.id == (2, 2)
+
+    def test_respawned_node_rejoins_the_protocol(self):
+        world = build_small_world(n=6, seed=9, latency=1)
+        world.cluster.crash_node(0)
+        world.cluster.respawn_node(0)
+        event = world.cluster.broadcast_from(0, "after-restart")
+        world.quiesce()
+        for node_id in world.cluster.alive_ids():
+            assert event.id in world.cluster.collector.delivered_ids_of(node_id)
+
+    def test_respawn_without_crash_is_rejected(self):
+        _, _, cluster = build_cluster()
+        with pytest.raises(MembershipError):
+            cluster.respawn_node(1)
+        cluster.crash_node(1)
+        cluster.respawn_node(1)
+        with pytest.raises(MembershipError):  # already respawned
+            cluster.respawn_node(1)
+
+    def test_crash_of_unknown_node_is_rejected(self):
+        _, _, cluster = build_cluster()
+        with pytest.raises(MembershipError):
+            cluster.crash_node(99)
+
+
+class TestSendMany:
+    def test_send_many_reaches_every_destination(self):
+        sim, network, cluster = build_cluster(n=4)
+        inboxes = {nid: [] for nid in range(4)}
+        for nid in range(4):
+            network.unregister(nid)
+            network.register(nid, lambda src, msg, n=nid: inboxes[n].append(msg))
+        ball = (make_event(src=0, seq=0),)
+        network.send_many(0, [1, 2, 3], ball)
+        sim.run_for(50)
+        for dst in (1, 2, 3):
+            assert inboxes[dst] == [ball]
+        assert network.stats.sent == 3
