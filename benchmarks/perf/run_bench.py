@@ -11,10 +11,17 @@ the repository root:
   the speedup. Both implementations must produce identical delivery
   metrics — the harness aborts if they diverge.
 * ``encode_fanout`` — micro-benchmark of the encode-once ball fan-out:
-  serializing one ball per round versus once per peer at fanout K.
+  serializing one ball per round versus once per peer at fanout K,
+  plus the pooled-buffer variant (``codec.encode_into`` into a shared
+  ``bytearray``, the allocation-free path ``UdpNetwork`` ships on)
+  versus a fresh ``bytes`` per round.
 * ``sim_macro`` — an end-to-end seeded :class:`repro.sim.cluster.SimCluster`
   run; its counters double as the determinism fixture (same seed ⇒
   identical metrics, asserted by ``tests/sim/test_bench_determinism.py``).
+* ``sim_journaled`` — the same macro run with a durable
+  :mod:`repro.storage` journal under every node, asserted bit-identical
+  in round-loop metrics to the journal-free run (journaling must never
+  perturb the protocol), with the journal overhead timed alongside.
 
 Usage::
 
@@ -98,12 +105,28 @@ def bench_encode_fanout(seed: int, repeats: int) -> dict:
             pass  # same bytes handed to every peer
         return len(datagram)
 
+    pool = bytearray()
+
+    def encode_pooled():
+        view = codec.encode_into(7, ball, pool)
+        for _ in range(FANOUT):
+            pass  # same pooled view handed to every peer
+        return len(view)
+
     per_peer_t = time_callable(per_peer, label="encode per peer", repeats=repeats)
     once_t = time_callable(encode_once, label="encode once", repeats=repeats)
+    pooled_t = time_callable(encode_pooled, label="encode pooled", repeats=repeats)
+    if pooled_t.result != once_t.result:
+        raise AssertionError(
+            f"pooled encode produced {pooled_t.result} bytes, "
+            f"fresh encode {once_t.result}"
+        )
     return {
         "per_peer": per_peer_t.as_dict(),
         "encode_once": once_t.as_dict(),
+        "encode_pooled": pooled_t.as_dict(),
         "speedup": round(speedup(per_peer_t, once_t), 2),
+        "pooled_speedup": round(speedup(once_t, pooled_t), 2),
         "metrics": {
             "fanout": FANOUT,
             "entries": CODEC_ENTRIES,
@@ -112,40 +135,89 @@ def bench_encode_fanout(seed: int, repeats: int) -> dict:
     }
 
 
-def bench_sim_macro(seed: int, repeats: int) -> dict:
-    """End-to-end simulated cluster run (seeded, fully deterministic)."""
+def _sim_macro_run(seed: int, storage_dir=None, storage_fsync: str = "never"):
+    """One seeded macro cluster run; journaled when *storage_dir* is set."""
     from repro.core.config import EpToConfig
     from repro.sim.cluster import ClusterConfig, SimCluster
     from repro.sim.engine import Simulator
     from repro.sim.network import SimNetwork
 
     nodes, broadcasts = 24, 40
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim)
+    config = ClusterConfig(
+        epto=EpToConfig(fanout=4, ttl=12, round_interval=10),
+        expected_size=nodes,
+    )
+    cluster = SimCluster(
+        sim,
+        network,
+        config,
+        storage_dir=storage_dir,
+        storage_fsync=storage_fsync,
+    )
+    cluster.add_nodes(nodes)
+    rng = sim.fork_rng("bench.broadcast")
+    for i in range(broadcasts):
+        sim.schedule_at(
+            5 + i * 7,
+            lambda: cluster.broadcast_from(cluster.random_alive(rng)),
+        )
+    sim.run(until=5 + broadcasts * 7 + 4 * 12 * 10)
+    journal_records = sum(
+        journal.stats.recorded + journal.stats.markers
+        for journal in cluster.journals.values()
+    )
+    for journal in cluster.journals.values():
+        journal.close()
+    return {
+        "broadcasts": cluster.collector.broadcast_count,
+        "deliveries": cluster.collector.delivery_count,
+        "messages_sent": network.stats.sent,
+        "messages_delivered": network.stats.delivered,
+    }, journal_records
+
+
+def bench_sim_macro(seed: int, repeats: int) -> dict:
+    """End-to-end simulated cluster run (seeded, fully deterministic)."""
 
     def run():
-        sim = Simulator(seed=seed)
-        network = SimNetwork(sim)
-        config = ClusterConfig(
-            epto=EpToConfig(fanout=4, ttl=12, round_interval=10),
-            expected_size=nodes,
-        )
-        cluster = SimCluster(sim, network, config)
-        cluster.add_nodes(nodes)
-        rng = sim.fork_rng("bench.broadcast")
-        for i in range(broadcasts):
-            sim.schedule_at(
-                5 + i * 7,
-                lambda: cluster.broadcast_from(cluster.random_alive(rng)),
-            )
-        sim.run(until=5 + broadcasts * 7 + 4 * 12 * 10)
-        return {
-            "broadcasts": cluster.collector.broadcast_count,
-            "deliveries": cluster.collector.delivery_count,
-            "messages_sent": network.stats.sent,
-            "messages_delivered": network.stats.delivered,
-        }
+        metrics, _ = _sim_macro_run(seed)
+        return metrics
 
     timing = time_callable(run, label="sim_macro", repeats=repeats)
     return {"timing": timing.as_dict(), "metrics": timing.result}
+
+
+def bench_sim_journaled(seed: int, repeats: int, plain_metrics: dict) -> dict:
+    """The macro run with a :mod:`repro.storage` journal under each node.
+
+    Asserts the journaled run's protocol metrics are bit-identical to
+    *plain_metrics* (the journal-free run): durable logging must
+    observe the run, never steer it. The timing delta against
+    ``sim_macro`` is the measured journal overhead.
+    """
+    import shutil
+    import tempfile
+
+    def run():
+        root = tempfile.mkdtemp(prefix="epto-bench-journal-")
+        try:
+            return _sim_macro_run(seed, storage_dir=root)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    timing = time_callable(run, label="sim_journaled", repeats=repeats)
+    metrics, journal_records = timing.result
+    if metrics != plain_metrics:
+        raise AssertionError(
+            f"journaling perturbed the run: journaled={metrics} "
+            f"plain={plain_metrics}"
+        )
+    return {
+        "timing": timing.as_dict(),
+        "metrics": dict(metrics, journal_records=journal_records),
+    }
 
 
 def run_all(sizes, seed: int, repeats: int) -> dict:
@@ -158,6 +230,7 @@ def run_all(sizes, seed: int, repeats: int) -> dict:
             "ordering_round_loop": {},
             "encode_fanout": None,
             "sim_macro": None,
+            "sim_journaled": None,
         },
     }
     for n in sizes:
@@ -171,10 +244,18 @@ def run_all(sizes, seed: int, repeats: int) -> dict:
         )
     print("encode_fanout ...", flush=True)
     results["scenarios"]["encode_fanout"] = bench_encode_fanout(seed, repeats)
-    print(f"  speedup {results['scenarios']['encode_fanout']['speedup']:.2f}x")
+    print(
+        f"  speedup {results['scenarios']['encode_fanout']['speedup']:.2f}x   "
+        f"pooled {results['scenarios']['encode_fanout']['pooled_speedup']:.2f}x"
+    )
     print("sim_macro ...", flush=True)
     results["scenarios"]["sim_macro"] = bench_sim_macro(seed, repeats)
     print(f"  {results['scenarios']['sim_macro']['metrics']}")
+    print("sim_journaled ...", flush=True)
+    results["scenarios"]["sim_journaled"] = bench_sim_journaled(
+        seed, repeats, results["scenarios"]["sim_macro"]["metrics"]
+    )
+    print(f"  {results['scenarios']['sim_journaled']['metrics']}")
     return results
 
 

@@ -49,6 +49,18 @@ class FaultInjectionError(ReproError):
     """
 
 
+class StorageError(ReproError):
+    """Durable storage was misused or irrecoverably inconsistent.
+
+    Raised for caller errors (writing to a closed log, an invalid fsync
+    policy, a snapshot state that cannot be serialized) — never for the
+    disk corruption the subsystem is built to absorb: a torn final
+    record or a CRC-mismatched segment makes the reader *stop at the
+    last valid entry* and report it, because crashing on the very
+    artifact of the crash being recovered from would defeat recovery.
+    """
+
+
 class OrderingInvariantError(ReproError):
     """An internal total-order invariant was violated.
 

@@ -40,6 +40,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the experiment's default seed",
     )
+    parser.add_argument(
+        "--fault-scenario",
+        metavar="PATH",
+        default=None,
+        help=(
+            "JSON FaultSchedule scenario file (fault-aware experiments "
+            "like 'drill' only)"
+        ),
+    )
     return parser
 
 
@@ -54,6 +63,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         kwargs["scale"] = get_scale(args.scale)
     if args.seed is not None and entry.id != "ablation-guards":
         kwargs["seed"] = args.seed
+    if args.fault_scenario is not None:
+        if not entry.takes_faults:
+            parser_error = (
+                f"experiment {entry.id!r} does not take --fault-scenario"
+            )
+            print(parser_error, file=sys.stderr)
+            return 2
+        from pathlib import Path
+
+        from ..faults.schedule import FaultSchedule
+
+        kwargs["schedule"] = FaultSchedule.from_json(
+            Path(args.fault_scenario).read_text(encoding="utf-8")
+        )
 
     result = entry.runner(**kwargs)
     if hasattr(result, "render"):

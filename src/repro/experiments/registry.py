@@ -12,6 +12,7 @@ from .ablations import (
     run_ablation_ttl,
     run_empirical_bounds,
 )
+from .drill import run_drill
 from .fig3_bounds import run_fig3
 from .fig5_latency import run_fig5
 from .fig6_baseline import run_fig6
@@ -29,6 +30,8 @@ class ExperimentEntry:
     description: str
     runner: Callable[..., object]
     takes_scale: bool = True
+    #: Accepts a ``schedule=`` FaultSchedule (CLI ``--fault-scenario``).
+    takes_faults: bool = False
 
 
 _ENTRIES = [
@@ -99,6 +102,15 @@ _ENTRIES = [
         description="A5 — empirical hole probability vs the Figure 3 bound (§8.1)",
         runner=run_empirical_bounds,
         takes_scale=False,
+    ),
+    ExperimentEntry(
+        id="drill",
+        description=(
+            "Fault drill — scenario file vs journaled cluster with "
+            "durable same-id recovery"
+        ),
+        runner=run_drill,
+        takes_faults=True,
     ),
 ]
 

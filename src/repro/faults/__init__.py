@@ -13,7 +13,13 @@ crashed nodes), post-mortems from
 from the Lemma 7 helpers in :mod:`repro.faults.adaptive`.
 """
 
-from .adaptive import MAX_RATE, ObservedConditions, adapt_config, lemma7_parameters
+from .adaptive import (
+    MAX_RATE,
+    ObservedConditions,
+    adapt_config,
+    lemma7_parameters,
+    supervisor_adaptation,
+)
 from .runtime_injector import AsyncFaultInjector
 from .schedule import (
     CorruptDatagrams,
@@ -49,4 +55,5 @@ __all__ = [
     "adapt_config",
     "check_survivors",
     "lemma7_parameters",
+    "supervisor_adaptation",
 ]

@@ -15,10 +15,14 @@ the next restart, turning the static bounds into a feedback loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from ..core.config import EpToConfig
 from ..core.errors import ConfigurationError
 from ..core.params import DEFAULT_C, DerivedParameters, derive_parameters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.cluster import AsyncCluster
 
 #: Observed rates are clamped below this before entering the Lemma 7
 #: formulas, which diverge as churn or loss approach 1. A measured rate
@@ -156,3 +160,53 @@ def adapt_config(
         fanout=max(config.fanout, derived.fanout),
         ttl=max(config.ttl, derived.ttl),
     )
+
+
+@dataclass(slots=True)
+class _CrashTally:
+    """Duck-typed churn_stats for :meth:`ObservedConditions.from_run`."""
+
+    crashes: int = 0
+
+
+def supervisor_adaptation(
+    c: float = DEFAULT_C,
+    include_bursts: bool = True,
+) -> "Callable[[AsyncCluster], EpToConfig]":
+    """An adaptation callback for :class:`repro.faults.supervisor.NodeSupervisor`.
+
+    Closes the Lemma 7 loop at the moment it matters: each time the
+    supervisor is about to resurrect a node, the returned callback
+    measures the cluster the restart will rejoin — population, rounds
+    elapsed (the deepest round counter any live process reached),
+    message loss from the fabric's counters, and churn from the corpse
+    count — and re-derives fanout/TTL via :func:`adapt_config`. The
+    replacement then comes up under parameters sized for the churn and
+    loss actually observed, not the ones guessed at deployment time;
+    fanout/TTL only ever ratchet up from the configured floor.
+
+    Usage::
+
+        supervisor = NodeSupervisor(cluster, adapt=supervisor_adaptation())
+    """
+
+    def adapt(cluster: "AsyncCluster") -> EpToConfig:
+        population = max(2, len(cluster.nodes))
+        rounds = max(
+            [1]
+            + [
+                node.process.dissemination.stats.rounds
+                for node in cluster.nodes.values()
+            ]
+        )
+        crashed = sum(1 for node in cluster.nodes.values() if node.crashed)
+        observed = ObservedConditions.from_run(
+            population=population,
+            rounds=rounds,
+            network_stats=getattr(cluster.network, "stats", None),
+            churn_stats=_CrashTally(crashes=crashed),
+            include_bursts=include_bursts,
+        )
+        return adapt_config(cluster.config, observed, c=c)
+
+    return adapt

@@ -19,6 +19,13 @@ network fabric and the PSS directory, and from then on delivers new
 events in the same total order as everyone else — the
 recovery-after-transient-fault behaviour that motivates
 self-stabilizing total-order broadcast (Lundström et al., 2022).
+
+On a cluster provisioned with ``storage_dir``, a supervised restart
+additionally recovers the node's durable state from disk (snapshot +
+delivery-log replay, :mod:`repro.storage`) rather than starting blank,
+and the optional ``adapt`` hook lets each restart come up under
+Lemma 7 parameters recomputed for the churn and loss actually observed
+(:func:`repro.faults.adaptive.supervisor_adaptation`).
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Set
 
+from ..core.config import EpToConfig
 from ..runtime.cluster import AsyncCluster
 from ..runtime.node import AsyncEpToNode
 
@@ -58,6 +66,12 @@ class NodeSupervisor:
             reset.
         on_restart: Optional callback ``(node_id, attempt)`` invoked
             after each successful restart.
+        adapt: Optional Lemma 7 feedback hook: called with the cluster
+            right before each respawn, returns the
+            :class:`~repro.core.config.EpToConfig` the replacement
+            starts under (see
+            :func:`repro.faults.adaptive.supervisor_adaptation`).
+            ``None`` restarts nodes under the cluster-wide config.
     """
 
     def __init__(
@@ -70,6 +84,7 @@ class NodeSupervisor:
         max_restarts: int = 8,
         healthy_after: float = 5.0,
         on_restart: Callable[[int, int], None] | None = None,
+        adapt: Callable[[AsyncCluster], "EpToConfig"] | None = None,
     ) -> None:
         self.cluster = cluster
         self.poll_interval = poll_interval
@@ -80,6 +95,9 @@ class NodeSupervisor:
         self.healthy_after = healthy_after
         self.stats = SupervisorStats()
         self._on_restart = on_restart
+        self._adapt = adapt
+        #: node id -> config each adapted restart used (diagnostics).
+        self.adapted_configs: Dict[int, EpToConfig] = {}
         self._task: Optional[asyncio.Task] = None
         self._restart_tasks: Dict[int, asyncio.Task] = {}
         self._last_restart: Dict[int, float] = {}
@@ -156,7 +174,13 @@ class NodeSupervisor:
             node = self.cluster.nodes.get(node_id)
             if node is None or not node.crashed:
                 return  # removed, or somebody else revived it
-            replacement: AsyncEpToNode = await self.cluster.respawn_node(node_id)
+            config: Optional[EpToConfig] = None
+            if self._adapt is not None:
+                config = self._adapt(self.cluster)
+                self.adapted_configs[node_id] = config
+            replacement: AsyncEpToNode = await self.cluster.respawn_node(
+                node_id, config=config
+            )
             replacement.start()
             attempt = self.stats.attempts.get(node_id, 0) + 1
             self.stats.attempts[node_id] = attempt

@@ -16,7 +16,15 @@ from .collector import (
     NodeLifetime,
 )
 from .report import format_ascii_cdf, format_cdf_series, format_table
-from .trace import RoundStats, TraceError, export_trace, load_trace, round_timeline
+from .trace import (
+    RoundStats,
+    TraceError,
+    export_trace,
+    load_delivery_log,
+    load_delivery_logs,
+    load_trace,
+    round_timeline,
+)
 
 __all__ = [
     "BroadcastRecord",
@@ -38,6 +46,8 @@ __all__ = [
     "format_ascii_cdf",
     "format_cdf_series",
     "format_table",
+    "load_delivery_log",
+    "load_delivery_logs",
     "load_trace",
     "percentile",
     "round_timeline",

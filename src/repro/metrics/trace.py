@@ -5,6 +5,13 @@ Experiments often outlive one Python session: this module serializes a
 archival / external plotting, loads traces back, and aggregates
 per-round timelines (broadcasts and deliveries per round interval) —
 the raw material behind delivery-delay CDFs and churn timelines.
+
+Durable delivery logs (:mod:`repro.storage`) are a second trace
+source: :func:`load_delivery_log` / :func:`load_delivery_logs` rebuild
+a collector straight from the segments a journaled node wrote, so the
+same order/hole analyses — and
+:class:`repro.workloads.replay.TraceReplayWorkload` — run over what
+actually hit disk.
 """
 
 from __future__ import annotations
@@ -126,6 +133,77 @@ def load_trace(path: Union[str, Path]) -> DeliveryCollector:
                 f"delivery of unknown event {obj['id']} in {path}"
             )
         collector.record_delivery(obj["node"], event, obj["time"])
+    return collector
+
+
+def load_delivery_log(
+    directory: Union[str, Path],
+    node_id: int | None = None,
+    collector: DeliveryCollector | None = None,
+) -> DeliveryCollector:
+    """Rebuild a collector from one node's durable delivery log.
+
+    *directory* is a node storage directory as laid out by
+    :class:`repro.storage.journal.DeliveryJournal` (segments under
+    ``log/``), or the segment directory itself. Each durable delivery
+    record becomes one broadcast record (keyed by the event, timed at
+    its logical timestamp) plus one delivery by *node_id* — enough for
+    order/hole analysis and for
+    :class:`repro.workloads.replay.TraceReplayWorkload` to re-drive the
+    recorded schedule. Broadcast sequence markers carry no payload and
+    are skipped. Torn or corrupt segments are absorbed exactly as in
+    recovery: the read stops at the last valid record.
+
+    Args:
+        directory: Node storage directory or ``log/`` directory.
+        node_id: Delivering node recorded into the collector; inferred
+            from a ``node-<id>`` directory name when omitted (0 as the
+            last resort).
+        collector: Merge target (used by :func:`load_delivery_logs`);
+            a fresh collector is created when omitted.
+    """
+    from ..storage.log import DeliveryLog
+    from ..storage.records import DeliveryRecord as DurableDelivery
+    from ..storage.recovery import LOG_SUBDIR
+
+    directory = Path(directory)
+    log_dir = directory / LOG_SUBDIR if (directory / LOG_SUBDIR).is_dir() else directory
+    if not log_dir.is_dir():
+        raise TraceError(f"no delivery log at {directory}")
+    if node_id is None:
+        name = directory.name
+        if name == LOG_SUBDIR:
+            name = directory.parent.name
+        node_id = int(name[5:]) if name.startswith("node-") and name[5:].isdigit() else 0
+    collector = collector if collector is not None else DeliveryCollector()
+    log = DeliveryLog(log_dir)
+    try:
+        for record in log.records():
+            if not isinstance(record, DurableDelivery):
+                continue
+            event = record.event
+            if event.id not in collector.known_broadcast_ids():
+                collector.record_broadcast(event, event.ts)
+            collector.record_delivery(node_id, event, event.ts)
+    finally:
+        log.close()
+    return collector
+
+
+def load_delivery_logs(root: Union[str, Path]) -> DeliveryCollector:
+    """Merge every ``node-<id>/`` delivery log under *root* into one
+    collector — the durable view of a whole journaled cluster
+    (``storage_dir`` of a :class:`~repro.sim.cluster.SimCluster` or
+    :class:`~repro.runtime.cluster.AsyncCluster`)."""
+    root = Path(root)
+    node_dirs = sorted(
+        p for p in root.glob("node-*") if p.is_dir() and p.name[5:].isdigit()
+    )
+    if not node_dirs:
+        raise TraceError(f"no node-<id> storage directories under {root}")
+    collector = DeliveryCollector()
+    for node_dir in node_dirs:
+        load_delivery_log(node_dir, collector=collector)
     return collector
 
 

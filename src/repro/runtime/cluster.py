@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, List, Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
 
 from ..core.config import EpToConfig
 from ..core.errors import MembershipError
@@ -13,6 +14,10 @@ from ..pss.cyclon import CyclonPss
 from ..pss.uniform import UniformViewPss
 from .node import AsyncEpToNode
 from .transport import AsyncNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..storage.journal import DeliveryJournal
+    from ..storage.recovery import RecoveredState
 
 
 class AsyncCluster:
@@ -36,6 +41,19 @@ class AsyncCluster:
         seed: Base seed for node randomness.
         expected_size: System-size hint forwarded to nodes; required
             when ``config.expose_stability`` is set.
+        storage_dir: Root directory for durable per-node journals
+            (:mod:`repro.storage`). When set, every node appends its
+            deliveries and broadcast sequence to
+            ``storage_dir/node-<id>/`` and :meth:`respawn_node`
+            restores crashed nodes from disk (snapshot + log replay,
+            with re-delivery dedupe) instead of starting them blank.
+            ``None`` (the default) keeps the cluster fully in-memory
+            with zero storage overhead.
+        storage_fsync: Log fsync policy for journaled nodes
+            (:data:`repro.storage.log.FSYNC_POLICIES`). The default
+            ``"rotate"`` is the sweet spot for crash *simulation*:
+            every append is flushed to the OS, so in-process "crashes"
+            lose nothing.
     """
 
     def __init__(
@@ -46,6 +64,8 @@ class AsyncCluster:
         drift_fraction: float = 0.0,
         seed: int = 0,
         expected_size: Optional[int] = None,
+        storage_dir: Union[str, Path, None] = None,
+        storage_fsync: str = "rotate",
     ) -> None:
         if pss not in ("uniform", "cyclon"):
             raise MembershipError(f"unknown PSS kind {pss!r}")
@@ -55,6 +75,8 @@ class AsyncCluster:
         self.drift_fraction = drift_fraction
         self.seed = seed
         self.expected_size = expected_size
+        self.storage_dir = Path(storage_dir) if storage_dir is not None else None
+        self.storage_fsync = storage_fsync
         self.directory = MembershipDirectory()
         self.nodes: Dict[int, AsyncEpToNode] = {}
         #: node id -> events delivered, in order (the shared journal).
@@ -62,6 +84,10 @@ class AsyncCluster:
         #: node id -> journal indices at which each respawn began, so
         #: checkers can evaluate a recovered node's post-restart suffix.
         self.restart_indices: Dict[int, List[int]] = {}
+        #: node id -> live durable journal (only when ``storage_dir``).
+        self.journals: Dict[int, "DeliveryJournal"] = {}
+        #: node id -> recovery outcomes, one per respawn-from-disk.
+        self.recoveries: Dict[int, List["RecoveredState"]] = {}
         #: user delivery callbacks, kept so respawned nodes re-wire them.
         self._on_deliver: Dict[int, Optional[Callable[[Event], None]]] = {}
         self._next_id = 0
@@ -83,22 +109,49 @@ class AsyncCluster:
         self._next_id += 1
         self.deliveries[node_id] = []
         self._on_deliver[node_id] = on_deliver
-        return self._provision(node_id)
+        return self._provision(node_id, journal=self._open_journal(node_id))
 
     def add_nodes(self, count: int) -> List[AsyncEpToNode]:
         """Provision *count* nodes."""
         return [self.add_node() for _ in range(count)]
 
-    def _provision(self, node_id: int) -> AsyncEpToNode:
+    def node_storage_dir(self, node_id: int) -> Path:
+        """The durable storage directory of *node_id*."""
+        if self.storage_dir is None:
+            raise MembershipError("cluster has no storage_dir configured")
+        return self.storage_dir / f"node-{node_id}"
+
+    def _open_journal(
+        self, node_id: int, resume: "RecoveredState | None" = None
+    ) -> "DeliveryJournal | None":
+        if self.storage_dir is None:
+            return None
+        from ..storage.journal import DeliveryJournal
+
+        journal = DeliveryJournal(
+            self.node_storage_dir(node_id),
+            fsync=self.storage_fsync,
+            resume=resume,
+        )
+        self.journals[node_id] = journal
+        return journal
+
+    def _provision(
+        self,
+        node_id: int,
+        config: EpToConfig | None = None,
+        journal: "DeliveryJournal | None" = None,
+    ) -> AsyncEpToNode:
         """Build and register a node object for *node_id* (fresh or
         respawned); the delivery journal must already exist."""
 
-        def journal(event: Event) -> None:
+        def record(event: Event) -> None:
             self.deliveries[node_id].append(event)
             callback = self._on_deliver.get(node_id)
             if callback is not None:
                 callback(event)
 
+        config = config if config is not None else self.config
         if self.pss_kind == "uniform":
             pss = UniformViewPss(
                 node_id,
@@ -106,7 +159,7 @@ class AsyncCluster:
                 rng=self._fork_rng(f"pss:{node_id}"),
             )
         else:
-            fanout = self.config.fanout
+            fanout = config.fanout
             pss = CyclonPss(
                 node_id=node_id,
                 view_size=2 * fanout,
@@ -118,13 +171,14 @@ class AsyncCluster:
 
         node = AsyncEpToNode(
             node_id=node_id,
-            config=self.config,
+            config=config,
             network=self.network,
             peer_sampler=pss,
-            on_deliver=journal,
+            on_deliver=record,
             drift_fraction=self.drift_fraction,
             seed=self.seed,
             system_size_hint=self.expected_size,
+            journal=journal,
         )
         self.directory.add(node_id)
         self.nodes[node_id] = node
@@ -137,6 +191,9 @@ class AsyncCluster:
             raise MembershipError(f"node {node_id} is not in the cluster")
         await node.stop()
         self.directory.remove(node_id)
+        journal = self.journals.pop(node_id, None)
+        if journal is not None and not journal.closed:
+            journal.close()
 
     def crash_node(self, node_id: int) -> AsyncEpToNode:
         """Abruptly kill *node_id* (fault injection).
@@ -152,7 +209,9 @@ class AsyncCluster:
         self.directory.remove(node_id)
         return node
 
-    async def respawn_node(self, node_id: int) -> AsyncEpToNode:
+    async def respawn_node(
+        self, node_id: int, config: EpToConfig | None = None
+    ) -> AsyncEpToNode:
         """Replace a crashed node with a fresh process of the same id.
 
         The replacement keeps the node's delivery journal and user
@@ -160,6 +219,23 @@ class AsyncCluster:
         event ids stay unique), re-registers with the network fabric
         and the PSS directory, and — on socket-backed fabrics — rebinds
         its socket. The caller starts it (``node.start()``).
+
+        On a cluster with ``storage_dir``, the replacement first runs
+        :func:`repro.storage.recovery.recover` over the corpse's
+        directory: its broadcast sequence resumes from the maximum of
+        the in-memory corpse counter and the durable record, its fresh
+        journal inherits the recovered dedupe watermark (so re-gossiped
+        pre-crash events never reach the callback again), and the
+        :class:`~repro.storage.recovery.RecoveredState` is appended to
+        :attr:`recoveries` for the caller to restore application state
+        from.
+
+        Args:
+            config: Optional replacement EpTO configuration — the hook
+                a Lemma 7 adaptation uses to respawn under recomputed
+                K/TTL (see
+                :func:`repro.faults.adaptive.supervisor_adaptation`).
+                ``None`` keeps the cluster-wide configuration.
         """
         corpse = self.nodes.get(node_id)
         if corpse is None:
@@ -169,8 +245,23 @@ class AsyncCluster:
         self.restart_indices.setdefault(node_id, []).append(
             len(self.deliveries[node_id])
         )
-        node = self._provision(node_id)
-        node.process.resume_sequence(corpse.process.dissemination.issued_sequence)
+        journal = None
+        resume_seq = corpse.process.dissemination.issued_sequence
+        if self.storage_dir is not None:
+            # Two-writer guard: the corpse's journal object survives the
+            # simulated crash (in-process fault injection never runs
+            # close()), so seal it before the successor opens the log.
+            old = self.journals.get(node_id)
+            if old is not None and not old.closed:
+                old.close()
+            from ..storage.recovery import recover
+
+            recovered = recover(node_id, self.node_storage_dir(node_id))
+            self.recoveries.setdefault(node_id, []).append(recovered)
+            resume_seq = max(resume_seq, recovered.next_seq)
+            journal = self._open_journal(node_id, resume=recovered)
+        node = self._provision(node_id, config=config, journal=journal)
+        node.process.resume_sequence(resume_seq)
         open_socket = getattr(self.network, "open", None)
         if open_socket is not None:
             await open_socket(node_id)
@@ -182,9 +273,12 @@ class AsyncCluster:
             node.start()
 
     async def stop_all(self) -> None:
-        """Stop every node."""
+        """Stop every node (and close its durable journal, if any)."""
         for node in list(self.nodes.values()):
             await node.stop()
+        for journal in self.journals.values():
+            if not journal.closed:
+                journal.close()
 
     # ------------------------------------------------------------------
     # Helpers

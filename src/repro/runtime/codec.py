@@ -61,25 +61,51 @@ def encode(sender: int, message: WireMessage) -> bytes:
         CodecError: If a payload is not JSON-serializable or the
             encoded message exceeds :data:`MAX_DATAGRAM`.
     """
+    buffer = bytearray()
+    _encode_into(sender, message, buffer)
+    return bytes(buffer)
+
+
+def encode_into(
+    sender: int, message: WireMessage, buffer: bytearray
+) -> memoryview:
+    """Serialize *message* into *buffer* (cleared first), allocation-free.
+
+    The pooled twin of :func:`encode` for hot send paths: the caller
+    owns a reusable ``bytearray`` and receives a read-only view of the
+    encoded datagram, valid until the next ``encode_into`` on the same
+    buffer. An EpTO round fans one ball out to K peers — with a pooled
+    buffer the per-round garbage is zero instead of one fresh ``bytes``
+    per round (see :meth:`repro.runtime.udp.UdpNetwork.send_many`).
+
+    Raises:
+        CodecError: Same conditions as :func:`encode`; the buffer
+            contents are unspecified after a failure.
+    """
+    del buffer[:]
+    _encode_into(sender, message, buffer)
+    return memoryview(buffer).toreadonly()
+
+
+def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> None:
     if isinstance(message, CyclonRequest):
-        body = _encode_cyclon(message.entries)
         kind, count = _KIND_CYCLON_REQ, len(message.entries)
     elif isinstance(message, CyclonResponse):
-        body = _encode_cyclon(message.entries)
         kind, count = _KIND_CYCLON_RESP, len(message.entries)
     elif isinstance(message, tuple):
-        body = _encode_ball(message)
         kind, count = _KIND_BALL, len(message)
     else:
         raise CodecError(f"cannot encode message of type {type(message).__name__}")
-
-    datagram = _HEADER.pack(_MAGIC, _VERSION, kind, sender, count) + body
-    if len(datagram) > MAX_DATAGRAM:
+    buffer += _HEADER.pack(_MAGIC, _VERSION, kind, sender, count)
+    if kind == _KIND_BALL:
+        _encode_ball_into(message, buffer)
+    else:
+        buffer += _encode_cyclon(message.entries)
+    if len(buffer) > MAX_DATAGRAM:
         raise CodecError(
-            f"encoded message is {len(datagram)} bytes, exceeding the "
+            f"encoded message is {len(buffer)} bytes, exceeding the "
             f"{MAX_DATAGRAM}-byte datagram cap"
         )
-    return datagram
 
 
 def decode(datagram: bytes) -> Tuple[int, WireMessage]:
@@ -110,14 +136,13 @@ def decode(datagram: bytes) -> Tuple[int, WireMessage]:
 # ----------------------------------------------------------------------
 
 
-def _encode_ball(ball: Ball) -> bytes:
+def _encode_ball_into(ball: Ball, buffer: bytearray) -> None:
     # The cumulative size is tracked while encoding so an oversized
     # ball is rejected at the first entry that crosses the cap, instead
     # of serializing every remaining entry first and failing at the
     # end. The error names how far encoding got, which is what callers
     # need to size their balls (or split them) correctly.
-    chunks = []
-    size = _HEADER.size
+    size = len(buffer)
     for index, entry in enumerate(ball):
         event = entry.event
         try:
@@ -133,13 +158,10 @@ def _encode_ball(ball: Ball) -> bytes:
                 f"pushes the encoded message to {size} bytes, exceeding the "
                 f"{MAX_DATAGRAM}-byte datagram cap"
             )
-        chunks.append(
-            _BALL_ENTRY.pack(
-                event.ts, event.source_id, event.seq, entry.ttl, len(payload)
-            )
+        buffer += _BALL_ENTRY.pack(
+            event.ts, event.source_id, event.seq, entry.ttl, len(payload)
         )
-        chunks.append(payload)
-    return b"".join(chunks)
+        buffer += payload
 
 
 def _decode_ball(body: bytes, count: int) -> Ball:

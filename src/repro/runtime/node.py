@@ -18,13 +18,16 @@ from __future__ import annotations
 import asyncio
 import random
 import time
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..core.config import EpToConfig
 from ..core.event import Event
 from ..core.interfaces import PeerSampler
 from ..core.process import EpToProcess
 from .transport import AsyncNetwork, AsyncNodeTransport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..storage.journal import DeliveryJournal
 
 
 def _monotonic_millis() -> int:
@@ -46,6 +49,13 @@ class AsyncEpToNode:
         on_out_of_order: Optional §8.2 tagged-delivery callback.
         drift_fraction: Uniform jitter applied to each round sleep.
         seed: Seed for this node's randomness (peer choice, drift).
+        journal: Optional :class:`repro.storage.journal.DeliveryJournal`
+            making this node's history durable. Every delivery is
+            appended before the callback runs, and deliveries the
+            journal identifies as pre-crash re-deliveries are dropped
+            without reaching the callback. ``None`` (the default) keeps
+            the delivery path byte-for-byte identical to a node built
+            before this hook existed.
     """
 
     def __init__(
@@ -59,12 +69,22 @@ class AsyncEpToNode:
         drift_fraction: float = 0.0,
         seed: int = 0,
         system_size_hint: int | None = None,
+        journal: "DeliveryJournal | None" = None,
     ) -> None:
         self.node_id = node_id
         self.config = config
         self.network = network
+        self.journal = journal
         self._drift_fraction = drift_fraction
         self._rng = random.Random(f"{seed}:async:{node_id}")
+        if journal is not None:
+            user_deliver = on_deliver
+
+            def journaled_deliver(event: Event) -> None:
+                if journal.record_delivery(event):
+                    user_deliver(event)
+
+            on_deliver = journaled_deliver
         self.process = EpToProcess(
             node_id=node_id,
             config=config,
@@ -161,7 +181,13 @@ class AsyncEpToNode:
 
     def broadcast(self, payload: Any = None) -> Event:
         """EpTO-broadcast *payload* from this node."""
-        return self.process.broadcast(payload)
+        event = self.process.broadcast(payload)
+        if self.journal is not None:
+            # Persist the issued sequence before the ball leaves, so a
+            # replacement never reuses this (source, seq) id even when
+            # the event was still in flight at crash time.
+            self.journal.record_broadcast(event)
+        return event
 
     @property
     def delivered_count(self) -> int:

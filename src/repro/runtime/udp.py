@@ -36,6 +36,11 @@ Fault injection surface (driven by
 The EpTO fan-out uses :meth:`UdpNetwork.send_many`: one ball is
 serialized once per round and the same bytes are shipped to all K
 peers (``stats.encoded_datagrams`` vs ``stats.sent`` shows the saving).
+Serialization writes into a pooled ``bytearray`` owned by the fabric
+(:func:`repro.runtime.codec.encode_into`), so the steady-state send
+path allocates no fresh ``bytes`` object per round; only the deferred
+paths (latency-spiked sends, corrupted copies) take an owned copy,
+because the pool is overwritten by the next encode.
 """
 
 from __future__ import annotations
@@ -46,7 +51,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..core.errors import MembershipError
-from .codec import CodecError, decode, encode
+from .codec import CodecError, decode, encode_into
 
 #: Inbox callback: ``handler(src, message)``.
 UdpMessageHandler = Callable[[int, Any], None]
@@ -122,6 +127,11 @@ class UdpNetwork:
         self._transports: Dict[int, asyncio.DatagramTransport] = {}
         self._addresses: Dict[int, Tuple[str, int]] = {}
         self._rng = random.Random(seed)
+        # Shared encode pool: every outgoing datagram is serialized
+        # into this one buffer and fanned out as a read-only view, so
+        # the hot path is allocation-free. Any send that outlives the
+        # current dispatch (delayed or corrupted datagrams) must copy.
+        self._encode_buffer = bytearray()
         # Partition: node id -> group label (None group is implicit).
         self._partition: Dict[int, object] = {}
         self._partitioned = False
@@ -187,13 +197,19 @@ class UdpNetwork:
         for dst in dsts:
             self._dispatch(src, dst, datagram)
 
-    def _encode(self, src: int, message: Any) -> bytes:
-        """Serialize one message, counting successful encodes."""
-        datagram = encode(src, message)
+    def _encode(self, src: int, message: Any) -> memoryview:
+        """Serialize one message into the shared pool buffer.
+
+        Returns a read-only view of :attr:`_encode_buffer`, valid until
+        the next encode. Safe because :meth:`_dispatch` hands the bytes
+        to the kernel (or copies them) synchronously before the next
+        message can be encoded.
+        """
+        datagram = encode_into(src, message, self._encode_buffer)
         self.stats.encoded_datagrams += 1
         return datagram
 
-    def _dispatch(self, src: int, dst: int, datagram: bytes) -> None:
+    def _dispatch(self, src: int, dst: int, datagram: memoryview) -> None:
         """Apply per-destination fault surfaces and ship *datagram*."""
         self.stats.sent += 1
         if self._crosses_partition(src, dst):
@@ -218,8 +234,10 @@ class UdpNetwork:
             self.stats.corrupted += 1
         delay = self._send_delay(now)
         if delay > 0.0:
+            # The pooled buffer will be overwritten long before the
+            # timer fires; a deferred send needs its own copy.
             self.stats.delayed += 1
-            loop.call_later(delay, self._sendto_later, src, datagram, address)
+            loop.call_later(delay, self._sendto_later, src, bytes(datagram), address)
         else:
             sender_transport.sendto(datagram, address)
 
@@ -312,8 +330,10 @@ class UdpNetwork:
             return True
         return asyncio.get_running_loop().time() < self._corrupt_until
 
-    def _corrupt(self, datagram: bytes) -> bytes:
-        """Mangle *datagram* so the receiving codec must reject it."""
+    def _corrupt(self, datagram) -> bytes:
+        """Mangle a copy of *datagram* so the receiving codec must
+        reject it; the pooled source buffer is never touched."""
+        datagram = bytes(datagram)
         mode = self._rng.randrange(3)
         if mode == 0:
             # Garble the magic: instant decode rejection.

@@ -16,7 +16,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Protocol, Sequence
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+)
 
 from ..core.config import EpToConfig
 from ..core.errors import MembershipError
@@ -29,6 +40,10 @@ from ..pss.uniform import UniformViewPss
 from .drift import DriftModel, UniformDrift
 from .engine import PeriodicTask, Simulator
 from .network import SimNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..storage.journal import DeliveryJournal
+    from ..storage.recovery import RecoveredState
 
 
 class GossipProcess(Protocol):
@@ -132,6 +147,16 @@ class SimCluster:
             factory is called with keyword arguments ``node_id``,
             ``pss``, ``transport``, ``on_deliver``, ``time_source``,
             ``rng``.
+        storage_dir: Root directory for durable per-node journals
+            (:mod:`repro.storage`). When set, every node's deliveries
+            and broadcast sequence are journaled under
+            ``storage_dir/node-<id>/`` and :meth:`respawn_node`
+            recovers crashed nodes from disk (snapshot + log replay,
+            with re-delivery dedupe ahead of the collector — and so
+            ahead of any :class:`~repro.smr.replica.ReplicatedService`
+            riding it). ``None`` keeps the simulation fully in-memory.
+        storage_fsync: Log fsync policy for journaled nodes
+            (:data:`repro.storage.log.FSYNC_POLICIES`).
     """
 
     def __init__(
@@ -141,12 +166,20 @@ class SimCluster:
         config: ClusterConfig,
         collector: DeliveryCollector | None = None,
         process_factory: ProcessFactory | None = None,
+        storage_dir: Union[str, Path, None] = None,
+        storage_fsync: str = "rotate",
     ) -> None:
         self.sim = sim
         self.network = network
         self.config = config
         self.collector = collector if collector is not None else DeliveryCollector()
         self._process_factory = process_factory
+        self.storage_dir = Path(storage_dir) if storage_dir is not None else None
+        self.storage_fsync = storage_fsync
+        #: node id -> live durable journal (only when ``storage_dir``).
+        self.journals: Dict[int, "DeliveryJournal"] = {}
+        #: node id -> recovery outcomes, one per respawn-from-disk.
+        self.recoveries: Dict[int, List["RecoveredState"]] = {}
         self.directory = MembershipDirectory()
         self._nodes: Dict[int, _ClusterNode] = {}
         self._next_id = 0
@@ -189,11 +222,38 @@ class SimCluster:
         self._next_id += 1
         return self._start_node(node_id)
 
-    def _start_node(self, node_id: int, resume_seq: Optional[int] = None) -> int:
+    def node_storage_dir(self, node_id: int) -> Path:
+        """The durable storage directory of *node_id*."""
+        if self.storage_dir is None:
+            raise MembershipError("cluster has no storage_dir configured")
+        return self.storage_dir / f"node-{node_id}"
+
+    def _open_journal(
+        self, node_id: int, resume: "RecoveredState | None" = None
+    ) -> "DeliveryJournal | None":
+        if self.storage_dir is None:
+            return None
+        from ..storage.journal import DeliveryJournal
+
+        journal = DeliveryJournal(
+            self.node_storage_dir(node_id),
+            fsync=self.storage_fsync,
+            resume=resume,
+        )
+        self.journals[node_id] = journal
+        return journal
+
+    def _start_node(
+        self,
+        node_id: int,
+        resume_seq: Optional[int] = None,
+        recovered: "RecoveredState | None" = None,
+    ) -> int:
         """Wire up and start a process under *node_id* (fresh or respawn)."""
         node_rng = self.sim.fork_rng(f"node:{node_id}")
         pss = self._build_pss(node_id, node_rng)
-        process = self._build_process(node_id, pss, node_rng)
+        journal = self._open_journal(node_id, resume=recovered)
+        process = self._build_process(node_id, pss, node_rng, journal)
         if resume_seq is not None:
             # Same-identity restart: never reissue a used (source, seq)
             # event id (see EventIdGenerator.resume). Hosted process
@@ -257,6 +317,9 @@ class SimCluster:
         self.network.unregister(node_id)
         self.directory.remove(node_id)
         self.collector.record_node_removed(node_id, self.sim.now())
+        journal = self.journals.pop(node_id, None)
+        if journal is not None and not journal.closed:
+            journal.close()
 
     def crash_node(self, node_id: int) -> None:
         """Crash *node_id*, remembering its broadcast sequence.
@@ -282,9 +345,16 @@ class SimCluster:
         (event ids stay unique — the same guarantee
         :meth:`repro.runtime.cluster.AsyncCluster.respawn_node` gives
         the asyncio runtime), re-registers with the network and the PSS
-        directory, and starts a new round timer. Its ordering state
-        starts empty, exactly like a real process restarted from a
-        checkpoint-free crash.
+        directory, and starts a new round timer. Its *ordering* state
+        always starts empty, exactly like a real process restarted
+        after a crash; on a cluster with ``storage_dir``, the durable
+        history does not — :func:`repro.storage.recovery.recover` runs
+        over the corpse's directory first, the broadcast sequence
+        resumes from the maximum of the in-memory and durable records,
+        and the fresh journal inherits the recovered dedupe watermark
+        so re-gossiped pre-crash events never reach the collector (or
+        the replicas above it) twice. Recovery outcomes accumulate in
+        :attr:`recoveries`.
         """
         try:
             issued = self._crashed.pop(node_id)
@@ -292,7 +362,14 @@ class SimCluster:
             raise MembershipError(
                 f"node {node_id} has not crashed (or already respawned)"
             ) from None
-        return self._start_node(node_id, resume_seq=issued)
+        recovered: "RecoveredState | None" = None
+        if self.storage_dir is not None:
+            from ..storage.recovery import recover
+
+            recovered = recover(node_id, self.node_storage_dir(node_id))
+            self.recoveries.setdefault(node_id, []).append(recovered)
+            issued = max(issued, recovered.next_seq)
+        return self._start_node(node_id, resume_seq=issued, recovered=recovered)
 
     def crashed_ids(self) -> Sequence[int]:
         """Ids crashed via :meth:`crash_node` and not yet respawned."""
@@ -314,6 +391,9 @@ class SimCluster:
         """EpTO-broadcast *payload* from *node_id*, recording metrics."""
         event = self.node(node_id).broadcast(payload)
         self.collector.record_broadcast(event, self.sim.now())
+        journal = self.journals.get(node_id)
+        if journal is not None:
+            journal.record_broadcast(event)
         return event
 
     # ------------------------------------------------------------------
@@ -342,10 +422,26 @@ class SimCluster:
         raise MembershipError(f"unknown PSS kind {self.config.pss!r}")
 
     def _build_process(
-        self, node_id: int, pss: object, node_rng: random.Random
+        self,
+        node_id: int,
+        pss: object,
+        node_rng: random.Random,
+        journal: "DeliveryJournal | None" = None,
     ) -> GossipProcess:
-        def on_deliver(event: Event) -> None:
+        def record(event: Event) -> None:
             self.collector.record_delivery(node_id, event, self.sim.now())
+
+        if journal is None:
+            on_deliver = record
+        else:
+            durable = journal
+
+            def on_deliver(event: Event) -> None:
+                # Journal first; a post-respawn re-delivery of an event
+                # already in the durable history is dropped before the
+                # collector (and any replica service above it) sees it.
+                if durable.record_delivery(event):
+                    record(event)
 
         if self._process_factory is not None:
             return self._process_factory(

@@ -31,6 +31,15 @@ class StateMachine(Protocol):
         """Return an immutable, comparable copy of the current state."""
         ...
 
+    def restore(self, state: Any) -> None:
+        """Replace the current state with a :meth:`snapshot` result.
+
+        Must accept the snapshot after a JSON round-trip (tuples come
+        back as lists) — durable snapshots
+        (:mod:`repro.storage.snapshot`) are stored as JSON.
+        """
+        ...
+
     def digest(self) -> str:
         """Return a short stable fingerprint of the current state."""
         ...
@@ -81,6 +90,9 @@ class KeyValueStore:
             for key, (value, version) in sorted(self._data.items())
         )
 
+    def restore(self, state: Any) -> None:
+        self._data = {key: (value, int(version)) for key, value, version in state}
+
     def digest(self) -> str:
         return _stable_digest(self.snapshot())
 
@@ -104,6 +116,9 @@ class Counter:
     def snapshot(self) -> int:
         return self.value
 
+    def restore(self, state: Any) -> None:
+        self.value = state
+
     def digest(self) -> str:
         return _stable_digest(self.value)
 
@@ -124,6 +139,9 @@ class AppendLog:
 
     def snapshot(self) -> Tuple[Any, ...]:
         return tuple(self.entries)
+
+    def restore(self, state: Any) -> None:
+        self.entries = list(state)
 
     def digest(self) -> str:
         return _stable_digest(self.entries)

@@ -63,6 +63,31 @@ class Replica:
             raise MembershipError("journaling disabled for this replica")
         return list(self._journal)
 
+    def snapshot(self) -> Any:
+        """The machine's current checkpointable state.
+
+        Pass this to :meth:`repro.storage.journal.DeliveryJournal.save_snapshot`
+        to checkpoint the replica durably; it is exactly what
+        :meth:`restore` (and machine ``restore`` during
+        :func:`repro.storage.recovery.recover`) accepts back.
+        """
+        return self.machine.snapshot()
+
+    def restore(self, state: Any, applied_count: int = 0) -> None:
+        """Reset the replica to a recovered *state*.
+
+        Args:
+            state: A :meth:`snapshot` result (possibly JSON round-tripped).
+            applied_count: Commands already folded into *state*
+                (:attr:`repro.storage.recovery.RecoveredState.applied_count`),
+                so the counter keeps meaning "commands applied ever".
+        """
+        self.machine.restore(state)
+        self.applied_count = applied_count
+        self.last_result = None
+        if self._journal is not None:
+            self._journal = []
+
     def digest(self) -> str:
         """Fingerprint of the machine state."""
         return self.machine.digest()

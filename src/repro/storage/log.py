@@ -1,0 +1,363 @@
+"""Segmented, CRC-checksummed append-only delivery log.
+
+The write-ahead half of the crash-recovery subsystem: every EpTO
+delivery (and every locally issued broadcast sequence number) is
+appended as one framed record, so a process restarted under the same
+identity can rebuild exactly what it had delivered — the durable
+counterpart of the in-memory journals the clusters keep.
+
+On-disk layout
+--------------
+
+A log is a directory of segment files named ``seg-<8-digit index>.log``.
+Each segment is a sequence of frames::
+
+    frame: length u32 | crc32 u32 | payload (length bytes)
+
+where ``crc32`` covers the payload only and the payload is one record
+from :mod:`repro.storage.records`. Segments rotate once they exceed
+``segment_max_bytes``; only the highest-indexed segment is ever
+appended to, so older ("sealed") segments are immutable and can be
+deleted wholesale when a snapshot covers them (:meth:`DeliveryLog.truncate_upto`).
+
+Failure handling
+----------------
+
+* **Torn tail** — a crash mid-``write`` leaves a partial frame at the
+  end of the active segment. Opening for append scans the tail segment
+  and truncates it back to the last frame boundary that checks out
+  (standard WAL repair), so the next append never lands after garbage.
+* **Corrupt interior** — a CRC mismatch anywhere makes the reader
+  *stop at the last valid record*. It never raises (crashing on the
+  artifact of the crash being recovered from would defeat recovery)
+  and never skips ahead (records after a corrupt region have no
+  trustworthy prefix, and replaying a command stream with an interior
+  gap silently diverges the state machine). What was lost is reported
+  in :attr:`DeliveryLog.last_read`.
+
+Durability is tunable per deployment via the fsync policy:
+``"never"`` (leave flushing to the OS — in-process crash simulations
+and benchmarks), ``"rotate"`` (fsync when sealing a segment and on
+close — bounded loss of one active segment), ``"always"`` (fsync every
+append — classic WAL durability, one ``fsync`` per delivery). Every
+append always ``flush()``\\ es to the OS, so an abrupt *process* death
+(the fault injector's crash model) loses nothing under any policy;
+the policies differ only in what a *machine* crash could lose.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Tuple, Union
+
+from ..core.errors import StorageError
+from ..core.event import OrderKey
+from .records import DeliveryRecord, LogRecord, decode_record, encode_record
+
+_FRAME = struct.Struct("!II")  # payload length, crc32(payload)
+
+#: Valid fsync policies, weakest to strongest.
+FSYNC_POLICIES = ("never", "rotate", "always")
+
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".log"
+
+
+def _segment_name(index: int) -> str:
+    return f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_index(path: Path) -> Optional[int]:
+    name = path.name
+    if not (name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+@dataclass(slots=True)
+class LogStats:
+    """Write-side counters of one log instance."""
+
+    appended: int = 0
+    bytes_written: int = 0
+    segments_created: int = 0
+    segments_deleted: int = 0
+    torn_bytes_repaired: int = 0
+    fsyncs: int = 0
+
+
+@dataclass(slots=True)
+class LogReadReport:
+    """What the last full read pass observed."""
+
+    records: int = 0
+    segments: int = 0
+    #: Where reading stopped short, as ``(segment name, byte offset)``;
+    #: ``None`` when every byte of every segment parsed cleanly.
+    stopped_at: Optional[Tuple[str, int]] = None
+    #: Why it stopped: ``"torn"`` (partial final frame), ``"crc"``
+    #: (checksum mismatch) or ``"decode"`` (unparseable payload).
+    stopped_reason: Optional[str] = None
+    #: Segments that were skipped entirely because they come after the
+    #: stop point (their prefix is untrusted).
+    segments_unread: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the whole log parsed end to end."""
+        return self.stopped_at is None
+
+
+class DeliveryLog:
+    """Append-only log of framed records across rotating segments.
+
+    Args:
+        directory: Log directory; created (with parents) if missing.
+        segment_max_bytes: Rotation threshold — an append that would
+            push the active segment past this seals it and starts the
+            next one. Must be large enough for one maximal frame.
+        fsync: Durability policy, one of :data:`FSYNC_POLICIES`.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        segment_max_bytes: int = 1 << 20,
+        fsync: str = "rotate",
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise StorageError(
+                f"unknown fsync policy {fsync!r}; use one of {FSYNC_POLICIES}"
+            )
+        if segment_max_bytes < _FRAME.size + 1:
+            raise StorageError(
+                f"segment_max_bytes must exceed one frame header, "
+                f"got {segment_max_bytes}"
+            )
+        self.directory = Path(directory)
+        self.segment_max_bytes = segment_max_bytes
+        self.fsync_policy = fsync
+        self.stats = LogStats()
+        #: Report of the most recent :meth:`records` pass.
+        self.last_read = LogReadReport()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+        indices = sorted(
+            idx
+            for path in self.directory.iterdir()
+            if (idx := _segment_index(path)) is not None
+        )
+        self._active_index = indices[-1] if indices else 0
+        self._repair_tail(self._active_path())
+        self._fh: Optional[IO[bytes]] = open(self._active_path(), "ab")
+        self._active_size = self._active_path().stat().st_size
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, record: LogRecord) -> None:
+        """Frame *record* and append it to the active segment.
+
+        Rotates first when the active segment is full. Always flushes
+        to the OS; fsyncs according to the policy.
+        """
+        fh = self._require_open()
+        payload = encode_record(record)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        if self._active_size > 0 and self._active_size + len(frame) > self.segment_max_bytes:
+            self._rotate()
+            fh = self._require_open()
+        fh.write(frame)
+        fh.flush()
+        if self.fsync_policy == "always":
+            os.fsync(fh.fileno())
+            self.stats.fsyncs += 1
+        self._active_size += len(frame)
+        self.stats.appended += 1
+        self.stats.bytes_written += len(frame)
+
+    def sync(self) -> None:
+        """Flush and fsync the active segment right now."""
+        fh = self._require_open()
+        fh.flush()
+        os.fsync(fh.fileno())
+        self.stats.fsyncs += 1
+
+    def close(self) -> None:
+        """Flush (and, unless policy is ``never``, fsync) and close."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        if self.fsync_policy != "never":
+            os.fsync(self._fh.fileno())
+            self.stats.fsyncs += 1
+        self._fh.close()
+        self._fh = None
+
+    @property
+    def closed(self) -> bool:
+        """Whether the log was closed (reads still work)."""
+        return self._fh is None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def records(self) -> Iterator[LogRecord]:
+        """Yield every record in append order, across all segments.
+
+        Reads from fresh file handles, so a closed (or other-process)
+        log can be read too. Stops — without raising — at the first
+        torn or corrupt frame; :attr:`last_read` describes how far it
+        got and why it stopped.
+        """
+        report = LogReadReport()
+        self.last_read = report
+        segments = self.segments()
+        for position, path in enumerate(segments):
+            report.segments += 1
+            data = path.read_bytes()
+            offset = 0
+            while offset < len(data):
+                frame = self._parse_frame(data, offset)
+                if isinstance(frame, str):
+                    report.stopped_at = (path.name, offset)
+                    report.stopped_reason = frame
+                    report.segments_unread = [
+                        later.name for later in segments[position + 1 :]
+                    ]
+                    return
+                record, offset = frame
+                report.records += 1
+                yield record
+
+    def delivered_events(self) -> Iterator[DeliveryRecord]:
+        """Yield only the delivery records (see :meth:`records`)."""
+        for record in self.records():
+            if isinstance(record, DeliveryRecord):
+                yield record
+
+    def segments(self) -> List[Path]:
+        """Segment paths, oldest first."""
+        return sorted(
+            (
+                path
+                for path in self.directory.iterdir()
+                if _segment_index(path) is not None
+            ),
+            key=lambda path: _segment_index(path),  # type: ignore[arg-type, return-value]
+        )
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+
+    def truncate_upto(self, order_key: OrderKey) -> int:
+        """Delete sealed segments fully covered by a snapshot.
+
+        A segment is deleted when every delivery record in it has an
+        order key ``<= order_key`` **and** it parses cleanly end to end
+        (a segment the reader cannot finish might hide records past the
+        snapshot). The active segment is never deleted. Returns the
+        number of segments removed.
+        """
+        removed = 0
+        active = self._active_path()
+        for path in self.segments():
+            if path == active:
+                continue
+            verdict = self._segment_covered(path, order_key)
+            if not verdict:
+                break  # later segments hold later keys; stop scanning
+            path.unlink()
+            removed += 1
+            self.stats.segments_deleted += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _segment_covered(self, path: Path, order_key: OrderKey) -> bool:
+        data = path.read_bytes()
+        offset = 0
+        while offset < len(data):
+            frame = self._parse_frame(data, offset)
+            if isinstance(frame, str):
+                return False
+            record, offset = frame
+            if (
+                isinstance(record, DeliveryRecord)
+                and record.event.order_key > order_key
+            ):
+                return False
+        return True
+
+    @staticmethod
+    def _parse_frame(
+        data: bytes, offset: int
+    ) -> Union[Tuple[LogRecord, int], str]:
+        """One frame at *offset*, or the reason it cannot be read."""
+        if offset + _FRAME.size > len(data):
+            return "torn"
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > len(data):
+            return "torn"
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return "crc"
+        try:
+            record = decode_record(payload)
+        except StorageError:
+            return "decode"
+        return record, end
+
+    def _active_path(self) -> Path:
+        return self.directory / _segment_name(self._active_index)
+
+    def _rotate(self) -> None:
+        fh = self._require_open()
+        fh.flush()
+        if self.fsync_policy in ("rotate", "always"):
+            os.fsync(fh.fileno())
+            self.stats.fsyncs += 1
+        fh.close()
+        self._active_index += 1
+        self._fh = open(self._active_path(), "ab")
+        self._active_size = 0
+        self.stats.segments_created += 1
+
+    def _repair_tail(self, path: Path) -> None:
+        """Truncate a torn final frame off the active segment."""
+        if not path.exists():
+            return
+        data = path.read_bytes()
+        offset = 0
+        while offset < len(data):
+            frame = self._parse_frame(data, offset)
+            if isinstance(frame, str):
+                break
+            _, offset = frame
+        if offset < len(data):
+            self.stats.torn_bytes_repaired += len(data) - offset
+            with open(path, "r+b") as fh:
+                fh.truncate(offset)
+
+    def _require_open(self) -> IO[bytes]:
+        if self._fh is None:
+            raise StorageError(f"log {self.directory} is closed")
+        return self._fh
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeliveryLog(dir={str(self.directory)!r}, "
+            f"segment={self._active_index}, appended={self.stats.appended})"
+        )

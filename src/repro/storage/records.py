@@ -1,0 +1,121 @@
+"""Binary record codec for the durable delivery log.
+
+Two record kinds flow through a :class:`~repro.storage.log.DeliveryLog`:
+
+* **delivery** — one totally ordered event the node EpTO-delivered,
+  carrying everything needed to rebuild the :class:`~repro.core.event.Event`
+  (``ts``, ``source_id``, ``seq``, JSON payload). Appended in delivery
+  order, so the log *is* the node's delivery sequence and replaying it
+  re-applies commands in total order.
+* **broadcast marker** — the per-source sequence number of an event
+  this node EpTO-broadcast. Markers exist so a same-identity restart
+  can resume its event-id sequence past everything it ever *issued*,
+  not merely everything it delivered — an event broadcast moments
+  before the crash may still be in flight, and reissuing its
+  ``(source, seq)`` id would violate integrity.
+
+The layout deliberately mirrors :mod:`repro.runtime.codec` (fixed
+big-endian structs plus JSON payloads, never pickle): decoding a log
+written by a crashed — or malicious — process must not execute code.
+Framing (length prefix + CRC32) lives in :mod:`repro.storage.log`;
+this module only encodes and decodes the frame payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.errors import StorageError
+from ..core.event import Event
+
+#: Payload kind tags (first byte of every record payload).
+KIND_DELIVERY = 1
+KIND_BROADCAST = 2
+
+_DELIVERY_HEAD = struct.Struct("!BqqqI")  # kind, ts, source, seq, payload_len
+_BROADCAST = struct.Struct("!Bq")  # kind, seq
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryRecord:
+    """One delivered event, as persisted."""
+
+    event: Event
+
+
+@dataclass(frozen=True, slots=True)
+class BroadcastMarker:
+    """Sequence-number high-water mark of a local broadcast."""
+
+    seq: int
+
+
+#: Everything a delivery log can hold.
+LogRecord = Union[DeliveryRecord, BroadcastMarker]
+
+
+def encode_record(record: LogRecord) -> bytes:
+    """Serialize *record* into an (unframed) payload.
+
+    Raises:
+        StorageError: If the event payload is not JSON-serializable or
+            the record type is unknown.
+    """
+    if isinstance(record, DeliveryRecord):
+        event = record.event
+        try:
+            payload = json.dumps(event.payload).encode()
+        except (TypeError, ValueError) as exc:
+            raise StorageError(
+                f"payload of event {event.id} is not JSON-serializable: {exc}"
+            ) from exc
+        return (
+            _DELIVERY_HEAD.pack(
+                KIND_DELIVERY, event.ts, event.source_id, event.seq, len(payload)
+            )
+            + payload
+        )
+    if isinstance(record, BroadcastMarker):
+        return _BROADCAST.pack(KIND_BROADCAST, record.seq)
+    raise StorageError(f"cannot encode log record of type {type(record).__name__}")
+
+
+def decode_record(payload: bytes) -> LogRecord:
+    """Parse one frame payload back into a record.
+
+    Raises:
+        StorageError: On any malformed payload. The log reader treats
+            this exactly like a CRC mismatch — stop, never skip.
+    """
+    if not payload:
+        raise StorageError("empty log record payload")
+    kind = payload[0]
+    if kind == KIND_DELIVERY:
+        if len(payload) < _DELIVERY_HEAD.size:
+            raise StorageError("truncated delivery record header")
+        _, ts, source, seq, payload_len = _DELIVERY_HEAD.unpack_from(payload)
+        raw = payload[_DELIVERY_HEAD.size :]
+        if len(raw) != payload_len:
+            raise StorageError(
+                f"delivery record payload is {len(raw)} bytes, expected {payload_len}"
+            )
+        try:
+            event_payload = json.loads(raw.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise StorageError(f"corrupt event payload: {exc}") from exc
+        return DeliveryRecord(
+            Event(id=(source, seq), ts=ts, source_id=source, payload=event_payload)
+        )
+    if kind == KIND_BROADCAST:
+        if len(payload) != _BROADCAST.size:
+            raise StorageError(
+                f"broadcast marker is {len(payload)} bytes, expected {_BROADCAST.size}"
+            )
+        _, seq = _BROADCAST.unpack(payload)
+        if seq < 0:
+            raise StorageError(f"negative broadcast sequence {seq}")
+        return BroadcastMarker(seq)
+    raise StorageError(f"unknown log record kind {kind}")

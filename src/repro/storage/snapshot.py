@@ -1,0 +1,210 @@
+"""Snapshot store for replicated state-machine state.
+
+A snapshot freezes everything the delivery log would otherwise have to
+replay: the machine state (whatever :meth:`StateMachine.snapshot`
+returns, as JSON), the order key of the last delivery folded into it,
+the next broadcast sequence number, and the total applied count. After
+a snapshot, log segments at or below the snapshot's key are dead
+weight and can be pruned (:meth:`repro.storage.log.DeliveryLog.truncate_upto`)
+— the checkpoint/truncate cycle of every WAL-based store.
+
+Snapshots are written crash-atomically: serialize to a temp file in
+the same directory, ``fsync`` it, then ``os.replace`` onto the final
+name (atomic on POSIX within one filesystem). A crash mid-save leaves
+either the old set of snapshots or the old set plus a complete new one
+— never a half-written file under a valid name. Each file embeds a
+CRC32 of its body, and :meth:`SnapshotStore.load_latest` falls back to
+the next-newest snapshot when the newest fails validation, which is
+why ``retain`` defaults to keeping more than one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Optional, Union
+
+from ..core.errors import StorageError
+from ..core.event import OrderKey
+
+_SNAP_PREFIX = "snap-"
+_SNAP_SUFFIX = ".json"
+
+
+def _snapshot_name(index: int) -> str:
+    return f"{_SNAP_PREFIX}{index:08d}{_SNAP_SUFFIX}"
+
+
+def _snapshot_index(path: Path) -> Optional[int]:
+    name = path.name
+    if not (name.startswith(_SNAP_PREFIX) and name.endswith(_SNAP_SUFFIX)):
+        return None
+    digits = name[len(_SNAP_PREFIX) : -len(_SNAP_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+@dataclass(frozen=True, slots=True)
+class Snapshot:
+    """One durable checkpoint of a replica.
+
+    Attributes:
+        index: Monotonically increasing snapshot number.
+        state: The machine state as returned by ``StateMachine.snapshot``
+            (round-tripped through JSON: tuples come back as lists —
+            machines' ``restore`` implementations accept either).
+        last_delivered_key: Order key ``(ts, src, seq)`` of the newest
+            delivery folded into *state*; ``None`` when nothing was
+            delivered yet.
+        next_seq: Broadcast sequence the node must resume from.
+        applied_count: Total commands applied into *state*.
+    """
+
+    index: int
+    state: Any
+    last_delivered_key: Optional[OrderKey]
+    next_seq: int
+    applied_count: int
+
+
+class SnapshotStore:
+    """Atomic, retained snapshots in one directory.
+
+    Args:
+        directory: Snapshot directory; created (with parents) if missing.
+        retain: How many newest snapshots to keep on :meth:`save`
+            (minimum 1; keep >= 2 so a latest-snapshot corruption still
+            recovers from the previous one).
+    """
+
+    def __init__(self, directory: Union[str, Path], retain: int = 2) -> None:
+        if retain < 1:
+            raise StorageError(f"retain must be >= 1, got {retain}")
+        self.directory = Path(directory)
+        self.retain = retain
+        #: Snapshot files that failed validation during loads.
+        self.rejected: List[str] = []
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+
+    def save(
+        self,
+        state: Any,
+        last_delivered_key: Optional[OrderKey],
+        next_seq: int,
+        applied_count: int = 0,
+    ) -> Snapshot:
+        """Write the next snapshot atomically; returns it.
+
+        Raises:
+            StorageError: If *state* is not JSON-serializable.
+        """
+        index = (self._latest_index() or 0) + 1
+        body = {
+            "index": index,
+            "state": state,
+            "last_delivered_key": (
+                list(last_delivered_key) if last_delivered_key is not None else None
+            ),
+            "next_seq": int(next_seq),
+            "applied_count": int(applied_count),
+        }
+        try:
+            encoded = json.dumps(body, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise StorageError(
+                f"snapshot state is not JSON-serializable: {exc}"
+            ) from exc
+        document = json.dumps(
+            {"crc": zlib.crc32(encoded.encode()), "body": body}, sort_keys=True
+        )
+
+        final = self.directory / _snapshot_name(index)
+        tmp = final.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(document)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        self._prune()
+        return Snapshot(
+            index=index,
+            state=state,
+            last_delivered_key=last_delivered_key,
+            next_seq=int(next_seq),
+            applied_count=int(applied_count),
+        )
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load_latest(self) -> Optional[Snapshot]:
+        """The newest snapshot that validates, or ``None``.
+
+        A snapshot whose CRC or structure fails validation is recorded
+        in :attr:`rejected` and the next-newest is tried — corruption
+        of the latest checkpoint degrades recovery (more log replay),
+        it must not abort it.
+        """
+        for path in sorted(
+            self._paths(), key=lambda p: _snapshot_index(p), reverse=True  # type: ignore[arg-type, return-value]
+        ):
+            snapshot = self._load(path)
+            if snapshot is not None:
+                return snapshot
+            self.rejected.append(path.name)
+        return None
+
+    def indices(self) -> List[int]:
+        """Snapshot indices currently on disk, oldest first."""
+        return sorted(
+            idx for path in self._paths() if (idx := _snapshot_index(path)) is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _load(self, path: Path) -> Optional[Snapshot]:
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            body = document["body"]
+            encoded = json.dumps(body, sort_keys=True)
+            if zlib.crc32(encoded.encode()) != document["crc"]:
+                return None
+            key = body["last_delivered_key"]
+            return Snapshot(
+                index=int(body["index"]),
+                state=body["state"],
+                last_delivered_key=tuple(key) if key is not None else None,
+                next_seq=int(body["next_seq"]),
+                applied_count=int(body["applied_count"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _paths(self) -> List[Path]:
+        return [
+            path for path in self.directory.iterdir() if _snapshot_index(path) is not None
+        ]
+
+    def _latest_index(self) -> Optional[int]:
+        indices = self.indices()
+        return indices[-1] if indices else None
+
+    def _prune(self) -> None:
+        paths = sorted(self._paths(), key=lambda p: _snapshot_index(p))  # type: ignore[arg-type, return-value]
+        for path in paths[: -self.retain]:
+            path.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SnapshotStore(dir={str(self.directory)!r}, "
+            f"snapshots={len(self._paths())})"
+        )

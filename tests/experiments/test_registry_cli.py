@@ -21,7 +21,8 @@ class TestRegistry:
             "ablation-guards",
             "ablation-empirical",
         }
-        assert set(REGISTRY) == figures | ablations
+        drills = {"drill"}
+        assert set(REGISTRY) == figures | ablations | drills
 
     def test_scale_flag_matches_runner_signature(self):
         for entry in REGISTRY.values():
@@ -81,3 +82,27 @@ class TestCli:
     def test_scale_flag_parsed(self, capsys):
         # fig3 ignores scale, but the flag must parse.
         assert main(["fig3", "--scale", "small"]) == 0
+
+
+class TestFaultScenarioFlag:
+    def scenario_file(self, tmp_path):
+        from repro.faults.schedule import CrashNodes, FaultSchedule
+
+        path = tmp_path / "scenario.json"
+        schedule = FaultSchedule(
+            [CrashNodes(at_round=3, nodes=(1,), recover_after=1)]
+        )
+        path.write_text(schedule.to_json())
+        return path
+
+    def test_drill_accepts_scenario_file(self, tmp_path, capsys):
+        assert main(["drill", "--fault-scenario", str(self.scenario_file(tmp_path))]) == 0
+        output = capsys.readouterr().out
+        assert "actions=1" in output
+        assert "safety:" in output
+        assert "timeline:" in output
+
+    def test_non_fault_experiment_rejects_scenario_file(self, tmp_path, capsys):
+        code = main(["fig3", "--fault-scenario", str(self.scenario_file(tmp_path))])
+        assert code == 2
+        assert "does not take --fault-scenario" in capsys.readouterr().err

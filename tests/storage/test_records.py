@@ -1,0 +1,60 @@
+"""Tests for the durable log record codec (repro.storage.records)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.event import Event
+from repro.storage.records import (
+    BroadcastMarker,
+    DeliveryRecord,
+    decode_record,
+    encode_record,
+)
+
+
+def event(ts: int, src: int, seq: int, payload=None) -> Event:
+    return Event(id=(src, seq), ts=ts, source_id=src, payload=payload)
+
+
+class TestRoundTrip:
+    def test_delivery_record(self):
+        record = DeliveryRecord(event(7, 3, 2, {"op": "put", "k": "a"}))
+        assert decode_record(encode_record(record)) == record
+
+    def test_broadcast_marker(self):
+        assert decode_record(encode_record(BroadcastMarker(41))) == BroadcastMarker(41)
+
+    def test_null_payload(self):
+        record = DeliveryRecord(event(1, 0, 0, None))
+        assert decode_record(encode_record(record)) == record
+
+
+class TestErrors:
+    def test_non_serializable_payload_rejected(self):
+        record = DeliveryRecord(event(1, 0, 0, object()))
+        with pytest.raises(StorageError):
+            encode_record(record)
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(StorageError):
+            encode_record("not a record")  # type: ignore[arg-type]
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(StorageError):
+            decode_record(b"")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StorageError):
+            decode_record(b"\x09rest")
+
+    def test_truncated_delivery_rejected(self):
+        good = encode_record(DeliveryRecord(event(7, 3, 2, "x")))
+        with pytest.raises(StorageError):
+            decode_record(good[:-1])
+
+    def test_corrupt_json_rejected(self):
+        good = encode_record(DeliveryRecord(event(7, 3, 2, "xy")))
+        with pytest.raises(StorageError):
+            decode_record(good[:-4] + b"\xff\xfe\xfd\xfc")

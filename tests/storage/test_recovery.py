@@ -1,0 +1,147 @@
+"""Tests for the recovery driver (repro.storage.recovery)."""
+
+from __future__ import annotations
+
+from repro.core.event import Event
+from repro.smr.machine import KeyValueStore
+from repro.storage.journal import DeliveryJournal
+from repro.storage.log import DeliveryLog
+from repro.storage.records import BroadcastMarker, DeliveryRecord
+from repro.storage.recovery import LOG_SUBDIR, recover
+
+
+def event(ts: int, src: int, seq: int, payload=None) -> Event:
+    return Event(id=(src, seq), ts=ts, source_id=src, payload=payload)
+
+
+def put(ts: int, src: int, seq: int, key: str, value) -> Event:
+    # Lists, not tuples: payloads must survive the JSON round trip.
+    return event(ts, src, seq, ["put", key, value])
+
+
+def kv_state(machine: KeyValueStore) -> dict:
+    return {key: value for key, value, _version in machine.snapshot()}
+
+
+class TestBlank:
+    def test_missing_directory_is_a_cold_start(self, tmp_path):
+        recovered = recover(3, tmp_path / "nope", machine=KeyValueStore())
+        assert recovered.blank
+        assert recovered.next_seq == 0
+        assert recovered.machine_state == ()
+
+    def test_empty_directory_is_a_cold_start(self, tmp_path):
+        assert recover(3, tmp_path).blank
+
+
+class TestLogReplay:
+    def test_log_suffix_is_applied_in_order(self, tmp_path):
+        log = DeliveryLog(tmp_path / LOG_SUBDIR)
+        log.append(DeliveryRecord(put(1, 2, 0, "x", 1)))
+        log.append(DeliveryRecord(put(2, 5, 0, "x", 2)))
+        log.append(DeliveryRecord(put(3, 2, 1, "y", 9)))
+        log.close()
+
+        machine = KeyValueStore()
+        recovered = recover(2, tmp_path, machine=machine)
+        assert recovered.replayed == 3
+        assert recovered.deduplicated == 0
+        assert kv_state(machine) == {"x": 2, "y": 9}
+        assert machine.version("x") == 2  # both writes applied, in order
+        assert recovered.last_delivered_key == (3, 2, 1)
+        assert recovered.applied_count == 3
+
+    def test_next_seq_from_markers_and_own_deliveries(self, tmp_path):
+        log = DeliveryLog(tmp_path / LOG_SUBDIR)
+        log.append(BroadcastMarker(4))  # issued but perhaps undelivered
+        log.append(DeliveryRecord(put(9, 2, 2, "k", 0)))  # own source, seq 2
+        log.append(DeliveryRecord(put(10, 7, 8, "k", 1)))  # other source
+        log.close()
+
+        recovered = recover(2, tmp_path)
+        # max(marker 4 + 1, own delivered seq 2 + 1); node 7's seq is not ours.
+        assert recovered.next_seq == 5
+
+    def test_duplicate_log_records_deduplicated_by_order_key(self, tmp_path):
+        log = DeliveryLog(tmp_path / LOG_SUBDIR)
+        log.append(DeliveryRecord(put(1, 2, 0, "x", 1)))
+        log.append(DeliveryRecord(put(1, 2, 0, "x", 1)))  # same key again
+        log.close()
+        recovered = recover(9, tmp_path, machine=KeyValueStore())
+        assert recovered.replayed == 1
+        assert recovered.deduplicated == 1
+
+    def test_torn_active_tail_is_repaired_and_replay_succeeds(self, tmp_path):
+        # A crash mid-write leaves a partial final frame; opening the
+        # log during recovery trims it and replay proceeds cleanly on
+        # everything durable before it. Never raises.
+        log = DeliveryLog(tmp_path / LOG_SUBDIR)
+        log.append(DeliveryRecord(put(1, 2, 0, "x", 1)))
+        log.append(DeliveryRecord(put(2, 2, 1, "y", 2)))
+        log.close()
+        segment = log.segments()[-1]
+        segment.write_bytes(segment.read_bytes()[:-5])
+
+        machine = KeyValueStore()
+        recovered = recover(2, tmp_path, machine=machine)
+        assert recovered.replayed == 1
+        assert kv_state(machine) == {"x": 1}
+        assert recovered.last_delivered_key == (1, 2, 0)
+
+    def test_torn_sealed_segment_stops_replay_without_raising(self, tmp_path):
+        # Open-time repair only covers the active tail: damage in a
+        # *sealed* segment makes the replay stop at the last valid
+        # record and report everything it could not trust.
+        log = DeliveryLog(tmp_path / LOG_SUBDIR, segment_max_bytes=64)
+        for i in range(4):
+            log.append(DeliveryRecord(put(i + 1, 2, i, f"k{i}", i)))
+        log.close()
+        segments = log.segments()
+        assert len(segments) >= 2
+        segments[0].write_bytes(segments[0].read_bytes()[:-5])
+
+        machine = KeyValueStore()
+        recovered = recover(2, tmp_path, machine=machine)
+        assert recovered.replayed < 4
+        assert not recovered.log_report.clean
+        assert recovered.log_report.stopped_reason == "torn"
+        assert recovered.log_report.segments_unread == [
+            p.name for p in segments[1:]
+        ]
+
+
+class TestSnapshotPlusSuffix:
+    def _journal_history(self, tmp_path):
+        """Write a realistic history: deliveries, snapshot, more deliveries."""
+        journal = DeliveryJournal(tmp_path, fsync="never")
+        machine = KeyValueStore()
+        first = [put(1, 0, 0, "a", 1), put(2, 1, 0, "b", 2)]
+        for ev in first:
+            assert journal.record_delivery(ev)
+            machine.apply(ev.payload)
+        journal.record_broadcast(first[0])
+        journal.save_snapshot(machine.snapshot())
+        suffix = [put(3, 0, 1, "a", 10), put(4, 1, 1, "c", 3)]
+        for ev in suffix:
+            assert journal.record_delivery(ev)
+            machine.apply(ev.payload)
+        journal.close()
+        return machine.snapshot()
+
+    def test_snapshot_then_suffix_replay(self, tmp_path):
+        final_state = self._journal_history(tmp_path)
+        machine = KeyValueStore()
+        recovered = recover(0, tmp_path, machine=machine)
+        assert recovered.snapshot_index == 1
+        assert recovered.machine_state == final_state
+        assert recovered.replayed == 2  # only the post-snapshot suffix
+        assert recovered.applied_count == 4
+        assert recovered.last_delivered_key == (4, 1, 1)
+        assert recovered.next_seq == 2  # own delivery (0, 1) beats marker (0, 0)
+
+    def test_recovery_without_machine_reports_counters(self, tmp_path):
+        self._journal_history(tmp_path)
+        recovered = recover(0, tmp_path)
+        assert recovered.machine is None
+        assert recovered.applied_count == 4
+        assert recovered.replayed == 2

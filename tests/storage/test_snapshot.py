@@ -1,0 +1,87 @@
+"""Tests for the atomic snapshot store (repro.storage.snapshot)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.snapshot import SnapshotStore
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        saved = store.save(
+            {"a": 1}, last_delivered_key=(5, 2, 1), next_seq=3, applied_count=7
+        )
+        loaded = SnapshotStore(tmp_path).load_latest()
+        assert loaded == saved
+        assert loaded.last_delivered_key == (5, 2, 1)
+        assert loaded.state == {"a": 1}
+
+    def test_empty_store_loads_none(self, tmp_path):
+        assert SnapshotStore(tmp_path).load_latest() is None
+
+    def test_none_key_round_trips(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save([], last_delivered_key=None, next_seq=0)
+        assert store.load_latest().last_delivered_key is None
+
+    def test_indices_grow_monotonically(self, tmp_path):
+        store = SnapshotStore(tmp_path, retain=10)
+        for i in range(3):
+            store.save(i, last_delivered_key=None, next_seq=0)
+        assert store.indices() == [1, 2, 3]
+
+    def test_non_serializable_state_rejected_and_store_unchanged(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(StorageError):
+            store.save(object(), last_delivered_key=None, next_seq=0)
+        assert store.indices() == []
+        assert list(tmp_path.iterdir()) == []  # no stray temp files
+
+
+class TestRetention:
+    def test_save_prunes_to_retain(self, tmp_path):
+        store = SnapshotStore(tmp_path, retain=2)
+        for i in range(5):
+            store.save(i, last_delivered_key=None, next_seq=i)
+        assert store.indices() == [4, 5]
+        assert store.load_latest().state == 4
+
+    def test_retain_must_be_positive(self, tmp_path):
+        with pytest.raises(StorageError):
+            SnapshotStore(tmp_path, retain=0)
+
+
+class TestCorruption:
+    def test_corrupt_latest_falls_back_to_previous(self, tmp_path):
+        store = SnapshotStore(tmp_path, retain=3)
+        store.save("old", last_delivered_key=(1, 0, 0), next_seq=1)
+        store.save("new", last_delivered_key=(2, 0, 0), next_seq=2)
+        newest = sorted(tmp_path.glob("snap-*.json"))[-1]
+        newest.write_text(newest.read_text()[:-10] + '"garbage"}')
+
+        loaded = store.load_latest()
+        assert loaded is not None
+        assert loaded.state == "old"
+        assert newest.name in store.rejected
+
+    def test_crc_mismatch_detected(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save({"k": "v"}, last_delivered_key=None, next_seq=0)
+        path = sorted(tmp_path.glob("snap-*.json"))[-1]
+        document = json.loads(path.read_text())
+        document["body"]["state"] = {"k": "tampered"}
+        path.write_text(json.dumps(document, sort_keys=True))
+        assert store.load_latest() is None
+        assert store.rejected == [path.name]
+
+    def test_all_corrupt_loads_none(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(1, last_delivered_key=None, next_seq=0)
+        for path in tmp_path.glob("snap-*.json"):
+            path.write_text("not json at all")
+        assert store.load_latest() is None
