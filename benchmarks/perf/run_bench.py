@@ -220,6 +220,80 @@ def bench_sim_journaled(seed: int, repeats: int, plain_metrics: dict) -> dict:
     }
 
 
+FSYNC_EVENTS = 400
+FSYNC_SEGMENT_BYTES = 16_384
+
+
+def bench_fsync_policies(seed: int, repeats: int) -> dict:
+    """Durability cost curve: journal appends under each fsync policy.
+
+    Appends the same :data:`FSYNC_EVENTS` delivery records through a
+    :class:`repro.storage.journal.DeliveryJournal` once per policy in
+    :data:`repro.storage.log.FSYNC_POLICIES` — ``never`` (leave it to
+    the OS), ``rotate`` (fsync at segment rotation; the small
+    :data:`FSYNC_SEGMENT_BYTES` threshold makes rotation actually
+    happen), ``always`` (fsync every append). Every policy must land
+    the identical record count; only the timings differ. The spread is
+    the price of the crash-recovery guarantees docs/STORAGE.md
+    tabulates (and what anti-entropy sync reads back, docs/SYNC.md).
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.event import Event
+    from repro.storage.journal import DeliveryJournal
+    from repro.storage.log import FSYNC_POLICIES
+
+    def run(policy: str):
+        root = tempfile.mkdtemp(prefix=f"epto-bench-fsync-{policy}-")
+        try:
+            journal = DeliveryJournal(
+                root, fsync=policy, segment_max_bytes=FSYNC_SEGMENT_BYTES
+            )
+            recorded = 0
+            for i in range(FSYNC_EVENTS):
+                event = Event(
+                    id=(i % 8, i // 8),
+                    ts=seed + i,
+                    source_id=i % 8,
+                    payload={"n": i},
+                )
+                if journal.record_delivery(event):
+                    recorded += 1
+            segments = journal.log.stats.segments_created
+            journal.close()
+            return {"recorded": recorded, "segments": segments}
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    timings = {}
+    metrics = None
+    for policy in FSYNC_POLICIES:
+        timing = time_callable(
+            lambda policy=policy: run(policy),
+            label=f"fsync[{policy}]",
+            repeats=repeats,
+        )
+        timings[policy] = timing
+        if metrics is None:
+            metrics = timing.result
+        elif timing.result != metrics:
+            raise AssertionError(
+                f"fsync policy {policy!r} changed the journal contents: "
+                f"{timing.result} != {metrics}"
+            )
+    baseline = timings["never"]
+    return {
+        **{policy: timing.as_dict() for policy, timing in timings.items()},
+        "cost_vs_never": {
+            policy: round(speedup(timings[policy], baseline), 2)
+            for policy in FSYNC_POLICIES
+            if policy != "never"
+        },
+        "metrics": dict(metrics, events=FSYNC_EVENTS),
+    }
+
+
 def run_all(sizes, seed: int, repeats: int) -> dict:
     results = {
         "schema": 1,
@@ -231,6 +305,7 @@ def run_all(sizes, seed: int, repeats: int) -> dict:
             "encode_fanout": None,
             "sim_macro": None,
             "sim_journaled": None,
+            "fsync_policies": None,
         },
     }
     for n in sizes:
@@ -256,6 +331,9 @@ def run_all(sizes, seed: int, repeats: int) -> dict:
         seed, repeats, results["scenarios"]["sim_macro"]["metrics"]
     )
     print(f"  {results['scenarios']['sim_journaled']['metrics']}")
+    print("fsync_policies ...", flush=True)
+    results["scenarios"]["fsync_policies"] = bench_fsync_policies(seed, repeats)
+    print(f"  cost_vs_never {results['scenarios']['fsync_policies']['cost_vs_never']}")
     return results
 
 

@@ -300,6 +300,11 @@ class OrderingComponent:
         min_queued_key = self._min_queued_key()
         while ready_heap:
             key, event_id = ready_heap[0]
+            if event_id not in received:
+                # Stale head: the record was removed between rounds by
+                # an external (anti-entropy) delivery.
+                heapq.heappop(ready_heap)
+                continue
             if min_queued_key is not None and key >= min_queued_key:
                 # Lines 22-26: delivering past a still-queued event
                 # could violate total order once it stabilizes.
@@ -308,9 +313,75 @@ class OrderingComponent:
             record = received.pop(event_id)
             self._ready_ids.discard(event_id)
             event = record.event
+            if event.order_key <= self._last_delivered_key:
+                # An external delivery advanced the order mark past this
+                # record while it sat ready; in-order delivery is no
+                # longer possible, so it takes the late-event path.
+                self._handle_late_event(event)
+                continue
             self._mark_delivered(event)
             self.deliver(event)
             self.stats.delivered += 1
+
+    # ------------------------------------------------------------------
+    # External (anti-entropy) delivery path — repro.sync
+    # ------------------------------------------------------------------
+
+    def deliver_external(self, event: Event) -> bool:
+        """Deliver *event* outside the epidemic path (anti-entropy).
+
+        Used by :mod:`repro.sync` to apply events fetched from a peer's
+        delivery log. The event was already delivered — hence stable —
+        on the serving peer, so the TTL oracle is bypassed entirely; the
+        only checks are the duplicate and total-order guards that every
+        delivery goes through. The caller is responsible for presenting
+        events in ``(ts, srcId, seq)`` order (the order the serving log
+        yields them in).
+
+        Returns ``True`` when the event was delivered, ``False`` when it
+        was discarded as a duplicate or as late (order mark already
+        past it).
+        """
+        event_id = event.id
+        if event_id in self._delivered_ids:
+            self.stats.discarded_duplicates += 1
+            return False
+        if event.order_key <= self._last_delivered_key:
+            self._handle_late_event(event)
+            return False
+        # Drop any pending epidemic copy so the normal path cannot
+        # deliver it a second time; its queued/ready heap entries go
+        # stale and are skipped by the lazy-deletion scans.
+        if self._received.pop(event_id, None) is not None:
+            self._ready_ids.discard(event_id)
+        self._mark_delivered(event)
+        self.deliver(event)
+        self.stats.delivered += 1
+        return True
+
+    def discard_obsolete_pending(self) -> int:
+        """Drop pending records the order mark has moved past.
+
+        After a batch of external deliveries, epidemic copies still
+        sitting in ``received`` with keys at or below the new mark can
+        never be delivered in order; they would each surface later as a
+        late event anyway. Clearing them eagerly keeps the queued-key
+        guard from blocking ready events behind records that are
+        already history. Returns the number of records discarded (each
+        is routed through the late-event path, so §8.2 tagging still
+        applies).
+        """
+        mark = self._last_delivered_key
+        stale = [
+            event_id
+            for event_id, record in self._received.items()
+            if record.event.order_key <= mark
+        ]
+        for event_id in stale:
+            record = self._received.pop(event_id)
+            self._ready_ids.discard(event_id)
+            self._handle_late_event(record.event)
+        return len(stale)
 
     def _handle_late_event(self, event: Event) -> None:
         """Deal with an event whose in-order delivery window has passed.

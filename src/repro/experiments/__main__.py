@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — the epto-experiment CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -49,6 +49,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "like 'drill' only)"
         ),
     )
+    parser.add_argument(
+        "--sync",
+        action="store_true",
+        help=(
+            "enable the anti-entropy catch-up protocol (sync-aware "
+            "experiments like 'drill' only; see docs/SYNC.md)"
+        ),
+    )
     return parser
 
 
@@ -77,6 +85,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         kwargs["schedule"] = FaultSchedule.from_json(
             Path(args.fault_scenario).read_text(encoding="utf-8")
         )
+    if args.sync:
+        if not entry.takes_sync:
+            print(
+                f"experiment {entry.id!r} does not take --sync",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["sync"] = True
 
     result = entry.runner(**kwargs)
     if hasattr(result, "render"):
@@ -85,7 +101,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(result.table())
     else:  # pragma: no cover - all current results render
         print(result)
-    return 0
+    # Results that carry a verdict (e.g. the drill's safety/convergence
+    # checks) gate the exit code so CI can fail on violations.
+    return 0 if getattr(result, "exit_ok", True) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

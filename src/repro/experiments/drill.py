@@ -9,10 +9,24 @@ broadcast sequence resumed from the durable record, re-deliveries
 deduplicated — and the run is judged on the paper's Table 1 properties
 over the continuous survivors.
 
+With ``--sync`` the cluster additionally runs the anti-entropy
+catch-up protocol (:mod:`repro.sync`, docs/SYNC.md): recovered nodes
+pull the delivery-log suffix they missed from a peer, so the drill can
+hold them to a much stronger bar — their full delivery sequence must
+be **bit-identical** to the continuous survivors', even when the
+outage outlived the TTL window. Without sync the same long-outage
+scenario shows permanent divergence (``recovered_missing`` > 0), which
+is exactly the regression the paired scenarios in ``scenarios/``
+document.
+
 This is the CLI face of the robustness layer::
 
     epto-experiment drill
-    epto-experiment drill --fault-scenario scenarios/partition.json
+    epto-experiment drill --fault-scenario scenarios/long_outage.json --sync
+
+The CLI exits nonzero when the drill's verdict fails (safety or
+agreement violations among survivors, or — sync runs only — a
+recovered node that failed to converge), so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -32,6 +46,7 @@ from ..sim.drift import UniformDrift
 from ..sim.engine import Simulator
 from ..sim.latency import FixedLatency
 from ..sim.network import SimNetwork
+from ..sync.config import SyncConfig
 from ..workloads.broadcast import ProbabilisticWorkload
 from .common import ExperimentSpec
 from .scale import ScalePreset, get_scale
@@ -52,11 +67,46 @@ class DrillResult:
     recovered_records: int
     recovery_dedups: int
     journal_dedups: int
+    #: Whether the anti-entropy catch-up protocol ran.
+    sync_enabled: bool = False
+    #: Events all survivors delivered that some recovered node never
+    #: did — permanent divergence when > 0 after the drain.
+    recovered_missing: int = 0
+    #: Whether every recovered node's full delivery sequence is
+    #: bit-identical (same order keys, same order) to a continuous
+    #: survivor's; ``None`` when nothing crashed or nobody survived.
+    sequences_match: Optional[bool] = None
+    #: Aggregated anti-entropy traffic (sum over every manager).
+    sync_rounds: int = 0
+    sync_sessions: int = 0
+    sync_chunks: int = 0
+    sync_repaired: int = 0
+    sync_bytes_fetched: int = 0
 
     @property
     def ok(self) -> bool:
         """Safety held on the continuous survivors."""
         return self.report.safety_ok
+
+    @property
+    def exit_ok(self) -> bool:
+        """The verdict the CLI exit code reflects.
+
+        Safety must hold on the continuous survivors always. When the
+        anti-entropy protocol ran, recovered nodes are additionally
+        held to full convergence: no permanently missing events and
+        sequences bit-identical to the survivors'. (Without sync,
+        recovered divergence after a TTL-outliving outage is the
+        documented, inherent behaviour — reported, not failed.)
+        """
+        if not self.report.safety_ok:
+            return False
+        if self.sync_enabled:
+            if self.recovered_missing > 0:
+                return False
+            if self.sequences_match is False:
+                return False
+        return True
 
     def render(self) -> str:
         lines = [
@@ -70,9 +120,29 @@ class DrillResult:
             f"log_records_replayed={self.recovered_records} "
             f"replay_dedups={self.recovery_dedups} "
             f"live_dedups={self.journal_dedups}",
+        ]
+        if self.sync_enabled:
+            lines.append(
+                f"sync: rounds={self.sync_rounds} "
+                f"sessions={self.sync_sessions} chunks={self.sync_chunks} "
+                f"repaired={self.sync_repaired} "
+                f"bytes={self.sync_bytes_fetched}"
+            )
+        if self.recoveries:
+            verdict = (
+                "n/a"
+                if self.sequences_match is None
+                else ("IDENTICAL" if self.sequences_match else "DIVERGED")
+            )
+            lines.append(
+                f"recovered convergence: missing={self.recovered_missing} "
+                f"sequences={verdict}"
+            )
+        lines += [
             f"safety: {'OK' if self.ok else 'VIOLATED'} "
             f"(order={len(self.report.order_violations)} "
             f"holes={len(self.report.holes)})",
+            f"verdict: {'OK' if self.exit_ok else 'FAILED'}",
             "timeline:",
         ]
         lines += [f"  t={tick:>6} {message}" for tick, message in self.fault_log]
@@ -84,6 +154,8 @@ def run_drill(
     seed: int = 17,
     schedule: Optional[FaultSchedule] = None,
     storage_dir: Union[str, Path, None] = None,
+    sync: bool = False,
+    sync_config: Optional[SyncConfig] = None,
 ) -> DrillResult:
     """Run one fault scenario against a journaled simulated cluster.
 
@@ -94,12 +166,24 @@ def run_drill(
             when omitted.
         storage_dir: Journal root; a temporary directory (removed after
             the run) when omitted.
+        sync: Enable the anti-entropy catch-up protocol
+            (:mod:`repro.sync`); recovered nodes are then required to
+            converge bit-identically to the survivors (see
+            :attr:`DrillResult.exit_ok`).
+        sync_config: Override the drill's default sync parameters
+            (implies ``sync=True`` when given).
     """
     preset = scale if isinstance(scale, ScalePreset) else get_scale(scale)
     n = max(16, preset.sweep_n // 4)
     schedule = schedule if schedule is not None else FaultSchedule.standard_drill()
     spec = ExperimentSpec(name="drill", n=n, seed=seed, latency="fixed")
     config = spec.epto_config()
+    if sync_config is not None:
+        sync = True
+    elif sync:
+        # Probe fast relative to the drill's horizon so one recovery
+        # converges well inside the drain window.
+        sync_config = SyncConfig(interval_rounds=2.0)
 
     temp_root: Optional[str] = None
     if storage_dir is None:
@@ -119,6 +203,7 @@ def run_drill(
             ),
             collector=collector,
             storage_dir=storage_dir,
+            sync=sync_config if sync else None,
         )
         cluster.add_nodes(n)
         injector = SimFaultInjector(sim, cluster, schedule, recovery="same_id")
@@ -140,6 +225,10 @@ def run_drill(
         recoveries = [
             state for states in cluster.recoveries.values() for state in states
         ]
+        recovered_missing, sequences_match = _recovered_convergence(
+            collector, survivors, sorted(cluster.recoveries)
+        )
+        managers = list(cluster.sync_managers.values())
         return DrillResult(
             n=n,
             schedule_len=len(schedule),
@@ -154,7 +243,45 @@ def run_drill(
             journal_dedups=sum(
                 journal.stats.deduplicated for journal in cluster.journals.values()
             ),
+            sync_enabled=sync,
+            recovered_missing=recovered_missing,
+            sequences_match=sequences_match,
+            sync_rounds=sum(m.stats.rounds for m in managers),
+            sync_sessions=sum(m.stats.sessions_completed for m in managers),
+            sync_chunks=sum(m.stats.chunks_received for m in managers),
+            sync_repaired=sum(m.stats.events_repaired for m in managers),
+            sync_bytes_fetched=sum(m.stats.bytes_fetched for m in managers),
         )
     finally:
         if temp_root is not None:
             shutil.rmtree(temp_root, ignore_errors=True)
+
+
+def _recovered_convergence(
+    collector: DeliveryCollector,
+    survivors: set,
+    recovered_ids: List[int],
+) -> Tuple[int, Optional[bool]]:
+    """Compare recovered nodes' delivery sequences to the survivors'.
+
+    Returns ``(missing, identical)``: the number of events every
+    survivor delivered that some recovered node never did, and whether
+    every recovered node's full order-key sequence is bit-identical to
+    the reference survivor's. ``(0, None)`` when there is nothing to
+    compare.
+    """
+    if not recovered_ids or not survivors:
+        return 0, None
+    sequences: Dict[int, tuple] = {
+        node_id: tuple(keys) for node_id, keys in collector.sequences().items()
+    }
+    reference = sequences.get(min(survivors), ())
+    reference_set = set(reference)
+    missing = 0
+    identical = True
+    for node_id in recovered_ids:
+        keys = sequences.get(node_id, ())
+        missing += len(reference_set - set(keys))
+        if keys != reference:
+            identical = False
+    return missing, identical

@@ -32,6 +32,8 @@ class ExperimentEntry:
     takes_scale: bool = True
     #: Accepts a ``schedule=`` FaultSchedule (CLI ``--fault-scenario``).
     takes_faults: bool = False
+    #: Accepts a ``sync=`` bool enabling anti-entropy (CLI ``--sync``).
+    takes_sync: bool = False
 
 
 _ENTRIES = [
@@ -111,6 +113,7 @@ _ENTRIES = [
         ),
         runner=run_drill,
         takes_faults=True,
+        takes_sync=True,
     ),
 ]
 

@@ -354,6 +354,33 @@ class FaultSchedule:
             ]
         )
 
+    @classmethod
+    def long_outage(
+        cls,
+        nodes: Tuple[int, ...] = (1,),
+        crash_at: float = 4.0,
+        outage_rounds: float = 40.0,
+    ) -> "FaultSchedule":
+        """One node down far longer than the TTL window.
+
+        Every event broadcast during the outage finishes its epidemic
+        dissemination (TTL + stability wait, ~13 rounds at drill scale)
+        while the node is dead, so on recovery nothing in the live
+        traffic can ever fill the gap: without anti-entropy
+        (docs/SYNC.md) the node has *permanently* diverged from the
+        survivors; with ``--sync`` it must converge bit-identically.
+        Mirrors ``scenarios/long_outage.json``.
+        """
+        return cls(
+            [
+                CrashNodes(
+                    at_round=crash_at,
+                    nodes=nodes,
+                    recover_after=outage_rounds,
+                )
+            ]
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kinds = ", ".join(a.kind for a in self.actions)
         return f"FaultSchedule([{kinds}], horizon={self.horizon_rounds})"

@@ -12,6 +12,7 @@ from ..core.event import Event
 from ..pss.base import MembershipDirectory
 from ..pss.cyclon import CyclonPss
 from ..pss.uniform import UniformViewPss
+from ..sync.config import SyncConfig
 from .node import AsyncEpToNode
 from .transport import AsyncNetwork
 
@@ -54,6 +55,12 @@ class AsyncCluster:
             ``"rotate"`` is the sweet spot for crash *simulation*:
             every append is flushed to the OS, so in-process "crashes"
             lose nothing.
+        sync: Optional :class:`repro.sync.SyncConfig` enabling the
+            anti-entropy catch-up protocol on every node (requires
+            ``storage_dir``). Respawned nodes then run a blocking
+            catch-up against a peer's delivery log *before* rejoining
+            dissemination, closing the TTL gap for long outages
+            (docs/SYNC.md).
     """
 
     def __init__(
@@ -66,9 +73,15 @@ class AsyncCluster:
         expected_size: Optional[int] = None,
         storage_dir: Union[str, Path, None] = None,
         storage_fsync: str = "rotate",
+        sync: Optional[SyncConfig] = None,
     ) -> None:
         if pss not in ("uniform", "cyclon"):
             raise MembershipError(f"unknown PSS kind {pss!r}")
+        if sync is not None and storage_dir is None:
+            raise MembershipError(
+                "anti-entropy sync requires storage_dir (it exchanges "
+                "delivery-log suffixes)"
+            )
         self.config = config
         self.network = network if network is not None else AsyncNetwork(seed=seed)
         self.pss_kind = pss
@@ -77,6 +90,7 @@ class AsyncCluster:
         self.expected_size = expected_size
         self.storage_dir = Path(storage_dir) if storage_dir is not None else None
         self.storage_fsync = storage_fsync
+        self.sync = sync
         self.directory = MembershipDirectory()
         self.nodes: Dict[int, AsyncEpToNode] = {}
         #: node id -> events delivered, in order (the shared journal).
@@ -179,6 +193,7 @@ class AsyncCluster:
             seed=self.seed,
             system_size_hint=self.expected_size,
             journal=journal,
+            sync_config=self.sync if journal is not None else None,
         )
         self.directory.add(node_id)
         self.nodes[node_id] = node
@@ -265,6 +280,12 @@ class AsyncCluster:
         open_socket = getattr(self.network, "open", None)
         if open_socket is not None:
             await open_socket(node_id)
+        if node.sync_manager is not None:
+            # Repair the TTL-outliving gap before the caller starts the
+            # round loop: epidemic deliveries to a still-catching-up
+            # node could advance its order mark past the unfetched
+            # suffix, turning a transient outage into permanent holes.
+            await node.catch_up()
         return node
 
     def start_all(self) -> None:

@@ -12,7 +12,19 @@ header:   magic "EP" | version u8 | kind u8 | sender i64 | count u32
 ball:     count x { ts i64 | source i64 | seq i64 | ttl i32 |
                     payload_len u32 | payload (UTF-8 JSON) }
 cyclon:   count x { peer i64 | age i32 }
+digest:   flags u8 (bit0 has-last-key, bit1 reply) |
+          [ last_key 3 x i64 ] | count x { source i64 | seq i64 }
+request:  req_id u32 | max_events u32 | max_bytes u32 |
+          flags u8 (bit0 has-after) | [ after 3 x i64 ] |
+          count x { source i64 | seq i64 }
+chunk:    req_id u32 | flags u8 (bit0 more, bit1 has-peer-last) |
+          [ peer_last 3 x i64 ] | checksum u32 |
+          count x { ts i64 | source i64 | seq i64 |
+                    payload_len u32 | payload (UTF-8 JSON) }
 ```
+
+``count`` is entries for balls and cyclon views, watermark pairs for
+digests and requests, events for chunks.
 
 Payloads must be JSON-serializable — the natural constraint for data
 crossing process boundaries. Encoded messages are capped at
@@ -32,6 +44,12 @@ from typing import Tuple, Union
 from ..core.errors import TransportError
 from ..core.event import Ball, BallEntry, Event, make_ball
 from ..pss.cyclon import CyclonRequest, CyclonResponse
+from ..sync.protocol import (
+    DeliveryDigest,
+    SyncChunk,
+    SyncDigest,
+    SyncRequest,
+)
 
 #: Largest message the codec will produce (safe single-datagram size).
 MAX_DATAGRAM = 60_000
@@ -41,13 +59,23 @@ _VERSION = 1
 _KIND_BALL = 1
 _KIND_CYCLON_REQ = 2
 _KIND_CYCLON_RESP = 3
+_KIND_SYNC_DIGEST = 4
+_KIND_SYNC_REQUEST = 5
+_KIND_SYNC_CHUNK = 6
 
 _HEADER = struct.Struct("!2sBBqI")
 _BALL_ENTRY = struct.Struct("!qqqiI")
 _CYCLON_ENTRY = struct.Struct("!qi")
+_ORDER_KEY = struct.Struct("!qqq")
+_WATERMARK = struct.Struct("!qq")
+_DIGEST_FLAGS = struct.Struct("!B")
+_REQUEST_HEAD = struct.Struct("!IIIB")  # req_id, max_events, max_bytes, flags
+_CHUNK_HEAD = struct.Struct("!IB")  # req_id, flags
+_CHUNK_EVENT = struct.Struct("!qqqI")  # ts, source, seq, payload_len
+_CHECKSUM = struct.Struct("!I")
 
 #: Everything the codec can carry.
-WireMessage = Union[Ball, CyclonRequest, CyclonResponse]
+WireMessage = Union[Ball, CyclonRequest, CyclonResponse, SyncDigest, SyncRequest, SyncChunk]
 
 
 class CodecError(TransportError):
@@ -92,6 +120,12 @@ def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> None:
         kind, count = _KIND_CYCLON_REQ, len(message.entries)
     elif isinstance(message, CyclonResponse):
         kind, count = _KIND_CYCLON_RESP, len(message.entries)
+    elif isinstance(message, SyncDigest):
+        kind, count = _KIND_SYNC_DIGEST, len(message.digest.watermarks)
+    elif isinstance(message, SyncRequest):
+        kind, count = _KIND_SYNC_REQUEST, len(message.watermarks)
+    elif isinstance(message, SyncChunk):
+        kind, count = _KIND_SYNC_CHUNK, len(message.events)
     elif isinstance(message, tuple):
         kind, count = _KIND_BALL, len(message)
     else:
@@ -99,6 +133,12 @@ def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> None:
     buffer += _HEADER.pack(_MAGIC, _VERSION, kind, sender, count)
     if kind == _KIND_BALL:
         _encode_ball_into(message, buffer)
+    elif kind == _KIND_SYNC_DIGEST:
+        _encode_sync_digest_into(message, buffer)
+    elif kind == _KIND_SYNC_REQUEST:
+        _encode_sync_request_into(message, buffer)
+    elif kind == _KIND_SYNC_CHUNK:
+        _encode_sync_chunk_into(message, buffer)
     else:
         buffer += _encode_cyclon(message.entries)
     if len(buffer) > MAX_DATAGRAM:
@@ -128,6 +168,12 @@ def decode(datagram: bytes) -> Tuple[int, WireMessage]:
         return sender, CyclonRequest(entries=_decode_cyclon(body, count))
     if kind == _KIND_CYCLON_RESP:
         return sender, CyclonResponse(entries=_decode_cyclon(body, count))
+    if kind == _KIND_SYNC_DIGEST:
+        return sender, _decode_sync_digest(body, count)
+    if kind == _KIND_SYNC_REQUEST:
+        return sender, _decode_sync_request(body, count)
+    if kind == _KIND_SYNC_CHUNK:
+        return sender, _decode_sync_chunk(body, count)
     raise CodecError(f"unknown message kind {kind}")
 
 
@@ -191,6 +237,150 @@ def _decode_ball(body: bytes, count: int) -> Ball:
     if offset != len(body):
         raise CodecError(f"{len(body) - offset} trailing bytes after ball")
     return make_ball(entries)
+
+
+def _encode_sync_digest_into(message: SyncDigest, buffer: bytearray) -> None:
+    digest = message.digest
+    flags = (0x01 if digest.last_key is not None else 0) | (
+        0x02 if message.reply else 0
+    )
+    buffer += _DIGEST_FLAGS.pack(flags)
+    if digest.last_key is not None:
+        buffer += _ORDER_KEY.pack(*digest.last_key)
+    for source, seq in digest.watermarks:
+        buffer += _WATERMARK.pack(source, seq)
+
+
+def _decode_sync_digest(body: bytes, count: int) -> SyncDigest:
+    offset = 0
+    if offset + _DIGEST_FLAGS.size > len(body):
+        raise CodecError("truncated sync digest flags")
+    (flags,) = _DIGEST_FLAGS.unpack_from(body, offset)
+    offset += _DIGEST_FLAGS.size
+    last_key = None
+    if flags & 0x01:
+        if offset + _ORDER_KEY.size > len(body):
+            raise CodecError("truncated sync digest order key")
+        last_key = _ORDER_KEY.unpack_from(body, offset)
+        offset += _ORDER_KEY.size
+    watermarks, offset = _decode_watermarks(body, offset, count, "digest")
+    if offset != len(body):
+        raise CodecError(f"{len(body) - offset} trailing bytes after sync digest")
+    return SyncDigest(
+        digest=DeliveryDigest(last_key=last_key, watermarks=watermarks),
+        reply=bool(flags & 0x02),
+    )
+
+
+def _encode_sync_request_into(message: SyncRequest, buffer: bytearray) -> None:
+    flags = 0x01 if message.after is not None else 0
+    buffer += _REQUEST_HEAD.pack(
+        message.req_id & 0xFFFFFFFF, message.max_events, message.max_bytes, flags
+    )
+    if message.after is not None:
+        buffer += _ORDER_KEY.pack(*message.after)
+    for source, seq in message.watermarks:
+        buffer += _WATERMARK.pack(source, seq)
+
+
+def _decode_sync_request(body: bytes, count: int) -> SyncRequest:
+    if _REQUEST_HEAD.size > len(body):
+        raise CodecError("truncated sync request header")
+    req_id, max_events, max_bytes, flags = _REQUEST_HEAD.unpack_from(body)
+    offset = _REQUEST_HEAD.size
+    after = None
+    if flags & 0x01:
+        if offset + _ORDER_KEY.size > len(body):
+            raise CodecError("truncated sync request cursor")
+        after = _ORDER_KEY.unpack_from(body, offset)
+        offset += _ORDER_KEY.size
+    watermarks, offset = _decode_watermarks(body, offset, count, "request")
+    if offset != len(body):
+        raise CodecError(f"{len(body) - offset} trailing bytes after sync request")
+    return SyncRequest(
+        req_id=req_id,
+        after=after,
+        watermarks=watermarks,
+        max_events=max_events,
+        max_bytes=max_bytes,
+    )
+
+
+def _encode_sync_chunk_into(message: SyncChunk, buffer: bytearray) -> None:
+    flags = (0x01 if message.more else 0) | (
+        0x02 if message.peer_last is not None else 0
+    )
+    buffer += _CHUNK_HEAD.pack(message.req_id & 0xFFFFFFFF, flags)
+    if message.peer_last is not None:
+        buffer += _ORDER_KEY.pack(*message.peer_last)
+    buffer += _CHECKSUM.pack(message.checksum & 0xFFFFFFFF)
+    for event in message.events:
+        try:
+            payload = json.dumps(event.payload).encode()
+        except (TypeError, ValueError) as exc:
+            raise CodecError(
+                f"payload of event {event.id} is not JSON-serializable: {exc}"
+            ) from exc
+        buffer += _CHUNK_EVENT.pack(
+            event.ts, event.source_id, event.seq, len(payload)
+        )
+        buffer += payload
+
+
+def _decode_sync_chunk(body: bytes, count: int) -> SyncChunk:
+    if _CHUNK_HEAD.size > len(body):
+        raise CodecError("truncated sync chunk header")
+    req_id, flags = _CHUNK_HEAD.unpack_from(body)
+    offset = _CHUNK_HEAD.size
+    peer_last = None
+    if flags & 0x02:
+        if offset + _ORDER_KEY.size > len(body):
+            raise CodecError("truncated sync chunk peer key")
+        peer_last = _ORDER_KEY.unpack_from(body, offset)
+        offset += _ORDER_KEY.size
+    if offset + _CHECKSUM.size > len(body):
+        raise CodecError("truncated sync chunk checksum")
+    (checksum,) = _CHECKSUM.unpack_from(body, offset)
+    offset += _CHECKSUM.size
+    events = []
+    for _ in range(count):
+        if offset + _CHUNK_EVENT.size > len(body):
+            raise CodecError("truncated sync chunk event header")
+        ts, source, seq, payload_len = _CHUNK_EVENT.unpack_from(body, offset)
+        offset += _CHUNK_EVENT.size
+        if offset + payload_len > len(body):
+            raise CodecError("truncated sync chunk event payload")
+        raw = body[offset : offset + payload_len]
+        offset += payload_len
+        try:
+            payload = json.loads(raw.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CodecError(f"corrupt sync chunk payload: {exc}") from exc
+        events.append(
+            Event(id=(source, seq), ts=ts, source_id=source, payload=payload)
+        )
+    if offset != len(body):
+        raise CodecError(f"{len(body) - offset} trailing bytes after sync chunk")
+    return SyncChunk(
+        req_id=req_id,
+        events=tuple(events),
+        checksum=checksum,
+        more=bool(flags & 0x01),
+        peer_last=peer_last,
+    )
+
+
+def _decode_watermarks(
+    body: bytes, offset: int, count: int, label: str
+) -> Tuple[tuple, int]:
+    end = offset + count * _WATERMARK.size
+    if end > len(body):
+        raise CodecError(f"truncated sync {label} watermarks")
+    watermarks = tuple(
+        _WATERMARK.unpack_from(body, offset + i * _WATERMARK.size)
+        for i in range(count)
+    )
+    return watermarks, end
 
 
 def _encode_cyclon(entries) -> bytes:

@@ -24,6 +24,9 @@ from ..core.config import EpToConfig
 from ..core.event import Event
 from ..core.interfaces import PeerSampler
 from ..core.process import EpToProcess
+from ..sync.config import SyncConfig
+from ..sync.manager import SyncManager, epto_chunk_applier
+from ..sync.protocol import SYNC_MESSAGE_TYPES
 from .transport import AsyncNetwork, AsyncNodeTransport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -56,6 +59,11 @@ class AsyncEpToNode:
             without reaching the callback. ``None`` (the default) keeps
             the delivery path byte-for-byte identical to a node built
             before this hook existed.
+        sync_config: Optional anti-entropy parameters. Requires a
+            *journal*; the node then runs a
+            :class:`~repro.sync.SyncManager` beside the round loop —
+            periodic digest probes plus cursor-paginated pulls — and
+            gains :meth:`catch_up` for blocking post-recovery repair.
     """
 
     def __init__(
@@ -70,6 +78,7 @@ class AsyncEpToNode:
         seed: int = 0,
         system_size_hint: int | None = None,
         journal: "DeliveryJournal | None" = None,
+        sync_config: SyncConfig | None = None,
     ) -> None:
         self.node_id = node_id
         self.config = config
@@ -98,8 +107,21 @@ class AsyncEpToNode:
         )
         self._task: Optional[asyncio.Task] = None
         self._shuffle_task: Optional[asyncio.Task] = None
+        self._sync_task: Optional[asyncio.Task] = None
         self._pss = peer_sampler
         self._crashed = False
+        self.sync_manager: Optional[SyncManager] = None
+        if sync_config is not None:
+            if journal is None:
+                raise ValueError("sync_config requires a journal")
+            self.sync_manager = SyncManager(
+                node_id=node_id,
+                journal=journal,
+                send=lambda dst, message: network.send(node_id, dst, message),
+                peer_sampler=peer_sampler,
+                apply_events=epto_chunk_applier(self.process),
+                config=sync_config,
+            )
         network.register(node_id, self._handle_message)
 
     # ------------------------------------------------------------------
@@ -119,10 +141,14 @@ class AsyncEpToNode:
             self._shuffle_task is None or self._shuffle_task.done()
         ):
             self._shuffle_task = loop.create_task(self._shuffle_loop())
+        if self.sync_manager is not None and (
+            self._sync_task is None or self._sync_task.done()
+        ):
+            self._sync_task = loop.create_task(self._sync_loop())
 
     async def stop(self) -> None:
         """Cancel the periodic tasks and leave the network."""
-        for attr in ("_task", "_shuffle_task"):
+        for attr in ("_task", "_shuffle_task", "_sync_task"):
             task = getattr(self, attr)
             if task is not None:
                 task.cancel()
@@ -145,7 +171,7 @@ class AsyncEpToNode:
         identity.
         """
         self._crashed = True
-        for attr in ("_task", "_shuffle_task"):
+        for attr in ("_task", "_shuffle_task", "_sync_task"):
             task = getattr(self, attr)
             if task is not None:
                 task.cancel()
@@ -199,13 +225,18 @@ class AsyncEpToNode:
     # ------------------------------------------------------------------
 
     def _handle_message(self, src: int, message: Any) -> None:
-        # Cyclon traffic (when the PSS is a CyclonPss) or a ball.
+        # Cyclon traffic (when the PSS is a CyclonPss), anti-entropy
+        # traffic (when a SyncManager runs), or a ball.
         from ..pss.cyclon import CyclonRequest, CyclonResponse
 
         if isinstance(message, CyclonRequest):
             self._pss.handle_request(src, message)  # type: ignore[attr-defined]
         elif isinstance(message, CyclonResponse):
             self._pss.handle_response(src, message)  # type: ignore[attr-defined]
+        elif isinstance(message, SYNC_MESSAGE_TYPES):
+            if self.sync_manager is not None:
+                self.sync_manager.on_message(src, message)
+            # else: not sync-enabled; ignore stray anti-entropy traffic
         else:
             self.process.on_ball(message)
 
@@ -224,6 +255,41 @@ class AsyncEpToNode:
         while True:
             await asyncio.sleep(interval_s)
             self._pss.shuffle()  # type: ignore[attr-defined]
+
+    async def _sync_loop(self) -> None:
+        # The manager counts rounds itself (probe every interval_rounds,
+        # request timeouts in rounds), so it is ticked once per round
+        # interval — same time base as the simulator's PeriodicTask.
+        interval_s = self.config.round_interval / 1000.0
+        while True:
+            await asyncio.sleep(interval_s)
+            self.sync_manager.on_round()
+
+    async def catch_up(self, max_rounds: float | None = None) -> bool:
+        """Run blocking anti-entropy until converged or out of budget.
+
+        Drives the sync manager directly — round tasks need not be
+        running, which is the point: a respawned node repairs its
+        TTL-outliving gap *before* rejoining dissemination, so epidemic
+        deliveries cannot advance its order mark past the still-missing
+        suffix. Returns whether the node caught up (a digest exchange
+        concluded with no peer ahead) within ``max_rounds`` round
+        intervals (default: ``sync_config.catch_up_rounds``).
+        """
+        manager = self.sync_manager
+        if manager is None:
+            return True
+        budget = max_rounds if max_rounds is not None else manager.config.catch_up_rounds
+        interval_s = self.config.round_interval / 1000.0
+        manager.kick()
+        rounds = 0
+        while rounds < budget:
+            manager.on_round()
+            rounds += 1
+            await asyncio.sleep(interval_s)
+            if manager.caught_up:
+                return True
+        return manager.caught_up
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -37,6 +37,9 @@ from ..metrics.collector import DeliveryCollector
 from ..pss.base import MembershipDirectory
 from ..pss.cyclon import CyclonPss, CyclonRequest, CyclonResponse
 from ..pss.uniform import UniformViewPss
+from ..sync.config import SyncConfig
+from ..sync.manager import SyncManager, epto_chunk_applier
+from ..sync.protocol import SYNC_MESSAGE_TYPES
 from .drift import DriftModel, UniformDrift
 from .engine import PeriodicTask, Simulator
 from .network import SimNetwork
@@ -111,7 +114,14 @@ class ClusterConfig:
 class _ClusterNode:
     """Internal per-node wiring: process + PSS + scheduled tasks."""
 
-    __slots__ = ("node_id", "process", "pss", "round_task", "shuffle_task")
+    __slots__ = (
+        "node_id",
+        "process",
+        "pss",
+        "round_task",
+        "shuffle_task",
+        "sync_task",
+    )
 
     def __init__(
         self,
@@ -120,17 +130,21 @@ class _ClusterNode:
         pss: object,
         round_task: PeriodicTask,
         shuffle_task: Optional[PeriodicTask],
+        sync_task: Optional[PeriodicTask] = None,
     ) -> None:
         self.node_id = node_id
         self.process = process
         self.pss = pss
         self.round_task = round_task
         self.shuffle_task = shuffle_task
+        self.sync_task = sync_task
 
     def stop(self) -> None:
         self.round_task.stop()
         if self.shuffle_task is not None:
             self.shuffle_task.stop()
+        if self.sync_task is not None:
+            self.sync_task.stop()
 
 
 class SimCluster:
@@ -157,6 +171,12 @@ class SimCluster:
             riding it). ``None`` keeps the simulation fully in-memory.
         storage_fsync: Log fsync policy for journaled nodes
             (:data:`repro.storage.log.FSYNC_POLICIES`).
+        sync: Optional :class:`repro.sync.SyncConfig` enabling the
+            anti-entropy catch-up protocol (requires ``storage_dir``).
+            Every EpTO node then runs a deterministic, round-scheduled
+            :class:`~repro.sync.SyncManager`; respawned nodes probe on
+            their very next tick so recovery catch-up starts before the
+            first epidemic round (docs/SYNC.md).
     """
 
     def __init__(
@@ -168,7 +188,13 @@ class SimCluster:
         process_factory: ProcessFactory | None = None,
         storage_dir: Union[str, Path, None] = None,
         storage_fsync: str = "rotate",
+        sync: Optional[SyncConfig] = None,
     ) -> None:
+        if sync is not None and storage_dir is None:
+            raise MembershipError(
+                "anti-entropy sync requires storage_dir (it exchanges "
+                "delivery-log suffixes)"
+            )
         self.sim = sim
         self.network = network
         self.config = config
@@ -176,6 +202,11 @@ class SimCluster:
         self._process_factory = process_factory
         self.storage_dir = Path(storage_dir) if storage_dir is not None else None
         self.storage_fsync = storage_fsync
+        self.sync = sync
+        #: node id -> live anti-entropy manager (only when ``sync``);
+        #: survives crashes so drill reports can aggregate stats, and is
+        #: overwritten by the respawned incarnation's manager.
+        self.sync_managers: Dict[int, SyncManager] = {}
         #: node id -> live durable journal (only when ``storage_dir``).
         self.journals: Dict[int, "DeliveryJournal"] = {}
         #: node id -> recovery outcomes, one per respawn-from-disk.
@@ -263,11 +294,31 @@ class SimCluster:
             if resume is not None:
                 resume(resume_seq)
 
+        sync_manager: Optional[SyncManager] = None
+        ordering = getattr(process, "ordering", None)
+        if self.sync is not None and journal is not None and ordering is not None:
+            # Only EpTO-shaped processes can apply repaired events in
+            # total order; baseline broadcast processes simply run
+            # without anti-entropy.
+            sync_manager = SyncManager(
+                node_id=node_id,
+                journal=journal,
+                send=lambda dst, message: self.network.send(node_id, dst, message),
+                peer_sampler=pss,
+                apply_events=epto_chunk_applier(process),  # type: ignore[arg-type]
+                config=self.sync,
+            )
+            self.sync_managers[node_id] = sync_manager
+
         def handle_message(src: int, message: Any) -> None:
             if isinstance(message, CyclonRequest):
                 pss.handle_request(src, message)  # type: ignore[union-attr]
             elif isinstance(message, CyclonResponse):
                 pss.handle_response(src, message)  # type: ignore[union-attr]
+            elif isinstance(message, SYNC_MESSAGE_TYPES):
+                if sync_manager is not None:
+                    sync_manager.on_message(src, message)
+                # else: not sync-enabled; drop stray anti-entropy traffic
             else:
                 process.on_ball(message)
 
@@ -283,9 +334,28 @@ class SimCluster:
             # Paper schedule: first round a full (drifted) interval
             # after joining.
             first_round = drift.next_period(node_rng, node_id, interval)
+        round_fn: Callable[[], None] = process.on_round
+        if sync_manager is not None and (
+            recovered is not None or resume_seq is not None
+        ):
+            # Respawn catch-up gate (docs/SYNC.md): hold epidemic rounds
+            # until anti-entropy reports convergence AND the in-flight
+            # horizon has passed — every event broadcast before the gate
+            # opens has finished disseminating and reached peers'
+            # delivery logs, so it arrives here through contiguous sync
+            # pulls instead of a partially-observed TTL window. Balls
+            # are still received during the hold (they only accumulate
+            # state); the node just neither relays nor delivers, so its
+            # order mark cannot advance past a still-missing event.
+            # One-way latch, bounded by the catch-up budget so an
+            # unservable gap (every peer also gone) degrades to the
+            # ungated behaviour instead of parking the node forever.
+            round_fn = self._gated_round(
+                process, sync_manager, hold_rounds=self.config.epto.ttl + 6
+            )
         round_task = PeriodicTask(
             self.sim,
-            process.on_round,
+            round_fn,
             period_source=lambda: drift.next_period(node_rng, node_id, interval),
             initial_delay=first_round,
         )
@@ -298,11 +368,53 @@ class SimCluster:
                 period_source=lambda: period,
                 initial_delay=self._rng.randrange(max(1, period)),
             )
+        sync_task = None
+        if sync_manager is not None:
+            # The manager counts rounds itself, so tick it once per
+            # round interval (undrifted — anti-entropy needs no phase
+            # realism). A respawned node ticks on the very next
+            # simulator step: its post-recovery catch-up probe fires
+            # before its first epidemic round can advance the order
+            # mark past the still-missing suffix.
+            if recovered is not None or resume_seq is not None:
+                sync_manager.kick()
+                first_sync = 1
+            else:
+                first_sync = interval
+            sync_task = PeriodicTask(
+                self.sim,
+                sync_manager.on_round,
+                period_source=lambda: interval,
+                initial_delay=first_sync,
+            )
 
         self._nodes[node_id] = _ClusterNode(
-            node_id, process, pss, round_task, shuffle_task
+            node_id, process, pss, round_task, shuffle_task, sync_task
         )
         return node_id
+
+    @staticmethod
+    def _gated_round(
+        process: GossipProcess, manager: SyncManager, hold_rounds: float
+    ) -> Callable[[], None]:
+        """Round function for a respawned sync-enabled node: no-op until
+        the sync manager reports ``caught_up`` and ``hold_rounds`` round
+        ticks have passed (the in-flight dissemination horizon), then
+        behave as ``process.on_round`` forever. The hold is abandoned —
+        gate opened regardless — once the manager's catch-up budget runs
+        out without convergence."""
+        state = {"joined": False, "waited": 0}
+
+        def run() -> None:
+            if not state["joined"]:
+                state["waited"] += 1
+                ready = manager.caught_up and state["waited"] >= hold_rounds
+                if not ready and state["waited"] < manager.config.catch_up_rounds:
+                    return
+                state["joined"] = True
+            process.on_round()
+
+        return run
 
     def add_nodes(self, count: int) -> Sequence[int]:
         """Provision *count* nodes; returns their ids."""

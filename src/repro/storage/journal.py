@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Union
 
 from ..core.event import Event, OrderKey
 from .log import DeliveryLog
@@ -83,11 +83,13 @@ class DeliveryJournal:
         self._last_key: Optional[OrderKey] = None
         self._next_seq = 0
         self._applied_total = 0
+        self._source_watermarks: Dict[int, int] = {}
         if resume is not None:
             self._watermark = resume.last_delivered_key
             self._last_key = resume.last_delivered_key
             self._next_seq = resume.next_seq
             self._applied_total = resume.applied_count
+            self._source_watermarks.update(resume.source_watermarks)
 
     # ------------------------------------------------------------------
     # Recording
@@ -108,6 +110,9 @@ class DeliveryJournal:
         self._last_key = key
         self._applied_total += 1
         self.stats.recorded += 1
+        source = event.source_id
+        if event.seq > self._source_watermarks.get(source, -1):
+            self._source_watermarks[source] = event.seq
         return True
 
     def record_broadcast(self, event: Event) -> None:
@@ -133,6 +138,7 @@ class DeliveryJournal:
             last_delivered_key=self._last_key,
             next_seq=self._next_seq,
             applied_count=self._applied_total,
+            source_watermarks=self._source_watermarks,
         )
         self.stats.snapshots += 1
         if prune_log and self._last_key is not None:
@@ -157,6 +163,25 @@ class DeliveryJournal:
     def applied_count(self) -> int:
         """Deliveries journaled across all recovered incarnations."""
         return self._applied_total
+
+    @property
+    def source_watermarks(self) -> Dict[int, int]:
+        """Per-source high watermarks: for every source id, the highest
+        sequence number this history has delivered from it (across all
+        recovered incarnations). The digest half of the anti-entropy
+        exchange (:mod:`repro.sync`)."""
+        return dict(self._source_watermarks)
+
+    def delivered_after(self, order_key: Optional[OrderKey]) -> Iterator[Event]:
+        """Serve the delivery-log suffix strictly above *order_key*.
+
+        The range read behind ``SYNC_REQUEST``: events come back in
+        ``(ts, srcId, seq)`` order straight from the retained log
+        segments. History already compacted into a snapshot (pruned
+        segments) is not servable — peers that far behind catch up from
+        a node with a longer retained log.
+        """
+        return self.log.delivered_after(order_key)
 
     def sync(self) -> None:
         """Force the log to disk now (overrides the fsync policy)."""

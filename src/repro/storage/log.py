@@ -55,7 +55,7 @@ from pathlib import Path
 from typing import IO, Iterator, List, Optional, Tuple, Union
 
 from ..core.errors import StorageError
-from ..core.event import OrderKey
+from ..core.event import Event, OrderKey
 from .records import DeliveryRecord, LogRecord, decode_record, encode_record
 
 _FRAME = struct.Struct("!II")  # payload length, crc32(payload)
@@ -242,6 +242,20 @@ class DeliveryLog:
         for record in self.records():
             if isinstance(record, DeliveryRecord):
                 yield record
+
+    def delivered_after(self, order_key: Optional[OrderKey]) -> Iterator[Event]:
+        """Range-read: events with order key strictly above *order_key*.
+
+        ``None`` means "from the beginning". A node's deliveries are
+        strictly increasing in ``(ts, srcId, seq)``, so append order
+        *is* order-key order and the scan yields a sorted suffix — the
+        read side of the anti-entropy exchange (:mod:`repro.sync`).
+        Corruption is absorbed exactly as in :meth:`records`: the scan
+        stops at the first bad frame, serving only the trusted prefix.
+        """
+        for record in self.delivered_events():
+            if order_key is None or record.event.order_key > order_key:
+                yield record.event
 
     def segments(self) -> List[Path]:
         """Segment paths, oldest first."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from ..core.event import OrderKey
 from ..smr.machine import StateMachine
@@ -52,6 +52,9 @@ class RecoveredState:
         deduplicated: Log records skipped as already covered.
         snapshot_index: Index of the snapshot used (``None`` = none).
         log_report: How far the log read got (torn/corrupt diagnosis).
+        source_watermarks: Per-source high watermarks (source id ->
+            highest delivered sequence) across the recovered history;
+            seeds the successor journal's anti-entropy digest.
     """
 
     node_id: int
@@ -64,6 +67,7 @@ class RecoveredState:
     deduplicated: int = 0
     snapshot_index: Optional[int] = None
     log_report: LogReadReport = field(default_factory=LogReadReport)
+    source_watermarks: Dict[int, int] = field(default_factory=dict)
 
     @property
     def blank(self) -> bool:
@@ -113,6 +117,7 @@ def recover(
         recovered.last_delivered_key = snapshot.last_delivered_key
         recovered.next_seq = snapshot.next_seq
         recovered.applied_count = snapshot.applied_count
+        recovered.source_watermarks.update(snapshot.source_watermarks)
         if machine is not None:
             machine.restore(snapshot.state)
 
@@ -127,6 +132,13 @@ def recover(
                 if isinstance(record, DeliveryRecord):
                     event = record.event
                     key = event.order_key
+                    # Watermarks accumulate over every record seen, even
+                    # deduplicated ones — a snapshot from before the
+                    # field existed carries none, so the log is the only
+                    # witness for the covered prefix.
+                    watermarks = recovered.source_watermarks
+                    if event.seq > watermarks.get(event.source_id, -1):
+                        watermarks[event.source_id] = event.seq
                     if (
                         recovered.last_delivered_key is not None
                         and key <= recovered.last_delivered_key

@@ -23,9 +23,9 @@ from __future__ import annotations
 import json
 import os
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, List, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from ..core.errors import StorageError
 from ..core.event import OrderKey
@@ -60,6 +60,10 @@ class Snapshot:
             delivered yet.
         next_seq: Broadcast sequence the node must resume from.
         applied_count: Total commands applied into *state*.
+        source_watermarks: Per-source high watermarks (source id ->
+            highest delivered sequence) as of this checkpoint; the
+            digest seed for anti-entropy (:mod:`repro.sync`). Empty for
+            snapshots written before the field existed.
     """
 
     index: int
@@ -67,6 +71,7 @@ class Snapshot:
     last_delivered_key: Optional[OrderKey]
     next_seq: int
     applied_count: int
+    source_watermarks: Dict[int, int] = field(default_factory=dict)
 
 
 class SnapshotStore:
@@ -98,6 +103,7 @@ class SnapshotStore:
         last_delivered_key: Optional[OrderKey],
         next_seq: int,
         applied_count: int = 0,
+        source_watermarks: Optional[Mapping[int, int]] = None,
     ) -> Snapshot:
         """Write the next snapshot atomically; returns it.
 
@@ -105,6 +111,9 @@ class SnapshotStore:
             StorageError: If *state* is not JSON-serializable.
         """
         index = (self._latest_index() or 0) + 1
+        watermarks = {
+            int(src): int(seq) for src, seq in (source_watermarks or {}).items()
+        }
         body = {
             "index": index,
             "state": state,
@@ -113,6 +122,10 @@ class SnapshotStore:
             ),
             "next_seq": int(next_seq),
             "applied_count": int(applied_count),
+            # JSON object keys are strings; loads convert back to int.
+            "source_watermarks": {
+                str(src): seq for src, seq in sorted(watermarks.items())
+            },
         }
         try:
             encoded = json.dumps(body, sort_keys=True)
@@ -138,6 +151,7 @@ class SnapshotStore:
             last_delivered_key=last_delivered_key,
             next_seq=int(next_seq),
             applied_count=int(applied_count),
+            source_watermarks=watermarks,
         )
 
     # ------------------------------------------------------------------
@@ -185,6 +199,10 @@ class SnapshotStore:
                 last_delivered_key=tuple(key) if key is not None else None,
                 next_seq=int(body["next_seq"]),
                 applied_count=int(body["applied_count"]),
+                source_watermarks={
+                    int(src): int(seq)
+                    for src, seq in (body.get("source_watermarks") or {}).items()
+                },
             )
         except (OSError, ValueError, KeyError, TypeError):
             return None

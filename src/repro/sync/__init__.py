@@ -1,0 +1,38 @@
+"""Anti-entropy catch-up (`repro.sync`).
+
+Pull-based epidemic repair layered on the durable delivery log: nodes
+periodically exchange compact digests of delivered-order progress and
+pull the missing log suffix from a peer in bounded, CRC-verified
+chunks. This is the deterministic complement to EpTO's probabilistic,
+TTL-windowed dissemination — a node whose outage outlived the TTL
+window converges to the survivors' delivery sequence instead of
+diverging forever. See docs/SYNC.md.
+"""
+
+from .config import SyncConfig
+from .manager import SyncManager, SyncStats, epto_chunk_applier
+from .protocol import (
+    SYNC_MESSAGE_TYPES,
+    DeliveryDigest,
+    SyncChunk,
+    SyncDigest,
+    SyncRequest,
+    event_wire_cost,
+    events_checksum,
+    freeze_watermarks,
+)
+
+__all__ = [
+    "SyncConfig",
+    "SyncManager",
+    "SyncStats",
+    "epto_chunk_applier",
+    "DeliveryDigest",
+    "SyncDigest",
+    "SyncRequest",
+    "SyncChunk",
+    "SYNC_MESSAGE_TYPES",
+    "events_checksum",
+    "event_wire_cost",
+    "freeze_watermarks",
+]

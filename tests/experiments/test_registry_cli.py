@@ -106,3 +106,50 @@ class TestFaultScenarioFlag:
         code = main(["fig3", "--fault-scenario", str(self.scenario_file(tmp_path))])
         assert code == 2
         assert "does not take --fault-scenario" in capsys.readouterr().err
+
+
+class TestSyncFlag:
+    def patched_drill(self, monkeypatch, result):
+        """Swap the drill runner for a stub returning *result*."""
+        import dataclasses
+
+        from repro.experiments import registry
+
+        captured = {}
+
+        def runner(**kwargs):
+            captured.update(kwargs)
+            return result
+
+        entry = dataclasses.replace(registry.REGISTRY["drill"], runner=runner)
+        monkeypatch.setitem(registry.REGISTRY, "drill", entry)
+        return captured
+
+    def test_non_sync_experiment_rejects_sync(self, capsys):
+        assert main(["fig3", "--sync"]) == 2
+        assert "does not take --sync" in capsys.readouterr().err
+
+    def test_sync_flag_forwarded_to_the_runner(self, monkeypatch, capsys):
+        class Result:
+            exit_ok = True
+
+            def render(self):
+                return "stub"
+
+        captured = self.patched_drill(monkeypatch, Result())
+        assert main(["drill", "--sync"]) == 0
+        assert captured.get("sync") is True
+        captured.clear()
+        assert main(["drill"]) == 0
+        assert "sync" not in captured
+
+    def test_failed_verdict_exits_nonzero(self, monkeypatch, capsys):
+        class Result:
+            exit_ok = False
+
+            def render(self):
+                return "verdict: FAILED"
+
+        self.patched_drill(monkeypatch, Result())
+        assert main(["drill", "--sync"]) == 1
+        assert "verdict: FAILED" in capsys.readouterr().out

@@ -1,0 +1,154 @@
+"""Digest correctness: watermarks, range reads, snapshot round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.event import Event
+from repro.storage.journal import DeliveryJournal
+from repro.storage.recovery import recover
+from repro.storage.snapshot import SnapshotStore
+from repro.sync.protocol import (
+    DeliveryDigest,
+    event_wire_cost,
+    events_checksum,
+    freeze_watermarks,
+)
+
+
+def event(ts: int, src: int, seq: int, payload=None) -> Event:
+    return Event(id=(src, seq), ts=ts, source_id=src, payload=payload)
+
+
+class TestDeliveryDigest:
+    def test_empty_is_never_behind_empty(self):
+        empty = DeliveryDigest(last_key=None)
+        assert not empty.behind(empty)
+
+    def test_empty_is_behind_any_progress(self):
+        empty = DeliveryDigest(last_key=None)
+        ahead = DeliveryDigest(last_key=(5, 1, 0))
+        assert empty.behind(ahead)
+        assert not ahead.behind(empty)
+
+    def test_strict_key_comparison(self):
+        a = DeliveryDigest(last_key=(5, 1, 0))
+        b = DeliveryDigest(last_key=(5, 2, 0))
+        same = DeliveryDigest(last_key=(5, 1, 0))
+        assert a.behind(b)
+        assert not b.behind(a)
+        assert not a.behind(same)
+
+    def test_of_freezes_watermarks_sorted(self):
+        digest = DeliveryDigest.of((9, 3, 1), {3: 1, 1: 7})
+        assert digest.watermarks == ((1, 7), (3, 1))
+        assert digest.as_mapping() == {1: 7, 3: 1}
+
+    def test_freeze_watermarks_is_canonical(self):
+        assert freeze_watermarks({2: 5, 0: 1}) == ((0, 1), (2, 5))
+        assert freeze_watermarks({}) == ()
+
+
+class TestChecksum:
+    def test_checksum_is_deterministic_and_order_sensitive(self):
+        events = [event(1, 0, 0, "a"), event(2, 1, 0, {"k": [1, 2]})]
+        assert events_checksum(events) == events_checksum(list(events))
+        assert events_checksum(events) != events_checksum(events[::-1])
+        assert events_checksum([]) == 0
+
+    def test_checksum_covers_payload_bytes(self):
+        assert events_checksum([event(1, 0, 0, "a")]) != events_checksum(
+            [event(1, 0, 0, "b")]
+        )
+
+    def test_wire_cost_counts_framing_plus_payload(self):
+        small = event_wire_cost(event(1, 0, 0, None))
+        larger = event_wire_cost(event(1, 0, 0, "x" * 100))
+        assert larger > small > 0
+
+    def test_unencodable_payload_rejected(self):
+        with pytest.raises(StorageError):
+            event_wire_cost(event(1, 0, 0, object()))
+
+
+class TestJournalWatermarks:
+    def test_watermarks_track_highest_seq_per_source(self, tmp_path):
+        journal = DeliveryJournal(tmp_path, fsync="never")
+        journal.record_delivery(event(1, 0, 0))
+        journal.record_delivery(event(2, 1, 0))
+        journal.record_delivery(event(3, 0, 1))
+        assert journal.source_watermarks == {0: 1, 1: 0}
+        journal.close()
+
+    def test_delivered_after_yields_strict_suffix(self, tmp_path):
+        journal = DeliveryJournal(tmp_path, fsync="never")
+        for ts in range(5):
+            journal.record_delivery(event(ts, 0, ts, ts))
+        keys = [e.order_key for e in journal.delivered_after((2, 0, 2))]
+        assert keys == [(3, 0, 3), (4, 0, 4)]
+        all_keys = [e.order_key for e in journal.delivered_after(None)]
+        assert all_keys == [(ts, 0, ts) for ts in range(5)]
+        assert list(journal.delivered_after((99, 0, 0))) == []
+        journal.close()
+
+    def test_watermarks_survive_crash_recovery_via_log(self, tmp_path):
+        journal = DeliveryJournal(tmp_path, fsync="never")
+        journal.record_delivery(event(1, 0, 0))
+        journal.record_delivery(event(2, 3, 0))
+        journal.record_delivery(event(4, 3, 1))
+        journal.close()
+
+        recovered = recover(0, tmp_path)
+        assert recovered.source_watermarks == {0: 0, 3: 1}
+        resumed = DeliveryJournal(tmp_path, resume=recovered, fsync="never")
+        assert resumed.source_watermarks == {0: 0, 3: 1}
+        resumed.close()
+
+    def test_watermarks_survive_snapshot_recovery(self, tmp_path):
+        journal = DeliveryJournal(tmp_path, fsync="never", segment_max_bytes=64)
+        for ts in range(6):
+            journal.record_delivery(event(ts, ts % 2, ts // 2, ts))
+        journal.save_snapshot({"state": "s"})
+        journal.close()
+
+        recovered = recover(0, tmp_path)
+        assert recovered.source_watermarks == {0: 2, 1: 2}
+        resumed = DeliveryJournal(tmp_path, resume=recovered, fsync="never")
+        assert resumed.source_watermarks == {0: 2, 1: 2}
+        resumed.close()
+
+
+class TestSnapshotCompat:
+    def test_snapshot_roundtrips_source_watermarks(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        saved = store.save(
+            state={"x": 1},
+            last_delivered_key=(3, 1, 0),
+            next_seq=2,
+            applied_count=4,
+            source_watermarks={1: 0, 0: 2},
+        )
+        assert saved.source_watermarks == {0: 2, 1: 0}
+        assert store.load_latest().source_watermarks == {0: 2, 1: 0}
+
+    def test_pre_sync_snapshot_reads_as_empty_watermarks(self, tmp_path):
+        import json
+        import zlib
+
+        store = SnapshotStore(tmp_path)
+        store.save(
+            state={}, last_delivered_key=(3, 1, 0), next_seq=2, applied_count=4
+        )
+        path = sorted(tmp_path.glob("snap-*.json"))[-1]
+        document = json.loads(path.read_text())
+        # Simulate a snapshot written before the watermark field existed.
+        body = document["body"]
+        body.pop("source_watermarks", None)
+        encoded = json.dumps(body, sort_keys=True)
+        path.write_text(
+            json.dumps({"crc": zlib.crc32(encoded.encode()), "body": body})
+        )
+
+        fresh = SnapshotStore(tmp_path)
+        assert fresh.load_latest().source_watermarks == {}

@@ -1,0 +1,80 @@
+"""Deterministic sim drills: TTL-outliving outage with and without sync.
+
+The paired acceptance scenario for the anti-entropy subsystem
+(docs/SYNC.md): a node down for ~3 TTL windows can never be repaired by
+live epidemic traffic, so without sync it permanently diverges, and
+with sync it must converge bit-identically to the continuous survivors.
+Both drills are fully deterministic, so the assertions are exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.drill import run_drill
+from repro.faults.schedule import FaultSchedule
+
+
+@pytest.fixture(scope="module")
+def synced():
+    return run_drill(schedule=FaultSchedule.long_outage(), sync=True)
+
+
+@pytest.fixture(scope="module")
+def unsynced():
+    return run_drill(schedule=FaultSchedule.long_outage(), sync=False)
+
+
+class TestLongOutageWithSync:
+    def test_recovered_node_converges_bit_identically(self, synced):
+        assert synced.recoveries == 1
+        assert synced.recovered_missing == 0
+        assert synced.sequences_match is True
+
+    def test_safety_holds_and_verdict_passes(self, synced):
+        assert synced.report.safety_ok
+        assert synced.exit_ok
+
+    def test_sync_traffic_is_visible_in_metrics(self, synced):
+        assert synced.sync_enabled
+        assert synced.sync_rounds > 0
+        assert synced.sync_sessions > 0
+        assert synced.sync_chunks > 0
+        assert synced.sync_repaired > 0
+        assert synced.sync_bytes_fetched > 0
+
+    def test_render_reports_the_sync_lines(self, synced):
+        text = synced.render()
+        assert "sync: rounds=" in text
+        assert "sequences=IDENTICAL" in text
+        assert "verdict: OK" in text
+
+
+class TestLongOutageWithoutSync:
+    def test_divergence_is_permanent_and_detected(self, unsynced):
+        # The regression the subsystem exists for: every event broadcast
+        # during the outage ages past the TTL while the node is down.
+        assert unsynced.recoveries == 1
+        assert unsynced.recovered_missing > 0
+        assert unsynced.sequences_match is False
+
+    def test_divergence_is_reported_but_not_failed(self, unsynced):
+        # Without sync, post-outage divergence is the documented
+        # behaviour of plain EpTO — the verdict gates survivors' safety.
+        assert unsynced.report.safety_ok
+        assert unsynced.exit_ok
+        assert "sequences=DIVERGED" in unsynced.render()
+
+    def test_no_sync_traffic(self, unsynced):
+        assert not unsynced.sync_enabled
+        assert unsynced.sync_rounds == 0
+        assert unsynced.sync_repaired == 0
+
+
+class TestDeterminism:
+    def test_synced_drill_is_reproducible(self, synced):
+        again = run_drill(schedule=FaultSchedule.long_outage(), sync=True)
+        assert again.recovered_missing == synced.recovered_missing
+        assert again.sequences_match == synced.sequences_match
+        assert again.sync_repaired == synced.sync_repaired
+        assert again.events_broadcast == synced.events_broadcast
