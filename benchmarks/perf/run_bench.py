@@ -22,6 +22,9 @@ the repository root:
   :mod:`repro.storage` journal under every node, asserted bit-identical
   in round-loop metrics to the journal-free run (journaling must never
   perturb the protocol), with the journal overhead timed alongside.
+* ``auth`` — HMAC sign/verify per event (:mod:`repro.auth`,
+  docs/SECURITY.md) and the wire cost of authentication: the same ball
+  encoded/decoded plain (codec kind 1) versus signed (kind 7).
 
 Usage::
 
@@ -220,6 +223,111 @@ def bench_sim_journaled(seed: int, repeats: int, plain_metrics: dict) -> dict:
     }
 
 
+def bench_auth(seed: int, repeats: int) -> dict:
+    """Event authentication cost: sign/verify plus the signed-ball codec.
+
+    Times HMAC signing and verification per event
+    (:class:`repro.auth.authenticator.HmacAuthenticator` over the
+    canonical event bytes), then the wire cost of authentication:
+    encode/decode of the same :data:`CODEC_ENTRIES`-entry ball plain
+    (codec kind 1) versus signed (kind 7, one 16-byte MAC per entry).
+    The verify pass must accept every genuine signature and the signed
+    round-trip must preserve ball and signatures bit-exactly — the
+    harness aborts otherwise. ``overhead_factor`` entries are the
+    slowdowns of the signed path over the plain one; ``metrics`` has
+    the datagram growth.
+    """
+    from repro.auth import BallGuard, HmacAuthenticator, KeyRing, SignedBall
+    from repro.runtime import codec
+
+    authenticator = HmacAuthenticator(KeyRing(f"bench:{seed}"))
+    ball = build_codec_ball(CODEC_ENTRIES, seed)
+    signatures = [authenticator.sign(entry.event) for entry in ball]
+
+    def sign_all():
+        verdicts = 0
+        for entry in ball:
+            authenticator.sign(entry.event)
+            verdicts += 1
+        return verdicts
+
+    def verify_all():
+        accepted = 0
+        for entry, signature in zip(ball, signatures):
+            if authenticator.verify(entry.event, signature) == "ok":
+                accepted += 1
+        return accepted
+
+    sign_t = time_callable(sign_all, label="auth sign", repeats=repeats)
+    verify_t = time_callable(verify_all, label="auth verify", repeats=repeats)
+    if verify_t.result != CODEC_ENTRIES:
+        raise AssertionError(
+            f"verify rejected genuine signatures: accepted "
+            f"{verify_t.result}/{CODEC_ENTRIES}"
+        )
+
+    guard = BallGuard(authenticator)
+    for entry in ball:
+        guard.seal(entry.event.source_id, (entry,))
+    signed = guard.attach(ball)
+    if any(signature is None for signature in signed.signatures):
+        raise AssertionError("guard failed to sign every bench entry")
+
+    def encode_plain():
+        return len(codec.encode(7, ball))
+
+    def encode_signed():
+        return len(codec.encode(7, signed))
+
+    plain_wire = codec.encode(7, ball)
+    signed_wire = codec.encode(7, signed)
+
+    def decode_plain():
+        _, message = codec.decode(plain_wire)
+        return len(message)
+
+    def decode_signed():
+        _, message = codec.decode(signed_wire)
+        return len(message.entries)
+
+    _, round_trip = codec.decode(signed_wire)
+    if not isinstance(round_trip, SignedBall) or round_trip != signed:
+        raise AssertionError("signed ball did not round-trip bit-exactly")
+
+    encode_plain_t = time_callable(
+        encode_plain, label="encode plain ball", repeats=repeats
+    )
+    encode_signed_t = time_callable(
+        encode_signed, label="encode signed ball", repeats=repeats
+    )
+    decode_plain_t = time_callable(
+        decode_plain, label="decode plain ball", repeats=repeats
+    )
+    decode_signed_t = time_callable(
+        decode_signed, label="decode signed ball", repeats=repeats
+    )
+    return {
+        "sign": sign_t.as_dict(),
+        "verify": verify_t.as_dict(),
+        "encode_plain": encode_plain_t.as_dict(),
+        "encode_signed": encode_signed_t.as_dict(),
+        "decode_plain": decode_plain_t.as_dict(),
+        "decode_signed": decode_signed_t.as_dict(),
+        "overhead_factor": {
+            "encode": round(speedup(encode_signed_t, encode_plain_t), 2),
+            "decode": round(speedup(decode_signed_t, decode_plain_t), 2),
+        },
+        "metrics": {
+            "entries": CODEC_ENTRIES,
+            "plain_bytes": len(plain_wire),
+            "signed_bytes": len(signed_wire),
+            "bytes_per_entry_overhead": round(
+                (len(signed_wire) - len(plain_wire)) / CODEC_ENTRIES, 2
+            ),
+        },
+    }
+
+
 FSYNC_EVENTS = 400
 FSYNC_SEGMENT_BYTES = 16_384
 
@@ -306,6 +414,7 @@ def run_all(sizes, seed: int, repeats: int) -> dict:
             "sim_macro": None,
             "sim_journaled": None,
             "fsync_policies": None,
+            "auth": None,
         },
     }
     for n in sizes:
@@ -334,6 +443,12 @@ def run_all(sizes, seed: int, repeats: int) -> dict:
     print("fsync_policies ...", flush=True)
     results["scenarios"]["fsync_policies"] = bench_fsync_policies(seed, repeats)
     print(f"  cost_vs_never {results['scenarios']['fsync_policies']['cost_vs_never']}")
+    print("auth ...", flush=True)
+    results["scenarios"]["auth"] = bench_auth(seed, repeats)
+    print(
+        f"  overhead {results['scenarios']['auth']['overhead_factor']}   "
+        f"{results['scenarios']['auth']['metrics']}"
+    )
     return results
 
 

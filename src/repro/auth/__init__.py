@@ -1,0 +1,38 @@
+"""Event authentication (`repro.auth`).
+
+Dependency-free HMAC-SHA256 authentication of EpTO events: a
+:class:`KeyRing` derives per-node keys (with rotation epochs) from one
+cluster master secret, an :class:`HmacAuthenticator` signs and verifies
+the canonical event bytes that :mod:`repro.sync` already CRC-checks,
+and a :class:`BallGuard` applies the seal-on-send / admit-on-receive
+policy shared by every network fabric. Authenticated diffusion detects
+forgery and relay equivocation — it does **not** provide Byzantine
+fault-tolerant ordering; read docs/SECURITY.md for the threat model.
+"""
+
+from .authenticator import (
+    MAC_LEN,
+    VERDICT_BAD_SIGNATURE,
+    VERDICT_OK,
+    VERDICT_UNKNOWN_KEY,
+    EventSignature,
+    HmacAuthenticator,
+    SignedBall,
+)
+from .guard import DEFAULT_CACHE_SIZE, AdmitCounts, BallGuard
+from .keyring import KeyRing, derive_key
+
+__all__ = [
+    "KeyRing",
+    "derive_key",
+    "HmacAuthenticator",
+    "EventSignature",
+    "SignedBall",
+    "MAC_LEN",
+    "VERDICT_OK",
+    "VERDICT_BAD_SIGNATURE",
+    "VERDICT_UNKNOWN_KEY",
+    "BallGuard",
+    "AdmitCounts",
+    "DEFAULT_CACHE_SIZE",
+]

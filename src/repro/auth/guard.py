@@ -1,0 +1,170 @@
+"""Fabric-level admission control: seal outgoing balls, admit incoming.
+
+:class:`BallGuard` is what the three network fabrics (`SimNetwork`,
+`AsyncNetwork`, `UdpNetwork`) actually talk to. It wraps an
+:class:`~repro.auth.authenticator.HmacAuthenticator` with the two
+policies the fabrics share:
+
+* **Seal on send** — :meth:`seal` signs every entry whose event was
+  *originated by the sender* (``entry.event.source_id == sender``) and
+  remembers the signature in a bounded FIFO cache keyed by event id.
+  A node never signs events it merely relays: that is the
+  authenticated-diffusion model (Malkhi et al.) — only the source can
+  vouch for its own events, so a hostile relay that mutates someone
+  else's entry cannot produce a matching MAC.
+* **Admit on receive** — :meth:`admit_ball` (object fabrics, where the
+  signature travels in the guard's cache) and :meth:`admit_signed`
+  (UDP, where it travels in the datagram) verify each entry, drop the
+  ones that fail, and report per-verdict counts so the fabrics can
+  surface ``dropped_bad_signature`` / ``dropped_unknown_key`` /
+  ``dropped_unsigned``.
+
+The cache doubles as a **sign-once oracle**: the first seal of a given
+event id pins the canonical bytes that were MACed. The simulator's
+fabrics share one guard per network, which models every node holding
+its own key without serializing signatures into object messages —
+because the origin's ``seal`` always runs before any relay can forward
+the event, the cache holds the genuine event's MAC, and a mutated copy
+under the same id fails recomputation at admission.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.event import Ball, BallEntry, EventId
+from .authenticator import (
+    VERDICT_BAD_SIGNATURE,
+    VERDICT_OK,
+    VERDICT_UNKNOWN_KEY,
+    EventSignature,
+    HmacAuthenticator,
+    SignedBall,
+)
+
+#: Default signature-cache capacity. Event ids are retired from balls
+#: after TTL rounds, so anything beyond a few rounds of traffic is dead
+#: weight; 65k entries is orders of magnitude above any drill's window.
+DEFAULT_CACHE_SIZE = 1 << 16
+
+
+@dataclass(slots=True)
+class AdmitCounts:
+    """Per-verdict tally for one admitted ball."""
+
+    bad_signature: int = 0
+    unknown_key: int = 0
+    unsigned: int = 0
+
+    @property
+    def rejected(self) -> int:
+        """Total entries dropped by admission."""
+        return self.bad_signature + self.unknown_key + self.unsigned
+
+
+class BallGuard:
+    """Seals outgoing and admits incoming balls for one fabric."""
+
+    def __init__(
+        self,
+        authenticator: HmacAuthenticator,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self.authenticator = authenticator
+        self._cache_size = int(cache_size)
+        self._signatures: "OrderedDict[EventId, EventSignature]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Outgoing
+    # ------------------------------------------------------------------
+
+    def seal(self, sender: int, ball: Ball) -> None:
+        """Sign (and cache) the entries *sender* originated.
+
+        Relayed entries (``source_id != sender``) are left alone — their
+        signatures were cached when their sources first sealed them, or
+        they stay unsigned and admission drops them.
+        """
+        for entry in ball:
+            event = entry.event
+            if event.source_id != sender:
+                continue
+            if event.id not in self._signatures:
+                self._remember(event.id, self.authenticator.sign(event))
+
+    def attach(self, ball: Ball) -> SignedBall:
+        """Wire form of *ball*: each entry paired with its cached
+        signature (``None`` when the guard has never sealed that id)."""
+        return SignedBall(
+            entries=ball,
+            signatures=tuple(
+                self._signatures.get(entry.event.id) for entry in ball
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Incoming
+    # ------------------------------------------------------------------
+
+    def admit_ball(self, ball: Ball) -> Tuple[Ball, AdmitCounts]:
+        """Verify *ball* against cached signatures (object fabrics).
+
+        Returns the admitted sub-ball (original entry objects, original
+        order) plus the rejection tally.
+        """
+        signatures = tuple(
+            self._signatures.get(entry.event.id) for entry in ball
+        )
+        return self._admit(ball, signatures, cache_verified=False)
+
+    def admit_signed(self, signed: SignedBall) -> Tuple[Ball, AdmitCounts]:
+        """Verify a decoded :class:`SignedBall` (datagram fabrics).
+
+        Verified signatures are cached so this receiver can later relay
+        the entries onward with their MACs attached.
+        """
+        return self._admit(
+            signed.entries, signed.signatures, cache_verified=True
+        )
+
+    def _admit(
+        self,
+        ball: Ball,
+        signatures: Tuple[Optional[EventSignature], ...],
+        cache_verified: bool,
+    ) -> Tuple[Ball, AdmitCounts]:
+        counts = AdmitCounts()
+        admitted: List[BallEntry] = []
+        for entry, signature in zip(ball, signatures):
+            if signature is None:
+                counts.unsigned += 1
+                continue
+            verdict = self.authenticator.verify(entry.event, signature)
+            if verdict == VERDICT_OK:
+                if cache_verified and entry.event.id not in self._signatures:
+                    self._remember(entry.event.id, signature)
+                admitted.append(entry)
+            elif verdict == VERDICT_UNKNOWN_KEY:
+                counts.unknown_key += 1
+            else:
+                assert verdict == VERDICT_BAD_SIGNATURE
+                counts.bad_signature += 1
+        return tuple(admitted), counts
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+
+    def _remember(self, event_id: EventId, signature: EventSignature) -> None:
+        self._signatures[event_id] = signature
+        while len(self._signatures) > self._cache_size:
+            self._signatures.popitem(last=False)
+
+    def cached_signature(self, event_id: EventId) -> Optional[EventSignature]:
+        """The cached signature for *event_id*, if any (telemetry/tests)."""
+        return self._signatures.get(event_id)
+
+    def __len__(self) -> int:
+        return len(self._signatures)

@@ -1,0 +1,129 @@
+"""Per-cluster key material: per-node keys, epochs, rotation.
+
+A :class:`KeyRing` derives every node's signing key from one cluster
+master secret, so provisioning a thousand-node drill needs a single
+string while each node still signs under its *own* key: forging another
+identity's events requires that identity's key, which is exactly the
+authenticated-diffusion assumption of Malkhi et al. (*On Diffusing
+Updates in a Byzantine Environment*). Keys are versioned by a per-node
+**epoch**: :meth:`rotate` bumps the epoch (the new key is a fresh
+derivation), and verifiers keep accepting a bounded window of previous
+epochs (``retain_epochs``) so events signed just before a rotation are
+not orphaned mid-flight — rotation is a ratchet, not a flag day.
+
+Everything here is the Python standard library (:mod:`hmac`,
+:mod:`hashlib`): the robustness layer stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict, Set
+
+from ..core.errors import AuthError
+
+
+def derive_key(master: bytes, node_id: int, epoch: int) -> bytes:
+    """Deterministic per-(node, epoch) key: HMAC-SHA256 of a domain-
+    separated label under the master secret."""
+    label = b"epto-auth|node=%d|epoch=%d" % (node_id, epoch)
+    return hmac.new(master, label, hashlib.sha256).digest()
+
+
+class KeyRing:
+    """Cluster key material with per-node keys and rotation.
+
+    Args:
+        master: The cluster master secret (``str`` is UTF-8 encoded).
+            Every per-node key is derived from it, so two rings built
+            from the same secret agree on every key — which is how the
+            simulator's fabric-global ring models each node holding its
+            own key without distributing key files.
+        retain_epochs: How many epochs *behind* a node's current epoch
+            verifiers still accept. ``1`` (default) tolerates events
+            signed immediately before a rotation; ``0`` makes rotation
+            an instant cut-over.
+    """
+
+    def __init__(self, master: bytes | str, retain_epochs: int = 1) -> None:
+        if isinstance(master, str):
+            master = master.encode()
+        if not master:
+            raise AuthError("master secret must not be empty")
+        if retain_epochs < 0:
+            raise AuthError(
+                f"retain_epochs must be >= 0, got {retain_epochs}"
+            )
+        self._master = bytes(master)
+        self.retain_epochs = int(retain_epochs)
+        self._epochs: Dict[int, int] = {}
+        self._revoked: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Key access
+    # ------------------------------------------------------------------
+
+    def epoch_of(self, node_id: int) -> int:
+        """The current signing epoch of *node_id* (0 until rotated)."""
+        return self._epochs.get(node_id, 0)
+
+    def key_for(self, node_id: int, epoch: int | None = None) -> bytes:
+        """The signing key of *node_id* at *epoch* (current if omitted).
+
+        Raises:
+            AuthError: If the identity is revoked or the epoch is
+                outside the acceptance window (future, or older than
+                ``retain_epochs`` behind).
+        """
+        if node_id in self._revoked:
+            raise AuthError(f"node {node_id} is revoked")
+        if epoch is None:
+            epoch = self.epoch_of(node_id)
+        elif not self.accepts(node_id, epoch):
+            raise AuthError(
+                f"epoch {epoch} of node {node_id} is outside the "
+                f"acceptance window (current {self.epoch_of(node_id)}, "
+                f"retain {self.retain_epochs})"
+            )
+        return derive_key(self._master, node_id, epoch)
+
+    def accepts(self, node_id: int, epoch: int) -> bool:
+        """Whether a signature under ``(node_id, epoch)`` is verifiable:
+        the identity is not revoked and the epoch is within the
+        retention window behind (or equal to) the current epoch."""
+        if node_id in self._revoked:
+            return False
+        current = self.epoch_of(node_id)
+        return current - self.retain_epochs <= epoch <= current
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def rotate(self, node_id: int) -> int:
+        """Advance *node_id* to a fresh key; returns the new epoch.
+
+        Signatures under epochs more than ``retain_epochs`` behind the
+        new epoch stop verifying immediately.
+        """
+        if node_id in self._revoked:
+            raise AuthError(f"cannot rotate revoked node {node_id}")
+        new_epoch = self.epoch_of(node_id) + 1
+        self._epochs[node_id] = new_epoch
+        return new_epoch
+
+    def revoke(self, node_id: int) -> None:
+        """Permanently stop signing and verifying for *node_id*; its
+        signatures verify as ``unknown_key`` from now on."""
+        self._revoked.add(node_id)
+
+    def is_revoked(self, node_id: int) -> bool:
+        """Whether :meth:`revoke` ran for *node_id*."""
+        return node_id in self._revoked
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KeyRing(rotated={len(self._epochs)}, "
+            f"revoked={len(self._revoked)}, retain={self.retain_epochs})"
+        )

@@ -61,6 +61,17 @@ class StorageError(ReproError):
     """
 
 
+class AuthError(ReproError):
+    """Event authentication was misconfigured or misused.
+
+    Raised for caller errors (asking a :class:`repro.auth.KeyRing` for
+    a revoked identity's signing key, rotating an unknown node) — never
+    for a *failed verification*: a bad or missing signature on received
+    data is an expected hostile-world condition, reported through
+    verdicts and counters so the receiving node keeps running.
+    """
+
+
 class OrderingInvariantError(ReproError):
     """An internal total-order invariant was violated.
 

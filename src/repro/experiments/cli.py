@@ -57,6 +57,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "experiments like 'drill' only; see docs/SYNC.md)"
         ),
     )
+    parser.add_argument(
+        "--auth",
+        action="store_true",
+        help=(
+            "authenticate ball entries with per-node HMAC keys "
+            "(auth-aware experiments like 'drill' only; see "
+            "docs/SECURITY.md)"
+        ),
+    )
     return parser
 
 
@@ -93,6 +102,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 2
         kwargs["sync"] = True
+    if args.auth:
+        if not entry.takes_auth:
+            print(
+                f"experiment {entry.id!r} does not take --auth",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["auth"] = True
 
     result = entry.runner(**kwargs)
     if hasattr(result, "render"):

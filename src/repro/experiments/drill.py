@@ -19,14 +19,24 @@ scenario shows permanent divergence (``recovered_missing`` > 0), which
 is exactly the regression the paired scenarios in ``scenarios/``
 document.
 
+Hostile scenarios (``ByzantineNodes`` / ``ScrambleState`` actions, see
+docs/SECURITY.md) turn on content fingerprinting and an authenticity
+scan: forged or equivocated deliveries among correct nodes fail the
+verdict. With ``--auth`` every ball entry travels under an HMAC
+(:mod:`repro.auth`), so the same hostile schedule must produce *zero*
+forged/equivocated deliveries — the paired scenarios in ``scenarios/``
+document both outcomes.
+
 This is the CLI face of the robustness layer::
 
     epto-experiment drill
     epto-experiment drill --fault-scenario scenarios/long_outage.json --sync
+    epto-experiment drill --fault-scenario scenarios/byzantine_drill.json --auth
 
 The CLI exits nonzero when the drill's verdict fails (safety or
-agreement violations among survivors, or — sync runs only — a
-recovered node that failed to converge), so CI can gate on it.
+agreement violations among survivors, forged/equivocated deliveries in
+a hostile run, or — sync runs only — a recovered node that failed to
+converge), so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -35,12 +45,14 @@ import shutil
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
-from ..faults.schedule import FaultSchedule
+from ..auth import HmacAuthenticator, KeyRing
+from ..faults.schedule import ByzantineNodes, FaultSchedule, ScrambleState
 from ..faults.sim_injector import FaultStats, SimFaultInjector
-from ..metrics.checker import SpecReport, check_run
+from ..metrics.checker import AuthenticityReport, SpecReport, check_authenticity, check_run
 from ..metrics.collector import DeliveryCollector
+from ..metrics.trace import load_delivery_log
 from ..sim.cluster import ClusterConfig, SimCluster
 from ..sim.drift import UniformDrift
 from ..sim.engine import Simulator
@@ -82,6 +94,22 @@ class DrillResult:
     sync_chunks: int = 0
     sync_repaired: int = 0
     sync_bytes_fetched: int = 0
+    #: Whether ball entries travelled under HMAC (``--auth``).
+    auth_enabled: bool = False
+    #: Hostile node count (``ByzantineNodes`` actions in the schedule).
+    byzantine_nodes: int = 0
+    #: State-scrambled node count (``ScrambleState`` actions).
+    scrambled: int = 0
+    #: Authenticity scan over the correct nodes (hostile runs only).
+    authenticity: Optional[AuthenticityReport] = None
+    #: Ball entries the fabric rejected at admission (auth runs only).
+    dropped_bad_signature: int = 0
+    dropped_unknown_key: int = 0
+    dropped_unsigned: int = 0
+    #: Whether every scrambled node's *durable* delivered set converged
+    #: to the reference survivor's (order is then implied by total
+    #: order); ``None`` when nothing was scrambled.
+    scrambled_converged: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
@@ -92,19 +120,28 @@ class DrillResult:
     def exit_ok(self) -> bool:
         """The verdict the CLI exit code reflects.
 
-        Safety must hold on the continuous survivors always. When the
+        Safety must hold on the continuous survivors always. Hostile
+        runs (fingerprinting on) additionally require zero forged and
+        zero equivocated deliveries among correct nodes — with
+        ``--auth`` that is the guarantee under test; without it the
+        same schedule fails, which is the documented contrast. When the
         anti-entropy protocol ran, recovered nodes are additionally
-        held to full convergence: no permanently missing events and
-        sequences bit-identical to the survivors'. (Without sync,
-        recovered divergence after a TTL-outliving outage is the
-        documented, inherent behaviour — reported, not failed.)
+        held to full convergence: no permanently missing events,
+        sequences bit-identical to the survivors', and scrambled nodes'
+        durable journals converged. (Without sync, recovered divergence
+        after a TTL-outliving outage is the documented, inherent
+        behaviour — reported, not failed.)
         """
         if not self.report.safety_ok:
+            return False
+        if self.authenticity is not None and not self.authenticity.ok:
             return False
         if self.sync_enabled:
             if self.recovered_missing > 0:
                 return False
             if self.sequences_match is False:
+                return False
+            if self.scrambled_converged is False:
                 return False
         return True
 
@@ -121,6 +158,20 @@ class DrillResult:
             f"replay_dedups={self.recovery_dedups} "
             f"live_dedups={self.journal_dedups}",
         ]
+        if self.byzantine_nodes or self.scrambled or self.auth_enabled:
+            lines.append(
+                f"hostile: byzantine={self.byzantine_nodes} "
+                f"scrambled={self.scrambled} "
+                f"auth={'on' if self.auth_enabled else 'off'}"
+            )
+        if self.auth_enabled:
+            lines.append(
+                f"auth drops: bad_signature={self.dropped_bad_signature} "
+                f"unknown_key={self.dropped_unknown_key} "
+                f"unsigned={self.dropped_unsigned}"
+            )
+        if self.authenticity is not None:
+            lines.append(self.authenticity.summary())
         if self.sync_enabled:
             lines.append(
                 f"sync: rounds={self.sync_rounds} "
@@ -128,6 +179,13 @@ class DrillResult:
                 f"repaired={self.sync_repaired} "
                 f"bytes={self.sync_bytes_fetched}"
             )
+        if self.scrambled:
+            verdict = (
+                "n/a"
+                if self.scrambled_converged is None
+                else ("CONVERGED" if self.scrambled_converged else "DIVERGED")
+            )
+            lines.append(f"scrambled journals: {verdict}")
         if self.recoveries:
             verdict = (
                 "n/a"
@@ -156,6 +214,7 @@ def run_drill(
     storage_dir: Union[str, Path, None] = None,
     sync: bool = False,
     sync_config: Optional[SyncConfig] = None,
+    auth: bool = False,
 ) -> DrillResult:
     """Run one fault scenario against a journaled simulated cluster.
 
@@ -172,6 +231,9 @@ def run_drill(
             :attr:`DrillResult.exit_ok`).
         sync_config: Override the drill's default sync parameters
             (implies ``sync=True`` when given).
+        auth: Authenticate every ball entry with per-node HMAC keys
+            (:mod:`repro.auth`, docs/SECURITY.md); hostile schedules
+            must then produce zero forged/equivocated deliveries.
     """
     preset = scale if isinstance(scale, ScalePreset) else get_scale(scale)
     n = max(16, preset.sweep_n // 4)
@@ -185,14 +247,24 @@ def run_drill(
         # converges well inside the drain window.
         sync_config = SyncConfig(interval_rounds=2.0)
 
+    hostile_schedule = any(
+        isinstance(action, (ByzantineNodes, ScrambleState)) for action in schedule
+    )
+    fingerprints = auth or hostile_schedule
+
     temp_root: Optional[str] = None
     if storage_dir is None:
         temp_root = tempfile.mkdtemp(prefix="epto-drill-")
         storage_dir = temp_root
     try:
         sim = Simulator(seed=seed)
-        network = SimNetwork(sim, latency=FixedLatency(ticks=2))
-        collector = DeliveryCollector()
+        authenticator = (
+            HmacAuthenticator(KeyRing(f"drill:{seed}")) if auth else None
+        )
+        network = SimNetwork(
+            sim, latency=FixedLatency(ticks=2), authenticator=authenticator
+        )
+        collector = DeliveryCollector(fingerprints=fingerprints)
         cluster = SimCluster(
             sim,
             network,
@@ -219,14 +291,27 @@ def run_drill(
 
         # Same-id respawns rejoin the alive set, but a recovered node is
         # not a *continuous* survivor — agreement is only promised to
-        # processes that never went down.
-        survivors = injector.continuous_survivors() - injector.crashed_ids
-        report = check_run(collector, correct_nodes=survivors)
+        # processes that never went down; hostile nodes never qualify.
+        byzantine_ids = set(injector.byzantine_ids)
+        scrambled_ids = set(injector.scrambled_ids)
+        survivors = (
+            injector.continuous_survivors() - injector.crashed_ids - byzantine_ids
+        )
+        report = check_run(
+            collector, correct_nodes=survivors, exclude_nodes=scrambled_ids
+        )
+        authenticity: Optional[AuthenticityReport] = None
+        if fingerprints:
+            correct = set(collector.sequences()) - byzantine_ids
+            authenticity = check_authenticity(collector, correct_nodes=correct)
         recoveries = [
             state for states in cluster.recoveries.values() for state in states
         ]
         recovered_missing, sequences_match = _recovered_convergence(
-            collector, survivors, sorted(cluster.recoveries)
+            collector, survivors, sorted(set(cluster.recoveries) - scrambled_ids)
+        )
+        scrambled_converged = _scrambled_convergence(
+            cluster, survivors, sorted(scrambled_ids)
         )
         managers = list(cluster.sync_managers.values())
         return DrillResult(
@@ -251,6 +336,14 @@ def run_drill(
             sync_chunks=sum(m.stats.chunks_received for m in managers),
             sync_repaired=sum(m.stats.events_repaired for m in managers),
             sync_bytes_fetched=sum(m.stats.bytes_fetched for m in managers),
+            auth_enabled=auth,
+            byzantine_nodes=len(byzantine_ids),
+            scrambled=len(scrambled_ids),
+            authenticity=authenticity,
+            dropped_bad_signature=network.stats.dropped_bad_signature,
+            dropped_unknown_key=network.stats.dropped_unknown_key,
+            dropped_unsigned=network.stats.dropped_unsigned,
+            scrambled_converged=scrambled_converged,
         )
     finally:
         if temp_root is not None:
@@ -285,3 +378,41 @@ def _recovered_convergence(
         if keys != reference:
             identical = False
     return missing, identical
+
+
+def _scrambled_convergence(
+    cluster: SimCluster,
+    survivors: Set[int],
+    scrambled_ids: List[int],
+) -> Optional[bool]:
+    """Compare scrambled nodes' *durable* journals to a survivor's.
+
+    A scrambled node's in-memory trace legitimately re-covers recovered
+    ground (the journal rewind resets its dedupe watermark), so
+    convergence is judged on the durable log instead: after recovery
+    and anti-entropy repair, its delivered order-key set must equal the
+    reference survivor's — which, under total order, makes the sorted
+    delivered sequences bit-identical. ``None`` when there is nothing
+    to compare.
+    """
+    if not scrambled_ids or not survivors:
+        return None
+    reference_id = min(survivors)
+    reference = sorted(
+        set(
+            load_delivery_log(
+                cluster.node_storage_dir(reference_id), node_id=reference_id
+            ).sequence_of(reference_id)
+        )
+    )
+    for node_id in scrambled_ids:
+        keys = sorted(
+            set(
+                load_delivery_log(
+                    cluster.node_storage_dir(node_id), node_id=node_id
+                ).sequence_of(node_id)
+            )
+        )
+        if keys != reference:
+            return False
+    return True

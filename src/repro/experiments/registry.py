@@ -34,6 +34,9 @@ class ExperimentEntry:
     takes_faults: bool = False
     #: Accepts a ``sync=`` bool enabling anti-entropy (CLI ``--sync``).
     takes_sync: bool = False
+    #: Accepts an ``auth=`` bool enabling HMAC event authentication
+    #: (CLI ``--auth``).
+    takes_auth: bool = False
 
 
 _ENTRIES = [
@@ -114,6 +117,7 @@ _ENTRIES = [
         runner=run_drill,
         takes_faults=True,
         takes_sync=True,
+        takes_auth=True,
     ),
 ]
 

@@ -20,8 +20,11 @@ from .adaptive import (
     lemma7_parameters,
     supervisor_adaptation,
 )
+from .byzantine import ByzantineRouter, ByzantineStats, scramble_journal
 from .runtime_injector import AsyncFaultInjector
 from .schedule import (
+    BYZANTINE_BEHAVIORS,
+    ByzantineNodes,
     CorruptDatagrams,
     CrashNodes,
     FaultAction,
@@ -30,6 +33,7 @@ from .schedule import (
     LatencySpike,
     LossBurst,
     PartitionNetwork,
+    ScrambleState,
 )
 from .sim_injector import FaultStats, SimFaultInjector
 from .supervisor import NodeSupervisor, SupervisorStats
@@ -37,6 +41,10 @@ from .verify import SurvivorReport, check_survivors
 
 __all__ = [
     "AsyncFaultInjector",
+    "BYZANTINE_BEHAVIORS",
+    "ByzantineNodes",
+    "ByzantineRouter",
+    "ByzantineStats",
     "CorruptDatagrams",
     "CrashNodes",
     "FaultAction",
@@ -49,11 +57,13 @@ __all__ = [
     "NodeSupervisor",
     "ObservedConditions",
     "PartitionNetwork",
+    "ScrambleState",
     "SimFaultInjector",
     "SupervisorStats",
     "SurvivorReport",
     "adapt_config",
     "check_survivors",
     "lemma7_parameters",
+    "scramble_journal",
     "supervisor_adaptation",
 ]

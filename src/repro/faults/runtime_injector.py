@@ -31,7 +31,9 @@ from typing import Any, Callable, List, Set, Tuple
 
 from ..core.errors import FaultInjectionError
 from ..runtime.cluster import AsyncCluster
+from .byzantine import ByzantineRouter, forged_events, garbage_ball, scramble_journal
 from .schedule import (
+    ByzantineNodes,
     CorruptDatagrams,
     CrashNodes,
     FaultSchedule,
@@ -39,6 +41,7 @@ from .schedule import (
     LatencySpike,
     LossBurst,
     PartitionNetwork,
+    ScrambleState,
 )
 from .sim_injector import FaultStats
 
@@ -76,6 +79,11 @@ class AsyncFaultInjector:
         #: Ids this injector crashed (and, with ``recover_after``,
         #: respawned under the same identity).
         self.crashed_ids: Set[int] = set()
+        #: Ids ever made hostile / state-scrambled (mirrors
+        #: :class:`~repro.faults.sim_injector.SimFaultInjector`).
+        self.byzantine_ids: Set[int] = set()
+        self.scrambled_ids: Set[int] = set()
+        self._router: ByzantineRouter | None = None
         self._rng = _random.Random(f"{seed}:async-faults")
         self._started_at = 0.0
         self._initial_population: Set[int] = set()
@@ -125,6 +133,23 @@ class AsyncFaultInjector:
                 timeline.append((when, lambda a=action: self._corrupt(a, round_s)))
             elif isinstance(action, LatencySpike):
                 timeline.append((when, lambda a=action: self._spike(a, round_s)))
+            elif isinstance(action, ByzantineNodes):
+                timeline.append((when, lambda a=action: self._byzantine(a)))
+                if action.duration is not None:
+                    timeline.append(
+                        (
+                            when + action.duration * round_s,
+                            lambda a=action: self._end_byzantine(a),
+                        )
+                    )
+            elif isinstance(action, ScrambleState):
+                timeline.append((when, lambda a=action: self._scramble(a)))
+                timeline.append(
+                    (
+                        when + action.recover_after * round_s,
+                        lambda a=action: self._unscramble(a),
+                    )
+                )
             else:  # pragma: no cover - schedule validates kinds
                 raise FaultInjectionError(f"unsupported action {action!r}")
         timeline.sort(key=lambda item: item[0])
@@ -160,6 +185,13 @@ class AsyncFaultInjector:
             ):
                 raise FaultInjectionError(
                     f"{type(network).__name__} cannot stretch latency"
+                )
+            if isinstance(action, ByzantineNodes) and not hasattr(
+                network, "set_adversary"
+            ):
+                raise FaultInjectionError(
+                    f"{type(network).__name__} does not support hostile "
+                    "behaviors (no set_adversary)"
                 )
 
     # ------------------------------------------------------------------
@@ -249,6 +281,77 @@ class AsyncFaultInjector:
         )
         self.stats.latency_spikes += 1
         self._log(f"latency spike x{action.factor}")
+
+    def _byzantine(self, action: ByzantineNodes) -> None:
+        if self._router is None:
+            self._router = ByzantineRouter(rng=self._rng)
+            self.cluster.network.set_adversary(self._router)
+        self._router.enable(action.nodes, action.behavior, action.rate)
+        self.byzantine_ids.update(action.nodes)
+        self.stats.byzantine_windows += 1
+        self._log(
+            f"byzantine {action.behavior} on {sorted(action.nodes)} "
+            f"rate={action.rate}"
+        )
+
+    def _end_byzantine(self, action: ByzantineNodes) -> None:
+        if self._router is not None:
+            self._router.disable(action.nodes, action.behavior)
+            self._log(f"byzantine {action.behavior} off for {sorted(action.nodes)}")
+
+    def _scramble(self, action: ScrambleState) -> None:
+        alive = set(self.cluster.live_ids())
+        victims = [nid for nid in action.nodes if nid in alive]
+        storage_dir = getattr(self.cluster, "storage_dir", None)
+        for node_id in victims:
+            impersonate = sorted(alive - {node_id} - set(victims))[:3]
+            if action.garbage_events > 0 and impersonate:
+                # Forged under other live identities, at a plausible
+                # near-future logical timestamp — the observable face
+                # of the victim's corrupted clock and ordering state.
+                node = self.cluster.nodes.get(node_id)
+                ts = getattr(getattr(node, "clock", None), "now", lambda: 0)()
+                events = forged_events(
+                    impersonate, action.garbage_events, ts=int(ts) + 1
+                )
+                targets = [nid for nid in alive if nid != node_id]
+                self.cluster.network.send_many(
+                    node_id, targets, garbage_ball(events)
+                )
+                self._log(
+                    f"scramble {node_id}: sprayed {len(events)} forged "
+                    f"events impersonating {impersonate}"
+                )
+            self.cluster.crash_node(node_id)
+            self.crashed_ids.add(node_id)
+            self.scrambled_ids.add(node_id)
+            self.stats.scrambles += 1
+            if storage_dir is not None:
+                damage = scramble_journal(
+                    self.cluster.node_storage_dir(node_id), self._rng
+                )
+                for note in damage:
+                    self._log(f"scramble {node_id}: {note}")
+            else:
+                self._log(
+                    f"scramble {node_id}: no storage_dir — journal "
+                    "corruption skipped"
+                )
+        self._log(f"scrambled {sorted(victims)}")
+        self._victims[id(action)] = list(victims)
+
+    async def _unscramble(self, action: ScrambleState) -> None:
+        victims = self._victims.get(id(action), [])
+        recovered: List[int] = []
+        for node_id in victims:
+            node = self.cluster.nodes.get(node_id)
+            if node is None or not node.crashed:
+                continue
+            replacement = await self.cluster.respawn_node(node_id)
+            replacement.start()
+            self.stats.recoveries += 1
+            recovered.append(node_id)
+        self._log(f"scrambled nodes {sorted(recovered)} respawned")
 
     def _log(self, message: str) -> None:
         loop = asyncio.get_running_loop()

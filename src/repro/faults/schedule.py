@@ -186,6 +186,94 @@ class CorruptDatagrams:
         _require(self.duration > 0, f"duration must be > 0 rounds, got {self.duration}")
 
 
+#: Hostile relay behaviors a :class:`ByzantineNodes` action can turn on
+#: (interpreted by :class:`repro.faults.byzantine.ByzantineRouter`):
+#:
+#: * ``equivocate`` — relay the same ``(source, seq)`` with divergent
+#:   payloads to different destinations;
+#: * ``garble_relay`` — mutate relayed entries (payload garbage plus a
+#:   timestamp shift, diverging the order key);
+#: * ``ttl_inflate`` — resurrect entries that already left the TTL
+#:   window by re-relaying them with a rewound TTL;
+#: * ``replay`` — re-send previously relayed entries verbatim.
+BYZANTINE_BEHAVIORS = ("equivocate", "garble_relay", "ttl_inflate", "replay")
+
+
+@dataclass(frozen=True, slots=True)
+class ByzantineNodes:
+    """Turn explicit nodes hostile at ``at_round``.
+
+    The nodes keep running the protocol but their *relayed* balls pass
+    through the hostile *behavior* (one of
+    :data:`BYZANTINE_BEHAVIORS`). With *duration*, the behavior is
+    switched off that many rounds later (a transiently compromised
+    node); without it, the nodes stay hostile for the rest of the run.
+    *rate* is the per-send probability that the transform fires, so a
+    stealthy adversary (low rate) and a firehose (1.0) use one action.
+    """
+
+    at_round: float
+    behavior: str
+    nodes: Tuple[int, ...] = ()
+    rate: float = 1.0
+    duration: Optional[float] = None
+
+    kind: ClassVar[str] = "byzantine"
+
+    def __post_init__(self) -> None:
+        _require(self.at_round >= 0, f"at_round must be >= 0, got {self.at_round}")
+        _require(
+            self.behavior in BYZANTINE_BEHAVIORS,
+            f"behavior must be one of {BYZANTINE_BEHAVIORS}, got {self.behavior!r}",
+        )
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        _require(len(self.nodes) > 0, "byzantine nodes= must not be empty")
+        _require(
+            0.0 < self.rate <= 1.0,
+            f"byzantine rate must be in (0, 1], got {self.rate}",
+        )
+        if self.duration is not None:
+            _require(
+                self.duration > 0,
+                f"duration must be > 0 rounds, got {self.duration}",
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ScrambleState:
+    """Corrupt a node's entire state at ``at_round`` — the
+    self-stabilization drill (Lundström et al.).
+
+    The interpreter sprays a ball of fabricated events from the victim
+    (*garbage_events* forged under other nodes' identities — clock and
+    ordering-state corruption made observable), crashes it, corrupts
+    its on-disk journal (bit flips plus a torn tail), and restarts it
+    ``recover_after`` rounds later. The restarted node recovers from
+    whatever survives of its journal and must re-converge with the
+    correct nodes — bit-identically when anti-entropy is on.
+    """
+
+    at_round: float
+    nodes: Tuple[int, ...] = ()
+    recover_after: float = 6.0
+    garbage_events: int = 3
+
+    kind: ClassVar[str] = "scramble"
+
+    def __post_init__(self) -> None:
+        _require(self.at_round >= 0, f"at_round must be >= 0, got {self.at_round}")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        _require(len(self.nodes) > 0, "scramble nodes= must not be empty")
+        _require(
+            self.recover_after > 0,
+            f"recover_after must be > 0 rounds, got {self.recover_after}",
+        )
+        _require(
+            self.garbage_events >= 0,
+            f"garbage_events must be >= 0, got {self.garbage_events}",
+        )
+
+
 #: Every concrete action type.
 FaultAction = Union[
     CrashNodes,
@@ -194,6 +282,8 @@ FaultAction = Union[
     LossBurst,
     LatencySpike,
     CorruptDatagrams,
+    ByzantineNodes,
+    ScrambleState,
 ]
 
 _ACTION_TYPES: Dict[str, type] = {
@@ -205,6 +295,8 @@ _ACTION_TYPES: Dict[str, type] = {
         LossBurst,
         LatencySpike,
         CorruptDatagrams,
+        ByzantineNodes,
+        ScrambleState,
     )
 }
 
@@ -281,7 +373,9 @@ class FaultSchedule:
 
         Raises:
             FaultInjectionError: On unknown kinds, unknown fields, or
-                out-of-range values.
+                out-of-range values. Every message names the offending
+                action's index (and kind, once known), so a typo in a
+                hand-edited scenario JSON points straight at the entry.
         """
         _require(isinstance(data, dict), f"scenario must be a mapping, got {type(data)}")
         raw_actions = data.get("actions")
@@ -290,21 +384,37 @@ class FaultSchedule:
             "scenario must have an 'actions' list",
         )
         actions: List[FaultAction] = []
-        for raw in raw_actions:
-            _require(isinstance(raw, dict), f"action must be a mapping, got {raw!r}")
+        for index, raw in enumerate(raw_actions):
+            _require(
+                isinstance(raw, dict),
+                f"action #{index} must be a mapping, got {raw!r}",
+            )
             kind = raw.get("kind")
             action_type = _ACTION_TYPES.get(kind)
-            _require(action_type is not None, f"unknown fault kind {kind!r}")
+            _require(
+                action_type is not None,
+                f"action #{index}: unknown fault kind {kind!r} "
+                f"(known: {sorted(_ACTION_TYPES)})",
+            )
             kwargs = {k: v for k, v in raw.items() if k != "kind"}
             known = {spec.name for spec in fields(action_type)}
             unknown = set(kwargs) - known
-            _require(not unknown, f"unknown fields for {kind!r}: {sorted(unknown)}")
+            _require(
+                not unknown,
+                f"action #{index} ({kind!r}): unknown fields {sorted(unknown)}",
+            )
             if "nodes" in kwargs and kwargs["nodes"] is not None:
                 kwargs["nodes"] = tuple(kwargs["nodes"])
             try:
                 actions.append(action_type(**kwargs))
             except TypeError as exc:
-                raise FaultInjectionError(f"bad {kind!r} action: {exc}") from exc
+                raise FaultInjectionError(
+                    f"action #{index} ({kind!r}): {exc}"
+                ) from exc
+            except FaultInjectionError as exc:
+                raise FaultInjectionError(
+                    f"action #{index} ({kind!r}): {exc}"
+                ) from exc
         return cls(actions)
 
     @classmethod
@@ -377,6 +487,75 @@ class FaultSchedule:
                     at_round=crash_at,
                     nodes=nodes,
                     recover_after=outage_rounds,
+                )
+            ]
+        )
+
+    @classmethod
+    def byzantine_drill(
+        cls,
+        hostile: Tuple[int, ...] = (1, 2),
+        start_at: float = 3.0,
+        duration: float = 14.0,
+    ) -> "FaultSchedule":
+        """Two compromised relays cycling through every hostile
+        behavior: equivocation and garbled relays (MAC-breaking — with
+        auth the correct nodes must deliver zero of them), plus replay
+        and TTL inflation (valid MACs — the ordering layer's dedupe
+        must absorb them). Mirrors ``scenarios/byzantine_drill.json``.
+        """
+        return cls(
+            [
+                ByzantineNodes(
+                    at_round=start_at,
+                    behavior="equivocate",
+                    nodes=hostile,
+                    duration=duration,
+                ),
+                ByzantineNodes(
+                    at_round=start_at + 2.0,
+                    behavior="garble_relay",
+                    nodes=hostile,
+                    rate=0.5,
+                    duration=duration - 2.0,
+                ),
+                ByzantineNodes(
+                    at_round=start_at + 4.0,
+                    behavior="replay",
+                    nodes=hostile,
+                    rate=0.5,
+                    duration=duration - 4.0,
+                ),
+                ByzantineNodes(
+                    at_round=start_at + 6.0,
+                    behavior="ttl_inflate",
+                    nodes=hostile,
+                    rate=0.5,
+                    duration=duration - 6.0,
+                ),
+            ]
+        )
+
+    @classmethod
+    def self_stab(
+        cls,
+        nodes: Tuple[int, ...] = (1,),
+        scramble_at: float = 6.0,
+        recover_after: float = 8.0,
+        garbage_events: int = 3,
+    ) -> "FaultSchedule":
+        """The self-stabilization drill: scramble a node's state to an
+        arbitrary corrupted configuration (sprayed forged events,
+        crash, journal corruption) and require it to re-converge with
+        the correct nodes after restart. Mirrors
+        ``scenarios/self_stab.json``."""
+        return cls(
+            [
+                ScrambleState(
+                    at_round=scramble_at,
+                    nodes=nodes,
+                    recover_after=recover_after,
+                    garbage_events=garbage_events,
                 )
             ]
         )

@@ -30,7 +30,9 @@ from ..sim.cluster import SimCluster
 from ..sim.engine import Simulator
 from ..sim.latency import LatencyModel
 from ..sim.network import SimNetwork
+from .byzantine import ByzantineRouter, forged_events, garbage_ball, scramble_journal
 from .schedule import (
+    ByzantineNodes,
     CorruptDatagrams,
     CrashNodes,
     FaultSchedule,
@@ -38,6 +40,7 @@ from .schedule import (
     LatencySpike,
     LossBurst,
     PartitionNetwork,
+    ScrambleState,
 )
 
 
@@ -52,6 +55,8 @@ class FaultStats:
     loss_bursts: int = 0
     latency_spikes: int = 0
     corruption_windows: int = 0
+    byzantine_windows: int = 0
+    scrambles: int = 0
 
 
 class _ScaledLatency:
@@ -110,6 +115,13 @@ class SimFaultInjector:
         #: they never return; under ``"same_id"`` recoveries respawn
         #: them with resumed sequences.
         self.crashed_ids: Set[int] = set()
+        #: Ids that were ever made hostile by a ByzantineNodes action.
+        #: Hostile nodes are excluded from agreement checking — a
+        #: Byzantine process's own deliveries carry no guarantees.
+        self.byzantine_ids: Set[int] = set()
+        #: Ids whose state a ScrambleState action corrupted.
+        self.scrambled_ids: Set[int] = set()
+        self._router: ByzantineRouter | None = None
         self._rng = sim.fork_rng("faults")
         self._installed = False
         self._initial_population: Set[int] = set()
@@ -158,6 +170,19 @@ class SimFaultInjector:
                 )
                 self.sim.schedule_at(
                     at(action.at_round + action.duration), self._end_spike
+                )
+            elif isinstance(action, ByzantineNodes):
+                self.sim.schedule_at(
+                    at(action.at_round), lambda a=action: self._byzantine(a)
+                )
+                if action.duration is not None:
+                    self.sim.schedule_at(
+                        at(action.at_round + action.duration),
+                        lambda a=action: self._end_byzantine(a),
+                    )
+            elif isinstance(action, ScrambleState):
+                self.sim.schedule_at(
+                    at(action.at_round), lambda a=action: self._scramble(a)
                 )
             else:  # pragma: no cover - schedule validates kinds
                 raise FaultInjectionError(f"unsupported action {action!r}")
@@ -254,6 +279,77 @@ class SimFaultInjector:
     def _end_loss_burst(self, action) -> None:
         self.network.loss_rate = getattr(self, "_saved_loss", 0.0)
         self._log(f"loss restored to {self.network.loss_rate}")
+
+    def _byzantine(self, action: ByzantineNodes) -> None:
+        router = self._ensure_router()
+        router.enable(action.nodes, action.behavior, action.rate)
+        self.byzantine_ids.update(action.nodes)
+        self.stats.byzantine_windows += 1
+        self._log(
+            f"byzantine {action.behavior} on {sorted(action.nodes)} "
+            f"rate={action.rate}"
+        )
+
+    def _end_byzantine(self, action: ByzantineNodes) -> None:
+        if self._router is not None:
+            self._router.disable(action.nodes, action.behavior)
+            self._log(f"byzantine {action.behavior} off for {sorted(action.nodes)}")
+
+    def _ensure_router(self) -> ByzantineRouter:
+        if self._router is None:
+            self._router = ByzantineRouter(rng=self.sim.fork_rng("byzantine"))
+            self.network.set_adversary(self._router)
+        return self._router
+
+    def _scramble(self, action: ScrambleState) -> None:
+        interval = self.cluster.config.epto.round_interval
+        alive = set(self.cluster.alive_ids())
+        victims = [nid for nid in action.nodes if nid in alive]
+        storage_dir = getattr(self.cluster, "storage_dir", None)
+        for node_id in victims:
+            # 1. The corrupted ordering state and clock made visible:
+            # the victim sprays a ball of events forged under *other*
+            # live identities, with future timestamps and fresh TTLs.
+            # Under auth these are unsigned-at-source and die at
+            # admission; without auth they poison correct nodes.
+            impersonate = sorted(alive - {node_id} - set(victims))[:3]
+            if action.garbage_events > 0 and impersonate:
+                events = forged_events(
+                    impersonate,
+                    action.garbage_events,
+                    ts=self.sim.now() + interval,
+                )
+                targets = [nid for nid in alive if nid != node_id]
+                self.network.send_many(node_id, targets, garbage_ball(events))
+                self._log(
+                    f"scramble {node_id}: sprayed {len(events)} forged "
+                    f"events impersonating {impersonate}"
+                )
+            # 2. Kill the process mid-flight.
+            self.cluster.crash_node(node_id)
+            self.crashed_ids.add(node_id)
+            self.scrambled_ids.add(node_id)
+            self.stats.scrambles += 1
+            # 3. Corrupt whatever it had on disk.
+            if storage_dir is not None:
+                damage = scramble_journal(
+                    self.cluster.node_storage_dir(node_id), self._rng
+                )
+                for note in damage:
+                    self._log(f"scramble {node_id}: {note}")
+        self._log(f"scrambled {sorted(victims)}")
+        delay = round(action.recover_after * interval)
+        self.sim.schedule(max(1, delay), lambda v=list(victims): self._unscramble(v))
+
+    def _unscramble(self, victims: List[int]) -> None:
+        recovered: List[int] = []
+        for node_id in victims:
+            if node_id not in self.cluster.crashed_ids():
+                continue
+            self.cluster.respawn_node(node_id)
+            self.stats.recoveries += 1
+            recovered.append(node_id)
+        self._log(f"scrambled nodes {sorted(recovered)} respawned")
 
     def _spike(self, action: LatencySpike) -> None:
         self._saved_latency = self.network.latency

@@ -28,25 +28,39 @@ runtime, whose journal lives on the cluster rather than a collector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
-from ..core.event import Event
+from ..core.event import Event, EventId
 from ..metrics.checker import check_pairwise_order
+from ..metrics.collector import event_fingerprint
 
 
 @dataclass(slots=True)
 class SurvivorReport:
-    """Verdict of one post-scenario check."""
+    """Verdict of one post-scenario check.
+
+    ``forged_deliveries`` and ``equivocation_violations`` are only
+    populated when :func:`check_survivors` is given the run's
+    *broadcasts* — content checks need the genuine events to compare
+    against.
+    """
 
     order_violations: List[str] = field(default_factory=list)
     agreement_violations: List[str] = field(default_factory=list)
+    forged_deliveries: List[str] = field(default_factory=list)
+    equivocation_violations: List[str] = field(default_factory=list)
     checked_nodes: int = 0
     checked_events: int = 0
 
     @property
     def ok(self) -> bool:
-        """Both total order and agreement held on the survivors."""
-        return not (self.order_violations or self.agreement_violations)
+        """Total order, agreement and authenticity held on the survivors."""
+        return not (
+            self.order_violations
+            or self.agreement_violations
+            or self.forged_deliveries
+            or self.equivocation_violations
+        )
 
     def summary(self) -> str:
         """One-line human-readable verdict."""
@@ -54,6 +68,8 @@ class SurvivorReport:
         return (
             f"survivors={status} order_violations={len(self.order_violations)} "
             f"agreement_violations={len(self.agreement_violations)} "
+            f"forged={len(self.forged_deliveries)} "
+            f"equivocated={len(self.equivocation_violations)} "
             f"nodes={self.checked_nodes} events={self.checked_events}"
         )
 
@@ -77,6 +93,8 @@ def check_survivors(
     survivors: Iterable[int],
     recovered: Iterable[int] = (),
     restart_indices: Mapping[int, Sequence[int]] | None = None,
+    byzantine: Iterable[int] = (),
+    broadcasts: Optional[Mapping[EventId, Event]] = None,
 ) -> SurvivorReport:
     """Validate a fault scenario's outcome on the processes that survived.
 
@@ -94,12 +112,23 @@ def check_survivors(
             began (:attr:`AsyncCluster.restart_indices`); a recovered
             node's suffix starts at its last restart index (0 when
             absent).
+        byzantine: Hostile nodes — removed from *survivors* and
+            *recovered* before checking; their journals carry no
+            guarantees and must not pollute the agreement union.
+        broadcasts: Genuine events by id, as broadcast by their
+            sources. When given, every correct-node delivery is also
+            content-checked: an event whose canonical bytes differ from
+            the genuine broadcast (or whose id was never broadcast) is
+            a forged delivery, and an id delivered with two or more
+            distinct contents across correct nodes is an equivocation
+            violation.
 
     Returns:
         A :class:`SurvivorReport`; assert on ``report.ok``.
     """
-    survivors = sorted(set(survivors))
-    recovered = sorted(set(recovered) - set(survivors))
+    hostile = set(byzantine)
+    survivors = sorted(set(survivors) - hostile)
+    recovered = sorted(set(recovered) - set(survivors) - hostile)
     restart_indices = restart_indices or {}
     report = SurvivorReport(checked_nodes=len(survivors) + len(recovered))
 
@@ -149,5 +178,34 @@ def check_survivors(
                 report.order_violations.append(
                     f"recovered node {node_id} orders {low}/{high} against "
                     f"survivor {reference}"
+                )
+
+    # Authenticity: delivered content matches the genuine broadcasts.
+    if broadcasts is not None:
+        genuine = {
+            event_id: event_fingerprint(event)
+            for event_id, event in broadcasts.items()
+        }
+        sightings: Dict[EventId, Set[int]] = {}
+        for node_id in survivors + recovered:
+            for event in deliveries.get(node_id, ()):
+                fingerprint = event_fingerprint(event)
+                expected = genuine.get(event.id)
+                if expected is None:
+                    report.forged_deliveries.append(
+                        f"node {node_id} delivered never-broadcast event "
+                        f"{event.id}"
+                    )
+                elif fingerprint != expected:
+                    report.forged_deliveries.append(
+                        f"node {node_id} delivered forged content for event "
+                        f"{event.id}"
+                    )
+                sightings.setdefault(event.id, set()).add(fingerprint)
+        for event_id, fingerprints in sorted(sightings.items()):
+            if len(fingerprints) > 1:
+                report.equivocation_violations.append(
+                    f"event {event_id} delivered with {len(fingerprints)} "
+                    f"distinct contents across correct nodes"
                 )
     return report

@@ -2,7 +2,9 @@
 
 from .cdf import DelaySummary, cdf_at, cdf_points, percentile
 from .checker import (
+    AuthenticityReport,
     SpecReport,
+    check_authenticity,
     check_integrity,
     check_pairwise_order,
     check_run,
@@ -14,6 +16,7 @@ from .collector import (
     DeliveryCollector,
     DeliveryRecord,
     NodeLifetime,
+    event_fingerprint,
 )
 from .report import format_ascii_cdf, format_cdf_series, format_table
 from .trace import (
@@ -27,6 +30,7 @@ from .trace import (
 )
 
 __all__ = [
+    "AuthenticityReport",
     "BroadcastRecord",
     "DelaySummary",
     "DeliveryCollector",
@@ -37,11 +41,13 @@ __all__ = [
     "TraceError",
     "cdf_at",
     "cdf_points",
+    "check_authenticity",
     "check_integrity",
     "check_pairwise_order",
     "check_run",
     "check_total_order",
     "check_validity",
+    "event_fingerprint",
     "export_trace",
     "format_ascii_cdf",
     "format_cdf_series",

@@ -13,10 +13,23 @@ records every broadcast and delivery in a run and derives:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.event import Event, EventId, OrderKey
+from ..sync.protocol import canonical_event_bytes
+
+
+def event_fingerprint(event: Event) -> int:
+    """CRC32 of the event's canonical bytes.
+
+    Two sightings of the same ``(source, seq)`` id with different
+    fingerprints mean different *content* travelled under one identity
+    — the observable of forgery and equivocation
+    (:func:`repro.metrics.checker.check_authenticity`).
+    """
+    return zlib.crc32(canonical_event_bytes(event))
 
 
 @dataclass(slots=True)
@@ -29,11 +42,16 @@ class BroadcastRecord:
 
 @dataclass(slots=True)
 class DeliveryRecord:
-    """One delivery: which process delivered which event, when."""
+    """One delivery: which process delivered which event, when.
+
+    ``fingerprint`` is only populated by fingerprinting collectors
+    (``DeliveryCollector(fingerprints=True)``); ``None`` otherwise.
+    """
 
     node_id: int
     event_id: EventId
     time: int
+    fingerprint: Optional[int] = None
 
 
 @dataclass(slots=True)
@@ -45,9 +63,19 @@ class NodeLifetime:
 
 
 class DeliveryCollector:
-    """Accumulates broadcast/delivery records for one simulation run."""
+    """Accumulates broadcast/delivery records for one simulation run.
 
-    def __init__(self) -> None:
+    Args:
+        fingerprints: When ``True``, every broadcast and delivery also
+            records :func:`event_fingerprint` of the event's canonical
+            bytes, enabling forgery/equivocation detection
+            (:func:`repro.metrics.checker.check_authenticity`). Off by
+            default — fingerprinting serializes every payload on the
+            delivery hot path, which would tax benchmark timings.
+    """
+
+    def __init__(self, fingerprints: bool = False) -> None:
+        self.fingerprints = bool(fingerprints)
         self._broadcasts: Dict[EventId, BroadcastRecord] = {}
         self._deliveries: List[DeliveryRecord] = []
         # Per-node delivery sequence as order keys, in delivery order.
@@ -55,6 +83,8 @@ class DeliveryCollector:
         self._delivered_sets: Dict[int, Set[EventId]] = {}
         self._lifetimes: Dict[int, NodeLifetime] = {}
         self._order_keys: Dict[EventId, OrderKey] = {}
+        # Genuine fingerprint per broadcast id (fingerprints=True only).
+        self._genuine: Dict[EventId, int] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -74,11 +104,19 @@ class DeliveryCollector:
         """An event was EpTO-broadcast at *time*."""
         self._broadcasts[event.id] = BroadcastRecord(event=event, time=time)
         self._order_keys[event.id] = event.order_key
+        if self.fingerprints:
+            self._genuine[event.id] = event_fingerprint(event)
 
     def record_delivery(self, node_id: int, event: Event, time: int) -> None:
         """*node_id* EpTO-delivered *event* at *time*."""
+        fingerprint = event_fingerprint(event) if self.fingerprints else None
         self._deliveries.append(
-            DeliveryRecord(node_id=node_id, event_id=event.id, time=time)
+            DeliveryRecord(
+                node_id=node_id,
+                event_id=event.id,
+                time=time,
+                fingerprint=fingerprint,
+            )
         )
         self._sequences.setdefault(node_id, []).append(event.order_key)
         self._delivered_sets.setdefault(node_id, set()).add(event.id)
@@ -125,6 +163,11 @@ class DeliveryCollector:
     def lifetime_of(self, node_id: int) -> Optional[NodeLifetime]:
         """Join/leave interval of *node_id*, if tracked."""
         return self._lifetimes.get(node_id)
+
+    def genuine_fingerprint(self, event_id: EventId) -> Optional[int]:
+        """Fingerprint recorded at broadcast time for *event_id*
+        (``None`` when unknown or fingerprinting is off)."""
+        return self._genuine.get(event_id)
 
     # ------------------------------------------------------------------
     # Derived metrics

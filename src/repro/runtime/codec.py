@@ -11,6 +11,9 @@ Layout (all integers big-endian):
 header:   magic "EP" | version u8 | kind u8 | sender i64 | count u32
 ball:     count x { ts i64 | source i64 | seq i64 | ttl i32 |
                     payload_len u32 | payload (UTF-8 JSON) }
+signed:   count x { ts i64 | source i64 | seq i64 | ttl i32 |
+                    epoch u32 | mac_len u8 | mac |
+                    payload_len u32 | payload (UTF-8 JSON) }
 cyclon:   count x { peer i64 | age i32 }
 digest:   flags u8 (bit0 has-last-key, bit1 reply) |
           [ last_key 3 x i64 ] | count x { source i64 | seq i64 }
@@ -25,6 +28,14 @@ chunk:    req_id u32 | flags u8 (bit0 more, bit1 has-peer-last) |
 
 ``count`` is entries for balls and cyclon views, watermark pairs for
 digests and requests, events for chunks.
+
+Versioning: kinds 1–6 are header version 1; the signed-ball kind 7 is
+header version 2. The decoder accepts both versions (a version-2 node
+reads version-1 traffic unchanged), rejects kind 7 under version 1,
+and raises the distinguishable :class:`CodecVersionError` for any
+other version so transports can count future-version traffic apart
+from line noise. ``mac_len == 0`` marks an unsigned entry inside a
+signed ball.
 
 Payloads must be JSON-serializable — the natural constraint for data
 crossing process boundaries. Encoded messages are capped at
@@ -41,6 +52,7 @@ import json
 import struct
 from typing import Tuple, Union
 
+from ..auth.authenticator import EventSignature, SignedBall
 from ..core.errors import TransportError
 from ..core.event import Ball, BallEntry, Event, make_ball
 from ..pss.cyclon import CyclonRequest, CyclonResponse
@@ -56,15 +68,23 @@ MAX_DATAGRAM = 60_000
 
 _MAGIC = b"EP"
 _VERSION = 1
+_VERSION_SIGNED = 2
+_SUPPORTED_VERSIONS = (_VERSION, _VERSION_SIGNED)
 _KIND_BALL = 1
 _KIND_CYCLON_REQ = 2
 _KIND_CYCLON_RESP = 3
 _KIND_SYNC_DIGEST = 4
 _KIND_SYNC_REQUEST = 5
 _KIND_SYNC_CHUNK = 6
+_KIND_SIGNED_BALL = 7
+
+#: Largest MAC the signed-entry layout can carry (mac_len is a u8).
+MAX_MAC_LEN = 255
 
 _HEADER = struct.Struct("!2sBBqI")
 _BALL_ENTRY = struct.Struct("!qqqiI")
+_SIGNED_ENTRY = struct.Struct("!qqqiIB")  # ts, source, seq, ttl, epoch, mac_len
+_PAYLOAD_LEN = struct.Struct("!I")
 _CYCLON_ENTRY = struct.Struct("!qi")
 _ORDER_KEY = struct.Struct("!qqq")
 _WATERMARK = struct.Struct("!qq")
@@ -75,11 +95,28 @@ _CHUNK_EVENT = struct.Struct("!qqqI")  # ts, source, seq, payload_len
 _CHECKSUM = struct.Struct("!I")
 
 #: Everything the codec can carry.
-WireMessage = Union[Ball, CyclonRequest, CyclonResponse, SyncDigest, SyncRequest, SyncChunk]
+WireMessage = Union[
+    Ball,
+    SignedBall,
+    CyclonRequest,
+    CyclonResponse,
+    SyncDigest,
+    SyncRequest,
+    SyncChunk,
+]
 
 
 class CodecError(TransportError):
     """Raised on malformed, oversized or incompatible wire data."""
+
+
+class CodecVersionError(CodecError):
+    """A well-framed datagram carried an unsupported header version.
+
+    Distinguished from plain :class:`CodecError` so transports can
+    count traffic from incompatible peers (``dropped_bad_version``)
+    separately from corrupted datagrams (``dropped_malformed``).
+    """
 
 
 def encode(sender: int, message: WireMessage) -> bytes:
@@ -116,7 +153,9 @@ def encode_into(
 
 
 def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> None:
-    if isinstance(message, CyclonRequest):
+    if isinstance(message, SignedBall):
+        kind, count = _KIND_SIGNED_BALL, len(message.entries)
+    elif isinstance(message, CyclonRequest):
         kind, count = _KIND_CYCLON_REQ, len(message.entries)
     elif isinstance(message, CyclonResponse):
         kind, count = _KIND_CYCLON_RESP, len(message.entries)
@@ -130,9 +169,12 @@ def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> None:
         kind, count = _KIND_BALL, len(message)
     else:
         raise CodecError(f"cannot encode message of type {type(message).__name__}")
-    buffer += _HEADER.pack(_MAGIC, _VERSION, kind, sender, count)
+    version = _VERSION_SIGNED if kind == _KIND_SIGNED_BALL else _VERSION
+    buffer += _HEADER.pack(_MAGIC, version, kind, sender, count)
     if kind == _KIND_BALL:
         _encode_ball_into(message, buffer)
+    elif kind == _KIND_SIGNED_BALL:
+        _encode_signed_ball_into(message, buffer)
     elif kind == _KIND_SYNC_DIGEST:
         _encode_sync_digest_into(message, buffer)
     elif kind == _KIND_SYNC_REQUEST:
@@ -159,11 +201,18 @@ def decode(datagram: bytes) -> Tuple[int, WireMessage]:
     magic, version, kind, sender, count = _HEADER.unpack_from(datagram)
     if magic != _MAGIC:
         raise CodecError(f"bad magic {magic!r}")
-    if version != _VERSION:
-        raise CodecError(f"unsupported version {version}")
+    if version not in _SUPPORTED_VERSIONS:
+        raise CodecVersionError(f"unsupported version {version}")
     body = datagram[_HEADER.size :]
     if kind == _KIND_BALL:
         return sender, _decode_ball(body, count)
+    if kind == _KIND_SIGNED_BALL:
+        if version < _VERSION_SIGNED:
+            raise CodecError(
+                f"signed ball requires header version {_VERSION_SIGNED}, "
+                f"got {version}"
+            )
+        return sender, _decode_signed_ball(body, count)
     if kind == _KIND_CYCLON_REQ:
         return sender, CyclonRequest(entries=_decode_cyclon(body, count))
     if kind == _KIND_CYCLON_RESP:
@@ -237,6 +286,83 @@ def _decode_ball(body: bytes, count: int) -> Ball:
     if offset != len(body):
         raise CodecError(f"{len(body) - offset} trailing bytes after ball")
     return make_ball(entries)
+
+
+def _encode_signed_ball_into(message: SignedBall, buffer: bytearray) -> None:
+    # Same first-offending-entry size accounting as _encode_ball_into;
+    # each entry additionally carries its signing epoch and MAC.
+    size = len(buffer)
+    total = len(message.entries)
+    for index, (entry, signature) in enumerate(
+        zip(message.entries, message.signatures)
+    ):
+        event = entry.event
+        try:
+            payload = json.dumps(event.payload).encode()
+        except (TypeError, ValueError) as exc:
+            raise CodecError(
+                f"payload of event {event.id} is not JSON-serializable: {exc}"
+            ) from exc
+        epoch, mac = (signature.epoch, signature.mac) if signature else (0, b"")
+        if len(mac) > MAX_MAC_LEN:
+            raise CodecError(
+                f"MAC of event {event.id} is {len(mac)} bytes, exceeding "
+                f"the {MAX_MAC_LEN}-byte layout cap"
+            )
+        size += _SIGNED_ENTRY.size + len(mac) + _PAYLOAD_LEN.size + len(payload)
+        if size > MAX_DATAGRAM:
+            raise CodecError(
+                f"signed ball entry {index + 1} of {total} (event "
+                f"{event.id}) pushes the encoded message to {size} bytes, "
+                f"exceeding the {MAX_DATAGRAM}-byte datagram cap"
+            )
+        buffer += _SIGNED_ENTRY.pack(
+            event.ts, event.source_id, event.seq, entry.ttl, epoch, len(mac)
+        )
+        buffer += mac
+        buffer += _PAYLOAD_LEN.pack(len(payload))
+        buffer += payload
+
+
+def _decode_signed_ball(body: bytes, count: int) -> SignedBall:
+    entries = []
+    signatures = []
+    offset = 0
+    for _ in range(count):
+        if offset + _SIGNED_ENTRY.size > len(body):
+            raise CodecError("truncated signed ball entry header")
+        ts, source, seq, ttl, epoch, mac_len = _SIGNED_ENTRY.unpack_from(
+            body, offset
+        )
+        offset += _SIGNED_ENTRY.size
+        if offset + mac_len + _PAYLOAD_LEN.size > len(body):
+            raise CodecError("truncated signed ball entry mac")
+        mac = body[offset : offset + mac_len]
+        offset += mac_len
+        (payload_len,) = _PAYLOAD_LEN.unpack_from(body, offset)
+        offset += _PAYLOAD_LEN.size
+        if offset + payload_len > len(body):
+            raise CodecError("truncated signed ball entry payload")
+        raw = body[offset : offset + payload_len]
+        offset += payload_len
+        try:
+            payload = json.loads(raw.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CodecError(f"corrupt payload: {exc}") from exc
+        if ttl < 0:
+            raise CodecError(f"negative ttl {ttl}")
+        entries.append(
+            BallEntry(
+                Event(id=(source, seq), ts=ts, source_id=source, payload=payload),
+                ttl=ttl,
+            )
+        )
+        signatures.append(
+            EventSignature(epoch=epoch, mac=mac) if mac_len else None
+        )
+    if offset != len(body):
+        raise CodecError(f"{len(body) - offset} trailing bytes after signed ball")
+    return SignedBall(entries=make_ball(entries), signatures=tuple(signatures))
 
 
 def _encode_sync_digest_into(message: SyncDigest, buffer: bytearray) -> None:

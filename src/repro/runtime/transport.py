@@ -35,6 +35,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
+from ..auth.guard import BallGuard
 from ..core.errors import MembershipError
 
 #: Inbox callback: ``handler(src, message)`` (synchronous, loop thread).
@@ -43,7 +44,12 @@ AsyncMessageHandler = Callable[[int, Any], None]
 
 @dataclass(slots=True)
 class AsyncNetworkStats:
-    """Counters mirroring :class:`repro.sim.network.NetworkStats`."""
+    """Counters mirroring :class:`repro.sim.network.NetworkStats`.
+
+    The authentication counters are per ball *entry* (an authenticated
+    fabric admits the verified sub-ball and counts the rest), matching
+    the sim and UDP fabrics.
+    """
 
     sent: int = 0
     delivered: int = 0
@@ -51,6 +57,9 @@ class AsyncNetworkStats:
     dropped_dead: int = 0
     dropped_partition: int = 0
     dropped_burst: int = 0
+    dropped_bad_signature: int = 0
+    dropped_unknown_key: int = 0
+    dropped_unsigned: int = 0
 
     @property
     def dropped(self) -> int:
@@ -72,6 +81,11 @@ class AsyncNetwork:
             delivers on the next loop iteration.
         loss_rate: Probability a message is silently dropped.
         seed: Seed for the loss/latency randomness.
+        authenticator: Optional
+            :class:`~repro.auth.authenticator.HmacAuthenticator`; when
+            set, balls are sealed at send time and verified at delivery
+            through a fabric-shared :class:`~repro.auth.guard.BallGuard`
+            — same semantics as :class:`repro.sim.network.SimNetwork`.
     """
 
     def __init__(
@@ -79,10 +93,13 @@ class AsyncNetwork:
         latency: float = 0.0,
         loss_rate: float = 0.0,
         seed: int = 0,
+        authenticator=None,
     ) -> None:
         self.latency = latency
         self.loss_rate = loss_rate
         self.stats = AsyncNetworkStats()
+        self._guard = BallGuard(authenticator) if authenticator else None
+        self._adversary = None
         self._handlers: Dict[int, AsyncMessageHandler] = {}
         self._rng = random.Random(seed)
         # Partition: node id -> group label (None group is implicit).
@@ -143,6 +160,16 @@ class AsyncNetwork:
         self._spike_factor = float(factor)
         self._spike_until = asyncio.get_running_loop().time() + duration
 
+    def set_adversary(self, router) -> None:
+        """Install a hostile-behavior router (see
+        :class:`repro.faults.byzantine.ByzantineRouter`): balls sent by
+        its hostile nodes are transformed per destination."""
+        self._adversary = router
+
+    def clear_adversary(self) -> None:
+        """Remove any installed hostile-behavior router."""
+        self._adversary = None
+
     def _crosses_partition(self, src: int, dst: int) -> bool:
         if not self._partitioned:
             return False
@@ -154,6 +181,7 @@ class AsyncNetwork:
 
     def send(self, src: int, dst: int, message: Any) -> None:
         """Best-effort asynchronous send (never raises on loss)."""
+        message = self._outbound(src, dst, message)
         self.stats.sent += 1
         if self._crosses_partition(src, dst):
             self.stats.dropped_partition += 1
@@ -185,6 +213,19 @@ class AsyncNetwork:
         for dst in dsts:
             self.send(src, dst, message)
 
+    def _outbound(self, src: int, dst: int, message: Any) -> Any:
+        """Seal the genuine ball, then apply any hostile transform —
+        same ordering rationale as the sim fabric: the guard's cache
+        pins the original canonical bytes before a relay can mutate."""
+        if not isinstance(message, tuple):
+            return message
+        ball = message
+        if self._guard is not None:
+            self._guard.seal(src, ball)
+        if self._adversary is not None and self._adversary.is_hostile(src):
+            ball = self._adversary.transform(src, dst, ball)
+        return ball
+
     def _deliver(self, src: int, dst: int, message: Any) -> None:
         if self._crosses_partition(src, dst):
             # Partition formed while the message was in flight.
@@ -194,6 +235,11 @@ class AsyncNetwork:
         if handler is None:
             self.stats.dropped_dead += 1
             return
+        if self._guard is not None and isinstance(message, tuple):
+            message, counts = self._guard.admit_ball(message)
+            self.stats.dropped_bad_signature += counts.bad_signature
+            self.stats.dropped_unknown_key += counts.unknown_key
+            self.stats.dropped_unsigned += counts.unsigned
         self.stats.delivered += 1
         handler(src, message)
 

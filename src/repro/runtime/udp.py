@@ -50,28 +50,59 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..auth.authenticator import SignedBall
+from ..auth.guard import BallGuard
 from ..core.errors import MembershipError
-from .codec import CodecError, decode, encode_into
+from .codec import CodecError, CodecVersionError, decode, encode_into
 
 #: Inbox callback: ``handler(src, message)``.
 UdpMessageHandler = Callable[[int, Any], None]
 
+#: Sentinel returned by admission when an entire datagram is rejected.
+_REJECTED = object()
+
 
 @dataclass(slots=True)
 class UdpStats:
-    """Counters for the UDP fabric."""
+    """Counters for the UDP fabric.
+
+    The receive-side rejection counters are split by cause so a drill
+    can tell line noise from hostile traffic: ``dropped_malformed``
+    (undecodable bytes), ``dropped_bad_version`` (well-framed datagram
+    from an incompatible peer), ``dropped_bad_signature`` /
+    ``dropped_unknown_key`` / ``dropped_unsigned`` (authentication
+    rejections; per *entry* for signed balls, since one datagram can
+    mix admitted and forged entries). :attr:`dropped_undecodable` is
+    the old single-counter aggregate, kept as a derived property.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped_unopened: int = 0
     dropped_encode: int = 0
     dropped_malformed: int = 0
+    dropped_bad_version: int = 0
+    dropped_bad_signature: int = 0
+    dropped_unknown_key: int = 0
+    dropped_unsigned: int = 0
     dropped_partition: int = 0
     dropped_burst: int = 0
     corrupted: int = 0
     delayed: int = 0
     transport_errors: int = 0
     encoded_datagrams: int = 0
+
+    @property
+    def dropped_undecodable(self) -> int:
+        """Aggregate of every receive-side rejection — the value the
+        pre-split ``dropped_malformed`` counter used to report."""
+        return (
+            self.dropped_malformed
+            + self.dropped_bad_version
+            + self.dropped_bad_signature
+            + self.dropped_unknown_key
+            + self.dropped_unsigned
+        )
 
 
 class _NodeProtocol(asyncio.DatagramProtocol):
@@ -112,6 +143,17 @@ class UdpNetwork:
             is observationally identical to the receiver — this is
             what lets :class:`~repro.faults.schedule.LatencySpike`
             actions run over genuine UDP.
+        authenticator: Optional
+            :class:`~repro.auth.authenticator.HmacAuthenticator`. When
+            set, outgoing balls are sealed and shipped as signed balls
+            (codec kind 7) and incoming balls are verified entry by
+            entry — forged entries are counted in
+            ``dropped_bad_signature`` / ``dropped_unknown_key`` /
+            ``dropped_unsigned`` and never reach the node. Plain
+            unsigned balls are rejected wholesale on an authenticating
+            fabric. ``None`` (default) keeps the fabric tolerant: it
+            still *reads* signed balls from authenticating peers,
+            stripping the signatures.
     """
 
     def __init__(
@@ -119,10 +161,13 @@ class UdpNetwork:
         host: str = "127.0.0.1",
         seed: int = 0,
         latency: float = 0.0,
+        authenticator=None,
     ) -> None:
         self.host = host
         self.latency = float(latency)
         self.stats = UdpStats()
+        self._guard = BallGuard(authenticator) if authenticator else None
+        self._adversary = None
         self._handlers: Dict[int, UdpMessageHandler] = {}
         self._transports: Dict[int, asyncio.DatagramTransport] = {}
         self._addresses: Dict[int, Tuple[str, int]] = {}
@@ -169,7 +214,7 @@ class UdpNetwork:
     def send(self, src: int, dst: int, message: Any) -> None:
         """Encode and ship one datagram from *src* to *dst*."""
         try:
-            datagram = self._encode(src, message)
+            datagram = self._encode(src, self._outbound(src, dst, message))
         except CodecError:
             self.stats.sent += 1
             self.stats.dropped_encode += 1
@@ -185,10 +230,17 @@ class UdpNetwork:
         per round instead of once per destination. Partitions, loss
         bursts, corruption and latency spikes still apply per
         destination (corruption mangles a per-destination copy — the
-        shared buffer is never mutated).
+        shared buffer is never mutated). A ball from a node under a
+        hostile :meth:`set_adversary` behavior loses the optimisation:
+        the adversary may ship a *different* mutation to each
+        destination, so those sends encode per destination.
         """
+        if self._adversary is not None and self._adversary.is_hostile(src):
+            for dst in dsts:
+                self.send(src, dst, message)
+            return
         try:
-            datagram = self._encode(src, message)
+            datagram = self._encode(src, self._outbound(src, None, message))
         except CodecError:
             for _ in dsts:
                 self.stats.sent += 1
@@ -196,6 +248,29 @@ class UdpNetwork:
             return
         for dst in dsts:
             self._dispatch(src, dst, datagram)
+
+    def _outbound(self, src: int, dst: Optional[int], message: Any) -> Any:
+        """Apply adversary transforms and auth sealing to a ball.
+
+        Non-ball messages (cyclon, anti-entropy) pass through — they
+        are integrity-checked by their own layers (docs/SECURITY.md).
+        The transform runs *before* sealing: a hostile relay mutating
+        entries it did not originate cannot obtain MACs for them, which
+        is precisely the property the drill asserts.
+        """
+        if not isinstance(message, tuple):
+            return message
+        ball = message
+        if (
+            dst is not None
+            and self._adversary is not None
+            and self._adversary.is_hostile(src)
+        ):
+            ball = self._adversary.transform(src, dst, ball)
+        if self._guard is None:
+            return ball
+        self._guard.seal(src, ball)
+        return self._guard.attach(ball)
 
     def _encode(self, src: int, message: Any) -> memoryview:
         """Serialize one message into the shared pool buffer.
@@ -268,6 +343,17 @@ class UdpNetwork:
     # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------
+
+    def set_adversary(self, router) -> None:
+        """Install a hostile-behavior router (see
+        :class:`repro.faults.byzantine.ByzantineRouter`): balls sent by
+        its hostile nodes are transformed per destination before
+        encoding, modeling Byzantine relays on real sockets."""
+        self._adversary = router
+
+    def clear_adversary(self) -> None:
+        """Remove any installed hostile-behavior router."""
+        self._adversary = None
 
     def set_partition(self, groups: Dict[int, object]) -> None:
         """Partition the fabric: datagrams crossing groups are dropped.
@@ -403,8 +489,36 @@ class UdpNetwork:
             return
         try:
             sender, message = decode(data)
+        except CodecVersionError:
+            self.stats.dropped_bad_version += 1
+            return
         except CodecError:
             self.stats.dropped_malformed += 1
             return
+        message = self._admit(message)
+        if message is _REJECTED:
+            return
         self.stats.delivered += 1
         handler(sender, message)
+
+    def _admit(self, message: Any) -> Any:
+        """Authentication gate between decode and the node's inbox.
+
+        Signed balls are verified entry by entry (the admitted
+        sub-ball is delivered; rejections are counted per cause) or —
+        with no authenticator configured — accepted with signatures
+        stripped. A *plain* ball on an authenticating fabric is
+        rejected wholesale: an honest authenticating peer always signs.
+        """
+        if isinstance(message, SignedBall):
+            if self._guard is None:
+                return message.entries
+            ball, counts = self._guard.admit_signed(message)
+            self.stats.dropped_bad_signature += counts.bad_signature
+            self.stats.dropped_unknown_key += counts.unknown_key
+            self.stats.dropped_unsigned += counts.unsigned
+            return ball
+        if self._guard is not None and isinstance(message, tuple):
+            self.stats.dropped_unsigned += 1
+            return _REJECTED
+        return message

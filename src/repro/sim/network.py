@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from ..auth.guard import BallGuard
 from ..core.errors import MembershipError
 from .engine import Simulator
 from .latency import FixedLatency, LatencyModel
@@ -38,13 +39,23 @@ MessageHandler = Callable[[int, Any], None]
 
 @dataclass(slots=True)
 class NetworkStats:
-    """Counters describing everything the network did."""
+    """Counters describing everything the network did.
+
+    The ``dropped_bad_signature`` / ``dropped_unknown_key`` /
+    ``dropped_unsigned`` counters are per *ball entry*, not per
+    message: an authenticating fabric admits the verified sub-ball and
+    counts the forged remainder, mirroring
+    :class:`repro.runtime.udp.UdpStats`.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped_loss: int = 0
     dropped_dead: int = 0
     dropped_partition: int = 0
+    dropped_bad_signature: int = 0
+    dropped_unknown_key: int = 0
+    dropped_unsigned: int = 0
     duplicated: int = 0
 
     @property
@@ -69,6 +80,13 @@ class SimNetwork:
         loss_rate: Probability that any given message is silently lost.
         duplicate_rate: Probability that a surviving message is
             delivered twice (independent latencies).
+        authenticator: Optional
+            :class:`~repro.auth.authenticator.HmacAuthenticator`. When
+            set, balls are sealed at send time and verified at delivery
+            through a fabric-shared :class:`~repro.auth.guard.BallGuard`
+            (the object-fabric equivalent of the UDP signed-ball path:
+            signatures travel in the guard's cache instead of the
+            message). Forged or unsigned entries never reach a handler.
     """
 
     def __init__(
@@ -77,12 +95,15 @@ class SimNetwork:
         latency: LatencyModel | None = None,
         loss_rate: float = 0.0,
         duplicate_rate: float = 0.0,
+        authenticator=None,
     ) -> None:
         self.sim = sim
         self.latency = latency if latency is not None else FixedLatency(1)
         self.loss_rate = float(loss_rate)
         self.duplicate_rate = float(duplicate_rate)
         self.stats = NetworkStats()
+        self._guard = BallGuard(authenticator) if authenticator else None
+        self._adversary = None
         self._handlers: Dict[int, MessageHandler] = {}
         self._loss_rng = sim.fork_rng("network.loss")
         self._latency_rng = sim.fork_rng("network.latency")
@@ -144,11 +165,27 @@ class SimNetwork:
         return self._partition.get(src) != self._partition.get(dst)
 
     # ------------------------------------------------------------------
+    # Hostile behavior
+    # ------------------------------------------------------------------
+
+    def set_adversary(self, router) -> None:
+        """Install a hostile-behavior router (see
+        :class:`repro.faults.byzantine.ByzantineRouter`): balls sent by
+        its hostile nodes are transformed per destination before
+        delivery is scheduled."""
+        self._adversary = router
+
+    def clear_adversary(self) -> None:
+        """Remove any installed hostile-behavior router."""
+        self._adversary = None
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
 
     def send(self, src: int, dst: int, message: Any) -> None:
         """Best-effort send; never raises on loss or dead destinations."""
+        message = self._outbound(src, dst, message)
         self.stats.sent += 1
         if self._crosses_partition(src, dst):
             self.stats.dropped_partition += 1
@@ -177,6 +214,23 @@ class SimNetwork:
         for dst in dsts:
             self.send(src, dst, message)
 
+    def _outbound(self, src: int, dst: int, message: Any) -> Any:
+        """Seal and (for hostile senders) transform an outgoing ball.
+
+        Sealing runs on the genuine ball *before* any adversary
+        transform, so the guard's signature cache always pins the
+        original canonical bytes — a mutated relay copy under the same
+        event id fails verification at delivery.
+        """
+        if not isinstance(message, tuple):
+            return message
+        ball = message
+        if self._guard is not None:
+            self._guard.seal(src, ball)
+        if self._adversary is not None and self._adversary.is_hostile(src):
+            ball = self._adversary.transform(src, dst, ball)
+        return ball
+
     def _deliver(self, src: int, dst: int, message: Any) -> None:
         handler = self._handlers.get(dst)
         if handler is None:
@@ -186,6 +240,11 @@ class SimNetwork:
         if self._crosses_partition(src, dst):
             self.stats.dropped_partition += 1
             return
+        if self._guard is not None and isinstance(message, tuple):
+            message, counts = self._guard.admit_ball(message)
+            self.stats.dropped_bad_signature += counts.bad_signature
+            self.stats.dropped_unknown_key += counts.unknown_key
+            self.stats.dropped_unsigned += counts.unsigned
         self.stats.delivered += 1
         handler(src, message)
 

@@ -17,6 +17,7 @@ from .protocol import (
     SyncChunk,
     SyncDigest,
     SyncRequest,
+    canonical_event_bytes,
     event_wire_cost,
     events_checksum,
     freeze_watermarks,
@@ -32,6 +33,7 @@ __all__ = [
     "SyncRequest",
     "SyncChunk",
     "SYNC_MESSAGE_TYPES",
+    "canonical_event_bytes",
     "events_checksum",
     "event_wire_cost",
     "freeze_watermarks",

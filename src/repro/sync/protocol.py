@@ -34,10 +34,14 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 from ..core.errors import StorageError
 from ..core.event import Event, OrderKey
 
+#: Canonical per-event frame: big-endian (ts, source, seq, payload_len).
+#: The same layout the codec puts on the wire for chunk events.
+_EVENT_FRAME = struct.Struct("!qqqI")
+
 #: Fixed per-event framing cost on the wire (ts, source, seq, payload
 #: length) — the payload JSON comes on top. Kept in sync with the codec
 #: struct so responder-side size caps match what the codec will emit.
-EVENT_WIRE_OVERHEAD = struct.calcsize("!qqqI")
+EVENT_WIRE_OVERHEAD = _EVENT_FRAME.size
 
 #: Watermark vector as sorted, immutable ``(source_id, max_seq)`` pairs.
 Watermarks = Tuple[Tuple[int, int], ...]
@@ -160,23 +164,31 @@ def event_wire_cost(event: Event) -> int:
     return EVENT_WIRE_OVERHEAD + len(_canonical_payload(event))
 
 
+def canonical_event_bytes(event: Event) -> bytes:
+    """The canonical byte encoding of one event.
+
+    The big-endian ``(ts, source, seq, payload_len)`` frame followed by
+    the sorted-key JSON payload — the exact bytes
+    :func:`events_checksum` CRCs and :mod:`repro.auth` HMACs, identical
+    whether the event travelled as an object (sim, in-process asyncio)
+    or as a datagram (UDP). The relay-mutable TTL is deliberately *not*
+    part of the canonical form (docs/SECURITY.md).
+    """
+    payload = _canonical_payload(event)
+    return (
+        _EVENT_FRAME.pack(event.ts, event.source_id, event.seq, len(payload))
+        + payload
+    )
+
+
 def events_checksum(events: Sequence[Event]) -> int:
     """CRC32 over the canonical encoding of *events*.
 
-    Canonical form: for each event, the big-endian ``(ts, source, seq,
-    payload_len)`` frame followed by the sorted-key JSON payload — the
-    same bytes the codec puts on the wire, so the checksum is identical
-    whether the chunk travelled as an object (sim, in-process asyncio)
-    or as a datagram (UDP).
+    Canonical form per event: :func:`canonical_event_bytes`.
     """
     crc = 0
-    head = struct.Struct("!qqqI")
     for event in events:
-        payload = _canonical_payload(event)
-        crc = zlib.crc32(
-            head.pack(event.ts, event.source_id, event.seq, len(payload)), crc
-        )
-        crc = zlib.crc32(payload, crc)
+        crc = zlib.crc32(canonical_event_bytes(event), crc)
     return crc
 
 

@@ -1,0 +1,89 @@
+"""Tests for the per-cluster key ring (repro.auth.keyring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import KeyRing, derive_key
+from repro.core.errors import AuthError
+
+
+class TestDerivation:
+    def test_deterministic(self):
+        assert derive_key(b"m", 3, 0) == derive_key(b"m", 3, 0)
+
+    def test_distinct_per_node_and_epoch_and_master(self):
+        keys = {
+            derive_key(b"m", 1, 0),
+            derive_key(b"m", 2, 0),
+            derive_key(b"m", 1, 1),
+            derive_key(b"other", 1, 0),
+        }
+        assert len(keys) == 4
+
+    def test_two_rings_same_master_agree(self):
+        a, b = KeyRing("cluster-secret"), KeyRing("cluster-secret")
+        assert a.key_for(7) == b.key_for(7)
+
+    def test_str_master_is_utf8_encoded(self):
+        assert KeyRing("s").key_for(1) == KeyRing(b"s").key_for(1)
+
+
+class TestValidation:
+    def test_empty_master_rejected(self):
+        with pytest.raises(AuthError):
+            KeyRing("")
+        with pytest.raises(AuthError):
+            KeyRing(b"")
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(AuthError):
+            KeyRing("m", retain_epochs=-1)
+
+
+class TestRotation:
+    def test_rotate_changes_key_and_epoch(self):
+        ring = KeyRing("m")
+        old = ring.key_for(4)
+        assert ring.rotate(4) == 1
+        assert ring.epoch_of(4) == 1
+        assert ring.key_for(4) != old
+
+    def test_retention_window(self):
+        ring = KeyRing("m", retain_epochs=1)
+        assert ring.accepts(4, 0)
+        ring.rotate(4)
+        assert ring.accepts(4, 0)  # one behind: still verifiable
+        assert ring.accepts(4, 1)
+        ring.rotate(4)
+        assert not ring.accepts(4, 0)  # two behind: aged out
+        assert not ring.accepts(4, 3)  # future epochs never accepted
+
+    def test_zero_retention_is_instant_cutover(self):
+        ring = KeyRing("m", retain_epochs=0)
+        ring.rotate(4)
+        assert not ring.accepts(4, 0)
+
+    def test_key_for_out_of_window_epoch_raises(self):
+        ring = KeyRing("m", retain_epochs=0)
+        ring.rotate(4)
+        with pytest.raises(AuthError):
+            ring.key_for(4, epoch=0)
+
+
+class TestRevocation:
+    def test_revoked_node_rejected_everywhere(self):
+        ring = KeyRing("m")
+        ring.revoke(9)
+        assert ring.is_revoked(9)
+        assert not ring.accepts(9, 0)
+        with pytest.raises(AuthError):
+            ring.key_for(9)
+        with pytest.raises(AuthError):
+            ring.rotate(9)
+
+    def test_other_nodes_unaffected(self):
+        ring = KeyRing("m")
+        ring.revoke(9)
+        assert ring.accepts(8, 0)
+        ring.key_for(8)

@@ -1,0 +1,152 @@
+"""Tests for the hostile schedule actions (ByzantineNodes, ScrambleState)
+and the indexed ``from_dict`` error messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import FaultInjectionError
+from repro.faults import (
+    BYZANTINE_BEHAVIORS,
+    ByzantineNodes,
+    FaultSchedule,
+    ScrambleState,
+)
+
+
+class TestByzantineValidation:
+    def test_all_documented_behaviors_accepted(self):
+        for behavior in BYZANTINE_BEHAVIORS:
+            ByzantineNodes(at_round=1.0, behavior=behavior, nodes=(1,))
+
+    def test_unknown_behavior_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            ByzantineNodes(at_round=1.0, behavior="bribe", nodes=(1,))
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            ByzantineNodes(at_round=1.0, behavior="equivocate")
+
+    def test_rate_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            ByzantineNodes(at_round=1.0, behavior="replay", nodes=(1,), rate=0.0)
+        with pytest.raises(FaultInjectionError):
+            ByzantineNodes(at_round=1.0, behavior="replay", nodes=(1,), rate=1.5)
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(FaultInjectionError):
+            ByzantineNodes(
+                at_round=1.0, behavior="replay", nodes=(1,), duration=0.0
+            )
+
+
+class TestScrambleValidation:
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            ScrambleState(at_round=1.0)
+
+    def test_recover_after_must_be_positive(self):
+        with pytest.raises(FaultInjectionError):
+            ScrambleState(at_round=1.0, nodes=(1,), recover_after=0.0)
+
+    def test_negative_garbage_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            ScrambleState(at_round=1.0, nodes=(1,), garbage_events=-1)
+
+
+class TestHorizon:
+    def test_byzantine_duration_extends_horizon(self):
+        schedule = FaultSchedule(
+            [ByzantineNodes(at_round=3.0, behavior="replay", nodes=(1,), duration=10.0)]
+        )
+        assert schedule.horizon_rounds == 13.0
+
+    def test_scramble_recovery_extends_horizon(self):
+        schedule = FaultSchedule(
+            [ScrambleState(at_round=6.0, nodes=(1,), recover_after=8.0)]
+        )
+        assert schedule.horizon_rounds == 14.0
+
+
+class TestJsonRoundTrip:
+    def test_byzantine_drill_round_trips(self):
+        schedule = FaultSchedule.byzantine_drill()
+        rebuilt = FaultSchedule.from_json(schedule.to_json())
+        assert rebuilt.actions == schedule.actions
+
+    def test_self_stab_round_trips(self):
+        schedule = FaultSchedule.self_stab()
+        rebuilt = FaultSchedule.from_json(schedule.to_json())
+        assert rebuilt.actions == schedule.actions
+
+    def test_shipped_scenarios_parse(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2] / "scenarios"
+        for name in ("byzantine_drill.json", "self_stab.json"):
+            schedule = FaultSchedule.from_json(
+                (root / name).read_text(encoding="utf-8")
+            )
+            assert len(schedule) >= 1
+
+
+class TestIndexedErrorMessages:
+    """Satellite: every from_dict failure names the action index + kind."""
+
+    def test_unknown_kind_names_index(self):
+        with pytest.raises(FaultInjectionError, match=r"action #1.*sabotage"):
+            FaultSchedule.from_dict(
+                {
+                    "actions": [
+                        {"kind": "crash", "at_round": 1.0, "nodes": [1]},
+                        {"kind": "sabotage", "at_round": 2.0},
+                    ]
+                }
+            )
+
+    def test_unknown_field_names_index_and_kind(self):
+        with pytest.raises(
+            FaultInjectionError, match=r"action #0 \('byzantine'\)"
+        ):
+            FaultSchedule.from_dict(
+                {
+                    "actions": [
+                        {
+                            "kind": "byzantine",
+                            "at_round": 1.0,
+                            "behavior": "replay",
+                            "nodes": [1],
+                            "sneakiness": 9,
+                        }
+                    ]
+                }
+            )
+
+    def test_validation_error_names_index_and_kind(self):
+        with pytest.raises(
+            FaultInjectionError, match=r"action #2 \('byzantine'\)"
+        ):
+            FaultSchedule.from_dict(
+                {
+                    "actions": [
+                        {"kind": "crash", "at_round": 1.0, "nodes": [1]},
+                        {"kind": "heal", "at_round": 2.0},
+                        {
+                            "kind": "byzantine",
+                            "at_round": 3.0,
+                            "behavior": "equivocate",
+                            "nodes": [],
+                        },
+                    ]
+                }
+            )
+
+    def test_type_error_names_index_and_kind(self):
+        # A missing required argument surfaces as a TypeError inside the
+        # dataclass constructor; the wrapper still points at the entry.
+        with pytest.raises(
+            FaultInjectionError, match=r"action #0 \('scramble'\)"
+        ):
+            FaultSchedule.from_dict(
+                {"actions": [{"kind": "scramble", "nodes": [1]}]}
+            )

@@ -1,0 +1,120 @@
+"""The Byzantine drill against the simulator: hostile relays provably
+violate authenticity without auth, and provably cannot with it."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.event import BallEntry, Event, make_ball
+from repro.experiments.drill import run_drill
+from repro.faults import ByzantineRouter, FaultSchedule
+
+
+def _event(src=1, seq=0, ts=10, payload=None):
+    return Event(
+        id=(src, seq),
+        ts=ts,
+        source_id=src,
+        payload={"v": seq} if payload is None else payload,
+    )
+
+
+def _ball(*events, ttl=4):
+    return make_ball([BallEntry(event, ttl=ttl) for event in events])
+
+
+class TestRouter:
+    def test_honest_sender_untouched(self):
+        router = ByzantineRouter(rng=random.Random(0))
+        router.enable([1], "equivocate")
+        ball = _ball(_event(src=2))
+        assert router.transform(3, 5, ball) is ball
+
+    def test_own_entries_never_mutated(self):
+        # The relay adversary cannot forge what it could legitimately
+        # sign anyway: its own events pass through untouched.
+        router = ByzantineRouter(rng=random.Random(0))
+        router.enable([1], "equivocate")
+        own, relayed = _event(src=1), _event(src=2)
+        out = router.transform(1, 5, _ball(own, relayed))
+        by_id = {entry.event.id: entry.event for entry in out}
+        assert by_id[own.id] == own
+        assert by_id[relayed.id] != relayed
+        assert by_id[relayed.id].id == relayed.id  # same claimed identity
+
+    def test_equivocation_diverges_per_destination(self):
+        router = ByzantineRouter(rng=random.Random(0))
+        router.enable([1], "equivocate")
+        ball = _ball(_event(src=2))
+        even = router.transform(1, 4, ball)[0].event
+        odd = router.transform(1, 5, ball)[0].event
+        assert even.id == odd.id and even.ts == odd.ts
+        assert even.payload != odd.payload
+
+    def test_replay_and_ttl_inflate_resend_stashed_entries(self):
+        router = ByzantineRouter(rng=random.Random(0))
+        router.enable([1], "replay")
+        router.enable([1], "ttl_inflate")
+        ball = _ball(_event(src=2))
+        first = router.transform(1, 4, ball)  # stashes the relayed entry
+        assert len(first) >= 2  # replay and/or resurrection appended
+        assert router.stats.replayed + router.stats.ttl_inflated >= 1
+
+    def test_disable_restores_honesty(self):
+        router = ByzantineRouter(rng=random.Random(0))
+        router.enable([1], "garble_relay")
+        assert router.is_hostile(1)
+        router.disable([1], "garble_relay")
+        assert not router.is_hostile(1)
+        ball = _ball(_event(src=2))
+        assert router.transform(1, 5, ball) is ball
+
+    def test_behaviors_stack_per_node(self):
+        router = ByzantineRouter(rng=random.Random(0))
+        router.enable([1], "equivocate", rate=1.0)
+        router.enable([1], "replay", rate=1.0)
+        assert router.hostile_ids == (1,)
+        router.disable([1], "replay")
+        assert router.is_hostile(1)  # equivocate still active
+
+    def test_seeded_router_is_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            router = ByzantineRouter(rng=random.Random(42))
+            router.enable([1], "garble_relay", rate=0.5)
+            ball = _ball(_event(src=2))
+            outcomes.append(
+                [router.transform(1, d, ball)[0].event.payload for d in range(8)]
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+class TestByzantineDrill:
+    def test_without_auth_equivocation_violates_agreement(self):
+        result = run_drill(
+            scale="small", seed=17, schedule=FaultSchedule.byzantine_drill()
+        )
+        assert result.byzantine_nodes == 2
+        assert result.authenticity is not None
+        # The adversary's lies reached correct nodes: forged content
+        # and divergent sightings of common event ids.
+        assert result.authenticity.forged_deliveries
+        assert result.authenticity.equivocated_events
+        assert not result.exit_ok
+
+    def test_with_auth_no_forged_delivery_survives(self):
+        result = run_drill(
+            scale="small",
+            seed=17,
+            schedule=FaultSchedule.byzantine_drill(),
+            auth=True,
+        )
+        assert result.auth_enabled
+        # The attacks happened (entries were rejected at admission) ...
+        assert result.dropped_bad_signature > 0
+        # ... and none of them reached a correct node's delivery.
+        assert result.authenticity is not None and result.authenticity.ok
+        assert result.report.safety_ok
+        assert result.exit_ok

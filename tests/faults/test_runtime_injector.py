@@ -16,6 +16,7 @@ from repro.core import EpToConfig
 from repro.core.errors import FaultInjectionError
 from repro.faults import (
     AsyncFaultInjector,
+    ByzantineNodes,
     CorruptDatagrams,
     CrashNodes,
     FaultSchedule,
@@ -132,6 +133,46 @@ class TestStandardDrill:
         for node_id in (1, 2, 3, 4):
             ids = [e.id for e in cluster.deliveries[node_id]]
             assert len(ids) == len(set(ids))
+
+
+class TestByzantineWindow:
+    def test_byzantine_action_interpreted_like_the_sim_injector(self):
+        """Cross-runtime parity: the asyncio interpreter installs the
+        same :class:`ByzantineRouter` on its fabric, scopes it to the
+        action window, and restores honesty afterwards."""
+
+        async def scenario():
+            cluster = AsyncCluster(small_config(), seed=13)
+            cluster.add_nodes(8)
+            cluster.start_all()
+            schedule = FaultSchedule(
+                [
+                    ByzantineNodes(
+                        at_round=1.0,
+                        behavior="equivocate",
+                        nodes=(1,),
+                        duration=6.0,
+                    )
+                ]
+            )
+            injector = AsyncFaultInjector(cluster, schedule, seed=13)
+            for node_id in (2, 3, 4):
+                cluster.nodes[node_id].broadcast(f"pre-{node_id}")
+            await injector.run()
+            router = injector._router
+            hostile_after = router.is_hostile(1)
+            await cluster.stop_all()
+            return injector, router, hostile_after
+
+        injector, router, hostile_after = run(scenario())
+        assert injector.stats.byzantine_windows == 1
+        assert injector.byzantine_ids == {1}
+        # The hostile relay really mutated foreign entries mid-window...
+        assert router.stats.equivocated > 0
+        # ...and the window closed: the node is honest again.
+        assert not hostile_after
+        assert any("byzantine equivocate on [1]" in msg for _, msg in injector.log)
+        assert any("byzantine equivocate off" in msg for _, msg in injector.log)
 
 
 class TestFabricChecks:

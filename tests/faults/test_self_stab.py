@@ -1,0 +1,89 @@
+"""The self-stabilization drill: arbitrary state corruption (forged
+spray + journal scramble + crash) must converge back, bit-identically
+with auth + anti-entropy."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import FaultInjectionError
+from repro.core.event import Event
+from repro.experiments.drill import run_drill
+from repro.faults import FaultSchedule, scramble_journal
+from repro.faults.byzantine import forged_events, garbage_ball
+
+
+class TestForgedEvents:
+    def test_round_robin_impersonation_with_huge_seqs(self):
+        events = forged_events([3, 5], count=4, ts=100)
+        assert [event.source_id for event in events] == [3, 5, 3, 5]
+        assert all(event.id[1] >= 1_000_000 for event in events)
+        assert all(isinstance(event, Event) for event in events)
+
+    def test_needs_identities(self):
+        with pytest.raises(FaultInjectionError):
+            forged_events([], count=1, ts=0)
+
+    def test_garbage_ball_looks_freshly_broadcast(self):
+        ball = garbage_ball(forged_events([3], count=2, ts=100))
+        assert all(entry.ttl == 0 for entry in ball)
+
+
+class TestScrambleJournal:
+    def test_corrupted_log_still_readable_to_last_valid_record(self, tmp_path):
+        from repro.metrics import load_delivery_log
+        from repro.storage.journal import DeliveryJournal
+
+        node_dir = tmp_path / "node-4"
+        journal = DeliveryJournal(node_dir)
+        for i in range(50):
+            journal.record_delivery(
+                Event(id=(4, i), ts=100 + i, source_id=4, payload={"n": i})
+            )
+        journal.close()
+
+        actions = scramble_journal(node_dir, random.Random(7))
+        assert any("flipped" in action for action in actions)
+        assert any("garbage" in action for action in actions)
+
+        # CRC framing absorbs all three damage layers: the read stops
+        # at the last valid record instead of raising.
+        collector = load_delivery_log(node_dir, node_id=4)
+        sequence = collector.sequence_of(4)
+        assert 0 < len(sequence) < 50
+        full = [(100 + i, 4, i) for i in range(50)]
+        assert list(sequence) == full[: len(sequence)]
+
+    def test_missing_log_reported_not_raised(self, tmp_path):
+        actions = scramble_journal(tmp_path / "node-9", random.Random(0))
+        assert any("no log segments" in action for action in actions)
+
+
+class TestSelfStabDrill:
+    def test_scrambled_node_converges_bit_identically_with_auth_and_sync(self):
+        result = run_drill(
+            scale="small",
+            seed=17,
+            schedule=FaultSchedule.self_stab(),
+            sync=True,
+            auth=True,
+        )
+        assert result.scrambled == 1
+        # The forged spray died at admission (unsigned at source) ...
+        assert result.dropped_unsigned > 0
+        assert result.authenticity is not None and result.authenticity.ok
+        # ... the corrupted journal was repaired through recovery +
+        # anti-entropy, converging to the survivors' durable sequence.
+        assert result.scrambled_converged is True
+        assert result.report.safety_ok
+        assert result.exit_ok
+
+    def test_without_auth_the_spray_pollutes_correct_nodes(self):
+        result = run_drill(
+            scale="small", seed=17, schedule=FaultSchedule.self_stab(), sync=True
+        )
+        assert result.authenticity is not None
+        assert result.authenticity.forged_deliveries
+        assert not result.exit_ok

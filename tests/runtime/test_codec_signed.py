@@ -1,0 +1,145 @@
+"""Wire-hostility tests for the signed-ball codec (kind 7, version 2).
+
+The decode path faces the open internet in the UDP fabric: truncated,
+oversized, wrong-version and bit-flipped datagrams must all be rejected
+with :class:`~repro.runtime.codec.CodecError` (or its
+:class:`~repro.runtime.codec.CodecVersionError` subclass) — no other
+exception may ever escape ``decode``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.auth import BallGuard, HmacAuthenticator, KeyRing, SignedBall
+from repro.core.event import BallEntry, Event, make_ball
+from repro.runtime import codec
+from repro.runtime.codec import CodecError, CodecVersionError
+
+
+def _event(src=1, seq=0, ts=10, payload=None):
+    return Event(
+        id=(src, seq),
+        ts=ts,
+        source_id=src,
+        payload={"v": seq} if payload is None else payload,
+    )
+
+
+def _signed_ball(entries=4, sign_all=True):
+    guard = BallGuard(HmacAuthenticator(KeyRing("codec-test")))
+    events = [_event(src=1 + (i % 3), seq=i, ts=10 + i) for i in range(entries)]
+    ball = make_ball([BallEntry(event, ttl=2 + i) for i, event in enumerate(events)])
+    if sign_all:
+        for event in events:
+            guard.seal(event.source_id, ball)
+    return guard.attach(ball)
+
+
+class TestRoundTrip:
+    def test_signed_ball_round_trips(self):
+        signed = _signed_ball()
+        sender, decoded = codec.decode(codec.encode(42, signed))
+        assert sender == 42
+        assert isinstance(decoded, SignedBall)
+        assert decoded == signed
+
+    def test_unsigned_entries_round_trip_as_none(self):
+        signed = _signed_ball(sign_all=False)
+        assert all(signature is None for signature in signed.signatures)
+        _, decoded = codec.decode(codec.encode(1, signed))
+        assert decoded == signed
+
+    def test_signed_ball_uses_version_2_plain_stays_1(self):
+        signed_wire = codec.encode(1, _signed_ball())
+        plain_wire = codec.encode(1, _signed_ball().entries)
+        assert signed_wire[2] == 2
+        assert plain_wire[2] == 1
+
+    def test_plain_kinds_still_decode(self):
+        ball = _signed_ball().entries
+        _, decoded = codec.decode(codec.encode(1, ball))
+        assert decoded == ball
+
+
+class TestVersionGate:
+    def test_unknown_version_raises_version_error(self):
+        wire = bytearray(codec.encode(1, _signed_ball()))
+        wire[2] = 3
+        with pytest.raises(CodecVersionError):
+            codec.decode(bytes(wire))
+
+    def test_version_error_is_a_codec_error(self):
+        assert issubclass(CodecVersionError, CodecError)
+
+    def test_signed_kind_under_version_1_rejected(self):
+        # A well-framed v1 header must never smuggle in the signed kind.
+        wire = bytearray(codec.encode(1, _signed_ball()))
+        wire[2] = 1
+        with pytest.raises(CodecError):
+            codec.decode(bytes(wire))
+
+
+class TestHostileBytes:
+    def test_every_truncation_rejected_cleanly(self):
+        wire = codec.encode(7, _signed_ball())
+        for cut in range(len(wire)):
+            with pytest.raises(CodecError):
+                codec.decode(wire[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        wire = codec.encode(7, _signed_ball())
+        with pytest.raises(CodecError):
+            codec.decode(wire + b"\x00")
+        with pytest.raises(CodecError):
+            codec.decode(wire + wire)
+
+    def test_oversized_entry_count_rejected(self):
+        # Claim far more entries than the datagram carries.
+        wire = bytearray(codec.encode(7, _signed_ball()))
+        wire[12:16] = (2**31).to_bytes(4, "big")
+        with pytest.raises(CodecError):
+            codec.decode(bytes(wire))
+
+    def test_negative_ttl_rejected(self):
+        event = _event()
+        wire = bytearray(
+            codec.encode(
+                1,
+                SignedBall(
+                    entries=(BallEntry(event, ttl=0),), signatures=(None,)
+                ),
+            )
+        )
+        # Header is 16 bytes; the signed-entry layout is
+        # ts(8) source(8) seq(8) ttl(4) ... — patch the ttl to -1.
+        ttl_offset = 16 + 24
+        assert wire[ttl_offset : ttl_offset + 4] == (0).to_bytes(4, "big")
+        wire[ttl_offset : ttl_offset + 4] = (-1).to_bytes(4, "big", signed=True)
+        with pytest.raises(CodecError):
+            codec.decode(bytes(wire))
+
+    def test_bit_flip_fuzz_never_escapes_codec_error(self):
+        wire = codec.encode(7, _signed_ball(entries=6))
+        rng = random.Random(0xC0DEC)
+        outcomes = {"ok": 0, "rejected": 0}
+        for _ in range(400):
+            mutated = bytearray(wire)
+            for _ in range(rng.randint(1, 4)):
+                position = rng.randrange(len(mutated))
+                mutated[position] ^= 1 << rng.randrange(8)
+            try:
+                codec.decode(bytes(mutated))
+            except CodecError:
+                outcomes["rejected"] += 1
+            else:
+                # Flips confined to payload bytes/sender can decode; the
+                # authenticator rejects them later. Only CodecError may
+                # escape here.
+                outcomes["ok"] += 1
+        assert outcomes["rejected"] > 0
+
+    def test_mac_length_is_bounded(self):
+        assert codec.MAX_MAC_LEN == 255

@@ -363,3 +363,88 @@ class TestEpToOverUdp:
         }
         assert len(sequences) == 1
         assert set(next(iter(sequences))) == {"alpha", "beta"}
+
+
+class TestUdpStatsSplit:
+    def test_dropped_undecodable_aggregates_receive_rejections(self):
+        from repro.runtime.udp import UdpStats
+
+        stats = UdpStats(
+            dropped_malformed=2,
+            dropped_bad_version=3,
+            dropped_bad_signature=5,
+            dropped_unknown_key=7,
+            dropped_unsigned=11,
+        )
+        assert stats.dropped_undecodable == 28
+        # Send-side drops are not receive rejections.
+        stats.dropped_partition = 100
+        stats.dropped_burst = 100
+        assert stats.dropped_undecodable == 28
+
+
+class TestAuthenticatedUdp:
+    def _authenticator(self):
+        from repro.auth import HmacAuthenticator, KeyRing
+
+        return HmacAuthenticator(KeyRing("udp-test"))
+
+    def test_signed_ball_admitted_and_forgery_dropped(self):
+        from repro.auth import BallGuard
+
+        authenticator = self._authenticator()
+
+        async def scenario():
+            network = UdpNetwork(authenticator=authenticator)
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append((src, msg)))
+            network.register(9, lambda src, msg: None)
+            await network.open_all()
+
+            genuine = a_ball("hello")
+            network.send(9, 1, genuine)  # sealed by the fabric guard
+            await asyncio.sleep(0.05)
+
+            # A forged copy under the same identity, sent from a fabric
+            # that never held node 9's sealing history: the entry
+            # arrives unsigned and is rejected at admission.
+            hostile = UdpNetwork()
+            hostile.register(9, lambda src, msg: None)
+            # Rebind node 1's address so the hostile fabric can reach it.
+            hostile._addresses = dict(network._addresses)  # noqa: SLF001 - test rig
+            await hostile.open_all()
+            hostile.send(9, 1, a_ball("evil"))
+            await asyncio.sleep(0.05)
+
+            await hostile.close()
+            await network.close()
+            return inbox, network.stats
+
+        inbox, stats = run(scenario())
+        assert len(inbox) == 1
+        assert inbox[0][1][0].event.payload == "hello"
+        assert stats.dropped_unsigned >= 1
+        assert stats.dropped_undecodable >= 1
+
+    def test_unknown_version_counted_separately(self):
+        async def scenario():
+            network = UdpNetwork(authenticator=self._authenticator())
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append(msg))
+            network.register(2, lambda src, msg: None)
+            await network.open_all()
+
+            from repro.runtime import codec
+
+            wire = bytearray(codec.encode(2, a_ball("x")))
+            wire[2] = 9  # future header version
+            host, port = network._addresses[1]  # noqa: SLF001 - test rig
+            network._transports[2].sendto(bytes(wire), (host, port))  # noqa: SLF001
+            await asyncio.sleep(0.05)
+            await network.close()
+            return inbox, network.stats
+
+        inbox, stats = run(scenario())
+        assert inbox == []
+        assert stats.dropped_bad_version == 1
+        assert stats.dropped_malformed == 0
