@@ -63,6 +63,21 @@ DEFAULT_SIZES = (256, 1024, 4096)
 FANOUT = 16
 CODEC_ENTRIES = 120
 
+# -- sim_flat scenario (paper-scale flat engine) -----------------------
+FLAT_SIZES = (1024, 4096, 16384, 65536)
+FLAT_CHECK_SIZES = (256,)
+FLAT_EVENTS = 8
+FLAT_ROUNDS = 30
+FLAT_FANOUT = 8
+FLAT_TTL = 12
+FLAT_INTERVAL = 20
+#: Largest n where the object engine is also run for the speedup and
+#: sequence-equality cross-check (beyond this it is simply too slow).
+FLAT_OBJECT_COMPARE_MAX = 4096
+#: From this n upward the flat run records stats (delays/counts/hashes)
+#: instead of full sequences — the configuration paper-scale runs use.
+FLAT_STATS_THRESHOLD = 16384
+
 
 def bench_ordering(n: int, seed: int, repeats: int) -> dict:
     """Round-loop timing, baseline vs optimized, at *n* events."""
@@ -328,6 +343,201 @@ def bench_auth(seed: int, repeats: int) -> dict:
     }
 
 
+def _flat_cluster_config():
+    from repro.core.config import EpToConfig
+    from repro.sim import ClusterConfig, NoDrift
+
+    return ClusterConfig(
+        epto=EpToConfig(
+            fanout=FLAT_FANOUT, ttl=FLAT_TTL, round_interval=FLAT_INTERVAL
+        ),
+        drift=NoDrift(),
+    )
+
+
+def _flat_schedule_broadcasts(sim, cluster, n: int) -> None:
+    """The fixed sim_flat workload: FLAT_EVENTS broadcasts, rounds 1-4."""
+    for i in range(FLAT_EVENTS):
+        sim.schedule_at(
+            (1 + i % 4) * FLAT_INTERVAL,
+            lambda nd=(i * 37) % n: cluster.broadcast_from(nd),
+        )
+
+
+def _run_flat_once(n: int, seed: int, record: str):
+    """One flat-engine run; returns (elapsed_s, metrics, sequences|None)."""
+    import time as _time
+
+    from repro.sim import FixedLatency
+    from repro.sim.flat import FlatCluster, FlatEngine, FlatNetwork
+
+    sim = FlatEngine(seed=seed)
+    network = FlatNetwork(sim, latency=FixedLatency(1))
+    cluster = FlatCluster(sim, network, _flat_cluster_config(), record=record)
+    _flat_schedule_broadcasts(sim, cluster, n)
+    cluster.add_nodes(n)
+    start = _time.perf_counter()
+    sim.run(until=FLAT_ROUNDS * FLAT_INTERVAL)
+    elapsed = _time.perf_counter() - start
+    expected = FLAT_EVENTS * n
+    if cluster.delivered_total != expected:
+        raise AssertionError(
+            f"sim_flat n={n}: delivered {cluster.delivered_total}, "
+            f"expected {expected} (every node must deliver every event)"
+        )
+    hashes = cluster.sequence_hashes()
+    counts = cluster.delivery_counts()
+    if len(set(hashes.values())) != 1 or len(set(counts.values())) != 1:
+        raise AssertionError(
+            f"sim_flat n={n}: nodes disagree on the delivered sequence"
+        )
+    metrics = {
+        "delivered": cluster.delivered_total,
+        "broadcasts": cluster.broadcast_count(),
+        "messages_sent": network.stats.sent,
+        "messages_delivered": network.stats.delivered,
+        "record": record,
+    }
+    sequences = cluster.sequences() if record == "sequences" else None
+    return elapsed, metrics, sequences
+
+
+def _flat_child(conn, n: int, seed: int, record: str, send_sequences: bool):
+    """Subprocess entry: isolated run so ru_maxrss is per-size, not
+    the parent's accumulated high-water mark."""
+    import resource
+    import sys as _sys
+
+    try:
+        elapsed, metrics, sequences = _run_flat_once(n, seed, record)
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if _sys.platform == "darwin":  # bytes there, KiB on Linux
+            rss //= 1024
+        metrics["peak_rss_kb"] = rss
+        conn.send(("ok", elapsed, metrics, sequences if send_sequences else None))
+    except Exception as exc:  # pragma: no cover - crash reporting path
+        conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def _run_flat_isolated(n: int, seed: int, record: str, send_sequences: bool):
+    """Run one flat size in a child process; returns (elapsed, metrics,
+    sequences)."""
+    import multiprocessing
+
+    parent, child = multiprocessing.Pipe()
+    process = multiprocessing.Process(
+        target=_flat_child, args=(child, n, seed, record, send_sequences)
+    )
+    process.start()
+    child.close()
+    try:
+        reply = parent.recv()
+    finally:
+        process.join()
+        parent.close()
+    if reply[0] != "ok":
+        raise AssertionError(f"sim_flat child n={n} failed: {reply[1]}")
+    return reply[1], reply[2], reply[3]
+
+
+def _run_object_once(n: int, seed: int):
+    """The identical workload on the object engine, for the cross-check."""
+    import time as _time
+
+    from repro.sim import FixedLatency, SimCluster, SimNetwork, Simulator
+
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim, latency=FixedLatency(1))
+    cluster = SimCluster(sim, network, _flat_cluster_config())
+    _flat_schedule_broadcasts(sim, cluster, n)
+    cluster.add_nodes(n)
+    start = _time.perf_counter()
+    sim.run(until=FLAT_ROUNDS * FLAT_INTERVAL)
+    elapsed = _time.perf_counter() - start
+    return elapsed, cluster.collector.sequences()
+
+
+def bench_sim_flat(flat_sizes, seed: int, repeats: int) -> dict:
+    """Paper-scale flat engine: rounds/sec + peak RSS per size, plus an
+    object-engine cross-check (bit-identical sequences, speedup) at the
+    sizes where the object engine is still tractable.
+
+    Timing note: rounds/sec counts whole-cluster rounds, so it shrinks
+    with n by design — compare per-size entries across commits, not
+    across sizes. ``peak_rss_kb`` is the child process high-water mark
+    (ru_maxrss), measured in an isolated subprocess per size.
+    """
+    sizes_out = {}
+    comparison = {}
+    for n in flat_sizes:
+        record = "stats" if n >= FLAT_STATS_THRESHOLD else "sequences"
+        compare = n <= FLAT_OBJECT_COMPARE_MAX
+        runs = 1 if n >= FLAT_STATS_THRESHOLD else min(repeats, 2)
+        best = None
+        for _ in range(runs):
+            elapsed, metrics, sequences = _run_flat_isolated(
+                n, seed, record, send_sequences=compare
+            )
+            if best is None or elapsed < best[0]:
+                best = (elapsed, metrics, sequences)
+        elapsed, metrics, flat_sequences = best
+        rss = metrics.pop("peak_rss_kb")
+        sizes_out[f"n{n}"] = {
+            "elapsed_s": round(elapsed, 4),
+            "rounds_per_sec": round(FLAT_ROUNDS / elapsed, 3),
+            "node_rounds_per_sec": round(FLAT_ROUNDS * n / elapsed, 1),
+            "peak_rss_kb": rss,
+            "metrics": metrics,
+        }
+        print(
+            f"  n={n}: {elapsed:7.2f}s  "
+            f"{FLAT_ROUNDS / elapsed:8.2f} rounds/s  rss {rss // 1024} MB",
+            flush=True,
+        )
+        if compare:
+            object_best = None
+            object_sequences = None
+            for _ in range(min(repeats, 2)):
+                object_elapsed, object_sequences = _run_object_once(n, seed)
+                if object_best is None or object_elapsed < object_best:
+                    object_best = object_elapsed
+            if object_sequences != flat_sequences:
+                raise AssertionError(
+                    f"sim_flat n={n}: flat and object engines diverged "
+                    "(differential harness invariant broken)"
+                )
+            comparison[f"n{n}"] = {
+                "object_s": round(object_best, 4),
+                "flat_s": round(elapsed, 4),
+                "speedup": round(object_best / elapsed, 2),
+                "sequences_match": True,
+            }
+            print(
+                f"         object {object_best:7.2f}s  "
+                f"speedup {object_best / elapsed:.2f}x  sequences match",
+                flush=True,
+            )
+    return {
+        "config": {
+            "fanout": FLAT_FANOUT,
+            "ttl": FLAT_TTL,
+            "round_interval": FLAT_INTERVAL,
+            "events": FLAT_EVENTS,
+            "rounds": FLAT_ROUNDS,
+            "latency_ticks": 1,
+            "stats_record_from_n": FLAT_STATS_THRESHOLD,
+        },
+        "sizes": sizes_out,
+        "object_comparison": comparison,
+        "rss_note": (
+            "ru_maxrss of an isolated child process per size "
+            "(KiB; process high-water mark)"
+        ),
+    }
+
+
 FSYNC_EVENTS = 400
 FSYNC_SEGMENT_BYTES = 16_384
 
@@ -402,7 +612,7 @@ def bench_fsync_policies(seed: int, repeats: int) -> dict:
     }
 
 
-def run_all(sizes, seed: int, repeats: int) -> dict:
+def run_all(sizes, seed: int, repeats: int, flat_sizes) -> dict:
     results = {
         "schema": 1,
         "seed": seed,
@@ -413,6 +623,7 @@ def run_all(sizes, seed: int, repeats: int) -> dict:
             "encode_fanout": None,
             "sim_macro": None,
             "sim_journaled": None,
+            "sim_flat": None,
             "fsync_policies": None,
             "auth": None,
         },
@@ -440,6 +651,8 @@ def run_all(sizes, seed: int, repeats: int) -> dict:
         seed, repeats, results["scenarios"]["sim_macro"]["metrics"]
     )
     print(f"  {results['scenarios']['sim_journaled']['metrics']}")
+    print("sim_flat ...", flush=True)
+    results["scenarios"]["sim_flat"] = bench_sim_flat(flat_sizes, seed, repeats)
     print("fsync_policies ...", flush=True)
     results["scenarios"]["fsync_policies"] = bench_fsync_policies(seed, repeats)
     print(f"  cost_vs_never {results['scenarios']['fsync_policies']['cost_vs_never']}")
@@ -469,6 +682,14 @@ def main(argv=None) -> int:
         help="CI smoke mode: small, single repeat, fail on crash not timing",
     )
     parser.add_argument(
+        "--flat-sizes",
+        default=None,
+        help=(
+            "comma-separated node counts for sim_flat "
+            "(default: 1024,4096,16384,65536; --check: 256)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=str(REPO_ROOT / "BENCH_core.json"),
         help="where to write the results JSON",
@@ -480,8 +701,12 @@ def main(argv=None) -> int:
     else:
         sizes = (256,) if args.check else DEFAULT_SIZES
     repeats = args.repeats if args.repeats is not None else (1 if args.check else 3)
+    if args.flat_sizes:
+        flat_sizes = tuple(int(s) for s in args.flat_sizes.split(","))
+    else:
+        flat_sizes = FLAT_CHECK_SIZES if args.check else FLAT_SIZES
 
-    results = run_all(sizes, args.seed, repeats)
+    results = run_all(sizes, args.seed, repeats, flat_sizes)
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}")

@@ -30,6 +30,15 @@ from .profiling import (
     speedup,
     time_callable,
 )
+from .differential import (
+    DifferentialScenario,
+    EngineRun,
+    assert_engines_equivalent,
+    compare_runs,
+    run_differential,
+    run_flat_engine,
+    run_object_engine,
+)
 from .bounds import (
     balls_thrown,
     hole_bound_series,
@@ -41,7 +50,14 @@ from .bounds import (
 )
 
 __all__ = [
+    "DifferentialScenario",
+    "EngineRun",
     "EpidemicTrace",
+    "assert_engines_equivalent",
+    "compare_runs",
+    "run_differential",
+    "run_flat_engine",
+    "run_object_engine",
     "HoleEstimate",
     "Timing",
     "TradeoffPoint",

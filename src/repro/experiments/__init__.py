@@ -17,6 +17,7 @@ from .fig3_bounds import Fig3Result, run_fig3
 from .fig5_latency import Fig5Result, run_fig5
 from .fig6_baseline import Fig6Result, run_fig6
 from .fig7_scalability import Fig7aResult, Fig7bResult, run_fig7a, run_fig7b
+from .fig7b_flat import Fig7bFlatResult, Fig7bFlatRow, run_fig7b_flat
 from .fig8_churn import ChurnSweepResult, run_churn_sweep, run_fig8
 from .fig9_cyclon import run_fig9
 from .fig10_loss import Fig10Result, run_fig10
@@ -38,6 +39,8 @@ __all__ = [
     "Fig5Result",
     "Fig6Result",
     "Fig7aResult",
+    "Fig7bFlatResult",
+    "Fig7bFlatRow",
     "Fig7bResult",
     "PAPER",
     "REGISTRY",
@@ -58,6 +61,7 @@ __all__ = [
     "run_fig6",
     "run_fig7a",
     "run_fig7b",
+    "run_fig7b_flat",
     "run_fig8",
     "run_fig9",
     "run_sweep",

@@ -17,6 +17,7 @@ from .fig3_bounds import run_fig3
 from .fig5_latency import run_fig5
 from .fig6_baseline import run_fig6
 from .fig7_scalability import run_fig7a, run_fig7b
+from .fig7b_flat import run_fig7b_flat
 from .fig8_churn import run_fig8
 from .fig9_cyclon import run_fig9
 from .fig10_loss import run_fig10
@@ -66,6 +67,14 @@ _ENTRIES = [
         id="fig7b",
         description="Figure 7b — system-size sweep",
         runner=run_fig7b,
+    ),
+    ExperimentEntry(
+        id="fig7b-flat",
+        description=(
+            "Figure 7b — system-size sweep on the flat engine "
+            "(paper-scale n; stats recording; budgeted workload)"
+        ),
+        runner=run_fig7b_flat,
     ),
     ExperimentEntry(
         id="fig8",

@@ -4,6 +4,7 @@ from .churn import ChurnDriver, ChurnStats
 from .cluster import ClusterConfig, GossipProcess, SimCluster
 from .drift import BoundedDrift, DriftModel, NoDrift, UniformDrift
 from .engine import Handle, PeriodicTask, ScheduledEvent, Simulator
+from .flat import FlatCluster, FlatEngine, FlatHandle, FlatNetwork
 from .latency import (
     EmpiricalLatency,
     FixedLatency,
@@ -23,6 +24,10 @@ __all__ = [
     "DriftModel",
     "EmpiricalLatency",
     "FixedLatency",
+    "FlatCluster",
+    "FlatEngine",
+    "FlatHandle",
+    "FlatNetwork",
     "GossipProcess",
     "Handle",
     "LatencyModel",

@@ -63,6 +63,16 @@ class GossipProcess(Protocol):
 #: per node; returns the process object.
 ProcessFactory = Callable[..., GossipProcess]
 
+#: Default slack, in rounds, added on top of the TTL for the respawn
+#: catch-up gate (docs/SYNC.md). A respawned sync-enabled node holds its
+#: epidemic rounds for ``ttl + slack`` rounds: ``ttl`` covers the full
+#: dissemination window of any event broadcast before the gate opened,
+#: and the slack absorbs round-phase offsets, period drift, and the
+#: network latency tail (up to several round durations under the
+#: PlanetLab model) so every such event has reached peers' delivery
+#: logs before the node starts relaying again.
+RESPAWN_HOLD_SLACK_ROUNDS = 6
+
 
 @dataclass(slots=True)
 class ClusterConfig:
@@ -93,6 +103,9 @@ class ClusterConfig:
             relay-generation counts (safety is unaffected — stability
             counts relay generations, not wall time). See the phase
             ablation benchmark.
+        respawn_hold_slack: Rounds added on top of the TTL for the
+            respawn catch-up gate of sync-enabled nodes (defaults to
+            :data:`RESPAWN_HOLD_SLACK_ROUNDS`; see its docs for why 6).
     """
 
     epto: EpToConfig
@@ -103,12 +116,21 @@ class ClusterConfig:
     cyclon_period: Optional[int] = None
     expected_size: Optional[int] = None
     round_phase: str = "synchronized"
+    respawn_hold_slack: int = RESPAWN_HOLD_SLACK_ROUNDS
 
     def __post_init__(self) -> None:
         if self.pss not in ("uniform", "cyclon"):
             raise MembershipError(f"unknown PSS kind {self.pss!r}")
         if self.round_phase not in ("synchronized", "staggered"):
             raise MembershipError(f"unknown round phase {self.round_phase!r}")
+        if self.respawn_hold_slack < 0:
+            raise MembershipError(
+                f"respawn_hold_slack must be >= 0, got {self.respawn_hold_slack}"
+            )
+
+    def respawn_hold_rounds(self) -> int:
+        """Rounds a respawned sync-enabled node gates its epidemic rounds."""
+        return self.epto.ttl + self.respawn_hold_slack
 
 
 class _ClusterNode:
@@ -351,7 +373,9 @@ class SimCluster:
             # unservable gap (every peer also gone) degrades to the
             # ungated behaviour instead of parking the node forever.
             round_fn = self._gated_round(
-                process, sync_manager, hold_rounds=self.config.epto.ttl + 6
+                process,
+                sync_manager,
+                hold_rounds=self.config.respawn_hold_rounds(),
             )
         round_task = PeriodicTask(
             self.sim,

@@ -1,0 +1,1117 @@
+"""Flat-array batch simulation engine for paper-scale EpTO runs.
+
+The object engine (:mod:`repro.sim.engine` + :mod:`repro.sim.cluster`)
+hosts one Python object graph per node — an
+:class:`~repro.core.process.EpToProcess` wired to per-node
+:class:`~repro.core.dissemination.DisseminationComponent` /
+:class:`~repro.core.ordering.OrderingComponent` instances — and drives
+every round through heap callbacks and dynamic dispatch. That is the
+right shape for correctness work, but attribute lookups, bound-method
+calls and per-event closure allocation cap it near ``n = 4096``
+(ROADMAP "paper-scale simulation").
+
+This module re-hosts the *same algorithm* in flat per-node state:
+
+* every per-node quantity lives in a plain list indexed by node id
+  (pending-ball dicts, ordering heaps, logical clocks, RNG streams —
+  stdlib containers only, no numpy);
+* one calendar-queue pass executes a whole tick — all round fires and
+  ball deliveries due at that time — without constructing
+  ``ScheduledEvent`` / ``Handle`` / lambda objects per message;
+* the dissemination + ordering round body is inlined into two methods
+  (:meth:`FlatCluster._run_round`, :meth:`FlatCluster._receive_ball`)
+  with hot values hoisted into locals.
+
+**Bit-for-bit equivalence with the object engine is a hard contract**,
+enforced by ``tests/sim/test_flat_equivalence.py`` through
+:mod:`repro.analysis.differential`: same seed + same config must yield
+identical per-node delivery sequences, delivery times and network
+counters. Every RNG stream keeps the object engine's label
+(``cluster``, ``node:<id>``, ``network.loss``, ``network.latency``,
+``faults``, ``workload`` …) and every draw happens in the same order,
+so the driver layer — :class:`~repro.sim.engine.PeriodicTask`,
+:class:`~repro.workloads.broadcast.ProbabilisticWorkload`,
+:class:`~repro.sim.churn.ChurnDriver`,
+:class:`~repro.faults.sim_injector.SimFaultInjector` — runs unchanged
+against :class:`FlatEngine` / :class:`FlatCluster`.
+
+Deliberately out of scope (the object engine remains the reference for
+these; constructors raise rather than silently diverge): the Cyclon
+PSS, durable storage / anti-entropy sync, tagged delivery, the §8.4
+stability estimator and Byzantine adversaries. See
+docs/PERFORMANCE.md for when to choose which engine.
+"""
+
+from __future__ import annotations
+
+import random
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import MembershipError, SimulationError
+from ..core.event import Event, OrderKey
+from ..metrics.collector import DeliveryCollector
+from ..pss.base import MembershipDirectory
+from .cluster import ClusterConfig
+from .drift import NoDrift
+from .latency import FixedLatency, LatencyModel
+from .network import NetworkStats
+
+__all__ = ["FlatEngine", "FlatHandle", "FlatCluster", "FlatNetwork"]
+
+# Calendar entry opcodes. Tuples beat objects here: no per-message
+# allocation beyond the tuple itself, and dispatch is one int compare.
+_OP_CALL = 0  # (_OP_CALL, [action-or-None])
+_OP_ROUND = 1  # (_OP_ROUND, node_id, incarnation)
+_OP_BALL = 2  # (_OP_BALL, src, dst, ball)
+
+#: Order key smaller than every real key (mirrors ordering.py).
+_MINUS_INFINITY_KEY: OrderKey = (-1, -1, -1)
+
+# FNV-1a-style rolling hash over delivered order keys: lets the
+# low-memory "stats" recording mode prove total-order agreement (equal
+# hash + equal count => equal sequence w.h.p.) without storing
+# per-node key lists at n = 64k.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+class FlatHandle:
+    """Cancellation token for a generic :meth:`FlatEngine.schedule` call.
+
+    Mirrors :class:`repro.sim.engine.Handle` closely enough for
+    :class:`~repro.sim.engine.PeriodicTask` to run unchanged: the
+    action lives in a one-slot list shared with the calendar entry, and
+    cancelling nulls it out.
+    """
+
+    __slots__ = ("_cell",)
+
+    def __init__(self, cell: List[Optional[Callable[[], None]]]) -> None:
+        self._cell = cell
+
+    def cancel(self) -> None:
+        """Prevent the scheduled action from running (idempotent)."""
+        self._cell[0] = None
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the action was cancelled or already executed."""
+        return self._cell[0] is None
+
+
+class FlatEngine:
+    """Calendar-queue discrete-event core of the flat engine.
+
+    Time and randomness are API-compatible with
+    :class:`~repro.sim.engine.Simulator` (``now``/``schedule``/
+    ``schedule_at``/``fork_rng``/``run``), but the event queue is a
+    ``{tick: FIFO bucket}`` calendar plus a min-heap of tick keys:
+    one heap operation drains a whole tick instead of one per entry,
+    and the bucket append order reproduces the object engine's
+    ``(time, seq)`` tie-break exactly — entries scheduled at the
+    current tick while it is being processed run after the remaining
+    entries of that tick, just as a higher ``seq`` would.
+    """
+
+    __slots__ = (
+        "seed",
+        "_time",
+        "_calendar",
+        "_ticks",
+        "_cluster",
+        "_executed",
+        "_running",
+    )
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._time = 0
+        self._calendar: Dict[int, list] = {}
+        self._ticks: List[int] = []
+        self._cluster: Optional["FlatCluster"] = None
+        self._executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Simulator-compatible surface
+    # ------------------------------------------------------------------
+
+    def now(self) -> int:
+        """Current simulated time."""
+        return self._time
+
+    @property
+    def executed_count(self) -> int:
+        """Number of calendar entries processed so far."""
+        return self._executed
+
+    def fork_rng(self, label: str) -> random.Random:
+        """Derive a named random stream (same derivation as Simulator).
+
+        Identical ``(seed, label)`` pairs yield identical streams in
+        both engines — the foundation of the differential harness.
+        """
+        return random.Random(f"{self.seed}:{label}")
+
+    def schedule(self, delay: int, action: Callable[[], None]) -> FlatHandle:
+        """Run *action* after *delay* ticks; returns a cancel handle."""
+        delay = int(delay)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        cell: List[Optional[Callable[[], None]]] = [action]
+        self._push(self._time + delay, (_OP_CALL, cell))
+        return FlatHandle(cell)
+
+    def schedule_at(self, time: int, action: Callable[[], None]) -> FlatHandle:
+        """Run *action* at absolute tick *time*."""
+        time = int(time)
+        if time < self._time:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._time}"
+            )
+        cell: List[Optional[Callable[[], None]]] = [action]
+        self._push(time, (_OP_CALL, cell))
+        return FlatHandle(cell)
+
+    def run(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Process entries in time order; returns how many ran.
+
+        With ``until`` the clock always advances to exactly ``until``
+        (Simulator parity), even when the calendar drains early.
+        """
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        processed = 0
+        calendar = self._calendar
+        ticks = self._ticks
+        cluster = self._cluster
+        if cluster is not None:
+            # Hot references for the inlined ball-delivery path below.
+            # All of these are stable objects mutated in place for the
+            # cluster's lifetime (lists indexed per node, the shared
+            # partition dict, the stats record) — never rebound.
+            run_round = cluster._run_round
+            run_round_batch = cluster._run_round_batch
+            alive = cluster._alive
+            next_ball = cluster._next_ball
+            clock_value = cluster._clock_value
+            ttl_bound = cluster._ttl
+            logical = cluster._logical
+            net = cluster.network
+            stats = net.stats
+            partition = net._partition
+        else:
+            run_round = None
+        try:
+            while ticks:
+                tick = ticks[0]
+                if until is not None and tick > until:
+                    break
+                heappop(ticks)
+                bucket = calendar.pop(tick, None)
+                if bucket is None:
+                    # Stale heap key: the tick's bucket was recreated
+                    # and re-pushed while being processed.
+                    continue
+                self._time = tick
+                index = 0
+                # Index loop, not iteration: actions may append more
+                # same-tick entries to this very bucket.
+                while index < len(bucket):
+                    entry = bucket[index]
+                    index += 1
+                    op = entry[0]
+                    if op == _OP_ROUND:
+                        if max_events is None:
+                            # Whole-bucket fast path: consume the run of
+                            # consecutive round entries in one call.
+                            consumed = run_round_batch(bucket, index - 1)
+                            index += consumed - 1
+                            processed += consumed
+                            continue
+                        run_round(entry[1], entry[2])
+                    elif op == _OP_BALL:
+                        # FlatCluster._receive_ball, inlined (keep the
+                        # two in sync — the method remains the reference
+                        # implementation and is what shard.py calls).
+                        dst = entry[2]
+                        if not alive[dst]:
+                            stats.dropped_dead += 1
+                        elif net._partitioned and partition.get(
+                            entry[1]
+                        ) != partition.get(dst):
+                            stats.dropped_partition += 1
+                        else:
+                            stats.delivered += 1
+                            nb = next_ball[dst]
+                            nb_get = nb.get
+                            if logical:
+                                clock = clock_value[dst]
+                                for e in entry[3]:
+                                    if e[3] < ttl_bound:
+                                        eid = e[0]
+                                        record = nb_get(eid)
+                                        if record is None:
+                                            nb[eid] = [eid, e[1], e[2], e[3]]
+                                        elif e[3] > record[3]:
+                                            record[3] = e[3]
+                                    ts = e[1][0]
+                                    if ts > clock:
+                                        clock = ts
+                                clock_value[dst] = clock
+                            else:
+                                for e in entry[3]:
+                                    if e[3] < ttl_bound:
+                                        eid = e[0]
+                                        record = nb_get(eid)
+                                        if record is None:
+                                            nb[eid] = [eid, e[1], e[2], e[3]]
+                                        elif e[3] > record[3]:
+                                            record[3] = e[3]
+                    else:
+                        cell = entry[1]
+                        action = cell[0]
+                        if action is None:
+                            continue
+                        cell[0] = None
+                        action()
+                    processed += 1
+                    if max_events is not None and processed >= max_events:
+                        return processed
+        finally:
+            self._executed += processed
+            self._running = False
+        if until is not None and self._time < until:
+            self._time = until
+        return processed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _push(self, tick: int, entry: tuple) -> None:
+        """Append *entry* to the calendar bucket for *tick*."""
+        bucket = self._calendar.get(tick)
+        if bucket is None:
+            self._calendar[tick] = [entry]
+            heappush(self._ticks, tick)
+        else:
+            bucket.append(entry)
+
+    def _bind_cluster(self, cluster: "FlatCluster") -> None:
+        if self._cluster is not None:
+            raise SimulationError("a FlatCluster is already bound to this engine")
+        self._cluster = cluster
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlatEngine(time={self._time}, pending_ticks={len(self._calendar)}, "
+            f"executed={self._executed})"
+        )
+
+
+class FlatNetwork:
+    """Message-fabric state for :class:`FlatCluster`.
+
+    Holds exactly the knobs the object fabric
+    (:class:`~repro.sim.network.SimNetwork`) exposes to fault
+    injectors — ``loss_rate``, ``duplicate_rate``, ``latency``,
+    partitions, :class:`~repro.sim.network.NetworkStats` — with the
+    same RNG stream labels and draw order. The send/deliver paths
+    themselves are inlined into :class:`FlatCluster` for speed; this
+    object is the mutable control surface
+    :class:`~repro.faults.sim_injector.SimFaultInjector` manipulates.
+    """
+
+    __slots__ = (
+        "sim",
+        "latency",
+        "loss_rate",
+        "duplicate_rate",
+        "stats",
+        "_loss_rng",
+        "_latency_rng",
+        "_partition",
+        "_partitioned",
+    )
+
+    def __init__(
+        self,
+        sim: FlatEngine,
+        latency: LatencyModel | None = None,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else FixedLatency(1)
+        self.loss_rate = float(loss_rate)
+        self.duplicate_rate = float(duplicate_rate)
+        self.stats = NetworkStats()
+        self._loss_rng = sim.fork_rng("network.loss")
+        self._latency_rng = sim.fork_rng("network.latency")
+        self._partition: Dict[int, object] = {}
+        self._partitioned = False
+
+    def set_partition(self, groups: Dict[int, object]) -> None:
+        """Partition the network: only same-group nodes can talk.
+
+        Mutates the partition dict in place — the engine's run loop
+        holds a reference to it across an entire ``run()`` call.
+        """
+        self._partition.clear()
+        self._partition.update(groups)
+        self._partitioned = True
+
+    def heal_partition(self) -> None:
+        """Remove any partition; full connectivity is restored."""
+        self._partition.clear()
+        self._partitioned = False
+
+    def set_adversary(self, router: object) -> None:
+        """Unsupported: Byzantine runs need the object engine."""
+        raise MembershipError(
+            "the flat engine does not support Byzantine adversaries; "
+            "use SimNetwork/SimCluster for hostile-behavior runs"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlatNetwork(loss={self.loss_rate}, sent={self.stats.sent}, "
+            f"delivered={self.stats.delivered})"
+        )
+
+
+class FlatCluster:
+    """All-node EpTO state in flat indexed arrays.
+
+    Exposes the :class:`~repro.sim.cluster.SimCluster` membership and
+    workload surface (``add_node(s)`` / ``remove_node`` /
+    ``crash_node`` / ``respawn_node`` / ``broadcast_from`` /
+    ``random_alive`` / ``alive_ids`` / ``size`` / ``directory`` /
+    ``config`` / ``network`` / ``sim``) so churn drivers, workloads and
+    fault injectors written against the object engine run unchanged —
+    plus the delivery surfaces the metrics checkers consume
+    (:meth:`sequences`, :meth:`deliveries`, :meth:`delivery_delays`,
+    :meth:`as_collector`).
+
+    Args:
+        sim: A :class:`FlatEngine` (one cluster per engine).
+        network: The :class:`FlatNetwork` control surface.
+        config: The same :class:`~repro.sim.cluster.ClusterConfig` the
+            object engine takes. Restricted to the idealized uniform
+            PSS and the plain (untagged, no stability estimator) EpTO
+            configuration; anything else raises ``MembershipError``.
+        record: ``"sequences"`` (default) keeps full per-node delivery
+            sequences and a global delivery log — what the differential
+            harness and :meth:`as_collector` need. ``"stats"`` keeps
+            only delivery delays, per-node counts and a rolling
+            sequence hash — O(1) memory per delivery, for ``n >= 16k``
+            runs where per-node key lists would dominate RSS.
+    """
+
+    def __init__(
+        self,
+        sim: FlatEngine,
+        network: FlatNetwork,
+        config: ClusterConfig,
+        record: str = "sequences",
+    ) -> None:
+        if config.pss != "uniform":
+            raise MembershipError(
+                f"flat engine supports only the uniform PSS, got {config.pss!r}; "
+                "use SimCluster for cyclon runs"
+            )
+        if config.epto.tagged_delivery or config.epto.expose_stability:
+            raise MembershipError(
+                "flat engine does not support tagged_delivery/expose_stability; "
+                "use SimCluster for the §8.2/§8.4 extensions"
+            )
+        if record not in ("sequences", "stats"):
+            raise MembershipError(f"unknown record mode {record!r}")
+        self.sim = sim
+        self.network = network
+        self.config = config
+        sim._bind_cluster(self)
+
+        epto = config.epto
+        self._fanout = epto.fanout
+        self._ttl = epto.ttl
+        self._interval = epto.round_interval
+        self._logical = epto.clock == "logical"
+        # Duplicate-memory horizon: ids stay in the delivered set for
+        # 2*TTL+2 ordering rounds (same window as OrderingComponent).
+        self._prune_window = 2 * epto.ttl + 2
+        self._drift = config.drift
+        # NoDrift consumes no RNG draws, so skipping the call outright
+        # cannot perturb any stream (checked by the differential tests).
+        self._no_drift = type(config.drift) is NoDrift
+        self._staggered = config.round_phase == "staggered"
+
+        self.directory = MembershipDirectory()
+        self._rng = sim.fork_rng("cluster")
+        self._next_id = 0
+        self._crashed: Dict[int, int] = {}
+
+        # -- flat per-node state, every list indexed by node id --------
+        self._alive: List[bool] = []
+        self._incarnation: List[int] = []
+        self._node_rng: List[Optional[random.Random]] = []
+        self._issued: List[int] = []  # broadcast sequence counter
+        self._clock_value: List[int] = []  # logical clock (Alg. 4)
+        self._next_ball: List[Optional[dict]] = []  # eid -> [eid, key, payload, ttl]
+        self._ord_rounds: List[int] = []
+        self._received: List[Optional[dict]] = []  # eid -> [key, payload, ttl, round]
+        self._frontier: List[Optional[dict]] = []  # due round -> [eid, ...]
+        self._queued: List[Optional[list]] = []  # min-heap of (key, eid)
+        self._ready: List[Optional[list]] = []  # min-heap of (key, eid)
+        self._ready_ids: List[Optional[set]] = []
+        self._delivered_ids: List[Optional[set]] = []
+        self._expiry: List[Optional[list]] = []  # [(round, eid), ...] FIFO
+        self._expiry_head: List[int] = []
+        self._last_key: List[OrderKey] = []
+
+        # -- aggregate counters (cluster-wide, cheap to keep) ----------
+        self.delivered_total = 0
+        self.discarded_duplicates = 0
+        self.discarded_late = 0
+
+        # -- delivery recording ----------------------------------------
+        self._record_sequences = record == "sequences"
+        #: eid -> (order key, broadcast tick, payload)
+        self._broadcasts: Dict[Tuple[int, int], tuple] = {}
+        self._membership_log: List[tuple] = []
+        self._sequences: Dict[int, List[OrderKey]] = {}
+        self._delivery_log: List[tuple] = []
+        self._delays: List[int] = []
+        self._counts: Dict[int, int] = {}
+        self._hashes: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Membership (SimCluster surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of live nodes."""
+        return len(self.directory)
+
+    def alive_ids(self) -> Sequence[int]:
+        """Ids of every live node."""
+        return self.directory.alive_ids()
+
+    def add_node(self) -> int:
+        """Provision and start one node; returns its id."""
+        node_id = self._next_id
+        self._next_id += 1
+        self._start_node(node_id, None)
+        return node_id
+
+    def add_nodes(self, count: int) -> Sequence[int]:
+        """Provision *count* nodes."""
+        return [self.add_node() for _ in range(count)]
+
+    def remove_node(self, node_id: int) -> None:
+        """Stop a node permanently; in-flight messages to it are lost."""
+        if node_id >= len(self._alive) or not self._alive[node_id]:
+            raise MembershipError(f"node {node_id} is not alive")
+        self._alive[node_id] = False
+        # Bumping the incarnation invalidates the pending round fire —
+        # the flat equivalent of PeriodicTask.stop().
+        self._incarnation[node_id] += 1
+        # Release the per-node state (the object engine drops the whole
+        # process object here).
+        self._node_rng[node_id] = None
+        self._next_ball[node_id] = None
+        self._received[node_id] = None
+        self._frontier[node_id] = None
+        self._queued[node_id] = None
+        self._ready[node_id] = None
+        self._ready_ids[node_id] = None
+        self._delivered_ids[node_id] = None
+        self._expiry[node_id] = None
+        # SimNetwork.unregister drops the node's partition label.
+        self.network._partition.pop(node_id, None)
+        self.directory.remove(node_id)
+        self._membership_log.append(("remove", node_id, self.sim._time))
+
+    def crash_node(self, node_id: int) -> None:
+        """Crash a node, remembering its broadcast sequence for respawn."""
+        if node_id >= len(self._alive) or not self._alive[node_id]:
+            raise MembershipError(f"node {node_id} is not alive")
+        issued = self._issued[node_id]
+        self.remove_node(node_id)
+        self._crashed[node_id] = issued
+
+    def respawn_node(self, node_id: int) -> int:
+        """Restart a crashed node under the same id.
+
+        The broadcast sequence resumes past the crashed incarnation's
+        last issue (no id reuse); ordering state and the logical clock
+        restart empty, exactly like a memory-only SimCluster respawn.
+        """
+        try:
+            issued = self._crashed.pop(node_id)
+        except KeyError:
+            raise MembershipError(f"node {node_id} was not crashed") from None
+        self._start_node(node_id, issued)
+        return node_id
+
+    def crashed_ids(self) -> Sequence[int]:
+        """Ids of crashed nodes that have not been respawned."""
+        return tuple(sorted(self._crashed))
+
+    def random_alive(self, rng: random.Random | None = None) -> int:
+        """Pick a uniformly random live node id."""
+        chooser = rng if rng is not None else self._rng
+        ids = self.directory.alive_ids()
+        if not ids:
+            raise MembershipError("no alive nodes")
+        return ids[chooser.randrange(len(ids))]
+
+    def broadcast_from(self, node_id: int, payload: Any = None) -> Event:
+        """EpTO-broadcast *payload* from *node_id* (Algorithm 1)."""
+        if node_id >= len(self._alive) or not self._alive[node_id]:
+            raise MembershipError(f"node {node_id} is not alive")
+        if self._logical:
+            ts = self._clock_value[node_id] + 1
+            self._clock_value[node_id] = ts
+        else:
+            ts = self.sim._time
+        seq = self._issued[node_id]
+        self._issued[node_id] = seq + 1
+        eid = (node_id, seq)
+        key = (ts, node_id, seq)
+        self._next_ball[node_id][eid] = [eid, key, payload, 0]
+        self._broadcasts[eid] = (key, self.sim._time, payload)
+        return Event(id=eid, ts=ts, source_id=node_id, payload=payload)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Convenience passthrough to :meth:`FlatEngine.run`."""
+        return self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_capacity(self, node_id: int) -> None:
+        while len(self._alive) <= node_id:
+            self._alive.append(False)
+            self._incarnation.append(0)
+            self._node_rng.append(None)
+            self._issued.append(0)
+            self._clock_value.append(0)
+            self._next_ball.append(None)
+            self._ord_rounds.append(0)
+            self._received.append(None)
+            self._frontier.append(None)
+            self._queued.append(None)
+            self._ready.append(None)
+            self._ready_ids.append(None)
+            self._delivered_ids.append(None)
+            self._expiry.append(None)
+            self._expiry_head.append(0)
+            self._last_key.append(_MINUS_INFINITY_KEY)
+
+    def _start_node(self, node_id: int, resume_sequence: Optional[int]) -> None:
+        sim = self.sim
+        # Same stream label as the object engine; a same-id respawn
+        # restarts the stream from its beginning there too (the node
+        # object is rebuilt from the same fork).
+        node_rng = sim.fork_rng(f"node:{node_id}")
+        self._ensure_capacity(node_id)
+        self._incarnation[node_id] += 1
+        incarnation = self._incarnation[node_id]
+        self._alive[node_id] = True
+        self._node_rng[node_id] = node_rng
+        self._issued[node_id] = int(resume_sequence) if resume_sequence else 0
+        self._clock_value[node_id] = 0
+        self._next_ball[node_id] = {}
+        self._ord_rounds[node_id] = 0
+        self._received[node_id] = {}
+        self._frontier[node_id] = {}
+        self._queued[node_id] = []
+        self._ready[node_id] = []
+        self._ready_ids[node_id] = set()
+        self._delivered_ids[node_id] = set()
+        self._expiry[node_id] = []
+        self._expiry_head[node_id] = 0
+        self._last_key[node_id] = _MINUS_INFINITY_KEY
+        self.directory.add(node_id)
+        now = sim._time
+        self._membership_log.append(("add", node_id, now))
+        if self._record_sequences and node_id not in self._sequences:
+            self._sequences[node_id] = []
+        interval = self._interval
+        if self._staggered:
+            first = self._rng.randrange(max(1, interval)) + 1
+        else:
+            first = self._drift.next_period(node_rng, node_id, interval)
+        sim._push(now + int(first), (_OP_ROUND, node_id, incarnation))
+
+    # ------------------------------------------------------------------
+    # Hot path: one node-round (Algorithms 1 + 2, inlined)
+    # ------------------------------------------------------------------
+
+    def _run_round(self, node: int, incarnation: int) -> None:
+        """One node-round; thin wrapper over :meth:`_run_round_batch`.
+
+        The sharded driver calls this per node; the engine's run loop
+        calls the batch form directly over whole calendar buckets.
+        """
+        self._run_round_batch(((_OP_ROUND, node, incarnation),), 0)
+
+    def _run_round_batch(self, bucket: Sequence[tuple], start: int) -> int:
+        """Execute a maximal run of consecutive ``_OP_ROUND`` entries.
+
+        Processes ``bucket[start:]`` up to the first non-round entry
+        and returns how many entries were consumed. Batching is sound
+        because round bodies never append same-tick work (every latency
+        model and round period is >= 1 tick) and never mutate
+        membership, the partition map or the network knobs — those
+        change only through ``_OP_CALL`` actions, which terminate a
+        batch. Under synchronized rounds one tick holds a round entry
+        for every node, so hoisting engine/network state once per batch
+        instead of once per node is a large share of the flat engine's
+        advantage at n >= 4k.
+        """
+        sim = self.sim
+        now_tick = sim._time
+        calendar = sim._calendar
+        calendar_get = calendar.get
+        ticks = sim._ticks
+        incarnations = self._incarnation
+        node_rngs = self._node_rng
+        next_balls = self._next_ball
+        ord_rounds = self._ord_rounds
+        expiries = self._expiry
+        expiry_heads = self._expiry_head
+        frontiers = self._frontier
+        readies = self._ready
+        prune_window = self._prune_window
+        no_drift = self._no_drift
+        interval = self._interval
+        drift = self._drift
+        alive = self._alive
+        directory = self.directory
+        population = directory._alive
+        net = self.network
+        stats = net.stats
+        loss_rate = net.loss_rate
+        duplicate_rate = net.duplicate_rate
+        loss_random = net._loss_rng.random
+        latency = net.latency
+        # FixedLatency draws nothing from the latency RNG, so its
+        # constant can be hoisted out of the send loops entirely.
+        if type(latency) is FixedLatency:
+            latency_sample = None
+            fixed_delay = now_tick + int(latency.ticks)
+        else:
+            latency_sample = latency.sample
+            fixed_delay = 0
+        latency_rng = net._latency_rng
+        partition = net._partition
+        partitioned = net._partitioned
+        # Peer-sampling constants: membership is fixed for the batch.
+        fanout = self._fanout
+        pool_n = len(population)
+        avail = pool_n - 1  # the sampling node is alive, hence excluded
+        k = fanout if fanout < avail else avail
+        sparse = k * 3 < avail
+        nbits = pool_n.bit_length()
+
+        index = start
+        end = len(bucket)
+        while index < end:
+            entry = bucket[index]
+            if entry[0] != _OP_ROUND:
+                break
+            index += 1
+            node = entry[1]
+            incarnation = entry[2]
+            if incarnations[node] != incarnation:
+                continue  # node removed/respawned since this fire queued
+            node_rng = node_rngs[node]
+            nb = next_balls[node]
+            if nb:
+                # Age every pending record and relay the ball to K
+                # peers. One ball list is shared by all K sends (and
+                # any duplicates) — never copied, matching send_many.
+                ball = [
+                    (rec[0], rec[1], rec[2], rec[3] + 1) for rec in nb.values()
+                ]
+                nb.clear()
+                # Peer sampling, inlined from MembershipDirectory.sample
+                # for the sparse rejection branch. The getrandbits loop
+                # is byte-for-byte CPython's Random._randbelow, so it
+                # consumes the identical bit stream randrange() would.
+                if k <= 0:
+                    peers: Sequence[int] = ()
+                elif sparse:
+                    getrandbits = node_rng.getrandbits
+                    peers = []
+                    peers_append = peers.append
+                    seen = {node}
+                    seen_add = seen.add
+                    count = 0
+                    while count < k:
+                        r = getrandbits(nbits)
+                        while r >= pool_n:
+                            r = getrandbits(nbits)
+                        candidate = population[r]
+                        if candidate not in seen:
+                            seen_add(candidate)
+                            peers_append(candidate)
+                            count += 1
+                else:
+                    peers = directory.sample(node_rng, fanout, exclude=node)
+                for dst in peers:
+                    stats.sent += 1
+                    if partitioned and partition.get(node) != partition.get(dst):
+                        stats.dropped_partition += 1
+                        continue
+                    if loss_rate > 0.0 and loss_random() < loss_rate:
+                        stats.dropped_loss += 1
+                        continue
+                    if not alive[dst]:
+                        stats.dropped_dead += 1
+                        continue
+                    if latency_sample is None:
+                        tick = fixed_delay
+                    else:
+                        tick = now_tick + int(
+                            latency_sample(latency_rng, node, dst)
+                        )
+                    # sim._push, inlined: one dict probe per message
+                    # (the heap only grows on fresh ticks).
+                    slot = calendar_get(tick)
+                    if slot is None:
+                        calendar[tick] = [(_OP_BALL, node, dst, ball)]
+                        heappush(ticks, tick)
+                    else:
+                        slot.append((_OP_BALL, node, dst, ball))
+                    if duplicate_rate > 0.0 and loss_random() < duplicate_rate:
+                        stats.duplicated += 1
+                        if latency_sample is None:
+                            tick = fixed_delay
+                        else:
+                            tick = now_tick + int(
+                                latency_sample(latency_rng, node, dst)
+                            )
+                        slot = calendar_get(tick)
+                        if slot is None:
+                            calendar[tick] = [(_OP_BALL, node, dst, ball)]
+                            heappush(ticks, tick)
+                        else:
+                            slot.append((_OP_BALL, node, dst, ball))
+            else:
+                ball = None
+
+            # -- ordering round (OrderingComponent.order_events) -------
+            rounds = ord_rounds[node] + 1
+            ord_rounds[node] = rounds
+            expiry = expiries[node]
+            head = expiry_heads[node]
+            if head < len(expiry) and expiry[head][0] < rounds - prune_window:
+                horizon = rounds - prune_window
+                delivered_ids = self._delivered_ids[node]
+                while head < len(expiry) and expiry[head][0] < horizon:
+                    delivered_ids.discard(expiry[head][1])
+                    head += 1
+                # Compact the FIFO once the dead prefix dominates; a
+                # plain list + head index beats a deque in the common
+                # no-op case.
+                if head > 64 and head * 2 >= len(expiry):
+                    del expiry[:head]
+                    head = 0
+                expiry_heads[node] = head
+            if ball:
+                self._merge_ball(node, ball, rounds)
+            due = frontiers[node].pop(rounds, None)
+            if due:
+                self._promote(node, due, rounds)
+            if readies[node]:
+                self._deliver_ready(node)
+
+            # -- reschedule (PeriodicTask parity: drift drawn after the
+            #    round body, max(1, int(period))) ----------------------
+            if no_drift:
+                period = interval
+            else:
+                period = int(drift.next_period(node_rng, node, interval))
+                if period < 1:
+                    period = 1
+            tick = now_tick + period
+            slot = calendar_get(tick)
+            if slot is None:
+                calendar[tick] = [(_OP_ROUND, node, incarnation)]
+                heappush(ticks, tick)
+            else:
+                slot.append((_OP_ROUND, node, incarnation))
+        return index - start
+
+    def _receive_ball(self, src: int, dst: int, ball: list) -> None:
+        """Deliver one ball: fabric checks + Algorithm 1 receive merge.
+
+        Reference implementation of the ``_OP_BALL`` handling that
+        :meth:`FlatEngine.run` inlines for speed (keep the two in
+        sync). The sharded driver calls this method directly when
+        routing cross-shard balls.
+        """
+        net = self.network
+        stats = net.stats
+        if not self._alive[dst]:
+            # Destination died while the ball was in flight.
+            stats.dropped_dead += 1
+            return
+        if net._partitioned and net._partition.get(src) != net._partition.get(dst):
+            stats.dropped_partition += 1
+            return
+        stats.delivered += 1
+        nb = self._next_ball[dst]
+        ttl_bound = self._ttl
+        if self._logical:
+            # The logical clock (Alg. 4) max-merges every entry's
+            # timestamp, including expired ones.
+            clock = self._clock_value[dst]
+            for entry in ball:
+                if entry[3] < ttl_bound:
+                    eid = entry[0]
+                    record = nb.get(eid)
+                    if record is None:
+                        nb[eid] = [eid, entry[1], entry[2], entry[3]]
+                    elif entry[3] > record[3]:
+                        record[3] = entry[3]
+                ts = entry[1][0]
+                if ts > clock:
+                    clock = ts
+            self._clock_value[dst] = clock
+        else:
+            for entry in ball:
+                if entry[3] < ttl_bound:
+                    eid = entry[0]
+                    record = nb.get(eid)
+                    if record is None:
+                        nb[eid] = [eid, entry[1], entry[2], entry[3]]
+                    elif entry[3] > record[3]:
+                        record[3] = entry[3]
+
+    # ------------------------------------------------------------------
+    # Ordering internals (flat port of core/ordering.py)
+    # ------------------------------------------------------------------
+
+    def _merge_ball(self, node: int, ball: list, now: int) -> None:
+        received = self._received[node]
+        delivered_ids = self._delivered_ids[node]
+        ready_ids = self._ready_ids[node]
+        frontier = self._frontier[node]
+        queued = self._queued[node]
+        ttl_bound = self._ttl
+        last_key = self._last_key[node]
+        for entry in ball:
+            eid = entry[0]
+            if eid in delivered_ids:
+                self.discarded_duplicates += 1
+                continue
+            key = entry[1]
+            if key <= last_key:
+                self.discarded_late += 1
+                continue
+            record = received.get(eid)
+            ttl = entry[3]
+            if record is None:
+                received[eid] = [key, entry[2], ttl, now]
+                due = now + ttl_bound - ttl + 1
+                if due <= now:
+                    self._promote(node, (eid,), now)
+                else:
+                    slot = frontier.get(due)
+                    if slot is None:
+                        frontier[due] = [eid]
+                    else:
+                        slot.append(eid)
+                    heappush(queued, (key, eid))
+            else:
+                # Rebase the stored TTL to this round, then max-merge.
+                aged = record[2] + (now - record[3])
+                if eid in ready_ids:
+                    record[2] = aged if aged >= ttl else ttl
+                    record[3] = now
+                    continue
+                old_due = now + ttl_bound - aged + 1
+                merged = aged if aged >= ttl else ttl
+                record[2] = merged
+                record[3] = now
+                new_due = now + ttl_bound - merged + 1
+                if new_due < old_due:
+                    target = new_due if new_due > now else now
+                    slot = frontier.get(target)
+                    if slot is None:
+                        frontier[target] = [eid]
+                    else:
+                        slot.append(eid)
+
+    def _promote(self, node: int, bucket: Sequence, now: int) -> None:
+        received = self._received[node]
+        ready_ids = self._ready_ids[node]
+        ready = self._ready[node]
+        ttl_bound = self._ttl
+        for eid in bucket:
+            record = received.get(eid)
+            if record is None or eid in ready_ids:
+                continue
+            aged = record[2] + (now - record[3])
+            record[2] = aged
+            record[3] = now
+            if aged > ttl_bound:
+                ready_ids.add(eid)
+                heappush(ready, (record[0], eid))
+            else:
+                frontier = self._frontier[node]
+                slot = frontier.get(now + 1)
+                if slot is None:
+                    frontier[now + 1] = [eid]
+                else:
+                    slot.append(eid)
+
+    def _deliver_ready(self, node: int) -> None:
+        received = self._received[node]
+        ready = self._ready[node]
+        ready_ids = self._ready_ids[node]
+        queued = self._queued[node]
+        # Lazily-deleted head of the queued-key guard: the smallest
+        # order key that is known but not yet deliverable.
+        min_queued = None
+        while queued:
+            head = queued[0]
+            if head[1] in received and head[1] not in ready_ids:
+                min_queued = head[0]
+                break
+            heappop(queued)
+        last_key = self._last_key[node]
+        delivered_ids = self._delivered_ids[node]
+        expiry = self._expiry[node]
+        rounds = self._ord_rounds[node]
+        record_sequences = self._record_sequences
+        tick = self.sim._time
+        while ready:
+            key, eid = ready[0]
+            if eid not in received:
+                heappop(ready)  # stale heap entry
+                continue
+            if min_queued is not None and key >= min_queued:
+                break
+            heappop(ready)
+            del received[eid]
+            ready_ids.discard(eid)
+            if key <= last_key:
+                self.discarded_late += 1
+                continue
+            last_key = key
+            delivered_ids.add(eid)
+            expiry.append((rounds, eid))
+            self.delivered_total += 1
+            if record_sequences:
+                self._sequences[node].append(key)
+                self._delivery_log.append((node, eid, tick))
+            else:
+                info = self._broadcasts.get(eid)
+                if info is not None:
+                    self._delays.append(tick - info[1])
+                self._counts[node] = self._counts.get(node, 0) + 1
+                h = self._hashes.get(node, _FNV_OFFSET)
+                self._hashes[node] = ((h * _FNV_PRIME) & _U64) ^ (hash(key) & _U64)
+        self._last_key[node] = last_key
+
+    # ------------------------------------------------------------------
+    # Results surface
+    # ------------------------------------------------------------------
+
+    def sequences(self) -> Dict[int, Tuple[OrderKey, ...]]:
+        """Per-node delivered order-key sequences (``record="sequences"``)."""
+        self._require_sequences("sequences")
+        # Nodes that never delivered are absent, matching
+        # DeliveryCollector.sequences() (which only learns about a node
+        # on its first record_delivery).
+        return {node: tuple(keys) for node, keys in self._sequences.items() if keys}
+
+    def deliveries(self) -> Tuple[tuple, ...]:
+        """Global delivery log as ``(node_id, event_id, tick)`` tuples."""
+        self._require_sequences("deliveries")
+        return tuple(self._delivery_log)
+
+    def delivery_delays(self) -> List[int]:
+        """Broadcast-to-delivery delay of every delivery, in ticks."""
+        if self._record_sequences:
+            broadcasts = self._broadcasts
+            return [tick - broadcasts[eid][1] for _node, eid, tick in self._delivery_log]
+        return list(self._delays)
+
+    def delivery_counts(self) -> Dict[int, int]:
+        """Per-node delivered-event counts (both recording modes)."""
+        if self._record_sequences:
+            return {node: len(keys) for node, keys in self._sequences.items() if keys}
+        return dict(self._counts)
+
+    def sequence_hashes(self) -> Dict[int, int]:
+        """Per-node rolling hash over the delivered key sequence.
+
+        Two nodes delivered the same totally-ordered sequence iff their
+        (count, hash) pairs match — the cheap agreement verdict used at
+        paper scale where full sequences are too big to keep.
+        """
+        if not self._record_sequences:
+            return dict(self._hashes)
+        out: Dict[int, int] = {}
+        for node, keys in self._sequences.items():
+            if not keys:
+                continue
+            h = _FNV_OFFSET
+            for key in keys:
+                h = ((h * _FNV_PRIME) & _U64) ^ (hash(key) & _U64)
+            out[node] = h
+        return out
+
+    def broadcast_count(self) -> int:
+        """Number of events broadcast into the cluster."""
+        return len(self._broadcasts)
+
+    def as_collector(self) -> DeliveryCollector:
+        """Rebuild a :class:`~repro.metrics.collector.DeliveryCollector`.
+
+        Lets every existing metrics checker (``check_run``, hole/
+        agreement scans, CDF reports) consume a flat run unchanged.
+        Requires ``record="sequences"``.
+        """
+        self._require_sequences("as_collector")
+        collector = DeliveryCollector()
+        events: Dict[Tuple[int, int], Event] = {}
+        for eid, (key, _tick, payload) in self._broadcasts.items():
+            events[eid] = Event(id=eid, ts=key[0], source_id=eid[0], payload=payload)
+        for op, node, tick in self._membership_log:
+            if op == "add":
+                collector.record_node_added(node, tick)
+            else:
+                collector.record_node_removed(node, tick)
+        for eid, (_key, tick, _payload) in self._broadcasts.items():
+            collector.record_broadcast(events[eid], tick)
+        for node, eid, tick in self._delivery_log:
+            collector.record_delivery(node, events[eid], tick)
+        return collector
+
+    def _require_sequences(self, what: str) -> None:
+        if not self._record_sequences:
+            raise SimulationError(
+                f"{what}() needs record='sequences'; this cluster was built "
+                "with record='stats' (delays/counts/hashes only)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlatCluster(n={self.size}, delivered={self.delivered_total}, "
+            f"record={'sequences' if self._record_sequences else 'stats'})"
+        )

@@ -1,0 +1,413 @@
+"""Sharded lockstep driver for the largest flat-engine runs.
+
+Under a *restricted* configuration the flat engine's timeline becomes
+embarrassingly parallel: with synchronized round phases, no drift, a
+fixed network latency shorter than the round interval, zero loss/
+duplication and static membership, every node's round ``r`` fires at
+exactly ``r * interval`` ticks, every ball sent in round ``r`` lands
+strictly before round ``r + 1``, and the only RNG draws are each
+node's *private* peer-sampling stream. Node state therefore never
+interacts within a round — shards covering disjoint node ranges can
+step round-by-round in lockstep, exchanging only the cross-shard ball
+batches between rounds (optionally in separate OS processes via
+:mod:`multiprocessing`).
+
+Each shard hosts a real :class:`~repro.sim.flat.FlatCluster` (full
+membership directory, so peer sampling is bit-identical to a
+single-engine run) and drives it manually: apply inbound balls, apply
+this round's broadcasts, run the local node range, drain the calendar
+into local/outbound batches. No algorithm code is duplicated — the
+equivalence test pins ``ShardedSimulation`` against both the plain
+flat engine and the object engine on the same broadcast plan.
+
+Because per-round delivery *order across nodes* is interleaved
+differently than a single engine's calendar, the contract here is
+per-node delivery sequences (and delays/counts), not the global
+delivery log. Within a node, EpTO delivers in order-key order, which
+is invariant to ball arrival order.
+
+Anything outside the restricted configuration raises
+``MembershipError`` at construction — fall back to
+:class:`~repro.sim.flat.FlatCluster` (any config) or
+:class:`~repro.sim.cluster.SimCluster` (reference) instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import MembershipError
+from .cluster import ClusterConfig
+from .drift import NoDrift
+from .flat import FlatCluster, FlatEngine, FlatNetwork, _OP_BALL
+from .latency import FixedLatency
+
+__all__ = ["BroadcastPlan", "ShardedResult", "ShardedSimulation"]
+
+#: One planned broadcast: (round index >= 1, node id, payload).
+#: Round ``r`` broadcasts are applied at tick ``r * interval`` before
+#: any node's round action fires — the same position an upfront
+#: ``schedule_at`` callback occupies in a single-engine run.
+BroadcastPlan = Sequence[Tuple[int, int, Any]]
+
+
+@dataclass(frozen=True)
+class ShardedResult:
+    """Merged outcome of a sharded lockstep run."""
+
+    #: node -> delivered order-key tuple (``record="sequences"`` only).
+    sequences: Dict[int, Tuple]
+    #: node -> delivered-event count.
+    counts: Dict[int, int]
+    #: node -> rolling sequence hash (agreement check at scale).
+    hashes: Dict[int, int]
+    #: broadcast-to-delivery delays in ticks, shard-major order.
+    delays: List[int]
+    #: total balls sent / delivered across all shards.
+    sent: int
+    delivered: int
+
+
+class _ShardWorker:
+    """One node-range shard wrapping a full-membership FlatCluster."""
+
+    def __init__(
+        self,
+        seed: int,
+        n: int,
+        lo: int,
+        hi: int,
+        config: ClusterConfig,
+        latency: int,
+        record: str,
+    ) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.interval = config.epto.round_interval
+        self.engine = FlatEngine(seed=seed)
+        self.network = FlatNetwork(self.engine, latency=FixedLatency(latency))
+        self.cluster = FlatCluster(self.engine, self.network, config, record=record)
+        self.cluster.add_nodes(n)
+        # Rounds are driven manually in lockstep: discard the initial
+        # round schedule, then free the non-local per-node state the
+        # shard will never touch (it only needs every node's *alive*
+        # flag for the send path and the shared membership directory
+        # for bit-identical peer sampling).
+        self.engine._calendar.clear()
+        self.engine._ticks.clear()
+        cluster = self.cluster
+        for node in range(n):
+            if lo <= node < hi:
+                continue
+            cluster._node_rng[node] = None
+            cluster._next_ball[node] = None
+            cluster._received[node] = None
+            cluster._frontier[node] = None
+            cluster._queued[node] = None
+            cluster._ready[node] = None
+            cluster._ready_ids[node] = None
+            cluster._delivered_ids[node] = None
+            cluster._expiry[node] = None
+        #: balls sent shard-locally, pending for the next round.
+        self._local: List[tuple] = []
+
+    def prime_broadcast_ticks(self, ticks: Dict[tuple, int]) -> None:
+        """Teach the shard when every *foreign* event was broadcast.
+
+        Delivery-delay accounting needs the broadcast tick of events
+        that originated on other shards. The event ids and ticks are
+        fully determined by the plan, so the master precomputes them;
+        local ``broadcast_from`` calls later overwrite their own
+        entries with the full (key, tick, payload) record.
+        """
+        broadcasts = self.cluster._broadcasts
+        for eid, tick in ticks.items():
+            broadcasts[eid] = (None, tick, None)
+
+    def run_round(
+        self, round_index: int, broadcasts: Sequence[tuple], inbound: Sequence[tuple]
+    ) -> List[tuple]:
+        """Step every local node through round *round_index*.
+
+        Returns the cross-shard outbound batch as ``(src, dst, ball)``
+        tuples; shard-local balls are retained internally.
+        """
+        engine = self.engine
+        cluster = self.cluster
+        engine._time = round_index * self.interval
+        receive = cluster._receive_ball
+        for src, dst, ball in self._local:
+            receive(src, dst, ball)
+        for src, dst, ball in inbound:
+            receive(src, dst, ball)
+        for node, payload in broadcasts:
+            cluster.broadcast_from(node, payload)
+        run_round = cluster._run_round
+        incarnations = cluster._incarnation
+        for node in range(self.lo, self.hi):
+            run_round(node, incarnations[node])
+        # Drain the calendar: in-flight balls are routed, round
+        # reschedules are discarded (the lockstep loop replaces them).
+        local: List[tuple] = []
+        outbound: List[tuple] = []
+        lo, hi = self.lo, self.hi
+        for bucket in engine._calendar.values():
+            for entry in bucket:
+                if entry[0] == _OP_BALL:
+                    if lo <= entry[2] < hi:
+                        local.append((entry[1], entry[2], entry[3]))
+                    else:
+                        outbound.append((entry[1], entry[2], entry[3]))
+        engine._calendar.clear()
+        engine._ticks.clear()
+        self._local = local
+        return outbound
+
+    def finish(self) -> dict:
+        """Collect this shard's recorded results."""
+        cluster = self.cluster
+        return {
+            "sequences": (
+                cluster.sequences() if cluster._record_sequences else {}
+            ),
+            "counts": cluster.delivery_counts(),
+            "hashes": cluster.sequence_hashes(),
+            "delays": cluster.delivery_delays(),
+            "sent": self.network.stats.sent,
+            "delivered": self.network.stats.delivered,
+        }
+
+
+def _worker_main(conn, seed, n, lo, hi, config, latency, record, ticks) -> None:
+    """Subprocess loop: build the shard, answer round/finish requests."""
+    worker = _ShardWorker(seed, n, lo, hi, config, latency, record)
+    worker.prime_broadcast_ticks(ticks)
+    while True:
+        message = conn.recv()
+        op = message[0]
+        if op == "round":
+            conn.send(worker.run_round(message[1], message[2], message[3]))
+        elif op == "finish":
+            conn.send(worker.finish())
+            conn.close()
+            return
+
+
+class ShardedSimulation:
+    """Lockstep driver over node-range shards of a flat EpTO run.
+
+    Args:
+        n: System size (static for the whole run).
+        config: Cluster configuration. Must be lockstep-safe:
+            synchronized phase, :class:`~repro.sim.drift.NoDrift`,
+            uniform PSS, plain EpTO options.
+        seed: Base seed; per-node streams derive from it exactly as in
+            the single engines.
+        latency: Fixed network latency in ticks; must satisfy
+            ``1 <= latency < round_interval`` so every ball lands
+            before the next round boundary.
+        shards: Number of node-range shards.
+        record: ``"sequences"`` or ``"stats"`` (see
+            :class:`~repro.sim.flat.FlatCluster`).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        config: ClusterConfig,
+        seed: int = 0,
+        latency: int = 1,
+        shards: int = 4,
+        record: str = "sequences",
+    ) -> None:
+        if config.round_phase != "synchronized":
+            raise MembershipError(
+                "sharded lockstep requires round_phase='synchronized'"
+            )
+        if not isinstance(config.drift, NoDrift):
+            raise MembershipError("sharded lockstep requires NoDrift")
+        latency = int(latency)
+        if not 1 <= latency < config.epto.round_interval:
+            raise MembershipError(
+                "sharded lockstep requires 1 <= latency < round_interval, "
+                f"got latency={latency} interval={config.epto.round_interval}"
+            )
+        if shards < 1 or shards > n:
+            raise MembershipError(f"need 1 <= shards <= n, got {shards}")
+        self.n = n
+        self.config = config
+        self.seed = seed
+        self.latency = latency
+        self.shards = shards
+        self.record = record
+        bounds = [
+            (shard * n) // shards for shard in range(shards)
+        ] + [n]
+        self._ranges = [
+            (bounds[i], bounds[i + 1]) for i in range(shards)
+        ]
+
+    def _owner(self, node: int) -> int:
+        for index, (lo, hi) in enumerate(self._ranges):
+            if lo <= node < hi:
+                return index
+        raise MembershipError(f"node {node} outside [0, {self.n})")
+
+    def run(
+        self,
+        rounds: int,
+        broadcasts: BroadcastPlan = (),
+        processes: int = 0,
+    ) -> ShardedResult:
+        """Run *rounds* lockstep rounds, applying the broadcast plan.
+
+        Args:
+            rounds: Number of synchronized rounds to execute.
+            broadcasts: ``(round, node, payload)`` plan; rounds are
+                1-based and must fit in ``[1, rounds]``.
+            processes: 0 runs every shard in-process (deterministic,
+                no pickling); otherwise each shard runs in its own
+                ``multiprocessing`` worker and per-round batches cross
+                process boundaries.
+        """
+        plan: Dict[int, List[List[tuple]]] = {}
+        for round_index, node, payload in broadcasts:
+            if not 1 <= round_index <= rounds:
+                raise MembershipError(
+                    f"broadcast round {round_index} outside [1, {rounds}]"
+                )
+            shard_lists = plan.setdefault(
+                round_index, [[] for _ in range(self.shards)]
+            )
+            shard_lists[self._owner(node)].append((node, payload))
+        # Event ids assign deterministically from the plan (per-node
+        # sequence counter in application order), so every shard can be
+        # told every event's broadcast tick up front.
+        ticks: Dict[tuple, int] = {}
+        issued: Dict[int, int] = {}
+        interval = self.config.epto.round_interval
+        for round_index in sorted(plan):
+            for shard_list in plan[round_index]:
+                for node, _payload in shard_list:
+                    seq = issued.get(node, 0)
+                    issued[node] = seq + 1
+                    ticks[(node, seq)] = round_index * interval
+        if processes:
+            return self._run_processes(rounds, plan, ticks)
+        return self._run_inline(rounds, plan, ticks)
+
+    def _route(
+        self, outbounds: Sequence[Sequence[tuple]]
+    ) -> List[List[tuple]]:
+        """Split every shard's outbound batch by destination shard."""
+        inbounds: List[List[tuple]] = [[] for _ in range(self.shards)]
+        ranges = self._ranges
+        for outbound in outbounds:
+            for item in outbound:
+                dst = item[1]
+                for index, (lo, hi) in enumerate(ranges):
+                    if lo <= dst < hi:
+                        inbounds[index].append(item)
+                        break
+        return inbounds
+
+    def _run_inline(self, rounds: int, plan: dict, ticks: dict) -> ShardedResult:
+        workers = [
+            _ShardWorker(
+                self.seed, self.n, lo, hi, self.config, self.latency, self.record
+            )
+            for lo, hi in self._ranges
+        ]
+        for worker in workers:
+            worker.prime_broadcast_ticks(ticks)
+        inbounds: List[List[tuple]] = [[] for _ in range(self.shards)]
+        empty: List[tuple] = []
+        for round_index in range(1, rounds + 1):
+            shard_broadcasts = plan.get(round_index)
+            outbounds = [
+                worker.run_round(
+                    round_index,
+                    shard_broadcasts[i] if shard_broadcasts else empty,
+                    inbounds[i],
+                )
+                for i, worker in enumerate(workers)
+            ]
+            inbounds = self._route(outbounds)
+        return self._merge([worker.finish() for worker in workers])
+
+    def _run_processes(self, rounds: int, plan: dict, ticks: dict) -> ShardedResult:
+        context = multiprocessing.get_context()
+        connections = []
+        procs = []
+        try:
+            for lo, hi in self._ranges:
+                parent, child = context.Pipe()
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(
+                        child,
+                        self.seed,
+                        self.n,
+                        lo,
+                        hi,
+                        self.config,
+                        self.latency,
+                        self.record,
+                        ticks,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                connections.append(parent)
+                procs.append(proc)
+            inbounds: List[List[tuple]] = [[] for _ in range(self.shards)]
+            empty: List[tuple] = []
+            for round_index in range(1, rounds + 1):
+                shard_broadcasts = plan.get(round_index)
+                for i, conn in enumerate(connections):
+                    conn.send(
+                        (
+                            "round",
+                            round_index,
+                            shard_broadcasts[i] if shard_broadcasts else empty,
+                            inbounds[i],
+                        )
+                    )
+                outbounds = [conn.recv() for conn in connections]
+                inbounds = self._route(outbounds)
+            for conn in connections:
+                conn.send(("finish",))
+            results = [conn.recv() for conn in connections]
+            return self._merge(results)
+        finally:
+            for conn in connections:
+                conn.close()
+            for proc in procs:
+                proc.join(timeout=5)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+
+    def _merge(self, results: Sequence[dict]) -> ShardedResult:
+        sequences: Dict[int, Tuple] = {}
+        counts: Dict[int, int] = {}
+        hashes: Dict[int, int] = {}
+        delays: List[int] = []
+        sent = delivered = 0
+        for result in results:
+            sequences.update(result["sequences"])
+            counts.update(result["counts"])
+            hashes.update(result["hashes"])
+            delays.extend(result["delays"])
+            sent += result["sent"]
+            delivered += result["delivered"]
+        return ShardedResult(
+            sequences=sequences,
+            counts=counts,
+            hashes=hashes,
+            delays=delays,
+            sent=sent,
+            delivered=delivered,
+        )

@@ -138,6 +138,69 @@ def test_two_replicas_agree_on_common_prefix_order(batch, shuffler):
     assert filtered_a == filtered_b
 
 
+@settings(max_examples=150, deadline=None)
+@given(schedules(), st.data())
+def test_external_deliveries_never_regress_the_frontier(batch, data):
+    """`deliver_external` keeps every guard the epidemic path has.
+
+    Anti-entropy (repro.sync) injects already-stable events between
+    ordering rounds. Under any interleaving of epidemic balls and
+    external deliveries:
+
+    * ``last_delivered_key`` (the delivered frontier) is monotonically
+      non-decreasing — an external delivery may only advance it;
+    * an accepted external delivery advances the frontier exactly to
+      the event's own key;
+    * the combined delivered stream stays strictly key-increasing and
+      duplicate-free across both paths.
+    """
+    pool, schedule = batch
+    delivered: List[Event] = []
+    component = OrderingComponent(ManualOracle(ttl=2), delivered.append)
+    frontier = component.last_delivered_key
+    for ball in schedule:
+        component.order_events(ball)
+        assert component.last_delivered_key >= frontier
+        frontier = component.last_delivered_key
+        for _ in range(data.draw(st.integers(min_value=0, max_value=2))):
+            idx = data.draw(st.integers(min_value=0, max_value=len(pool) - 1))
+            accepted = component.deliver_external(pool[idx])
+            if accepted:
+                assert component.last_delivered_key == pool[idx].order_key
+            assert component.last_delivered_key >= frontier
+            frontier = component.last_delivered_key
+    drain(component)
+    assert component.last_delivered_key >= frontier
+    keys = [event.order_key for event in delivered]
+    assert keys == sorted(keys)
+    assert len(keys) == len(set(keys))  # strict increase, no duplicates
+    ids = [event.id for event in delivered]
+    assert len(ids) == len(set(ids))
+
+
+@settings(max_examples=100, deadline=None)
+@given(schedules())
+def test_external_rejections_do_not_change_state(batch):
+    """A rejected external delivery is a no-op on the delivered stream.
+
+    Replaying every already-delivered event (duplicate path) and every
+    key at or below the frontier (late path) must return ``False`` and
+    leave both the frontier and the delivered sequence untouched.
+    """
+    pool, schedule = batch
+    delivered: List[Event] = []
+    component = OrderingComponent(ManualOracle(ttl=2), delivered.append)
+    for ball in schedule:
+        component.order_events(ball)
+    drain(component)
+    snapshot = list(delivered)
+    frontier = component.last_delivered_key
+    for event in snapshot:
+        assert component.deliver_external(event) is False
+        assert component.last_delivered_key == frontier
+    assert delivered == snapshot
+
+
 @settings(max_examples=100, deadline=None)
 @given(schedules())
 def test_tagged_stream_never_overlaps_ordered_stream(batch):

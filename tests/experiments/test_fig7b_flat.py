@@ -1,0 +1,95 @@
+"""Smoke tests for the flat-engine fig7b driver (paper-scale sweep)."""
+
+from __future__ import annotations
+
+from repro.experiments.cli import main
+from repro.experiments.fig7b_flat import (
+    Fig7bFlatResult,
+    _events_per_round,
+    run_fig7b_flat,
+    run_fig7b_flat_point,
+)
+from repro.experiments.scale import ScalePreset
+
+# A deliberately tiny preset so the sweep finishes in a couple of
+# seconds; only the fig7b fields matter to this driver.
+_TINY = ScalePreset(
+    name="tiny",
+    fig6_n=16,
+    fig6_broadcast_rounds=2,
+    fig7a_n=16,
+    fig7a_rates=(0.05,),
+    fig7a_broadcast_rounds=2,
+    fig7b_sizes=(16, 48),
+    fig7b_broadcast_rounds=3,
+    sweep_n=16,
+    sweep_rates=(0.0,),
+    sweep_broadcast_rounds=2,
+    cyclon_warmup_rounds=2,
+)
+
+
+def test_sweep_completes_with_total_order_at_every_point():
+    result = run_fig7b_flat(scale=_TINY)
+    assert isinstance(result, Fig7bFlatResult)
+    assert set(result.rows) == {
+        (n, clock) for n in (16, 48) for clock in ("global", "logical")
+    }
+    for (n, _clock), row in result.rows.items():
+        assert row.complete, (row.deliveries, row.expected_deliveries)
+        assert row.agreement_ok
+        assert row.deliveries == row.events * n
+        assert row.summary.p50 > 0
+    assert result.exit_ok
+
+
+def test_render_includes_table_and_cdf():
+    result = run_fig7b_flat(scale=_TINY, clocks=("global",))
+    text = result.render()
+    assert "p50 delay" in text
+    assert "16proc global" in text
+    assert "OK" in text
+    growth = result.median_growth_factor()
+    assert growth == (
+        result.rows[(48, "global")].summary.p50
+        / result.rows[(16, "global")].summary.p50
+    )
+
+
+def test_point_is_reproducible_from_seed():
+    a = run_fig7b_flat_point(24, "global", seed=9, broadcast_rounds=3)
+    b = run_fig7b_flat_point(24, "global", seed=9, broadcast_rounds=3)
+    assert a.summary.p50 == b.summary.p50
+    assert a.deliveries == b.deliveries
+    assert a.events == b.events
+
+
+def test_event_budget_caps_the_paper_rate():
+    # 5% of n until the budget bites, then flat.
+    assert _events_per_round(16, 4) == 1
+    assert _events_per_round(100, 4) == 4
+    assert _events_per_round(10_000, 4) == 4
+    assert _events_per_round(10_000, 32) == 32
+
+
+def test_cli_runs_fig7b_flat(monkeypatch, capsys):
+    # Route the registered runner through the tiny preset: the CLI
+    # resolves --scale small, so patch the small preset's fig7b fields.
+    import repro.experiments.fig7b_flat as mod
+
+    monkeypatch.setattr(
+        mod,
+        "run_fig7b_flat",
+        lambda **kw: run_fig7b_flat(scale=_TINY, clocks=("global",)),
+    )
+    import repro.experiments.registry as registry
+    import dataclasses
+
+    entry = dataclasses.replace(
+        registry.REGISTRY["fig7b-flat"], runner=mod.run_fig7b_flat
+    )
+    monkeypatch.setitem(registry.REGISTRY, "fig7b-flat", entry)
+    assert main(["fig7b-flat"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7b-flat" in out
+    assert "rounds/s" in out

@@ -13,7 +13,17 @@ from repro.experiments.scale import PAPER, SMALL, get_scale
 class TestRegistry:
     def test_every_design_md_figure_is_registered(self):
         # The experiment index of DESIGN.md §3: figures + ablations.
-        figures = {"fig3", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10"}
+        figures = {
+            "fig3",
+            "fig5",
+            "fig6",
+            "fig7a",
+            "fig7b",
+            "fig7b-flat",
+            "fig8",
+            "fig9",
+            "fig10",
+        }
         ablations = {
             "ablation-ttl",
             "ablation-fanout",

@@ -61,9 +61,25 @@ class TestStandardDrill:
             for node_id in sorted(survivors)[:2]:
                 cluster.nodes[node_id].broadcast(f"post-{node_id}")
 
+            def post_wave_reached(nid: int) -> bool:
+                # The suffix assertion below needs the respawned nodes
+                # to have delivered the whole post-drill wave; without
+                # waiting for them, stop_all() can win the race on a
+                # loaded machine and truncate their suffixes.
+                marks = cluster.restart_indices[nid]
+                start = marks[-1] if marks else 0
+                payloads = (
+                    str(e.payload) for e in cluster.deliveries[nid][start:]
+                )
+                return (
+                    sum(1 for p in payloads if p.startswith("post-")) >= 2
+                )
+
             def done() -> bool:
                 return all(
                     len(cluster.deliveries[nid]) >= 5 for nid in survivors
+                ) and all(
+                    post_wave_reached(nid) for nid in injector.crashed_ids
                 )
 
             ok = await cluster.wait_until(done, timeout=10.0)

@@ -43,6 +43,26 @@ class TestPercentile:
         values = [percentile(data, p) for p in range(0, 101, 10)]
         assert values == sorted(values)
 
+    def test_all_ties_every_percentile_is_the_value(self):
+        data = [7, 7, 7, 7]
+        for p in (0, 1, 50, 99, 100):
+            assert percentile(data, p) == 7.0
+
+    def test_tied_neighbours_skip_interpolation(self):
+        # rank lands between two equal values: no blending, exact value.
+        assert percentile([1, 5, 5, 9], 50) == 5.0
+
+    def test_interpolation_returns_float_even_for_int_samples(self):
+        assert isinstance(percentile([1, 2, 3], 50), float)
+
+    def test_negative_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], -0.1)
+
+    def test_fractional_percentiles_interpolate(self):
+        # rank = 0.015 between 0 and 100.
+        assert percentile([0, 100], 1.5) == pytest.approx(1.5)
+
 
 class TestCdfPoints:
     def test_empty(self):
@@ -70,6 +90,17 @@ class TestCdfPoints:
         assert cdf_at(data, 100) == 100.0
         assert cdf_at([], 1) == 0.0
 
+    def test_single_sample_is_one_point_at_100(self):
+        assert cdf_points([42]) == [(42.0, 100.0)]
+
+    def test_all_identical_samples_collapse_to_one_point(self):
+        assert cdf_points([3, 3, 3, 3, 3]) == [(3.0, 100.0)]
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1))
+    def test_points_agree_with_cdf_at(self, data):
+        for value, cum in cdf_points(data):
+            assert cum == pytest.approx(cdf_at(data, value))
+
 
 class TestDelaySummary:
     def test_basic_statistics(self):
@@ -93,3 +124,28 @@ class TestDelaySummary:
         assert set(row) == {
             "count", "mean", "std", "min", "p5", "p50", "p95", "p99", "max"
         }
+
+    def test_single_sample_degenerates_cleanly(self):
+        summary = DelaySummary.from_samples([13])
+        assert summary.count == 1
+        assert summary.std == 0.0
+        assert (
+            summary.minimum
+            == summary.p5
+            == summary.p50
+            == summary.p95
+            == summary.p99
+            == summary.maximum
+            == 13.0
+        )
+
+    def test_all_ties_have_zero_spread(self):
+        summary = DelaySummary.from_samples([4, 4, 4, 4])
+        assert summary.std == 0.0
+        assert summary.p5 == summary.p99 == 4.0
+
+    def test_as_row_rounds_to_one_decimal(self):
+        row = DelaySummary.from_samples([1, 2]).as_row()
+        assert row["mean"] == 1.5
+        assert row["std"] == 0.5
+        assert row["p50"] == 1.5

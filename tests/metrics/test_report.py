@@ -23,6 +23,15 @@ class TestFormatTable:
         table = format_table(["a", "b"], [])
         assert len(table.splitlines()) == 2
 
+    def test_cells_are_right_justified(self):
+        table = format_table(["value"], [[7]])
+        assert table.splitlines()[-1] == "    7"
+
+    def test_non_string_cells_are_stringified(self):
+        table = format_table(["x", "y"], [[None, 1.25]])
+        last = table.splitlines()[-1]
+        assert "None" in last and "1.25" in last
+
 
 class TestFormatCdfSeries:
     def test_percentile_extraction(self):
@@ -37,6 +46,25 @@ class TestFormatCdfSeries:
         rendered = format_cdf_series({"none": []}, percentiles=(50,))
         assert "-" in rendered.splitlines()[-1]
 
+    def test_single_sample_series_fills_every_percentile(self):
+        rendered = format_cdf_series(
+            {"one": cdf_points([42])}, percentiles=(10, 50, 100)
+        )
+        row = rendered.splitlines()[-1]
+        assert row.split() == ["one", "42", "42", "42"]
+
+    def test_tied_samples_report_the_tied_value(self):
+        rendered = format_cdf_series(
+            {"ties": cdf_points([5, 5, 5, 9])}, percentiles=(25, 75, 100)
+        )
+        row = rendered.splitlines()[-1]
+        assert row.split() == ["ties", "5", "5", "9"]
+
+    def test_level_below_first_step_takes_first_value(self):
+        # One sample = one point at cum 100; every level resolves to it.
+        rendered = format_cdf_series({"s": [(3.0, 100.0)]}, percentiles=(1,))
+        assert rendered.splitlines()[-1].split() == ["s", "3"]
+
 
 class TestAsciiCdf:
     def test_empty(self):
@@ -47,3 +75,12 @@ class TestAsciiCdf:
         lines = plot.splitlines()
         assert len(lines) == 10  # grid + axis + labels
         assert any("*" in line for line in lines)
+
+    def test_single_point_renders(self):
+        plot = format_ascii_cdf(cdf_points([5]), width=20, height=4)
+        assert "*" in plot
+
+    def test_all_zero_values_avoid_division_by_zero(self):
+        # max_x falls back to 1.0 when the largest sample is 0.
+        plot = format_ascii_cdf(cdf_points([0, 0, 0]), width=20, height=4)
+        assert "*" in plot

@@ -17,6 +17,13 @@ from repro.auth import BallGuard, HmacAuthenticator, KeyRing, SignedBall
 from repro.core.event import BallEntry, Event, make_ball
 from repro.runtime import codec
 from repro.runtime.codec import CodecError, CodecVersionError
+from repro.sync.protocol import (
+    DeliveryDigest,
+    SyncChunk,
+    SyncDigest,
+    SyncRequest,
+    events_checksum,
+)
 
 
 def _event(src=1, seq=0, ts=10, payload=None):
@@ -143,3 +150,132 @@ class TestHostileBytes:
 
     def test_mac_length_is_bounded(self):
         assert codec.MAX_MAC_LEN == 255
+
+
+def _sync_digest_message():
+    return SyncDigest(
+        digest=DeliveryDigest(
+            last_key=(12, 3, 7), watermarks=((1, 4), (3, 9), (5, 0))
+        ),
+        reply=True,
+    )
+
+
+def _sync_request_message():
+    return SyncRequest(
+        req_id=0xBEEF,
+        after=(8, 2, 1),
+        watermarks=((0, 2), (2, 6)),
+        max_events=32,
+        max_bytes=16_000,
+    )
+
+
+def _sync_chunk_message():
+    events = tuple(_event(src=2 + i, seq=i, ts=20 + i) for i in range(5))
+    return SyncChunk(
+        req_id=0xBEEF,
+        events=events,
+        checksum=events_checksum(events),
+        more=True,
+        peer_last=(30, 4, 2),
+    )
+
+
+class TestSyncKindFuzz:
+    """Bit-flip hostility for the anti-entropy kinds (4, 5, 6).
+
+    Same contract as the signed-ball fuzz above: any corruption of a
+    valid sync datagram either decodes (flips confined to payload or
+    semantically-unchecked fields) or raises :class:`CodecError` — no
+    other exception may escape.
+    """
+
+    @pytest.mark.parametrize(
+        "build",
+        [_sync_digest_message, _sync_request_message, _sync_chunk_message],
+        ids=["digest-kind4", "request-kind5", "chunk-kind6"],
+    )
+    def test_bit_flip_fuzz_never_escapes_codec_error(self, build):
+        wire = codec.encode(7, build())
+        rng = random.Random(0xC0DEC)
+        outcomes = {"ok": 0, "rejected": 0}
+        for _ in range(400):
+            mutated = bytearray(wire)
+            for _ in range(rng.randint(1, 4)):
+                position = rng.randrange(len(mutated))
+                mutated[position] ^= 1 << rng.randrange(8)
+            try:
+                codec.decode(bytes(mutated))
+            except CodecError:
+                outcomes["rejected"] += 1
+            else:
+                outcomes["ok"] += 1
+        assert outcomes["rejected"] > 0
+
+    @pytest.mark.parametrize(
+        "build",
+        [_sync_digest_message, _sync_request_message, _sync_chunk_message],
+        ids=["digest-kind4", "request-kind5", "chunk-kind6"],
+    )
+    def test_sync_messages_round_trip(self, build):
+        message = build()
+        sender, decoded = codec.decode(codec.encode(9, message))
+        assert sender == 9
+        assert decoded == message
+
+
+class TestV1V2Differential:
+    """Differential fuzz: the v2 unsigned path must match v1 exactly.
+
+    A :class:`SignedBall` whose signatures are all ``None`` carries the
+    same information as a plain ball — for any randomly generated entry
+    set, both encodings must decode back to identical entries, so the
+    signed path can be adopted incrementally without changing what
+    unsigned traffic means.
+    """
+
+    @staticmethod
+    def _random_payload(rng):
+        kind = rng.randrange(5)
+        if kind == 0:
+            return None
+        if kind == 1:
+            return rng.randrange(-(2**40), 2**40)
+        if kind == 2:
+            return "x" * rng.randrange(0, 40)
+        if kind == 3:
+            return {"k": rng.randrange(100), "s": "v" * rng.randrange(8)}
+        return [rng.randrange(256) for _ in range(rng.randrange(6))]
+
+    def _random_ball(self, rng):
+        entries = []
+        for i in range(rng.randrange(1, 9)):
+            source = rng.randrange(2**20)
+            event = Event(
+                id=(source, i),
+                ts=rng.randrange(2**40),
+                source_id=source,
+                payload=self._random_payload(rng),
+            )
+            entries.append(BallEntry(event, ttl=rng.randrange(0, 64)))
+        return make_ball(entries)
+
+    def test_random_balls_round_trip_identically_via_v1_and_v2(self):
+        rng = random.Random(0xD1FF)
+        for _ in range(200):
+            ball = self._random_ball(rng)
+            sender = rng.randrange(2**20)
+            v1_wire = codec.encode(sender, ball)
+            v2_wire = codec.encode(
+                sender,
+                SignedBall(entries=ball, signatures=(None,) * len(ball)),
+            )
+            assert v1_wire[2] == 1 and v2_wire[2] == 2
+            v1_sender, v1_ball = codec.decode(v1_wire)
+            v2_sender, v2_ball = codec.decode(v2_wire)
+            assert v1_sender == v2_sender == sender
+            assert isinstance(v2_ball, SignedBall)
+            assert v1_ball == ball
+            assert v2_ball.entries == ball
+            assert all(sig is None for sig in v2_ball.signatures)

@@ -66,6 +66,56 @@ class TestCrashRespawn:
             cluster.crash_node(99)
 
 
+class TestRespawnHoldGate:
+    """The respawn round-gate length is a named, documented parameter."""
+
+    def _config(self, **overrides):
+        return ClusterConfig(
+            epto=EpToConfig(fanout=3, ttl=6, round_interval=10), **overrides
+        )
+
+    def test_default_hold_is_ttl_plus_named_slack(self):
+        from repro.sim.cluster import RESPAWN_HOLD_SLACK_ROUNDS
+
+        config = self._config()
+        assert RESPAWN_HOLD_SLACK_ROUNDS == 6
+        assert config.respawn_hold_slack == RESPAWN_HOLD_SLACK_ROUNDS
+        assert config.respawn_hold_rounds() == 6 + RESPAWN_HOLD_SLACK_ROUNDS
+
+    def test_slack_is_overridable_and_validated(self):
+        assert self._config(respawn_hold_slack=0).respawn_hold_rounds() == 6
+        assert self._config(respawn_hold_slack=10).respawn_hold_rounds() == 16
+        with pytest.raises(MembershipError):
+            self._config(respawn_hold_slack=-1)
+
+    def test_gate_opens_after_exactly_hold_rounds(self):
+        """`_gated_round` holds for the configured count, no magic left."""
+
+        class _Process:
+            def __init__(self):
+                self.rounds = 0
+
+            def on_round(self):
+                self.rounds += 1
+
+        class _Manager:
+            caught_up = True
+
+            class config:
+                catch_up_rounds = 1000
+
+        hold = self._config(respawn_hold_slack=4).respawn_hold_rounds()
+        process = _Process()
+        gated = SimCluster._gated_round(process, _Manager(), hold_rounds=hold)
+        for _ in range(hold - 1):
+            gated()
+        assert process.rounds == 0  # still held
+        gated()
+        assert process.rounds == 1  # opens on round `hold` exactly
+        gated()
+        assert process.rounds == 2  # and stays open
+
+
 class TestSendMany:
     def test_send_many_reaches_every_destination(self):
         sim, network, cluster = build_cluster(n=4)

@@ -1,0 +1,299 @@
+"""Unit tests for the flat engine, its recording modes, and sharding.
+
+Equivalence with the object engine lives in
+``tests/sim/test_flat_equivalence.py``; this file pins down the flat
+stack's own contracts — calendar semantics, the explicit feature
+restrictions, the two recording modes, ``as_collector`` parity with the
+metrics checkers, and the lockstep sharded driver (in-process and via
+``multiprocessing``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EpToConfig
+from repro.core.errors import MembershipError, SimulationError
+from repro.metrics import check_run
+from repro.sim import ClusterConfig, FixedLatency, NoDrift, UniformDrift
+from repro.sim.flat import FlatCluster, FlatEngine, FlatNetwork
+from repro.sim.shard import ShardedSimulation
+
+
+def _config(
+    fanout: int = 4,
+    ttl: int = 8,
+    interval: int = 20,
+    clock: str = "global",
+    **kwargs,
+) -> ClusterConfig:
+    return ClusterConfig(
+        epto=EpToConfig(
+            fanout=fanout, ttl=ttl, round_interval=interval, clock=clock
+        ),
+        drift=kwargs.pop("drift", NoDrift()),
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# FlatEngine calendar semantics
+# ----------------------------------------------------------------------
+
+
+def test_engine_runs_actions_in_time_then_fifo_order():
+    sim = FlatEngine(seed=1)
+    trace = []
+    sim.schedule(5, lambda: trace.append("b"))
+    sim.schedule(2, lambda: trace.append("a"))
+    sim.schedule(5, lambda: trace.append("c"))  # same tick: FIFO
+    sim.run()
+    assert trace == ["a", "b", "c"]
+
+
+def test_engine_same_tick_reentrant_schedule_runs_this_tick():
+    """An action scheduling at delay 0 runs within the same tick."""
+    sim = FlatEngine(seed=1)
+    trace = []
+    sim.schedule(3, lambda: (trace.append("outer"), sim.schedule(0, lambda: trace.append("inner"))))
+    sim.run()
+    assert trace == ["outer", "inner"]
+    assert sim.now() == 3
+
+
+def test_engine_cancel_and_past_scheduling():
+    sim = FlatEngine(seed=1)
+    trace = []
+    handle = sim.schedule(4, lambda: trace.append("cancelled"))
+    sim.schedule(6, lambda: trace.append("kept"))
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert trace == ["kept"]
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(2, lambda: None)  # now is already 6
+
+
+def test_engine_run_until_advances_clock_even_when_drained():
+    sim = FlatEngine(seed=1)
+    sim.schedule(3, lambda: None)
+    sim.run(until=50)
+    assert sim.now() == 50
+    assert sim.executed_count == 1
+
+
+def test_engine_fork_rng_is_deterministic_per_label():
+    a = FlatEngine(seed=7).fork_rng("node:3")
+    b = FlatEngine(seed=7).fork_rng("node:3")
+    c = FlatEngine(seed=7).fork_rng("node:4")
+    draws = [a.random() for _ in range(5)]
+    assert draws == [b.random() for _ in range(5)]
+    assert draws != [c.random() for _ in range(5)]
+
+
+# ----------------------------------------------------------------------
+# Restrictions: unsupported features raise instead of diverging
+# ----------------------------------------------------------------------
+
+
+def test_cluster_rejects_cyclon_pss():
+    sim = FlatEngine(seed=1)
+    net = FlatNetwork(sim)
+    with pytest.raises(MembershipError):
+        FlatCluster(sim, net, _config(pss="cyclon"))
+
+
+def test_cluster_rejects_tagged_delivery_and_stability():
+    for override in ({"tagged_delivery": True}, {"expose_stability": True}):
+        sim = FlatEngine(seed=1)
+        net = FlatNetwork(sim)
+        config = ClusterConfig(
+            epto=EpToConfig(fanout=4, ttl=8, round_interval=20, **override),
+            drift=NoDrift(),
+        )
+        with pytest.raises(MembershipError):
+            FlatCluster(sim, net, config)
+
+
+def test_cluster_rejects_unknown_record_mode():
+    sim = FlatEngine(seed=1)
+    net = FlatNetwork(sim)
+    with pytest.raises(MembershipError):
+        FlatCluster(sim, net, _config(), record="everything")
+
+
+def test_engine_refuses_second_cluster():
+    sim = FlatEngine(seed=1)
+    net = FlatNetwork(sim)
+    FlatCluster(sim, net, _config())
+    with pytest.raises(SimulationError):
+        FlatCluster(sim, net, _config())
+
+
+def test_network_rejects_adversary():
+    sim = FlatEngine(seed=1)
+    net = FlatNetwork(sim)
+    with pytest.raises(MembershipError):
+        net.set_adversary(object())
+
+
+# ----------------------------------------------------------------------
+# Recording modes
+# ----------------------------------------------------------------------
+
+
+def _run_flat(record: str, seed: int = 11, n: int = 24, rounds: int = 36):
+    config = _config(drift=UniformDrift(0.01))
+    sim = FlatEngine(seed=seed)
+    net = FlatNetwork(sim, latency=FixedLatency(3))
+    cluster = FlatCluster(sim, net, config, record=record)
+    cluster.add_nodes(n)
+    interval = config.epto.round_interval
+    for r in range(1, 7):
+        node = r % n
+        sim.schedule_at(r * interval, lambda nd=node: cluster.broadcast_from(nd))
+    sim.run(until=rounds * interval)
+    return cluster
+
+
+def test_stats_mode_matches_sequences_mode_aggregates():
+    full = _run_flat("sequences")
+    stats = _run_flat("stats")
+    assert stats.delivery_counts() == full.delivery_counts()
+    assert stats.sequence_hashes() == full.sequence_hashes()
+    assert sorted(stats.delivery_delays()) == sorted(full.delivery_delays())
+    assert stats.delivered_total == full.delivered_total
+    assert stats.broadcast_count() == full.broadcast_count()
+
+
+def test_stats_mode_refuses_sequence_surfaces():
+    stats = _run_flat("stats", rounds=4)
+    for accessor in (stats.sequences, stats.deliveries, stats.as_collector):
+        with pytest.raises(SimulationError):
+            accessor()
+
+
+def test_identical_hashes_iff_identical_sequences():
+    cluster = _run_flat("sequences")
+    sequences = cluster.sequences()
+    hashes = cluster.sequence_hashes()
+    by_hash = {}
+    for node, seq in sequences.items():
+        by_hash.setdefault((len(seq), hashes[node]), set()).add(seq)
+    for key, distinct in by_hash.items():
+        assert len(distinct) == 1, f"hash collision across sequences: {key}"
+
+
+def test_as_collector_passes_table1_checks():
+    """A flat run feeds the existing metrics pipeline unchanged."""
+    cluster = _run_flat("sequences")
+    collector = cluster.as_collector()
+    assert collector.sequences() == cluster.sequences()
+    report = check_run(collector)
+    assert report.safety_ok, report.summary()
+
+
+# ----------------------------------------------------------------------
+# Sharded lockstep driver
+# ----------------------------------------------------------------------
+
+_SHARD_N = 48
+_SHARD_ROUNDS = 30
+_SHARD_PLAN = [
+    (1, 0, "a"),
+    (1, 17, "b"),
+    (2, 40, "c"),
+    (3, 17, "d"),
+    (4, 5, None),
+    (5, 33, "e"),
+]
+
+
+def _shard_config(clock: str = "global") -> ClusterConfig:
+    return ClusterConfig(
+        epto=EpToConfig(fanout=5, ttl=7, round_interval=20, clock=clock),
+        drift=NoDrift(),
+    )
+
+
+def _reference_flat(clock: str = "global"):
+    config = _shard_config(clock)
+    sim = FlatEngine(seed=5)
+    net = FlatNetwork(sim, latency=FixedLatency(3))
+    cluster = FlatCluster(sim, net, config)
+    interval = config.epto.round_interval
+    for r, node, payload in _SHARD_PLAN:
+        sim.schedule_at(
+            r * interval,
+            lambda nd=node, p=payload: cluster.broadcast_from(nd, p),
+        )
+    cluster.add_nodes(_SHARD_N)
+    sim.run(until=_SHARD_ROUNDS * interval)
+    return cluster
+
+
+@pytest.mark.parametrize("clock", ["global", "logical"])
+@pytest.mark.parametrize("shards", [1, 3])
+def test_sharded_inline_matches_flat_reference(clock, shards):
+    reference = _reference_flat(clock)
+    sharded = ShardedSimulation(
+        _SHARD_N, _shard_config(clock), seed=5, latency=3, shards=shards
+    )
+    result = sharded.run(_SHARD_ROUNDS, _SHARD_PLAN)
+    assert result.sequences == reference.sequences()
+    assert sorted(result.delays) == sorted(reference.delivery_delays())
+    assert result.sent == reference.network.stats.sent
+    assert result.delivered == reference.network.stats.delivered
+
+
+def test_sharded_processes_matches_inline():
+    inline = ShardedSimulation(
+        _SHARD_N, _shard_config(), seed=5, latency=3, shards=4
+    ).run(_SHARD_ROUNDS, _SHARD_PLAN, processes=0)
+    procs = ShardedSimulation(
+        _SHARD_N, _shard_config(), seed=5, latency=3, shards=4
+    ).run(_SHARD_ROUNDS, _SHARD_PLAN, processes=2)
+    assert procs.sequences == inline.sequences
+    assert (procs.sent, procs.delivered) == (inline.sent, inline.delivered)
+
+
+def test_sharded_stats_mode_merges_counts_and_hashes():
+    full = ShardedSimulation(
+        _SHARD_N, _shard_config(), seed=5, latency=3, shards=3
+    ).run(_SHARD_ROUNDS, _SHARD_PLAN)
+    stats = ShardedSimulation(
+        _SHARD_N, _shard_config(), seed=5, latency=3, shards=3, record="stats"
+    ).run(_SHARD_ROUNDS, _SHARD_PLAN)
+    assert stats.counts == {n: len(s) for n, s in full.sequences.items()}
+    assert sorted(stats.delays) == sorted(full.delays)
+
+
+def test_sharded_rejects_lockstep_unsafe_configs():
+    good = _shard_config()
+    with pytest.raises(MembershipError):
+        ShardedSimulation(
+            16,
+            ClusterConfig(
+                epto=good.epto, drift=NoDrift(), round_phase="staggered"
+            ),
+        )
+    with pytest.raises(MembershipError):
+        ShardedSimulation(
+            16, ClusterConfig(epto=good.epto, drift=UniformDrift(0.01))
+        )
+    with pytest.raises(MembershipError):
+        ShardedSimulation(16, good, latency=good.epto.round_interval)
+    with pytest.raises(MembershipError):
+        ShardedSimulation(16, good, latency=0)
+    with pytest.raises(MembershipError):
+        ShardedSimulation(16, good, shards=17)
+
+
+def test_sharded_rejects_out_of_window_broadcasts():
+    sharded = ShardedSimulation(16, _shard_config(), shards=2)
+    with pytest.raises(MembershipError):
+        sharded.run(5, [(0, 3, None)])
+    with pytest.raises(MembershipError):
+        sharded.run(5, [(6, 3, None)])
