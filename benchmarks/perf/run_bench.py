@@ -25,6 +25,11 @@ the repository root:
 * ``auth`` — HMAC sign/verify per event (:mod:`repro.auth`,
   docs/SECURITY.md) and the wire cost of authentication: the same ball
   encoded/decoded plain (codec kind 1) versus signed (kind 7).
+* ``udp_e2e`` — the real loopback wire path
+  (:mod:`repro.experiments.net_bench`): paired batched-vs-unbatched
+  fan-out blast, full EpTO clusters clean and under
+  ``scenarios/standard_drill.json`` with delivery-delay CDFs, plus a
+  tracemalloc allocation audit of the batched round loop.
 
 Usage::
 
@@ -538,6 +543,170 @@ def bench_sim_flat(flat_sizes, seed: int, repeats: int) -> dict:
     }
 
 
+# -- udp_e2e scenario (real loopback wire path) ------------------------
+NET_SIZES = (8, 16)
+NET_CHECK_SIZES = (6,)
+NET_EVENTS = 6
+NET_CHECK_EVENTS = 4
+NET_BLAST_ROUNDS = 400
+NET_CHECK_BLAST_ROUNDS = 100
+#: Fan-out rounds driven under tracemalloc for the allocation audit.
+ALLOC_AUDIT_ROUNDS = 300
+
+
+def _alloc_audit(seed: int, rounds: int) -> dict:
+    """tracemalloc audit of the batched fan-out round loop.
+
+    Drives *rounds* encode-once ``send_many`` fan-outs on a batched
+    :class:`~repro.runtime.udp.UdpNetwork` with tracemalloc on and
+    reports Python-heap churn per round plus the top allocation sites.
+    The wire path is engineered to allocate almost nothing at steady
+    state (pooled encode buffer, pinned iovec/mmsghdr arrays, pooled
+    deferred-send buffers, zero-copy receive views); this audit is the
+    regression instrument for that property.
+    """
+    import asyncio
+    import tracemalloc
+
+    from repro.core.event import BallEntry, Event, make_ball
+    from repro.runtime.udp import UdpNetwork
+
+    async def audit() -> dict:
+        network = UdpNetwork(seed=seed, batch="auto")
+        peers = list(range(1, 17))
+        for nid in [0] + peers:
+            network.register(nid, lambda src, msg: None)
+        await network.open_all()
+        ball = make_ball(
+            [BallEntry(Event(id=(0, 0), ts=1, source_id=0, payload="audit"), 4)]
+        )
+        for _ in range(10):  # steady state before measuring
+            network.send_many(0, peers, ball)
+        tracemalloc.start(5)
+        before = tracemalloc.take_snapshot()
+        for _ in range(rounds):
+            network.send_many(0, peers, ball)
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        await network.close()
+
+        diffs = after.compare_to(before, "lineno")
+        grown = [
+            d
+            for d in diffs
+            if d.size_diff > 0
+            # The tracer's own bookkeeping is not wire-path churn.
+            and not d.traceback[0].filename.endswith("tracemalloc.py")
+        ]
+        grown.sort(key=lambda d: d.size_diff, reverse=True)
+        top = []
+        for diff in grown[:8]:
+            frame = diff.traceback[0]
+            filename = frame.filename
+            marker = f"{Path('src') / 'repro'}"
+            if marker in filename:
+                filename = "src/repro" + filename.split(marker, 1)[1]
+            top.append(
+                {
+                    "site": f"{filename}:{frame.lineno}",
+                    "kb": round(diff.size_diff / 1024, 2),
+                    "blocks": diff.count_diff,
+                }
+            )
+        total = sum(d.size_diff for d in grown)
+        return {
+            "rounds": rounds,
+            "fanout": len(peers),
+            "heap_growth_bytes": total,
+            "bytes_per_round": round(total / rounds, 2),
+            "top_sites": top,
+        }
+
+    return asyncio.run(audit())
+
+
+def bench_udp_e2e(seed: int, check: bool) -> dict:
+    """udp_e2e — the real loopback wire path, end to end.
+
+    Wraps :func:`repro.experiments.net_bench.run_net_bench`: the paired
+    batched-vs-unbatched fan-out blast, full EpTO clusters clean and
+    under ``scenarios/standard_drill.json``, and the tracemalloc
+    allocation audit of the batched round loop. Aborts if any cluster
+    run misses delivery or total order — those are correctness gates;
+    timing numbers are recorded, never asserted here (the committed
+    ``speedup`` value is what ``check_regression.py`` pins).
+    """
+    from repro.experiments.net_bench import run_net_bench
+    from repro.faults.schedule import FaultSchedule
+
+    drill = FaultSchedule.from_json(
+        (REPO_ROOT / "scenarios" / "standard_drill.json").read_text()
+    )
+    result = run_net_bench(
+        seed=seed,
+        schedule=drill,
+        sizes=NET_CHECK_SIZES if check else NET_SIZES,
+        events=NET_CHECK_EVENTS if check else NET_EVENTS,
+        blast_rounds=NET_CHECK_BLAST_ROUNDS if check else NET_BLAST_ROUNDS,
+    )
+    if not result.exit_ok:
+        failed = [
+            f"n={run.n}[{run.scenario}]"
+            for run in result.runs
+            if not (run.delivered and run.ordered)
+        ]
+        raise AssertionError(f"udp_e2e delivery/order failed: {failed}")
+
+    fanout = result.fanout
+    runs_out = {}
+    for run in result.runs:
+        summary = run.delay_summary
+        entry = {
+            "events": run.events,
+            "delivered": run.delivered,
+            "ordered": run.ordered,
+            "elapsed_s": round(run.seconds, 4),
+            "events_per_sec": round(run.events_per_second, 2),
+            "datagrams_sent": run.datagrams_sent,
+            "syscalls_send": run.syscalls_send,
+            "syscalls_recv": run.syscalls_recv,
+            "send_syscalls_per_node_round": round(run.syscalls_per_round, 3),
+            "bytes_sent": run.bytes_sent,
+            "bytes_received": run.bytes_received,
+        }
+        if summary is not None:
+            entry["delay_ms"] = {
+                "p50": round(summary.p50, 2),
+                "p95": round(summary.p95, 2),
+                "p99": round(summary.p99, 2),
+                "max": round(summary.maximum, 2),
+                "samples": summary.count,
+            }
+            entry["delay_cdf"] = [
+                [round(ms, 2), round(pct, 2)] for ms, pct in run.delay_cdf()
+            ]
+        runs_out[f"n{run.n}_{run.scenario}"] = entry
+
+    return {
+        "fanout_blast": {
+            "datagrams": fanout.datagrams,
+            "bytes_per_datagram": fanout.bytes_per_datagram,
+            "batched_tier": fanout.batched_tier,
+            "batched_rate_dgram_s": round(fanout.batched_rate),
+            "batched_syscalls": fanout.batched_syscalls,
+            "unbatched_rate_dgram_s": round(fanout.unbatched_rate),
+            "unbatched_syscalls": fanout.unbatched_syscalls,
+            "speedup": round(fanout.speedup, 2),
+        },
+        "runs": runs_out,
+        "allocation": _alloc_audit(
+            seed, rounds=100 if check else ALLOC_AUDIT_ROUNDS
+        ),
+        "uvloop": result.uvloop_active,
+        "fault_scenario": "scenarios/standard_drill.json",
+    }
+
+
 FSYNC_EVENTS = 400
 FSYNC_SEGMENT_BYTES = 16_384
 
@@ -612,7 +781,7 @@ def bench_fsync_policies(seed: int, repeats: int) -> dict:
     }
 
 
-def run_all(sizes, seed: int, repeats: int, flat_sizes) -> dict:
+def run_all(sizes, seed: int, repeats: int, flat_sizes, check: bool = False) -> dict:
     results = {
         "schema": 1,
         "seed": seed,
@@ -626,6 +795,7 @@ def run_all(sizes, seed: int, repeats: int, flat_sizes) -> dict:
             "sim_flat": None,
             "fsync_policies": None,
             "auth": None,
+            "udp_e2e": None,
         },
     }
     for n in sizes:
@@ -661,6 +831,17 @@ def run_all(sizes, seed: int, repeats: int, flat_sizes) -> dict:
     print(
         f"  overhead {results['scenarios']['auth']['overhead_factor']}   "
         f"{results['scenarios']['auth']['metrics']}"
+    )
+    print("udp_e2e ...", flush=True)
+    udp = bench_udp_e2e(seed, check)
+    results["scenarios"]["udp_e2e"] = udp
+    blast = udp["fanout_blast"]
+    print(
+        f"  blast {blast['batched_tier']} "
+        f"{blast['batched_rate_dgram_s']:,} dgram/s vs "
+        f"{blast['unbatched_rate_dgram_s']:,} unbatched "
+        f"(speedup {blast['speedup']:.2f}x)   "
+        f"alloc {udp['allocation']['bytes_per_round']} B/round"
     )
     return results
 
@@ -706,7 +887,7 @@ def main(argv=None) -> int:
     else:
         flat_sizes = FLAT_CHECK_SIZES if args.check else FLAT_SIZES
 
-    results = run_all(sizes, args.seed, repeats, flat_sizes)
+    results = run_all(sizes, args.seed, repeats, flat_sizes, check=args.check)
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}")

@@ -21,6 +21,7 @@ from .fig7b_flat import run_fig7b_flat
 from .fig8_churn import run_fig8
 from .fig9_cyclon import run_fig9
 from .fig10_loss import run_fig10
+from .net_bench import run_net_bench
 
 
 @dataclass(frozen=True, slots=True)
@@ -127,6 +128,15 @@ _ENTRIES = [
         takes_faults=True,
         takes_sync=True,
         takes_auth=True,
+    ),
+    ExperimentEntry(
+        id="net-bench",
+        description=(
+            "udp_e2e — loopback UDP clusters end to end: batched "
+            "fan-out throughput, syscalls/round, delivery-delay CDFs"
+        ),
+        runner=run_net_bench,
+        takes_faults=True,
     ),
 ]
 

@@ -41,6 +41,10 @@ class ScalePreset:
     sweep_rates: Sequence[float]  # churn / loss levels
     sweep_broadcast_rounds: int
     cyclon_warmup_rounds: int
+    #: Loopback-UDP cluster sizes for the end-to-end network benchmark.
+    net_bench_sizes: Sequence[int] = (8, 16)
+    #: Broadcasts driven to completion per net-bench cluster run.
+    net_bench_events: int = 6
 
 
 SMALL = ScalePreset(
@@ -71,6 +75,8 @@ PAPER = ScalePreset(
     sweep_rates=(0.0, 0.01, 0.05, 0.10),
     sweep_broadcast_rounds=10,
     cyclon_warmup_rounds=20,
+    net_bench_sizes=(16, 32),
+    net_bench_events=12,
 )
 
 _PRESETS = {"small": SMALL, "paper": PAPER}

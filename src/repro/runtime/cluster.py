@@ -13,6 +13,7 @@ from ..pss.base import MembershipDirectory
 from ..pss.cyclon import CyclonPss
 from ..pss.uniform import UniformViewPss
 from ..sync.config import SyncConfig
+from . import fastloop
 from .node import AsyncEpToNode
 from .transport import AsyncNetwork
 
@@ -82,6 +83,9 @@ class AsyncCluster:
                 "anti-entropy sync requires storage_dir (it exchanges "
                 "delivery-log suffixes)"
             )
+        # Opportunistic loop upgrade: a no-op unless the optional
+        # uvloop extra is installed and no loop is running yet.
+        fastloop.ensure_uvloop()
         self.config = config
         self.network = network if network is not None else AsyncNetwork(seed=seed)
         self.pss_kind = pss

@@ -190,8 +190,16 @@ def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> None:
         )
 
 
-def decode(datagram: bytes) -> Tuple[int, WireMessage]:
+def decode(datagram) -> Tuple[int, WireMessage]:
     """Parse a datagram; returns ``(sender, message)``.
+
+    Accepts any bytes-like object — ``bytes``, ``bytearray`` or a
+    ``memoryview`` straight into a transport's receive buffer. Decoding
+    is zero-copy: the body is sliced as views and every field that
+    survives the call (payloads, MACs) is materialized into owned
+    objects, so no reference into *datagram* escapes — the transport
+    may reuse its buffer the moment ``decode`` returns
+    (:mod:`repro.runtime.batchio` relies on exactly this).
 
     Raises:
         CodecError: On any malformed or version-incompatible input.
@@ -203,7 +211,8 @@ def decode(datagram: bytes) -> Tuple[int, WireMessage]:
         raise CodecError(f"bad magic {magic!r}")
     if version not in _SUPPORTED_VERSIONS:
         raise CodecVersionError(f"unsupported version {version}")
-    body = datagram[_HEADER.size :]
+    view = datagram if isinstance(datagram, memoryview) else memoryview(datagram)
+    body = view[_HEADER.size :]
     if kind == _KIND_BALL:
         return sender, _decode_ball(body, count)
     if kind == _KIND_SIGNED_BALL:
@@ -271,10 +280,7 @@ def _decode_ball(body: bytes, count: int) -> Ball:
             raise CodecError("truncated ball entry payload")
         raw = body[offset : offset + payload_len]
         offset += payload_len
-        try:
-            payload = json.loads(raw.decode())
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise CodecError(f"corrupt payload: {exc}") from exc
+        payload = _json_payload(raw, "corrupt payload")
         if ttl < 0:
             raise CodecError(f"negative ttl {ttl}")
         entries.append(
@@ -286,6 +292,20 @@ def _decode_ball(body: bytes, count: int) -> Ball:
     if offset != len(body):
         raise CodecError(f"{len(body) - offset} trailing bytes after ball")
     return make_ball(entries)
+
+
+def _json_payload(raw, label: str):
+    """Parse a JSON payload from any bytes-like slice.
+
+    ``str(raw, "utf-8")`` reads through the buffer protocol, so a
+    ``memoryview`` slice parses without an intermediate ``bytes`` copy;
+    the parsed payload is an owned object with no reference into the
+    source buffer.
+    """
+    try:
+        return json.loads(str(raw, "utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CodecError(f"{label}: {exc}") from exc
 
 
 def _encode_signed_ball_into(message: SignedBall, buffer: bytearray) -> None:
@@ -337,7 +357,9 @@ def _decode_signed_ball(body: bytes, count: int) -> SignedBall:
         offset += _SIGNED_ENTRY.size
         if offset + mac_len + _PAYLOAD_LEN.size > len(body):
             raise CodecError("truncated signed ball entry mac")
-        mac = body[offset : offset + mac_len]
+        # Materialized: the MAC outlives the call inside EventSignature,
+        # and must never alias a reusable receive buffer.
+        mac = bytes(body[offset : offset + mac_len])
         offset += mac_len
         (payload_len,) = _PAYLOAD_LEN.unpack_from(body, offset)
         offset += _PAYLOAD_LEN.size
@@ -345,10 +367,7 @@ def _decode_signed_ball(body: bytes, count: int) -> SignedBall:
             raise CodecError("truncated signed ball entry payload")
         raw = body[offset : offset + payload_len]
         offset += payload_len
-        try:
-            payload = json.loads(raw.decode())
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise CodecError(f"corrupt payload: {exc}") from exc
+        payload = _json_payload(raw, "corrupt payload")
         if ttl < 0:
             raise CodecError(f"negative ttl {ttl}")
         entries.append(
@@ -478,10 +497,7 @@ def _decode_sync_chunk(body: bytes, count: int) -> SyncChunk:
             raise CodecError("truncated sync chunk event payload")
         raw = body[offset : offset + payload_len]
         offset += payload_len
-        try:
-            payload = json.loads(raw.decode())
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise CodecError(f"corrupt sync chunk payload: {exc}") from exc
+        payload = _json_payload(raw, "corrupt sync chunk payload")
         events.append(
             Event(id=(source, seq), ts=ts, source_id=source, payload=payload)
         )

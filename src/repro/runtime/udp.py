@@ -38,21 +38,35 @@ serialized once per round and the same bytes are shipped to all K
 peers (``stats.encoded_datagrams`` vs ``stats.sent`` shows the saving).
 Serialization writes into a pooled ``bytearray`` owned by the fabric
 (:func:`repro.runtime.codec.encode_into`), so the steady-state send
-path allocates no fresh ``bytes`` object per round; only the deferred
-paths (latency-spiked sends, corrupted copies) take an owned copy,
-because the pool is overwritten by the next encode.
+path allocates no fresh ``bytes`` object per round; latency-spiked
+sends lease a reusable buffer from a small pool instead of copying,
+and only corrupted datagrams take a true owned copy.
+
+Syscall batching (ROADMAP: wire speed): by default the fabric binds
+raw non-blocking sockets driven by :mod:`repro.runtime.batchio` — a
+round's K-peer fan-out is one ``sendmmsg(2)`` and an inbound burst is
+drained by one ``recvmmsg(2)``, with receive bytes handed to the codec
+as zero-copy ``memoryview`` slices. ``batch=False`` restores the
+pre-batching asyncio datagram endpoints (the equivalence baseline);
+``batch="sendto"`` (or any :data:`~repro.runtime.batchio.SEND_TIERS`
+name) forces a specific send tier. Platforms whose event loop cannot
+watch raw file descriptors (Proactor) fall back to asyncio endpoints
+automatically. ``stats.syscalls_send`` / ``stats.syscalls_recv``
+against ``stats.sent`` / ``stats.delivered`` show the batching factor.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
+import socket
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..auth.authenticator import SignedBall
 from ..auth.guard import BallGuard
 from ..core.errors import MembershipError
+from . import batchio, fastloop
 from .codec import CodecError, CodecVersionError, decode, encode_into
 
 #: Inbox callback: ``handler(src, message)``.
@@ -91,6 +105,14 @@ class UdpStats:
     delayed: int = 0
     transport_errors: int = 0
     encoded_datagrams: int = 0
+    #: Send-side syscalls. With batching, a whole fan-out counts one;
+    #: on asyncio endpoints each ``sendto`` counts one (an approximation
+    #: when the transport buffers, which loopback never does).
+    syscalls_send: int = 0
+    #: Receive-side syscalls (wakeups on asyncio endpoints).
+    syscalls_recv: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
 
     @property
     def dropped_undecodable(self) -> int:
@@ -113,12 +135,131 @@ class _NodeProtocol(asyncio.DatagramProtocol):
         self._node_id = node_id
 
     def datagram_received(self, data: bytes, addr) -> None:
+        # One wakeup per datagram: the unbatched receive cost model.
+        self._network.stats.syscalls_recv += 1
         self._network._on_datagram(self._node_id, data)
 
     def error_received(self, exc) -> None:
         # OS-level send/receive errors (e.g. ICMP port unreachable).
         # UDP gives no guarantees, so these are counted, not raised.
         self._network.stats.transport_errors += 1
+
+
+#: Kernel receive-buffer request for raw batched sockets. A burst of
+#: n-1 balls at paper scale outruns the default 212 KiB rmem on many
+#: distros; the kernel clamps this to ``rmem_max`` silently.
+_RECV_SOCKET_BUFFER = 1 << 21
+
+#: Cap on pooled deferred-send buffers kept alive between latency
+#: spikes. Spikes defer at most a few rounds of fan-out at once; beyond
+#: the cap, buffers are simply dropped for the GC.
+_DEFERRED_POOL_LIMIT = 64
+
+
+class _RawEndpoint:
+    """A raw non-blocking UDP socket driven straight off the event loop.
+
+    Replaces the asyncio datagram transport when batching is enabled:
+    sends go through a :class:`~repro.runtime.batchio.BatchSender`
+    (whole fan-out = one ``sendmmsg``) and readable wakeups drain the
+    socket through a :class:`~repro.runtime.batchio.BatchReceiver`
+    (burst = one ``recvmmsg``), handing each datagram to the fabric as
+    a zero-copy ``memoryview`` valid only for the duration of the
+    handler call. Exposes the slice of the transport surface the fabric
+    and its tests rely on: ``sendto`` / ``is_closing`` / ``close``.
+    """
+
+    is_raw = True
+
+    def __init__(
+        self,
+        network: "UdpNetwork",
+        node_id: int,
+        sock: socket.socket,
+        loop: asyncio.AbstractEventLoop,
+        send_tier: Optional[str],
+        recv_tier: Optional[str],
+    ) -> None:
+        self._network = network
+        self._node_id = node_id
+        self._sock = sock
+        self._loop = loop
+        self._sender = batchio.BatchSender(send_tier)
+        self._receiver = batchio.BatchReceiver(recv_tier)
+        self._closed = False
+        # Raises NotImplementedError on loops without FD watching
+        # (Proactor); the caller falls back to asyncio endpoints.
+        loop.add_reader(sock.fileno(), self._on_readable)
+
+    def sendto(self, data, address) -> None:
+        """Ship one datagram now; kernel refusals are counted drops."""
+        if self._closed:
+            return
+        stats = self._network.stats
+        stats.syscalls_send += 1
+        if self._sender.send_one(self._sock, data, address):
+            stats.bytes_sent += len(data)
+        else:
+            stats.transport_errors += 1
+
+    def send_batch(self, items) -> None:
+        """Ship ``(buffer, address)`` pairs in as few syscalls as the
+        platform tier allows."""
+        if self._closed or not items:
+            return
+        stats = self._network.stats
+        sender = self._sender
+        syscalls_before = sender.syscalls
+        rejected_before = sender.rejected
+        bytes_before = sender.bytes
+        sender.send_batch(self._sock, items)
+        stats.syscalls_send += sender.syscalls - syscalls_before
+        stats.transport_errors += sender.rejected - rejected_before
+        stats.bytes_sent += sender.bytes - bytes_before
+
+    def send_fanout(self, buf, addresses) -> None:
+        """Ship one buffer to every address — the per-round fan-out,
+        specialized past the generic pair-list path."""
+        if self._closed or not addresses:
+            return
+        stats = self._network.stats
+        sender = self._sender
+        syscalls_before = sender.syscalls
+        rejected_before = sender.rejected
+        bytes_before = sender.bytes
+        sender.send_fanout(self._sock, buf, addresses)
+        stats.syscalls_send += sender.syscalls - syscalls_before
+        stats.transport_errors += sender.rejected - rejected_before
+        stats.bytes_sent += sender.bytes - bytes_before
+
+    def _on_readable(self) -> None:
+        stats = self._network.stats
+        receiver = self._receiver
+        while not self._closed:
+            syscalls_before = receiver.syscalls
+            views = receiver.receive(self._sock)
+            stats.syscalls_recv += receiver.syscalls - syscalls_before
+            if not views:
+                return
+            for view in views:
+                # The view dies with this call: _on_datagram's codec
+                # materializes everything that escapes the handler.
+                self._network._on_datagram(self._node_id, view)
+                if self._closed:
+                    return
+
+    def is_closing(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._loop.remove_reader(self._sock.fileno())
+        except (OSError, ValueError):  # pragma: no cover - loop closed
+            pass
+        self._sock.close()
 
 
 #: Base sender-side delay (seconds) a latency spike multiplies when the
@@ -154,6 +295,15 @@ class UdpNetwork:
             fabric. ``None`` (default) keeps the fabric tolerant: it
             still *reads* signed balls from authenticating peers,
             stripping the signatures.
+        batch: Syscall batching mode. ``"auto"`` (default) binds raw
+            non-blocking sockets using the best
+            :mod:`~repro.runtime.batchio` tiers the platform offers,
+            falling back to asyncio endpoints on loops that cannot
+            watch file descriptors. ``False`` forces the pre-batching
+            asyncio datagram endpoints (the equivalence baseline). A
+            send-tier name (``"sendmmsg"`` / ``"sendmsg"`` /
+            ``"sendto"``) forces raw sockets on that tier — forcing an
+            unavailable tier raises ``ValueError``.
     """
 
     def __init__(
@@ -162,21 +312,47 @@ class UdpNetwork:
         seed: int = 0,
         latency: float = 0.0,
         authenticator=None,
+        batch: object = "auto",
     ) -> None:
+        # Opportunistic loop upgrade: a no-op unless the optional
+        # uvloop extra is installed and no loop is running yet.
+        fastloop.ensure_uvloop()
         self.host = host
         self.latency = float(latency)
         self.stats = UdpStats()
+        if batch is False or batch is None:
+            self._batch_enabled = False
+            self._send_tier: Optional[str] = None
+            self._recv_tier: Optional[str] = None
+        elif batch in ("auto", True):
+            self._batch_enabled = True
+            self._send_tier = batchio.best_send_tier()
+            self._recv_tier = batchio.best_recv_tier()
+        else:
+            # A forced tier must never silently degrade (ValueError).
+            self._send_tier = batchio.select_send_tier(str(batch))
+            self._recv_tier = batchio.best_recv_tier()
+            self._batch_enabled = True
         self._guard = BallGuard(authenticator) if authenticator else None
         self._adversary = None
         self._handlers: Dict[int, UdpMessageHandler] = {}
-        self._transports: Dict[int, asyncio.DatagramTransport] = {}
+        # Endpoint per node: _RawEndpoint when batching, else an
+        # asyncio DatagramTransport — both expose sendto/is_closing/
+        # close, which is all the fabric (and the test rigs) touch.
+        self._transports: Dict[int, Any] = {}
         self._addresses: Dict[int, Tuple[str, int]] = {}
         self._rng = random.Random(seed)
         # Shared encode pool: every outgoing datagram is serialized
         # into this one buffer and fanned out as a read-only view, so
         # the hot path is allocation-free. Any send that outlives the
-        # current dispatch (delayed or corrupted datagrams) must copy.
+        # current dispatch (delayed or corrupted datagrams) must take
+        # its own storage — delayed sends lease it from the pool below.
         self._encode_buffer = bytearray()
+        # Reusable buffers for latency-spiked (deferred) sends: leased
+        # in _route, returned by _sendto_later once the kernel (raw
+        # sockets, synchronously) or the transport (asyncio endpoints
+        # copy before buffering) no longer references the bytes.
+        self._deferred_pool: List[bytearray] = []
         # Partition: node id -> group label (None group is implicit).
         self._partition: Dict[int, object] = {}
         self._partitioned = False
@@ -246,8 +422,44 @@ class UdpNetwork:
                 self.stats.sent += 1
                 self.stats.dropped_encode += 1
             return
-        for dst in dsts:
-            self._dispatch(src, dst, datagram)
+        endpoint = self._transports.get(src)
+        if getattr(endpoint, "is_raw", False):
+            stats = self.stats
+            if self._fault_free():
+                # Wire-speed fast path: with every fault surface idle,
+                # per-destination routing reduces to an address lookup
+                # (and draws nothing from the fault RNG, so seeded runs
+                # match the routed path bit for bit). The shared
+                # read-only view cannot be pinned by ctypes; the batch
+                # ships the writable pool buffer it wraps.
+                addresses: List[Tuple[str, int]] = []
+                lookup = self._addresses.get
+                append = addresses.append
+                stats.sent += len(dsts)
+                for dst in dsts:
+                    address = lookup(dst)
+                    if address is None:
+                        stats.dropped_unopened += 1
+                        continue
+                    append(address)
+                endpoint.send_fanout(self._encode_buffer, addresses)
+            else:
+                # Batched fan-out under faults: route every destination
+                # first (faults apply per destination exactly as on the
+                # unbatched path), then ship the survivors together.
+                items = []
+                for dst in dsts:
+                    route = self._route(src, dst, datagram)
+                    if route is None:
+                        continue
+                    payload, address = route
+                    if payload is datagram:
+                        payload = self._encode_buffer
+                    items.append((payload, address))
+                endpoint.send_batch(items)
+        else:
+            for dst in dsts:
+                self._dispatch(src, dst, datagram)
 
     def _outbound(self, src: int, dst: Optional[int], message: Any) -> Any:
         """Apply adversary transforms and auth sealing to a ball.
@@ -286,15 +498,34 @@ class UdpNetwork:
 
     def _dispatch(self, src: int, dst: int, datagram: memoryview) -> None:
         """Apply per-destination fault surfaces and ship *datagram*."""
+        route = self._route(src, dst, datagram)
+        if route is None:
+            return
+        payload, address = route
+        self._transmit(self._transports[src], payload, address)
+
+    def _route(
+        self, src: int, dst: int, datagram: memoryview
+    ) -> Optional[Tuple[Any, Tuple[str, int]]]:
+        """Run one destination through the fault surfaces.
+
+        Returns ``(payload, address)`` for a datagram that should be
+        shipped *now* (payload is *datagram* itself unless corruption
+        took a mangled copy), or ``None`` when it was dropped or
+        deferred — deferred sends lease a pool buffer and reschedule
+        themselves via :meth:`_sendto_later`.
+        """
         self.stats.sent += 1
         if self._crosses_partition(src, dst):
             self.stats.dropped_partition += 1
-            return
-        sender_transport = self._transports.get(src)
-        address = self._addresses.get(dst)
-        if sender_transport is None or address is None:
+            return None
+        if self._transports.get(src) is None:
             self.stats.dropped_unopened += 1
-            return
+            return None
+        address = self._addresses.get(dst)
+        if address is None:
+            self.stats.dropped_unopened += 1
+            return None
         loop = asyncio.get_running_loop()
         now = loop.time()
         if (
@@ -303,18 +534,50 @@ class UdpNetwork:
             and self._rng.random() < self._burst_rate
         ):
             self.stats.dropped_burst += 1
-            return
+            return None
+        payload: Any = datagram
         if self._corruption_active() and self._rng.random() < self._corrupt_rate:
-            datagram = self._corrupt(datagram)
+            payload = self._corrupt(datagram)
             self.stats.corrupted += 1
         delay = self._send_delay(now)
         if delay > 0.0:
-            # The pooled buffer will be overwritten long before the
-            # timer fires; a deferred send needs its own copy.
+            # The pooled encode buffer will be overwritten long before
+            # the timer fires; lease a deferred-send buffer instead of
+            # allocating a fresh copy (returned in _sendto_later).
             self.stats.delayed += 1
-            loop.call_later(delay, self._sendto_later, src, bytes(datagram), address)
+            lease = (
+                self._deferred_pool.pop() if self._deferred_pool else bytearray()
+            )
+            lease[:] = payload
+            loop.call_later(delay, self._sendto_later, src, lease, address)
+            return None
+        return payload, address
+
+    def _transmit(self, endpoint, payload, address) -> None:
+        """Hand one datagram to *endpoint*, keeping the syscall and
+        byte counters honest for both endpoint flavors."""
+        if getattr(endpoint, "is_raw", False):
+            endpoint.sendto(payload, address)
         else:
-            sender_transport.sendto(datagram, address)
+            endpoint.sendto(payload, address)
+            self.stats.syscalls_send += 1
+            self.stats.bytes_sent += len(payload)
+
+    def _fault_free(self) -> bool:
+        """Whether every send-side fault surface is idle right now —
+        the condition under which routing a destination draws nothing
+        from the fault RNG and cannot drop, corrupt, or defer."""
+        if self._partitioned or self.latency > 0.0:
+            return False
+        if self._corruption_active():
+            return False
+        if self._burst_rate > 0.0 or self._spike_until > 0.0:
+            now = asyncio.get_running_loop().time()
+            if self._burst_rate > 0.0 and now < self._burst_until:
+                return False
+            if now < self._spike_until:
+                return False
+        return True
 
     def _send_delay(self, now: float) -> float:
         """Sender-side artificial delay for a datagram sent at *now*.
@@ -332,13 +595,26 @@ class UdpNetwork:
             return 0.0
         return latency * self._rng.uniform(0.5, 1.5)
 
-    def _sendto_later(self, src: int, datagram: bytes, address) -> None:
-        """Fire a delayed send; the sender may have died meanwhile."""
-        transport = self._transports.get(src)
-        if transport is None or transport.is_closing():
-            self.stats.dropped_unopened += 1
-            return
-        transport.sendto(datagram, address)
+    def _sendto_later(self, src: int, datagram, address) -> None:
+        """Fire a delayed send; the sender may have died meanwhile.
+
+        The leased buffer goes back to the pool afterwards: raw
+        endpoints hand the bytes to the kernel synchronously, and
+        asyncio transports copy (``bytes(data)``) before buffering, so
+        nothing references the lease once ``sendto`` returns.
+        """
+        try:
+            endpoint = self._transports.get(src)
+            if endpoint is None or endpoint.is_closing():
+                self.stats.dropped_unopened += 1
+                return
+            self._transmit(endpoint, datagram, address)
+        finally:
+            if (
+                isinstance(datagram, bytearray)
+                and len(self._deferred_pool) < _DEFERRED_POOL_LIMIT
+            ):
+                self._deferred_pool.append(datagram)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -447,14 +723,47 @@ class UdpNetwork:
         if node_id in self._transports:
             return self._addresses[node_id]
         loop = asyncio.get_running_loop()
-        transport, _ = await loop.create_datagram_endpoint(
-            lambda: _NodeProtocol(self, node_id),
-            local_addr=(self.host, 0),
-        )
-        address = transport.get_extra_info("sockname")[:2]
-        self._transports[node_id] = transport
+        endpoint = None
+        if self._batch_enabled:
+            endpoint = self._open_raw(node_id, loop)
+        if endpoint is not None:
+            address = endpoint._sock.getsockname()[:2]
+        else:
+            transport, _ = await loop.create_datagram_endpoint(
+                lambda: _NodeProtocol(self, node_id),
+                local_addr=(self.host, 0),
+            )
+            endpoint = transport
+            address = transport.get_extra_info("sockname")[:2]
+        self._transports[node_id] = endpoint
         self._addresses[node_id] = (address[0], address[1])
         return self._addresses[node_id]
+
+    def _open_raw(self, node_id: int, loop) -> Optional[_RawEndpoint]:
+        """Bind a raw batched socket, or ``None`` if this loop cannot
+        watch file descriptors (batching then stays off for the run)."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, _RECV_SOCKET_BUFFER
+            )
+        except OSError:  # pragma: no cover - exotic kernel limits
+            pass
+        try:
+            sock.bind((self.host, 0))
+            sock.setblocking(False)
+            return _RawEndpoint(
+                self, node_id, sock, loop, self._send_tier, self._recv_tier
+            )
+        except NotImplementedError:
+            # Proactor-style loops have no add_reader; use asyncio
+            # endpoints for this and every later socket.
+            sock.close()
+            self._batch_enabled = False
+            return None
+        except OSError:
+            sock.close()
+            raise
 
     async def open_all(self) -> None:
         """Bind a socket for every registered node."""
@@ -479,11 +788,25 @@ class UdpNetwork:
         """The (host, port) of *node_id*, if its socket is open."""
         return self._addresses.get(node_id)
 
+    @property
+    def batching(self) -> Optional[str]:
+        """The active send tier when syscall batching is on, else
+        ``None`` (asyncio endpoints)."""
+        return self._send_tier if self._batch_enabled else None
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _on_datagram(self, node_id: int, data: bytes) -> None:
+    def _on_datagram(self, node_id: int, data) -> None:
+        """Decode and admit one inbound datagram.
+
+        *data* may be a ``memoryview`` into a reusable receive buffer
+        (the batched path): it is only valid for the duration of this
+        call, and :func:`~repro.runtime.codec.decode` materializes
+        everything that reaches the handler.
+        """
+        self.stats.bytes_received += len(data)
         handler = self._handlers.get(node_id)
         if handler is None:
             return

@@ -32,7 +32,8 @@ class TestRegistry:
             "ablation-empirical",
         }
         drills = {"drill"}
-        assert set(REGISTRY) == figures | ablations | drills
+        benches = {"net-bench"}
+        assert set(REGISTRY) == figures | ablations | drills | benches
 
     def test_scale_flag_matches_runner_signature(self):
         for entry in REGISTRY.values():

@@ -1,0 +1,293 @@
+"""Tests for the batched-datagram syscall layer (repro.runtime.batchio).
+
+The fallback cascade must behave identically at every tier — same
+datagrams on the wire, same drop semantics — with only the syscall
+counters allowed to differ. These tests run every tier the platform
+supports against real loopback sockets.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.runtime import batchio
+from repro.runtime.batchio import (
+    RECV_TIERS,
+    SEND_TIERS,
+    BatchReceiver,
+    BatchSender,
+    best_recv_tier,
+    best_send_tier,
+    select_recv_tier,
+    select_send_tier,
+)
+
+
+def _supported_send_tiers():
+    tiers = []
+    for tier in SEND_TIERS:
+        try:
+            select_send_tier(tier)
+        except ValueError:
+            continue
+        tiers.append(tier)
+    return tiers
+
+
+def _supported_recv_tiers():
+    tiers = []
+    for tier in RECV_TIERS:
+        try:
+            select_recv_tier(tier)
+        except ValueError:
+            continue
+        tiers.append(tier)
+    return tiers
+
+
+def _pair():
+    rx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    rx.bind(("127.0.0.1", 0))
+    rx.setblocking(False)
+    tx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    tx.bind(("127.0.0.1", 0))
+    tx.setblocking(False)
+    return tx, rx, rx.getsockname()
+
+
+def _drain(rx, expect: int, timeout: float = 1.0):
+    import time
+
+    rx.setblocking(False)
+    out = []
+    deadline = time.monotonic() + timeout
+    while len(out) < expect and time.monotonic() < deadline:
+        try:
+            out.append(rx.recvfrom(65535)[0])
+        except BlockingIOError:
+            time.sleep(0.001)
+    return out
+
+
+class TestTierSelection:
+    def test_best_tiers_are_known(self):
+        assert best_send_tier() in SEND_TIERS
+        assert best_recv_tier() in RECV_TIERS
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError):
+            select_send_tier("carrier-pigeon")
+        with pytest.raises(ValueError):
+            select_recv_tier("carrier-pigeon")
+
+    def test_forcing_the_floor_is_always_allowed(self):
+        assert select_send_tier("sendto") == "sendto"
+        assert select_recv_tier("recv_into") == "recv_into"
+
+    def test_forcing_unavailable_tier_raises(self, monkeypatch):
+        monkeypatch.setattr(batchio, "HAS_SENDMMSG", False)
+        monkeypatch.setattr(batchio, "HAS_RECVMMSG", False)
+        with pytest.raises(ValueError):
+            select_send_tier("sendmmsg")
+        with pytest.raises(ValueError):
+            select_recv_tier("recvmmsg")
+        # ...and the best tier degrades instead of failing.
+        assert select_send_tier() in ("sendmsg", "sendto")
+        assert select_recv_tier() == "recv_into"
+
+
+class TestBatchSender:
+    @pytest.mark.parametrize("tier", _supported_send_tiers())
+    def test_batch_round_trip_every_tier(self, tier):
+        tx, rx, addr = _pair()
+        try:
+            sender = BatchSender(tier)
+            payloads = [b"alpha", b"bravo", b"charlie", b"delta"]
+            done = sender.send_batch(tx, [(p, addr) for p in payloads])
+            assert done == 4
+            assert sender.sent == 4
+            assert sender.rejected == 0
+            assert _drain(rx, 4) == payloads
+        finally:
+            tx.close()
+            rx.close()
+
+    @pytest.mark.skipif(not batchio.HAS_SENDMMSG, reason="no sendmmsg")
+    def test_sendmmsg_fanout_is_one_syscall(self):
+        tx, rx, addr = _pair()
+        try:
+            sender = BatchSender("sendmmsg")
+            pool = bytearray(b"the-ball")
+            done = sender.send_batch(tx, [(pool, addr)] * 12)
+            assert done == 12
+            assert sender.syscalls == 1
+            assert _drain(rx, 12) == [b"the-ball"] * 12
+        finally:
+            tx.close()
+            rx.close()
+
+    @pytest.mark.skipif(not batchio.HAS_SENDMMSG, reason="no sendmmsg")
+    def test_sendmmsg_grows_past_initial_capacity(self):
+        tx, rx, addr = _pair()
+        try:
+            sender = BatchSender("sendmmsg")
+            n = BatchSender._INITIAL_CAPACITY * 2 + 3
+            payloads = [b"m%d" % i for i in range(n)]
+            done = sender.send_batch(tx, [(p, addr) for p in payloads])
+            assert done == n
+            assert _drain(rx, n) == payloads
+        finally:
+            tx.close()
+            rx.close()
+
+    def test_fallback_tiers_cost_one_syscall_per_datagram(self):
+        tx, rx, addr = _pair()
+        try:
+            sender = BatchSender("sendto")
+            sender.send_batch(tx, [(b"x", addr), (b"y", addr)])
+            assert sender.syscalls == 2
+        finally:
+            tx.close()
+            rx.close()
+
+    @pytest.mark.skipif(not batchio.HAS_SENDMMSG, reason="no sendmmsg")
+    def test_writable_buffer_is_not_copied(self):
+        """The sendmmsg tier points straight into a bytearray — the
+        bytes on the wire are whatever the buffer held at call time,
+        and the buffer is immediately reusable afterwards."""
+        tx, rx, addr = _pair()
+        try:
+            sender = BatchSender("sendmmsg")
+            pool = bytearray(b"first")
+            sender.send_batch(tx, [(pool, addr)])
+            pool[:] = b"secnd"
+            sender.send_batch(tx, [(pool, addr)])
+            assert _drain(rx, 2) == [b"first", b"secnd"]
+        finally:
+            tx.close()
+            rx.close()
+
+    def test_send_one(self):
+        tx, rx, addr = _pair()
+        try:
+            sender = BatchSender("sendto")
+            assert sender.send_one(tx, b"solo", addr)
+            assert sender.syscalls == 1
+            assert _drain(rx, 1) == [b"solo"]
+        finally:
+            tx.close()
+            rx.close()
+
+    def test_empty_batch_is_free(self):
+        tx, rx, addr = _pair()
+        try:
+            sender = BatchSender()
+            assert sender.send_batch(tx, []) == 0
+            assert sender.syscalls == 0
+        finally:
+            tx.close()
+            rx.close()
+
+
+class TestBatchReceiver:
+    @pytest.mark.parametrize("tier", _supported_recv_tiers())
+    def test_burst_drain_every_tier(self, tier):
+        tx, rx, addr = _pair()
+        try:
+            payloads = [b"p%d" % i for i in range(9)]
+            for p in payloads:
+                tx.sendto(p, addr)
+            import time
+
+            time.sleep(0.02)
+            receiver = BatchReceiver(tier)
+            got = []
+            while True:
+                views = receiver.receive(rx)
+                if not views:
+                    break
+                got.extend(bytes(v) for v in views)
+            assert got == payloads
+            assert receiver.received == 9
+        finally:
+            tx.close()
+            rx.close()
+
+    @pytest.mark.skipif(not batchio.HAS_RECVMMSG, reason="no recvmmsg")
+    def test_recvmmsg_burst_is_one_syscall(self):
+        tx, rx, addr = _pair()
+        try:
+            for i in range(7):
+                tx.sendto(b"b%d" % i, addr)
+            import time
+
+            time.sleep(0.02)
+            receiver = BatchReceiver("recvmmsg")
+            views = receiver.receive(rx)
+            assert len(views) == 7
+            assert receiver.syscalls == 1
+        finally:
+            tx.close()
+            rx.close()
+
+    def test_views_are_zero_copy_and_invalidated_by_next_call(self):
+        """Views point into the receiver's own buffers: the *next*
+        receive may overwrite them, so consumers must materialize."""
+        tx, rx, addr = _pair()
+        try:
+            receiver = BatchReceiver()
+            tx.sendto(b"AAAA", addr)
+            import time
+
+            time.sleep(0.02)
+            (first,) = receiver.receive(rx)
+            kept = bytes(first)  # what a correct consumer does
+            tx.sendto(b"BBBB", addr)
+            time.sleep(0.02)
+            (second,) = receiver.receive(rx)
+            assert bytes(second) == b"BBBB"
+            assert kept == b"AAAA"
+            # The stale view now reads the overwritten buffer.
+            assert bytes(first) == b"BBBB"
+        finally:
+            tx.close()
+            rx.close()
+
+    def test_empty_socket_returns_nothing(self):
+        tx, rx, addr = _pair()
+        try:
+            receiver = BatchReceiver()
+            assert receiver.receive(rx) == []
+        finally:
+            tx.close()
+            rx.close()
+
+
+class TestCrossTierEquivalence:
+    """Satellite: every (send tier, recv tier) pair moves identical
+    bytes with identical drop semantics; only syscall counts differ."""
+
+    @pytest.mark.parametrize("send_tier", _supported_send_tiers())
+    @pytest.mark.parametrize("recv_tier", _supported_recv_tiers())
+    def test_matrix_moves_identical_bytes(self, send_tier, recv_tier):
+        tx, rx, addr = _pair()
+        try:
+            sender = BatchSender(send_tier)
+            receiver = BatchReceiver(recv_tier)
+            payloads = [bytes([65 + i]) * (i + 1) for i in range(10)]
+            assert sender.send_batch(tx, [(p, addr) for p in payloads]) == 10
+            import time
+
+            time.sleep(0.02)
+            got = []
+            while True:
+                views = receiver.receive(rx)
+                if not views:
+                    break
+                got.extend(bytes(v) for v in views)
+            assert got == payloads
+        finally:
+            tx.close()
+            rx.close()

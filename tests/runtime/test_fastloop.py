@@ -1,0 +1,105 @@
+"""Optional uvloop integration (repro.runtime.fastloop).
+
+uvloop is not installed in CI, so these tests exercise both halves of
+the gate: the graceful no-op when the package is absent, and the
+policy installation against a stub module injected into sys.modules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import types
+
+import pytest
+
+from repro.runtime import fastloop
+from repro.runtime.cluster import AsyncCluster
+from repro.runtime.udp import UdpNetwork
+
+
+class _StubPolicy(asyncio.DefaultEventLoopPolicy):
+    """Stands in for uvloop.EventLoopPolicy — still makes real loops."""
+
+
+@pytest.fixture
+def stub_uvloop(monkeypatch):
+    module = types.ModuleType("uvloop")
+    module.EventLoopPolicy = _StubPolicy
+    monkeypatch.setitem(sys.modules, "uvloop", module)
+    monkeypatch.delenv(fastloop.ENV_DISABLE, raising=False)
+    original = asyncio.get_event_loop_policy()
+    yield module
+    asyncio.set_event_loop_policy(original)
+
+
+@pytest.fixture
+def no_uvloop(monkeypatch):
+    monkeypatch.setitem(sys.modules, "uvloop", None)
+    monkeypatch.delenv(fastloop.ENV_DISABLE, raising=False)
+
+
+class TestWithoutUvloop:
+    def test_unavailable_is_a_clean_no(self, no_uvloop):
+        assert not fastloop.uvloop_available()
+        assert not fastloop.ensure_uvloop()
+
+    def test_run_still_works(self, no_uvloop):
+        async def answer():
+            return 42
+
+        assert fastloop.run(answer()) == 42
+
+    def test_constructors_never_require_uvloop(self, no_uvloop):
+        from repro.core import EpToConfig
+
+        UdpNetwork()
+        AsyncCluster(EpToConfig(fanout=2, ttl=3, round_interval=20))
+
+
+class TestWithStubUvloop:
+    def test_ensure_installs_the_policy(self, stub_uvloop):
+        assert fastloop.uvloop_available()
+        assert fastloop.ensure_uvloop()
+        assert isinstance(asyncio.get_event_loop_policy(), _StubPolicy)
+
+    def test_ensure_is_idempotent(self, stub_uvloop):
+        assert fastloop.ensure_uvloop()
+        installed = asyncio.get_event_loop_policy()
+        assert fastloop.ensure_uvloop()
+        assert asyncio.get_event_loop_policy() is installed
+
+    def test_env_var_opts_out(self, stub_uvloop, monkeypatch):
+        monkeypatch.setenv(fastloop.ENV_DISABLE, "1")
+        assert not fastloop.uvloop_available()
+        assert not fastloop.ensure_uvloop()
+        assert not isinstance(asyncio.get_event_loop_policy(), _StubPolicy)
+
+    def test_no_policy_swap_while_a_loop_is_running(self, stub_uvloop):
+        """Mid-run installation would be a silent lie — ensure_uvloop
+        must only report on the loop that is actually running."""
+
+        async def probe():
+            return fastloop.ensure_uvloop()
+
+        before = asyncio.get_event_loop_policy()
+        active = asyncio.run(probe())
+        assert not active  # the stdlib loop was running, not uvloop's
+        assert asyncio.get_event_loop_policy() is before
+
+    def test_network_constructor_auto_selects(self, stub_uvloop):
+        UdpNetwork()
+        assert isinstance(asyncio.get_event_loop_policy(), _StubPolicy)
+
+    def test_cluster_constructor_auto_selects(self, stub_uvloop):
+        from repro.core import EpToConfig
+
+        AsyncCluster(EpToConfig(fanout=2, ttl=3, round_interval=20))
+        assert isinstance(asyncio.get_event_loop_policy(), _StubPolicy)
+
+    def test_run_executes_under_the_installed_policy(self, stub_uvloop):
+        async def loop_module():
+            return type(asyncio.get_running_loop()).__module__
+
+        assert fastloop.run(loop_module()).startswith("asyncio")
+        assert isinstance(asyncio.get_event_loop_policy(), _StubPolicy)

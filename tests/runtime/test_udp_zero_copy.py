@@ -1,0 +1,227 @@
+"""Receive-path hostility: hostile datagrams through zero-copy decode.
+
+The batched receive path hands ``memoryview`` slices of reusable
+receive buffers straight into :func:`repro.runtime.codec.decode`.
+These tests pin the two invariants that make that safe:
+
+1. any truncated / oversized / bit-flipped datagram is rejected with
+   the correct split counter (``dropped_malformed`` vs
+   ``dropped_bad_version``) and never crashes the fabric — across
+   codec version 1 (plain kinds) and version 2 (signed kind 7);
+2. nothing the codec returns aliases the receive buffer: no
+   ``memoryview`` escapes past handler return, so the transport may
+   overwrite its buffers the moment the handler completes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.auth import BallGuard, HmacAuthenticator, KeyRing
+from repro.core.event import BallEntry, Event, make_ball
+from repro.runtime import codec
+from repro.runtime.codec import CodecError, CodecVersionError, decode
+from repro.runtime.udp import UdpNetwork
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def a_ball(payload="x"):
+    return make_ball(
+        [
+            BallEntry(Event(id=(9, 0), ts=1, source_id=9, payload=payload), 0),
+            BallEntry(Event(id=(9, 1), ts=2, source_id=9, payload=[payload, 1]), 3),
+        ]
+    )
+
+
+def _plain_wire(payload="plain"):
+    return codec.encode(9, a_ball(payload))
+
+
+def _signed_wire(payload="signed"):
+    guard = BallGuard(HmacAuthenticator(KeyRing("zero-copy-test")))
+    ball = a_ball(payload)
+    guard.seal(9, ball)
+    return codec.encode(9, guard.attach(ball))
+
+
+def _walk(obj):
+    """Yield every object reachable from a delivered message."""
+    yield obj
+    if isinstance(obj, (tuple, list)):
+        for item in obj:
+            yield from _walk(item)
+    elif hasattr(obj, "__dict__"):
+        for item in vars(obj).values():
+            yield from _walk(item)
+
+
+class TestCodecFuzz:
+    """Direct fuzz of ``decode`` over memoryview slices (no sockets)."""
+
+    @pytest.mark.parametrize("wire", [_plain_wire(), _signed_wire()])
+    def test_truncation_at_every_boundary_is_rejected(self, wire):
+        for cut in range(len(wire)):
+            with pytest.raises((CodecError, CodecVersionError)):
+                decode(memoryview(wire)[:cut])
+
+    @pytest.mark.parametrize("wire", [_plain_wire(), _signed_wire()])
+    def test_oversized_datagram_is_rejected(self, wire):
+        with pytest.raises(CodecError):
+            decode(memoryview(wire + b"\x00junk"))
+
+    @pytest.mark.parametrize("wire", [_plain_wire(), _signed_wire()])
+    def test_bit_flip_fuzz_never_crashes(self, wire):
+        """Seeded single-bit flips either decode (flip landed in a
+        payload byte that stayed valid) or raise a codec error — never
+        anything else, and never an escape of the source buffer."""
+        rng = random.Random(0xF12)
+        for _ in range(400):
+            mutated = bytearray(wire)
+            mutated[rng.randrange(len(mutated))] ^= 1 << rng.randrange(8)
+            view = memoryview(mutated)
+            try:
+                sender, message = decode(view)
+            except (CodecError, CodecVersionError):
+                continue
+            assert isinstance(sender, int)
+            for obj in _walk(message):
+                assert not isinstance(obj, (memoryview, bytearray))
+
+    def test_version_flip_is_a_version_rejection_not_malformed(self):
+        wire = bytearray(_plain_wire())
+        wire[2] = 9  # future header version
+        with pytest.raises(CodecVersionError):
+            decode(memoryview(wire))
+
+    def test_signed_kind_under_v1_header_is_malformed(self):
+        wire = bytearray(_signed_wire())
+        wire[2] = 1  # kind 7 requires header version 2
+        with pytest.raises(CodecError):
+            decode(memoryview(wire))
+
+    def test_decode_from_offset_view_into_larger_buffer(self):
+        """Memoryview boundary check: the wire embedded mid-buffer
+        decodes identically to a standalone copy."""
+        wire = _plain_wire("embedded")
+        arena = bytearray(b"\xaa" * 37) + wire + bytearray(b"\xbb" * 53)
+        view = memoryview(arena)[37 : 37 + len(wire)]
+        assert decode(view) == decode(wire)
+
+    def test_decoded_message_survives_buffer_scribble(self):
+        """Everything decode returns is owned: zeroing the source
+        buffer afterwards must not disturb the message."""
+        wire = bytearray(_signed_wire("keepsake"))
+        sender, message = decode(memoryview(wire))
+        wire[:] = bytes(len(wire))
+        assert sender == 9
+        assert message.entries[0].event.payload == "keepsake"
+        mac = message.signatures[0].mac
+        assert isinstance(mac, bytes) and any(mac)
+
+
+class TestFabricHostility:
+    """The same hostility through real sockets and the batched
+    receive path, asserting the fabric's split drop counters."""
+
+    def _scenario(self, wires, authenticator=None):
+        async def go():
+            network = UdpNetwork(authenticator=authenticator)
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append((src, msg)))
+            network.register(2, lambda src, msg: None)
+            await network.open_all()
+            host, port = network._addresses[1]  # noqa: SLF001 - test rig
+            endpoint = network._transports[2]  # noqa: SLF001 - test rig
+            for wire in wires:
+                endpoint.sendto(bytes(wire), (host, port))
+            await asyncio.sleep(0.08)
+            await network.close()
+            return inbox, network.stats
+
+        return run(go())
+
+    def test_fuzzed_wires_split_counters_and_never_crash(self):
+        rng = random.Random(0xBEEF)
+        wire = _plain_wire("survivor")
+        wires = [wire]  # one intact datagram among the noise
+        for _ in range(40):
+            mutated = bytearray(wire)
+            mode = rng.randrange(3)
+            if mode == 0:
+                mutated = mutated[: rng.randrange(1, len(mutated))]
+            elif mode == 1:
+                mutated[rng.randrange(len(mutated))] ^= 0xFF
+            else:
+                mutated += b"\x00" * rng.randrange(1, 9)
+            wires.append(mutated)
+        inbox, stats = self._scenario(wires)
+        assert len(inbox) >= 1
+        assert inbox[0][1][0].event.payload == "survivor"
+        rejected = stats.dropped_malformed + stats.dropped_bad_version
+        assert len(inbox) + rejected == len(wires)
+        assert stats.dropped_malformed > 0
+
+    def test_flipped_version_counts_bad_version_over_udp(self):
+        wire = bytearray(_plain_wire())
+        wire[2] = 7
+        inbox, stats = self._scenario([wire])
+        assert inbox == []
+        assert stats.dropped_bad_version == 1
+        assert stats.dropped_malformed == 0
+
+    def test_mangled_signed_ball_is_rejected_per_cause(self):
+        """A signed ball (kind 7) with a flipped MAC byte decodes fine
+        but fails admission — counted as a signature rejection, not as
+        line noise."""
+        authenticator = HmacAuthenticator(KeyRing("zero-copy-test"))
+        guard = BallGuard(authenticator)
+        # The sealer only signs events it originated: source must be 2.
+        ball = make_ball(
+            [BallEntry(Event(id=(2, 0), ts=1, source_id=2, payload="sealed"), 0)]
+        )
+        guard.seal(2, ball)
+        signed = guard.attach(ball)
+        wire = bytearray(codec.encode(2, signed))
+        mac = signed.signatures[0].mac
+        offset = bytes(wire).find(mac)
+        assert offset > 0, "MAC not found in wire"
+        wire[offset] ^= 0x01
+        inbox, stats = self._scenario([wire], authenticator=authenticator)
+        assert stats.dropped_bad_signature >= 1
+        assert stats.dropped_malformed == 0
+
+    def test_no_memoryview_escapes_past_handler_return(self):
+        """End to end over the batched path: deliver a real ball, then
+        scribble every receive buffer the raw endpoint owns — the
+        delivered message must be untouched, and nothing reachable
+        from it may be a memoryview or bytearray."""
+
+        async def go():
+            network = UdpNetwork(seed=3)
+            inbox = []
+            network.register(1, lambda src, msg: inbox.append((src, msg)))
+            network.register(2, lambda src, msg: None)
+            await network.open_all()
+            raw = network._transports[1]  # noqa: SLF001 - test rig
+            assert getattr(raw, "is_raw", False), "batched path not active"
+            network.send(2, 1, a_ball("fragile"))
+            await asyncio.sleep(0.05)
+            for buf in raw._receiver._buffers:  # noqa: SLF001 - test rig
+                buf[:] = bytes(len(buf))
+            await network.close()
+            return inbox
+
+        inbox = run(go())
+        assert len(inbox) == 1
+        src, message = inbox[0]
+        assert src == 2
+        assert message[0].event.payload == "fragile"
+        for obj in _walk(message):
+            assert not isinstance(obj, (memoryview, bytearray))
