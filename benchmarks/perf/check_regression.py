@@ -5,9 +5,10 @@ in ``BENCH_core.json`` must be at least the floor (default 1.0).
 The perf harness records machine-dependent timings, so CI never asserts
 wall-clock numbers from a shared runner. What it CAN assert is the
 committed record: each optimization documented in ``BENCH_core.json``
-claims a ``speedup`` over its preserved baseline (ordering round loop,
-encode-once fan-out, flat engine vs object engine, batched vs unbatched
-wire path). A committed value below 1.0 means a regeneration recorded
+claims a ``speedup`` over an in-harness baseline (encode-once fan-out,
+flat engine vs object engine, batched vs unbatched wire path,
+multiplexed vs separate service clusters). A committed value below 1.0
+means a regeneration recorded
 an optimization that no longer optimizes — fail loudly and make the
 regression a review conversation, not a silent drift.
 
@@ -56,6 +57,16 @@ def main(argv=None) -> int:
         default=1.0,
         help="minimum acceptable speedup (default: 1.0)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help=(
+            "fail unless at least one speedup entry lives under this "
+            "JSON path prefix (repeatable; e.g. scenarios.service_bench)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     path = Path(args.path)
@@ -68,6 +79,20 @@ def main(argv=None) -> int:
         print(
             f"check_regression: no speedup entries in {path} — "
             "wrong file or schema drift",
+            file=sys.stderr,
+        )
+        return 2
+
+    missing = [
+        prefix
+        for prefix in args.require
+        if not any(where.startswith(prefix) for where, _ in speedups)
+    ]
+    if missing:
+        print(
+            f"check_regression: no speedup entries under required "
+            f"prefix(es) {missing} in {path.name} — scenario dropped "
+            "from the committed benchmark?",
             file=sys.stderr,
         )
         return 2

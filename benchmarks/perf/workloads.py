@@ -25,7 +25,6 @@ from typing import List, Tuple
 from repro.core.clock import GlobalClockOracle
 from repro.core.event import Ball, BallEntry, Event, make_ball
 from repro.core.ordering import OrderingComponent
-from repro.core.ordering_baseline import BaselineOrderingComponent
 
 #: Stability threshold used by every ordering workload.
 TTL = 30
@@ -71,21 +70,11 @@ def build_ordering_schedule(n: int, seed: int) -> List[Ball]:
     return schedule
 
 
-def new_ordering(kind: str) -> Tuple[object, List[Event]]:
-    """A fresh ordering component plus its delivery sink.
-
-    *kind* is ``"optimized"`` (:class:`repro.core.ordering.OrderingComponent`)
-    or ``"baseline"`` (the seed implementation preserved in
-    :mod:`repro.core.ordering_baseline`).
-    """
+def new_ordering() -> Tuple[OrderingComponent, List[Event]]:
+    """A fresh live ordering component plus its delivery sink."""
     delivered: List[Event] = []
     oracle = GlobalClockOracle(ttl=TTL, time_source=lambda: 0)
-    if kind == "optimized":
-        component = OrderingComponent(oracle, delivered.append)
-    elif kind == "baseline":
-        component = BaselineOrderingComponent(oracle, delivered.append)
-    else:
-        raise ValueError(f"unknown ordering kind {kind!r}")
+    component = OrderingComponent(oracle, delivered.append)
     return component, delivered
 
 

@@ -1,22 +1,23 @@
 #!/usr/bin/env python3
-"""Durable state-machine replication: crash, recover from disk, converge.
+"""Durable state-machine replication as a broadcast-service tenant.
 
 `examples/replicated_kv_store.py` shows that EpTO's total order keeps
-replicas identical. This example adds the missing piece for long-lived
-deployments: **durability**. Every node journals its deliveries to a
-segmented, CRC-checksummed log (`repro.storage`), checkpoints its
-replica state into atomic snapshots, and — after a crash — a node
-respawned under the same identity rebuilds itself from disk:
+replicas identical; this example adds **durability** and runs the
+replicated store as a *tenant* of the multi-topic broadcast service
+(`repro.service`, docs/SERVICE.md): every host multiplexes a KV topic
+and an audit-log topic over one socket, each topic journaling its own
+deliveries to a segmented, CRC-checksummed log (`repro.storage`).
+
+The drill crashes one host mid-run. Its KV tenant recovers from disk —
 
 1. load the latest snapshot,
 2. replay the delivery-log suffix in order-key order,
 3. resume the broadcast sequence past every issued `(source, seq)` id,
-4. deduplicate post-restart re-deliveries against the recovered
-   watermark, so commands apply exactly once.
+4. deduplicate re-gossiped deliveries against the recovered watermark,
+5. close the TTL-outliving gap with anti-entropy before rejoining —
 
-The drill below crashes a replica *after* some of its history has
-expired from the epidemic (TTL long gone): those commands survive only
-on disk, yet the recovered replica still converges with the cluster.
+and converges with the cluster, exactly-once, while the audit-log topic
+on the *same* sockets never stops flowing.
 
 Run with::
 
@@ -25,95 +26,119 @@ Run with::
 
 from __future__ import annotations
 
+import asyncio
 import shutil
 import tempfile
+from pathlib import Path
 
 from repro.core import EpToConfig
-from repro.sim.cluster import ClusterConfig, SimCluster
-from repro.sim.engine import Simulator
-from repro.sim.network import SimNetwork
-from repro.smr.machine import KeyValueStore
-from repro.smr.replica import ReplicatedService
+from repro.service import ServiceCluster, ServiceReplica
+from repro.smr.machine import AppendLog, KeyValueStore
+from repro.sync.config import SyncConfig
 
-N = 8
+N = 6
 SEED = 11
 VICTIM = 3
+KV_TOPIC = 1
+AUDIT_TOPIC = 2
+
+
+async def drill(storage_dir: Path) -> None:
+    config = EpToConfig.for_system_size(N, round_interval=20)
+    cluster = ServiceCluster(
+        config,
+        storage_dir=storage_dir,
+        sync=SyncConfig(),
+        expected_size=N,
+        seed=SEED,
+    )
+    cluster.open_topic(KV_TOPIC)
+    cluster.open_topic(AUDIT_TOPIC)
+    cluster.add_hosts(N)
+
+    kv = {
+        host_id: ServiceReplica(
+            service, KV_TOPIC, KeyValueStore(), journal_commands=True
+        )
+        for host_id, service in cluster.hosts.items()
+    }
+    audit = {
+        host_id: ServiceReplica(service, AUDIT_TOPIC, AppendLog())
+        for host_id, service in cluster.hosts.items()
+    }
+    cluster.start_all()
+
+    sent = 0
+
+    async def submit(host_id: int, index: int) -> None:
+        nonlocal sent
+        await kv[host_id].submit(("put", f"key{index}", index))
+        await audit[host_id].submit(f"put key{index} by host {host_id}")
+        sent += 1
+
+    # Early traffic: delivered, journaled, then its TTL expires — after
+    # the crash these commands survive only in the victim's journal.
+    for i in range(4):
+        await submit(i % N, i)
+    await cluster.wait_for_topic(KV_TOPIC, 4, timeout=20)
+
+    # Mid-run checkpoint, so recovery is snapshot *plus* log suffix.
+    kv[VICTIM].checkpoint()
+
+    cluster.crash_host(VICTIM)
+    # Traffic across the outage: the victim's epidemic window for these
+    # events closes while it is down; only disk + anti-entropy bring
+    # them back.
+    for i in range(4, 8):
+        await submit((i + 1) % N, i)
+    await asyncio.sleep(0.5)
+    await cluster.respawn_host(VICTIM)
+
+    # Post-recovery traffic, including from the recovered host.
+    for i in range(8, 12):
+        await submit(i % N, i)
+    for topic in (KV_TOPIC, AUDIT_TOPIC):
+        await cluster.wait_for_topic(topic, 12, timeout=30)
+
+    recovered = cluster.hosts[VICTIM].topics[KV_TOPIC].recoveries[-1]
+    print(f"commands submitted : {sent} (x2 topics, one socket per host)")
+    print(
+        f"recovery           : snapshot #{recovered.snapshot_index}, "
+        f"{recovered.replayed} log records replayed, "
+        f"{recovered.applied_count} commands restored from disk"
+    )
+    print(f"resume point       : next broadcast seq {recovered.next_seq}")
+
+    victim = kv[VICTIM]
+    kv_converged = len({replica.digest() for replica in kv.values()}) == 1
+    audit_converged = len({replica.digest() for replica in audit.values()}) == 1
+    print(
+        f"victim replica     : {victim.applied_count}/{sent} commands "
+        f"applied across both incarnations"
+    )
+    print(f"kv topic           : {'CONVERGED' if kv_converged else 'DIVERGED'}")
+    print(f"audit topic        : {'CONVERGED' if audit_converged else 'DIVERGED'}")
+
+    frames = sum(s.demux.stats.frames_sent for s in cluster.hosts.values())
+    envelopes = sum(s.demux.stats.envelopes_sent for s in cluster.hosts.values())
+    print(
+        f"wire               : {frames} topic frames in {envelopes} "
+        f"datagrams ({frames / max(envelopes, 1):.2f} frames/datagram)"
+    )
+    print(
+        "\nThe recovered tenant's early state came purely from disk — those\n"
+        "events had expired from the epidemic — and the journal watermark\n"
+        "kept every command exactly-once across the restart, while the\n"
+        "audit topic kept flowing over the same shared sockets."
+    )
+    assert kv_converged and audit_converged
+    await cluster.close_all()
 
 
 def main() -> None:
     storage_dir = tempfile.mkdtemp(prefix="epto-durable-kv-")
     try:
-        sim = Simulator(seed=SEED)
-        network = SimNetwork(sim)
-        config = EpToConfig(fanout=4, ttl=12, round_interval=10)
-        cluster = SimCluster(
-            sim,
-            network,
-            ClusterConfig(epto=config, expected_size=N),
-            storage_dir=storage_dir,
-        )
-        cluster.add_nodes(N)
-        service = ReplicatedService(cluster, KeyValueStore, journal_commands=True)
-
-        sent = []
-
-        def submit(node_id: int, index: int) -> None:
-            sent.append(service.submit(node_id, ["put", f"key{index}", index]))
-
-        # Early traffic: delivered and journaled everywhere, then its
-        # TTL expires — after the crash these commands exist only in
-        # the victim's snapshot and log.
-        for i in range(4):
-            sim.schedule_at(5 + i * 10, lambda i=i: submit(i % N, i))
-        # Mid-run checkpoint, so recovery is snapshot *plus* log suffix.
-        sim.schedule_at(
-            145,
-            lambda: cluster.journals[VICTIM].save_snapshot(
-                service.replica(VICTIM).snapshot()
-            ),
-        )
-        # Traffic still in flight across the outage (the relay window of
-        # an event closes one TTL after broadcast, so only events
-        # broadcast close enough to the crash are still circulating at
-        # the respawn — a crashed node permanently misses anything
-        # whose window closes while it is down).
-        for i in range(4, 8):
-            sim.schedule_at(95 + (i - 4) * 10, lambda i=i: submit((i + 1) % N, i))
-        sim.schedule_at(185, lambda: cluster.crash_node(VICTIM))
-        sim.schedule_at(195, lambda: cluster.respawn_node(VICTIM))
-        # Post-recovery traffic, including from the recovered node.
-        for i in range(8, 14):
-            sim.schedule_at(260 + (i - 8) * 10, lambda i=i: submit(i % N, i))
-
-        sim.run(until=320 + 3 * config.ttl * config.round_interval)
-
-        (recovered,) = cluster.recoveries[VICTIM]
-        print(f"commands submitted : {len(sent)}")
-        print(
-            f"recovery           : snapshot #{recovered.snapshot_index}, "
-            f"{recovered.replayed} log records replayed, "
-            f"{recovered.applied_count} commands restored from disk"
-        )
-        print(f"resume point       : next broadcast seq {recovered.next_seq}")
-        journal = cluster.journals[VICTIM]
-        print(
-            f"second incarnation : {journal.stats.recorded} new deliveries "
-            f"journaled, {journal.stats.deduplicated} re-deliveries dropped"
-        )
-
-        converged = service.converged()
-        replica = service.replica(VICTIM)
-        print(
-            f"victim replica     : {replica.applied_count}/{len(sent)} "
-            f"commands applied, duplicates="
-            f"{replica.applied_count - len({tuple(c) for c in replica.journal})}"
-        )
-        print(f"cluster            : {'CONVERGED' if converged else 'DIVERGED'}")
-        print(
-            "\nThe recovered replica's early state came purely from disk —\n"
-            "those events had expired from the epidemic — and the journal\n"
-            "watermark kept every command exactly-once across the restart."
-        )
+        asyncio.run(drill(Path(storage_dir)))
     finally:
         shutil.rmtree(storage_dir, ignore_errors=True)
 

@@ -26,6 +26,9 @@ Package layout
   the ``epto-experiment`` CLI.
 - :mod:`repro.runtime` — an asyncio runtime (§8.5's "real system
   implementation" future work).
+- :mod:`repro.service` — the multi-topic broadcast service: many
+  independent EpTO streams multiplexed over one shared transport per
+  host, with an async publish/subscribe API (docs/SERVICE.md).
 
 Quickstart
 ----------
@@ -74,6 +77,12 @@ from .faults import (
 )
 from .metrics import DeliveryCollector, SpecReport, check_run
 from .pss import CyclonPss, MembershipDirectory, UniformViewPss
+from .service import (
+    BackpressureError,
+    BroadcastService,
+    ServiceCluster,
+    ServiceReplica,
+)
 from .smr import KeyValueStore, Replica, ReplicatedService
 from .sim import (
     ChurnDriver,
@@ -88,9 +97,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AsyncFaultInjector",
+    "BackpressureError",
     "Ball",
     "BallEntry",
     "BallsBinsProcess",
+    "BroadcastService",
     "ChurnDriver",
     "ClusterConfig",
     "ConfigurationError",
@@ -114,6 +125,8 @@ __all__ = [
     "Replica",
     "ReplicatedService",
     "ReproError",
+    "ServiceCluster",
+    "ServiceReplica",
     "SimCluster",
     "SimFaultInjector",
     "SimNetwork",

@@ -31,12 +31,12 @@ Refinements relative to the pseudocode (argued in DESIGN.md):
 Hot-path structure (see docs/PERFORMANCE.md)
 --------------------------------------------
 
-The seed implementation (preserved in
-:mod:`repro.core.ordering_baseline`) did O(|received|) Python-level
-work on *every* round: re-age every pending record, rescan the whole
-map for deliverable records, rescan again for the minimum queued order
-key. This version does amortized work proportional to what *changes*
-per round instead:
+The seed implementation (now retired; see git history and
+docs/PERFORMANCE.md) did O(|received|) Python-level work on *every*
+round: re-age every pending record, rescan the whole map for
+deliverable records, rescan again for the minimum queued order key.
+This version does amortized work proportional to what *changes* per
+round instead:
 
 * **Lazy aging** — records store the round they were (re)based at and
   derive their TTL on demand (:meth:`EventRecord.ttl_at`); nothing is
@@ -59,9 +59,11 @@ per round instead:
 
 A round with an empty ball and nothing newly stable is O(1); a round
 that delivers d events from a ball of b entries is
-O((b + d) log n) rather than O(|received|). Delivery sequences are
-bit-identical to the baseline — enforced by the randomized equivalence
-suite in ``tests/core/test_ordering_equivalence.py``.
+O((b + d) log n) rather than O(|received|). The Table 1 ordering
+invariants (strictly increasing order keys, exactly-once delivery,
+schedule-independent agreement) are enforced under adversarial
+schedules by the Hypothesis suite in
+``tests/core/test_ordering_properties.py``.
 """
 
 from __future__ import annotations

@@ -22,6 +22,8 @@ from .fig8_churn import run_fig8
 from .fig9_cyclon import run_fig9
 from .fig10_loss import run_fig10
 from .net_bench import run_net_bench
+from .service_bench import run_service_bench
+from .service_drill import run_service_drill
 
 
 @dataclass(frozen=True, slots=True)
@@ -137,6 +139,25 @@ _ENTRIES = [
         ),
         runner=run_net_bench,
         takes_faults=True,
+    ),
+    ExperimentEntry(
+        id="service-bench",
+        description=(
+            "service_bench — T topics multiplexed over one socket/timer "
+            "per host vs T independent single-topic clusters "
+            "(cross-topic envelope batching, docs/SERVICE.md)"
+        ),
+        runner=run_service_bench,
+    ),
+    ExperimentEntry(
+        id="service-drill",
+        description=(
+            "Multi-topic fault drill — per-topic partitions/loss and "
+            "host-level crash/respawn over shared sockets "
+            "(scenarios/multi_topic_drill.json)"
+        ),
+        runner=run_service_drill,
+        takes_scale=False,
     ),
 ]
 

@@ -45,6 +45,11 @@ class ScalePreset:
     net_bench_sizes: Sequence[int] = (8, 16)
     #: Broadcasts driven to completion per net-bench cluster run.
     net_bench_events: int = 6
+    #: Hosts / topics / events-per-topic for the multi-topic service
+    #: benchmark (multiplexed vs separate single-topic clusters).
+    service_bench_n: int = 6
+    service_bench_topics: int = 4
+    service_bench_events: int = 6
 
 
 SMALL = ScalePreset(
@@ -77,6 +82,9 @@ PAPER = ScalePreset(
     cyclon_warmup_rounds=20,
     net_bench_sizes=(16, 32),
     net_bench_events=12,
+    service_bench_n=12,
+    service_bench_topics=6,
+    service_bench_events=10,
 )
 
 _PRESETS = {"small": SMALL, "paper": PAPER}

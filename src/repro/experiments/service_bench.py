@@ -1,0 +1,345 @@
+"""Wire-cost benchmark of the multi-topic broadcast service.
+
+The point of :mod:`repro.service` (docs/SERVICE.md) is that T topics on
+one host should not cost T sockets, T round timers and T datagrams per
+peer per round. This experiment measures that claim on the real
+loopback wire path, at equal payload volume:
+
+* **multiplexed** — one :class:`~repro.service.ServiceCluster`: every
+  host runs all T topics over one UDP socket and one round timer; each
+  round the balls of all topics to the same peer coalesce into one
+  ``TopicEnvelope`` datagram via the cross-topic batcher.
+* **separate** — T independent single-topic clusters, each with its own
+  :class:`~repro.runtime.udp.UdpNetwork` (T sockets and T timers per
+  host), run concurrently: the deployment you would operate without the
+  service layer.
+
+Both sides publish the same events on the same topology and are driven
+to full delivery with per-topic total-order verification
+(:func:`~repro.faults.verify.check_survivors`). The headline ``speedup``
+is the ratio of datagrams on the wire for the identical workload; it is
+committed in ``BENCH_core.json`` and gated ≥ 1.0 by
+``benchmarks/perf/check_regression.py`` (CI passes
+``--require scenarios.service_bench``).
+
+CLI::
+
+    epto-experiment service-bench
+
+Delivery and ordering gate the exit code; timing never does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.config import EpToConfig
+from ..runtime.udp import UdpNetwork
+from ..service import ServiceCluster
+from .scale import ScalePreset, get_scale
+
+
+def _service_config(n: int) -> EpToConfig:
+    """Miniature-but-honest EpTO parameters for a loopback service."""
+    return EpToConfig.for_system_size(n, round_interval=20)
+
+
+@dataclass(slots=True)
+class ServiceSideRun:
+    """One side of the comparison, driven to delivery completion."""
+
+    label: str
+    clusters: int
+    sockets: int
+    events: int
+    delivered: bool
+    ordered: bool
+    seconds: float
+    rounds: float
+    datagrams: int
+    bytes_sent: int
+    syscalls_send: int
+    frames: int
+    envelopes: int
+
+    @property
+    def datagrams_per_node_round(self) -> float:
+        """Datagrams per host per round interval — the multiplexing
+        headline: T topics cost ~1 envelope per peer batched, ~T
+        datagrams separate."""
+        node_rounds = self.rounds * self._hosts if self.rounds else 0.0
+        return self.datagrams / node_rounds if node_rounds else 0.0
+
+    @property
+    def frames_per_datagram(self) -> float:
+        """Topic frames packed per datagram (1.0 = no cross-topic
+        sharing)."""
+        return self.frames / self.datagrams if self.datagrams else 0.0
+
+    # Set by the driver (same physical host count on both sides).
+    _hosts: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "clusters": self.clusters,
+            "sockets": self.sockets,
+            "events": self.events,
+            "delivered": self.delivered,
+            "ordered": self.ordered,
+            "seconds": round(self.seconds, 4),
+            "rounds": round(self.rounds, 1),
+            "datagrams": self.datagrams,
+            "bytes_sent": self.bytes_sent,
+            "syscalls_send": self.syscalls_send,
+            "frames": self.frames,
+            "envelopes": self.envelopes,
+            "datagrams_per_node_round": round(self.datagrams_per_node_round, 2),
+            "frames_per_datagram": round(self.frames_per_datagram, 2),
+        }
+
+
+@dataclass(slots=True)
+class ServiceBenchResult:
+    """Everything ``epto-experiment service-bench`` reports."""
+
+    n: int
+    topics: int
+    events_per_topic: int
+    multiplexed: ServiceSideRun
+    separate: ServiceSideRun
+
+    @property
+    def speedup(self) -> float:
+        """Datagrams on the wire, separate over multiplexed, for the
+        identical payload volume."""
+        if not self.multiplexed.datagrams:
+            return 0.0
+        return self.separate.datagrams / self.multiplexed.datagrams
+
+    @property
+    def syscall_ratio(self) -> float:
+        """Send syscalls, separate over multiplexed."""
+        if not self.multiplexed.syscalls_send:
+            return 0.0
+        return self.separate.syscalls_send / self.multiplexed.syscalls_send
+
+    @property
+    def exit_ok(self) -> bool:
+        """Delivery and ordering must hold on both sides."""
+        return (
+            self.multiplexed.delivered
+            and self.multiplexed.ordered
+            and self.separate.delivered
+            and self.separate.ordered
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "topics": self.topics,
+            "events_per_topic": self.events_per_topic,
+            "multiplexed": self.multiplexed.as_dict(),
+            "separate": self.separate.as_dict(),
+            "speedup": round(self.speedup, 2),
+            "syscall_ratio": round(self.syscall_ratio, 2),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{self.n} hosts x {self.topics} topics x "
+            f"{self.events_per_topic} events/topic"
+        ]
+        for side in (self.multiplexed, self.separate):
+            lines.append(
+                f"{side.label}: {side.clusters} cluster(s), "
+                f"{side.sockets} sockets, "
+                f"delivered={'yes' if side.delivered else 'NO'} "
+                f"ordered={'yes' if side.ordered else 'NO'} "
+                f"in {side.seconds:.2f}s"
+            )
+            lines.append(
+                f"  wire: {side.datagrams} datagrams "
+                f"({side.datagrams_per_node_round:.2f}/node-round), "
+                f"{side.bytes_sent} B, {side.syscalls_send} send syscalls, "
+                f"{side.frames_per_datagram:.2f} frames/datagram"
+            )
+        lines.append(
+            f"datagram speedup: {self.speedup:.2f}x   "
+            f"syscall ratio: {self.syscall_ratio:.2f}x"
+        )
+        lines.append(f"verdict: {'OK' if self.exit_ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+async def _drive_cluster(
+    cluster: ServiceCluster,
+    topics: List[int],
+    events_per_topic: int,
+    n: int,
+    timeout: float,
+) -> bool:
+    """Publish the workload and wait for full delivery on every topic."""
+    interval_s = cluster.config.round_interval / 1000.0
+    for i in range(events_per_topic):
+        for topic in topics:
+            await cluster.publish(
+                topic, (i + topic) % n, f"svc-bench-t{topic}-{i}"
+            )
+        # Spread the workload over rounds like a real broadcast source.
+        await asyncio.sleep(interval_s / 2)
+    results = [
+        await cluster.wait_for_topic(topic, events_per_topic, timeout=timeout)
+        for topic in topics
+    ]
+    return all(results)
+
+
+async def _multiplexed_side(
+    n: int, topics: int, events_per_topic: int, seed: int, timeout: float
+) -> ServiceSideRun:
+    network = UdpNetwork(seed=seed)
+    cluster = ServiceCluster(
+        _service_config(n), network=network, expected_size=n, seed=seed
+    )
+    topic_ids = list(range(1, topics + 1))
+    for topic in topic_ids:
+        cluster.open_topic(topic)
+    cluster.add_hosts(n)
+    await cluster.open_all()
+    cluster.start_all()
+    start = time.perf_counter()
+    delivered = await _drive_cluster(
+        cluster, topic_ids, events_per_topic, n, timeout
+    )
+    seconds = time.perf_counter() - start
+    ordered = all(cluster.check_topic(topic).ok for topic in topic_ids)
+    frames = sum(s.demux.stats.frames_sent for s in cluster.hosts.values())
+    envelopes = sum(
+        s.demux.stats.envelopes_sent for s in cluster.hosts.values()
+    )
+    stats = network.stats
+    run = ServiceSideRun(
+        label="multiplexed",
+        clusters=1,
+        sockets=n,
+        events=topics * events_per_topic,
+        delivered=delivered,
+        ordered=ordered,
+        seconds=seconds,
+        rounds=seconds / (cluster.config.round_interval / 1000.0),
+        datagrams=stats.sent,
+        bytes_sent=stats.bytes_sent,
+        syscalls_send=stats.syscalls_send,
+        frames=frames,
+        envelopes=envelopes,
+    )
+    run._hosts = n
+    await cluster.close_all()
+    return run
+
+
+async def _separate_side(
+    n: int, topics: int, events_per_topic: int, seed: int, timeout: float
+) -> ServiceSideRun:
+    networks: List[UdpNetwork] = []
+    clusters: List[ServiceCluster] = []
+    topic_ids = list(range(1, topics + 1))
+    for topic in topic_ids:
+        network = UdpNetwork(seed=seed + 1000 + topic)
+        cluster = ServiceCluster(
+            _service_config(n),
+            network=network,
+            expected_size=n,
+            seed=seed + topic,
+        )
+        cluster.open_topic(topic)
+        cluster.add_hosts(n)
+        await cluster.open_all()
+        networks.append(network)
+        clusters.append(cluster)
+    for cluster in clusters:
+        cluster.start_all()
+    start = time.perf_counter()
+    # All T clusters run concurrently — the deployment being replaced.
+    results = await asyncio.gather(
+        *(
+            _drive_cluster(cluster, [topic], events_per_topic, n, timeout)
+            for topic, cluster in zip(topic_ids, clusters)
+        )
+    )
+    seconds = time.perf_counter() - start
+    ordered = all(
+        cluster.check_topic(topic).ok
+        for topic, cluster in zip(topic_ids, clusters)
+    )
+    frames = envelopes = datagrams = bytes_sent = syscalls = 0
+    for network, cluster in zip(networks, clusters):
+        frames += sum(
+            s.demux.stats.frames_sent for s in cluster.hosts.values()
+        )
+        envelopes += sum(
+            s.demux.stats.envelopes_sent for s in cluster.hosts.values()
+        )
+        datagrams += network.stats.sent
+        bytes_sent += network.stats.bytes_sent
+        syscalls += network.stats.syscalls_send
+    config = clusters[0].config
+    run = ServiceSideRun(
+        label="separate",
+        clusters=topics,
+        sockets=topics * n,
+        events=topics * events_per_topic,
+        delivered=all(results),
+        ordered=ordered,
+        seconds=seconds,
+        rounds=seconds / (config.round_interval / 1000.0),
+        datagrams=datagrams,
+        bytes_sent=bytes_sent,
+        syscalls_send=syscalls,
+        frames=frames,
+        envelopes=envelopes,
+    )
+    run._hosts = n
+    for cluster in clusters:
+        await cluster.close_all()
+    return run
+
+
+def run_service_bench(
+    scale: ScalePreset | str | None = None,
+    seed: int = 29,
+    n: Optional[int] = None,
+    topics: Optional[int] = None,
+    events: Optional[int] = None,
+    timeout: float = 30.0,
+) -> ServiceBenchResult:
+    """Run the ``service_bench`` comparison end to end.
+
+    Args:
+        scale: Size preset; governs host count, topic count, and
+            workload volume.
+        seed: Base seed for fabrics and per-topic peer sampling.
+        n / topics / events: Override the preset's host count, topic
+            count and events per topic.
+        timeout: Delivery wait per topic, seconds.
+    """
+    preset = get_scale(scale) if not isinstance(scale, ScalePreset) else scale
+    n = int(n if n is not None else preset.service_bench_n)
+    topics = int(topics if topics is not None else preset.service_bench_topics)
+    events = int(events if events is not None else preset.service_bench_events)
+
+    async def go() -> ServiceBenchResult:
+        multiplexed = await _multiplexed_side(n, topics, events, seed, timeout)
+        separate = await _separate_side(n, topics, events, seed, timeout)
+        return ServiceBenchResult(
+            n=n,
+            topics=topics,
+            events_per_topic=events,
+            multiplexed=multiplexed,
+            separate=separate,
+        )
+
+    return asyncio.run(go())

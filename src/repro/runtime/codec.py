@@ -24,18 +24,26 @@ chunk:    req_id u32 | flags u8 (bit0 more, bit1 has-peer-last) |
           [ peer_last 3 x i64 ] | checksum u32 |
           count x { ts i64 | source i64 | seq i64 |
                     payload_len u32 | payload (UTF-8 JSON) }
+envelope: count x { topic u32 | inner_len u32 |
+                    inner (one complete datagram, kinds 1–7) }
 ```
 
 ``count`` is entries for balls and cyclon views, watermark pairs for
-digests and requests, events for chunks.
+digests and requests, events for chunks, frames for topic envelopes.
 
 Versioning: kinds 1–6 are header version 1; the signed-ball kind 7 is
-header version 2. The decoder accepts both versions (a version-2 node
-reads version-1 traffic unchanged), rejects kind 7 under version 1,
-and raises the distinguishable :class:`CodecVersionError` for any
-other version so transports can count future-version traffic apart
-from line noise. ``mac_len == 0`` marks an unsigned entry inside a
-signed ball.
+header version 2; the multi-topic envelope kind 8 is header version 3
+(see :mod:`repro.service`). The decoder accepts all three versions (a
+version-3 node reads version-1 and version-2 traffic unchanged),
+rejects kind 7 under version 1 and kind 8 under versions 1–2, and
+raises the distinguishable :class:`CodecVersionError` for any other
+version so transports can count future-version traffic apart from
+line noise. ``mac_len == 0`` marks an unsigned entry inside a signed
+ball. Each envelope frame wraps one *complete* datagram — its own
+header and body, produced by the same per-kind encoders — so every
+message the codec can put on the wire can ride inside an envelope
+unchanged (signed balls keep their inner version 2); envelopes cannot
+nest.
 
 Payloads must be JSON-serializable — the natural constraint for data
 crossing process boundaries. Encoded messages are capped at
@@ -50,7 +58,8 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Tuple, Union
 
 from ..auth.authenticator import EventSignature, SignedBall
 from ..core.errors import TransportError
@@ -69,7 +78,8 @@ MAX_DATAGRAM = 60_000
 _MAGIC = b"EP"
 _VERSION = 1
 _VERSION_SIGNED = 2
-_SUPPORTED_VERSIONS = (_VERSION, _VERSION_SIGNED)
+_VERSION_TOPIC = 3
+_SUPPORTED_VERSIONS = (_VERSION, _VERSION_SIGNED, _VERSION_TOPIC)
 _KIND_BALL = 1
 _KIND_CYCLON_REQ = 2
 _KIND_CYCLON_RESP = 3
@@ -77,6 +87,10 @@ _KIND_SYNC_DIGEST = 4
 _KIND_SYNC_REQUEST = 5
 _KIND_SYNC_CHUNK = 6
 _KIND_SIGNED_BALL = 7
+_KIND_TOPIC_ENVELOPE = 8
+
+#: Largest topic id the frame layout can carry (topic is a u32).
+MAX_TOPIC_ID = 0xFFFFFFFF
 
 #: Largest MAC the signed-entry layout can carry (mac_len is a u8).
 MAX_MAC_LEN = 255
@@ -93,6 +107,25 @@ _REQUEST_HEAD = struct.Struct("!IIIB")  # req_id, max_events, max_bytes, flags
 _CHUNK_HEAD = struct.Struct("!IB")  # req_id, flags
 _CHUNK_EVENT = struct.Struct("!qqqI")  # ts, source, seq, payload_len
 _CHECKSUM = struct.Struct("!I")
+_FRAME_HEAD = struct.Struct("!II")  # topic, inner_len
+
+
+@dataclass(frozen=True)
+class TopicEnvelope:
+    """A multi-topic bundle: several datagrams bound for one host.
+
+    Each frame is ``(topic, sender, message)`` where *message* is any
+    single-topic wire message (kinds 1–7). The service layer's demux
+    (:mod:`repro.service`) packs the frames every host emits in one
+    event-loop tick into as few envelopes as fit the datagram cap, so
+    balls for many topics share one ``sendto`` — the cross-topic
+    batching the multi-topic service is built around. The envelope
+    sender (the outer header's sender field) is the emitting *host*;
+    per-frame senders travel in the inner headers.
+    """
+
+    frames: Tuple[Tuple[int, int, Any], ...]
+
 
 #: Everything the codec can carry.
 WireMessage = Union[
@@ -103,6 +136,7 @@ WireMessage = Union[
     SyncDigest,
     SyncRequest,
     SyncChunk,
+    TopicEnvelope,
 ]
 
 
@@ -153,7 +187,9 @@ def encode_into(
 
 
 def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> None:
-    if isinstance(message, SignedBall):
+    if isinstance(message, TopicEnvelope):
+        kind, count = _KIND_TOPIC_ENVELOPE, len(message.frames)
+    elif isinstance(message, SignedBall):
         kind, count = _KIND_SIGNED_BALL, len(message.entries)
     elif isinstance(message, CyclonRequest):
         kind, count = _KIND_CYCLON_REQ, len(message.entries)
@@ -169,10 +205,17 @@ def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> None:
         kind, count = _KIND_BALL, len(message)
     else:
         raise CodecError(f"cannot encode message of type {type(message).__name__}")
-    version = _VERSION_SIGNED if kind == _KIND_SIGNED_BALL else _VERSION
+    if kind == _KIND_TOPIC_ENVELOPE:
+        version = _VERSION_TOPIC
+    elif kind == _KIND_SIGNED_BALL:
+        version = _VERSION_SIGNED
+    else:
+        version = _VERSION
     buffer += _HEADER.pack(_MAGIC, version, kind, sender, count)
     if kind == _KIND_BALL:
         _encode_ball_into(message, buffer)
+    elif kind == _KIND_TOPIC_ENVELOPE:
+        _encode_topic_envelope_into(message, buffer)
     elif kind == _KIND_SIGNED_BALL:
         _encode_signed_ball_into(message, buffer)
     elif kind == _KIND_SYNC_DIGEST:
@@ -232,6 +275,13 @@ def decode(datagram) -> Tuple[int, WireMessage]:
         return sender, _decode_sync_request(body, count)
     if kind == _KIND_SYNC_CHUNK:
         return sender, _decode_sync_chunk(body, count)
+    if kind == _KIND_TOPIC_ENVELOPE:
+        if version < _VERSION_TOPIC:
+            raise CodecError(
+                f"topic envelope requires header version {_VERSION_TOPIC}, "
+                f"got {version}"
+            )
+        return sender, _decode_topic_envelope(body, count)
     raise CodecError(f"unknown message kind {kind}")
 
 
@@ -382,6 +432,55 @@ def _decode_signed_ball(body: bytes, count: int) -> SignedBall:
     if offset != len(body):
         raise CodecError(f"{len(body) - offset} trailing bytes after signed ball")
     return SignedBall(entries=make_ball(entries), signatures=tuple(signatures))
+
+
+def _encode_topic_envelope_into(
+    message: TopicEnvelope, buffer: bytearray
+) -> None:
+    # Each frame re-enters _encode_into, so every per-kind encoder
+    # (including the signed-ball one, which keeps its inner version 2)
+    # is reused unchanged; the frame length is back-patched once the
+    # inner datagram's size is known. The inner call's own cap check
+    # sees the cumulative buffer, so an envelope that outgrows the
+    # datagram cap is rejected at the first offending frame.
+    for index, (topic, frame_sender, frame_message) in enumerate(message.frames):
+        if not 0 <= topic <= MAX_TOPIC_ID:
+            raise CodecError(
+                f"topic id {topic} of frame {index + 1} is outside the "
+                f"u32 range"
+            )
+        if isinstance(frame_message, TopicEnvelope):
+            raise CodecError("topic envelopes cannot nest")
+        head = len(buffer)
+        buffer += _FRAME_HEAD.pack(topic, 0)
+        inner_start = len(buffer)
+        _encode_into(frame_sender, frame_message, buffer)
+        _FRAME_HEAD.pack_into(buffer, head, topic, len(buffer) - inner_start)
+
+
+def _decode_topic_envelope(body, count: int) -> TopicEnvelope:
+    frames = []
+    offset = 0
+    for _ in range(count):
+        if offset + _FRAME_HEAD.size > len(body):
+            raise CodecError("truncated topic frame header")
+        topic, inner_len = _FRAME_HEAD.unpack_from(body, offset)
+        offset += _FRAME_HEAD.size
+        if offset + inner_len > len(body):
+            raise CodecError("truncated topic frame body")
+        inner = body[offset : offset + inner_len]
+        offset += inner_len
+        # Reject nesting before recursing: the kind byte sits at a
+        # fixed header offset, so a bomb is refused without parsing.
+        if len(inner) >= _HEADER.size and inner[3] == _KIND_TOPIC_ENVELOPE:
+            raise CodecError("topic envelopes cannot nest")
+        frame_sender, frame_message = decode(inner)
+        frames.append((topic, frame_sender, frame_message))
+    if offset != len(body):
+        raise CodecError(
+            f"{len(body) - offset} trailing bytes after topic envelope"
+        )
+    return TopicEnvelope(frames=tuple(frames))
 
 
 def _encode_sync_digest_into(message: SyncDigest, buffer: bytearray) -> None:

@@ -336,6 +336,11 @@ class UdpNetwork:
         self._guard = BallGuard(authenticator) if authenticator else None
         self._adversary = None
         self._handlers: Dict[int, UdpMessageHandler] = {}
+        # Callbacks run at the top of close(), before any socket dies:
+        # layers stacked on the fabric (the multi-topic service demux)
+        # use this to cancel their periodic tasks while the loop can
+        # still process the cancellations — see docs/SERVICE.md.
+        self._close_listeners: List[Callable[[], None]] = []
         # Endpoint per node: _RawEndpoint when batching, else an
         # asyncio DatagramTransport — both expose sendto/is_closing/
         # close, which is all the fabric (and the test rigs) touch.
@@ -353,6 +358,11 @@ class UdpNetwork:
         # sockets, synchronously) or the transport (asyncio endpoints
         # copy before buffering) no longer references the bytes.
         self._deferred_pool: List[bytearray] = []
+        # Per-slot encode buffers for send_bundle: a bundle's datagrams
+        # must all be alive for one sendmmsg, so the single shared
+        # encode buffer cannot serve them. Grows to the largest bundle
+        # ever shipped (bounded by cluster size) and is reused forever.
+        self._bundle_pool: List[bytearray] = []
         # Partition: node id -> group label (None group is implicit).
         self._partition: Dict[int, object] = {}
         self._partitioned = False
@@ -460,6 +470,47 @@ class UdpNetwork:
         else:
             for dst in dsts:
                 self._dispatch(src, dst, datagram)
+
+    def send_bundle(self, src: int, items) -> None:
+        """Encode every ``(dst, message)`` pair in *items* and ship the
+        lot in as few syscalls as the platform allows.
+
+        The multi-topic service's flush path: one host's per-tick
+        traffic — envelopes for several destinations, each with its own
+        bytes — becomes a single ``sendmmsg`` on batching fabrics. The
+        messages are *distinct* (unlike :meth:`send_many`'s one-ball
+        fan-out), so each leases its own slot from the bundle pool.
+        Under active fault surfaces, or on asyncio endpoints, the
+        bundle degrades to per-item :meth:`send` calls so partitions,
+        bursts, corruption and spikes keep their per-datagram
+        semantics.
+        """
+        endpoint = self._transports.get(src)
+        if not getattr(endpoint, "is_raw", False) or not self._fault_free():
+            for dst, message in items:
+                self.send(src, dst, message)
+            return
+        stats = self.stats
+        lookup = self._addresses.get
+        pool = self._bundle_pool
+        while len(pool) < len(items):
+            pool.append(bytearray())
+        batch: List[Tuple[bytearray, Tuple[str, int]]] = []
+        for index, (dst, message) in enumerate(items):
+            stats.sent += 1
+            address = lookup(dst)
+            if address is None:
+                stats.dropped_unopened += 1
+                continue
+            buffer = pool[index]
+            try:
+                encode_into(src, message, buffer)
+            except CodecError:
+                stats.dropped_encode += 1
+                continue
+            stats.encoded_datagrams += 1
+            batch.append((buffer, address))
+        endpoint.send_batch(batch)
 
     def _outbound(self, src: int, dst: Optional[int], message: Any) -> Any:
         """Apply adversary transforms and auth sealing to a ball.
@@ -770,13 +821,32 @@ class UdpNetwork:
         for node_id in list(self._handlers):
             await self.open(node_id)
 
+    def add_close_listener(self, callback: Callable[[], None]) -> None:
+        """Run *callback* at the top of :meth:`close`, before any
+        socket dies.
+
+        The hook for layers stacked on the fabric — the multi-topic
+        service registers its :meth:`~repro.service.BroadcastService.abort`
+        here, so closing the fabric under a live service cancels the
+        service's periodic tasks first and the final loop tick can
+        retire them (no "Task was destroyed but it is pending"
+        warnings). Listeners run once and are then forgotten.
+        """
+        self._close_listeners.append(callback)
+
     async def close(self) -> None:
         """Close every socket and forget every inbox.
 
-        After ``close()`` the fabric is inert: stale node ids can be
-        re-registered without collisions, and late sends are counted as
+        Close listeners (stacked layers such as the multi-topic service
+        demux) run first, so their tasks are cancelled while the loop
+        below can still process the cancellations. After ``close()``
+        the fabric is inert: stale node ids can be re-registered
+        without collisions, and late sends are counted as
         ``dropped_unopened``.
         """
+        listeners, self._close_listeners = self._close_listeners, []
+        for callback in listeners:
+            callback()
         for node_id in list(self._transports):
             self._transports.pop(node_id).close()
         self._addresses.clear()

@@ -1,0 +1,36 @@
+"""Multi-topic broadcast service: many EpTO streams, one transport.
+
+The service multiplexes any number of independent EpTO topics over a
+single fabric endpoint per host (docs/SERVICE.md): a
+:class:`~repro.service.demux.TopicDemux` frames each topic's traffic
+into :class:`~repro.runtime.codec.TopicEnvelope` datagrams, a
+:class:`BroadcastService` runs one round task ticking every topic's
+engine (so cross-topic balls batch into shared datagrams), and clients
+use ``await service.publish(topic, payload)`` plus bounded async
+subscriptions. :class:`ServiceCluster` orchestrates N hosts for tests
+and drills; :class:`ServiceReplica` hosts a state machine on one topic.
+"""
+
+from .cluster import ServiceCluster
+from .demux import DemuxStats, TopicChannel, TopicDemux
+from .service import (
+    BackpressureError,
+    BroadcastService,
+    ServiceStats,
+    Subscription,
+    TopicState,
+)
+from .tenant import ServiceReplica
+
+__all__ = [
+    "BackpressureError",
+    "BroadcastService",
+    "DemuxStats",
+    "ServiceCluster",
+    "ServiceReplica",
+    "ServiceStats",
+    "Subscription",
+    "TopicChannel",
+    "TopicDemux",
+    "TopicState",
+]

@@ -1,0 +1,137 @@
+"""State-machine tenancy on the multi-topic broadcast service.
+
+:class:`ServiceReplica` is the service-hosted counterpart of
+:class:`repro.smr.ReplicatedService`'s per-node replicas: one
+deterministic :class:`~repro.smr.machine.StateMachine` materialized
+from one *topic*'s total order on one
+:class:`~repro.service.BroadcastService` host. Because each topic is an
+independent EpTO instance, one host can run many tenants — a KV store
+on topic 1, an append log on topic 2 — over the same socket, each with
+its own journal, checkpoints and recovery.
+
+Tenancy contract (docs/SERVICE.md):
+
+* the tenant owns the topic's delivery callback (attach before any
+  delivery, i.e. right after — or instead of — ``open_topic``);
+* :meth:`ServiceReplica.checkpoint` snapshots the machine into the
+  topic's journal, so a respawn restores snapshot + log suffix into the
+  *same* machine object before anti-entropy replays the rest;
+* commands are published through normal service backpressure
+  (:meth:`ServiceReplica.submit` is just ``service.publish`` on the
+  tenant's topic).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.errors import MembershipError
+from ..core.event import Event
+from ..smr.machine import StateMachine
+from ..smr.replica import Replica
+from .service import BroadcastService
+
+
+class ServiceReplica:
+    """A state machine fed by one topic of a broadcast service host.
+
+    Args:
+        service: The hosting service.
+        topic: The topic whose total order drives the machine. Opened
+            here if the host has not opened it yet; an already-open
+            topic must not have another delivery callback installed.
+        machine: The deterministic state machine instance.
+        journal_commands: Keep the applied command list (tests).
+    """
+
+    def __init__(
+        self,
+        service: BroadcastService,
+        topic: int,
+        machine: StateMachine,
+        journal_commands: bool = False,
+    ) -> None:
+        self.service = service
+        self.topic = topic
+        self.replica = Replica(
+            service.host_id, machine, journal_commands=journal_commands
+        )
+        if topic not in service.topics:
+            service.open_topic(topic, on_deliver=self._apply)
+            state = service.topics[topic]
+        else:
+            state = service.topics[topic]
+            if state.on_deliver is not None:
+                raise MembershipError(
+                    f"topic {topic} already has a delivery callback on "
+                    f"host {service.host_id}"
+                )
+            if state.deliveries:
+                raise MembershipError(
+                    f"topic {topic} already delivered events on host "
+                    f"{service.host_id}; a tenant must attach first"
+                )
+            state.on_deliver = self._apply
+        # Recovery wiring: respawn resets the machine to the blank
+        # state a real process restart would boot with, restores it
+        # from the topic's snapshot + log suffix, then tells us what it
+        # applied (before catch-up streams the remainder via _apply).
+        self._blank_state = machine.snapshot()
+        state.machine = machine
+        state.on_pre_recover = self._on_pre_recover
+        state.on_recover = self._on_recover
+
+    def _apply(self, event: Event) -> None:
+        self.replica.on_deliver(event)
+
+    def _on_pre_recover(self) -> None:
+        # A real restart boots a cold process: recovery must replay
+        # onto a blank machine, not onto the crashed incarnation's
+        # surviving in-memory state.
+        self.replica.machine.restore(self._blank_state)
+
+    def _on_recover(self, recovered: Any) -> None:
+        # recover() already restored the machine in place; align the
+        # replica's counters so applied_count keeps meaning "commands
+        # applied ever", across incarnations.
+        self.replica.applied_count = recovered.applied_count
+        self.replica.last_result = None
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    async def submit(self, command: Any, *, wait: bool = True) -> Event:
+        """Publish *command* on the tenant's topic (normal service
+        backpressure applies)."""
+        return await self.service.publish(self.topic, command, wait=wait)
+
+    def checkpoint(self) -> None:
+        """Snapshot the machine into the topic's journal (pruning the
+        covered log), so recovery restores from here."""
+        journal = self.service.topics[self.topic].node.journal
+        if journal is None:
+            raise MembershipError(
+                f"host {self.service.host_id} has no storage_dir; "
+                "nothing durable to checkpoint into"
+            )
+        journal.save_snapshot(self.replica.snapshot())
+
+    @property
+    def applied_count(self) -> int:
+        """Commands applied across all incarnations."""
+        return self.replica.applied_count
+
+    @property
+    def machine(self) -> StateMachine:
+        return self.replica.machine
+
+    def digest(self) -> str:
+        """Fingerprint of the machine state (convergence checks)."""
+        return self.replica.digest()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServiceReplica(host={self.service.host_id}, topic={self.topic}, "
+            f"applied={self.replica.applied_count})"
+        )

@@ -31,8 +31,8 @@ class TestRegistry:
             "ablation-guards",
             "ablation-empirical",
         }
-        drills = {"drill"}
-        benches = {"net-bench"}
+        drills = {"drill", "service-drill"}
+        benches = {"net-bench", "service-bench"}
         assert set(REGISTRY) == figures | ablations | drills | benches
 
     def test_scale_flag_matches_runner_signature(self):

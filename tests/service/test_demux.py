@@ -1,0 +1,272 @@
+"""Unit tests for the topic demux layer (routing, batching, faults)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import MembershipError
+from repro.core.event import BallEntry, Event, make_ball
+from repro.runtime.codec import MAX_DATAGRAM, TopicEnvelope
+from repro.runtime.transport import AsyncNetwork
+from repro.service.demux import TopicDemux
+
+
+def _ball(src=1, seq=0, payload=None):
+    event = Event(id=(src, seq), ts=10 + seq, source_id=src, payload=payload)
+    return make_ball([BallEntry(event, ttl=3)])
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class _Sink:
+    """Handler recording (src, message) pairs."""
+
+    def __init__(self):
+        self.received = []
+
+    def __call__(self, src, message):
+        self.received.append((src, message))
+
+
+class TestRouting:
+    def test_frames_route_to_their_topic_only(self):
+        async def scenario():
+            network = AsyncNetwork()
+            left = TopicDemux(network, host_id=0)
+            right = TopicDemux(network, host_id=1)
+            sink_a, sink_b = _Sink(), _Sink()
+            right.channel(10).register(1, sink_a)
+            right.channel(20).register(1, sink_b)
+            ball_a, ball_b = _ball(seq=1), _ball(seq=2)
+            left.channel(10).send(0, 1, ball_a)
+            left.channel(20).send(0, 1, ball_b)
+            await asyncio.sleep(0.05)
+            assert sink_a.received == [(0, ball_a)]
+            assert sink_b.received == [(0, ball_b)]
+
+        _run(scenario())
+
+    def test_same_tick_frames_share_one_envelope(self):
+        async def scenario():
+            network = AsyncNetwork()
+            left = TopicDemux(network, host_id=0)
+            right = TopicDemux(network, host_id=1)
+            sink = _Sink()
+            right.channel(10).register(1, sink)
+            right.channel(20).register(1, sink)
+            for topic in (10, 20):
+                left.channel(topic).send(0, 1, _ball(seq=topic))
+            await asyncio.sleep(0.05)
+            assert left.stats.frames_sent == 2
+            assert left.stats.envelopes_sent == 1
+            assert right.stats.envelopes_received == 1
+            assert right.stats.frames_delivered == 2
+
+        _run(scenario())
+
+    def test_unknown_topic_counted_not_raised(self):
+        async def scenario():
+            network = AsyncNetwork()
+            left = TopicDemux(network, host_id=0)
+            right = TopicDemux(network, host_id=1)
+            sink = _Sink()
+            right.channel(10).register(1, sink)
+            left.channel(99).send(0, 1, _ball())
+            await asyncio.sleep(0.05)
+            assert sink.received == []
+            assert right.stats.dropped_unknown_topic == 1
+
+        _run(scenario())
+
+    def test_closed_topic_becomes_unknown(self):
+        async def scenario():
+            network = AsyncNetwork()
+            left = TopicDemux(network, host_id=0)
+            right = TopicDemux(network, host_id=1)
+            right.channel(10).register(1, _Sink())
+            right.close_topic(10)
+            left.channel(10).send(0, 1, _ball())
+            await asyncio.sleep(0.05)
+            assert right.stats.dropped_unknown_topic == 1
+
+        _run(scenario())
+
+    def test_non_envelope_traffic_counted(self):
+        async def scenario():
+            network = AsyncNetwork()
+            demux = TopicDemux(network, host_id=1)
+            demux.channel(10).register(1, _Sink())
+            network.register(0, lambda src, message: None)
+            network.send(0, 1, _ball())
+            await asyncio.sleep(0.05)
+            assert demux.stats.non_envelope_received == 1
+            assert demux.stats.frames_delivered == 0
+
+        _run(scenario())
+
+    def test_send_many_fans_one_message_object(self):
+        async def scenario():
+            network = AsyncNetwork()
+            left = TopicDemux(network, host_id=0)
+            sinks = {}
+            for host in (1, 2, 3):
+                peer = TopicDemux(network, host_id=host)
+                sinks[host] = _Sink()
+                peer.channel(10).register(host, sinks[host])
+            ball = _ball()
+            left.channel(10).send_many(0, [1, 2, 3], ball)
+            await asyncio.sleep(0.05)
+            for host in (1, 2, 3):
+                assert sinks[host].received == [(0, ball)]
+            assert left.stats.envelopes_sent == 3  # one per destination
+
+        _run(scenario())
+
+
+class TestChannelGuards:
+    def test_register_wrong_id_rejected(self):
+        async def scenario():
+            demux = TopicDemux(AsyncNetwork(), host_id=5)
+            with pytest.raises(MembershipError):
+                demux.channel(1).register(6, _Sink())
+
+        _run(scenario())
+
+    def test_double_register_rejected(self):
+        async def scenario():
+            demux = TopicDemux(AsyncNetwork(), host_id=5)
+            channel = demux.channel(1)
+            channel.register(5, _Sink())
+            with pytest.raises(MembershipError):
+                channel.register(5, _Sink())
+            channel.unregister(5)
+            channel.register(5, _Sink())  # re-register after unregister
+
+        _run(scenario())
+
+    def test_out_of_range_topic_rejected(self):
+        async def scenario():
+            demux = TopicDemux(AsyncNetwork(), host_id=0)
+            for topic in (-1, 2**32):
+                with pytest.raises(MembershipError):
+                    demux.channel(topic)
+
+        _run(scenario())
+
+
+class TestPacking:
+    def test_oversized_tick_splits_into_multiple_envelopes(self):
+        async def scenario():
+            network = AsyncNetwork()
+            left = TopicDemux(network, host_id=0)
+            right = TopicDemux(network, host_id=1)
+            sink = _Sink()
+            right.channel(10).register(1, sink)
+            # Each ball ~20 KB: three cannot share one datagram.
+            balls = [_ball(seq=i, payload="x" * 20_000) for i in range(3)]
+            for ball in balls:
+                left.channel(10).send(0, 1, ball)
+            await asyncio.sleep(0.05)
+            assert left.stats.envelopes_sent >= 2
+            assert [message for _, message in sink.received] == balls
+
+        _run(scenario())
+
+    def test_unencodable_frame_dropped_others_survive(self):
+        async def scenario():
+            network = AsyncNetwork()
+            left = TopicDemux(network, host_id=0)
+            right = TopicDemux(network, host_id=1)
+            sink = _Sink()
+            right.channel(10).register(1, sink)
+            good = _ball()
+            too_big = _ball(payload="x" * (MAX_DATAGRAM + 1))
+            left.channel(10).send(0, 1, too_big)
+            left.channel(10).send(0, 1, good)
+            await asyncio.sleep(0.05)
+            assert left.stats.dropped_unencodable == 1
+            assert sink.received == [(0, good)]
+
+        _run(scenario())
+
+
+class TestTopicFaults:
+    def test_partition_isolates_one_topic(self):
+        async def scenario():
+            network = AsyncNetwork()
+            left = TopicDemux(network, host_id=0)
+            right = TopicDemux(network, host_id=1)
+            sink_a, sink_b = _Sink(), _Sink()
+            right.channel(10).register(1, sink_a)
+            right.channel(20).register(1, sink_b)
+            left.channel(10).set_partition({0: "west", 1: "east"})
+            left.channel(10).send(0, 1, _ball(seq=1))
+            left.channel(20).send(0, 1, _ball(seq=2))
+            await asyncio.sleep(0.05)
+            assert sink_a.received == []  # topic 10 partitioned
+            assert len(sink_b.received) == 1  # topic 20 clean
+            assert left.stats.dropped_partition == 1
+            left.channel(10).heal_partition()
+            left.channel(10).send(0, 1, _ball(seq=3))
+            await asyncio.sleep(0.05)
+            assert len(sink_a.received) == 1
+
+        _run(scenario())
+
+    def test_loss_burst_scoped_to_topic(self):
+        async def scenario():
+            network = AsyncNetwork()
+            left = TopicDemux(network, host_id=0)
+            right = TopicDemux(network, host_id=1)
+            sink_a, sink_b = _Sink(), _Sink()
+            right.channel(10).register(1, sink_a)
+            right.channel(20).register(1, sink_b)
+            left.channel(10).set_loss_burst(1.0, duration=60.0)
+            for i in range(10):
+                left.channel(10).send(0, 1, _ball(seq=i))
+                left.channel(20).send(0, 1, _ball(seq=100 + i))
+            await asyncio.sleep(0.05)
+            assert sink_a.received == []
+            assert len(sink_b.received) == 10
+            assert left.stats.dropped_burst == 10
+
+        _run(scenario())
+
+
+class TestLifecycle:
+    def test_detach_drops_pending_and_later_sends(self):
+        async def scenario():
+            network = AsyncNetwork()
+            left = TopicDemux(network, host_id=0)
+            right = TopicDemux(network, host_id=1)
+            sink = _Sink()
+            right.channel(10).register(1, sink)
+            left.channel(10).send(0, 1, _ball(seq=1))
+            left.detach()  # before the scheduled flush ran
+            await asyncio.sleep(0.05)
+            assert sink.received == []
+            left.channel(10).send(0, 1, _ball(seq=2))
+            assert left.stats.dropped_closed == 1
+            left.attach()
+            left.channel(10).send(0, 1, _ball(seq=3))
+            await asyncio.sleep(0.05)
+            assert len(sink.received) == 1
+
+        _run(scenario())
+
+    def test_envelope_equality_reaches_wire_shape(self):
+        async def scenario():
+            network = AsyncNetwork()
+            left = TopicDemux(network, host_id=0)
+            captured = []
+            network.register(1, lambda src, message: captured.append(message))
+            ball = _ball()
+            left.channel(7).send(0, 1, ball)
+            await asyncio.sleep(0.05)
+            assert captured == [TopicEnvelope(frames=((7, 0, ball),))]
+
+        _run(scenario())

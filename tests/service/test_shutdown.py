@@ -1,0 +1,107 @@
+"""Regression: closing the fabric under a live service must be clean.
+
+``UdpNetwork.close()`` historically only closed sockets; a service
+stacked on top kept its round task alive, and tearing the loop down
+then emitted asyncio's "Task was destroyed but it is pending!" warning.
+The fabric now runs close listeners (the service's ``abort``) before
+any socket dies, so a mid-round shutdown retires every task inside the
+same ``close()`` call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+import pytest
+
+from repro.core.config import EpToConfig
+from repro.runtime.udp import UdpNetwork
+from repro.service import BroadcastService, ServiceCluster
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestFabricCloseUnderLiveService:
+    def test_no_pending_task_destroyed_warnings(self, recwarn):
+        """Close the fabric mid-round with live topics; the loop must
+        shut down without destroying pending tasks."""
+
+        async def scenario():
+            config = EpToConfig.for_system_size(4, round_interval=20)
+            network = UdpNetwork(seed=1)
+            cluster = ServiceCluster(
+                config, network=network, expected_size=4, seed=1
+            )
+            cluster.open_topic(1)
+            cluster.open_topic(2)
+            cluster.add_hosts(4)
+            await cluster.open_all()
+            cluster.start_all()
+            await cluster.publish(1, 0, "mid-flight")
+            await cluster.publish(2, 1, "mid-flight-too")
+            # Mid-round: close the *fabric*, not the services.
+            await network.close()
+            for service in cluster.hosts.values():
+                assert not service.running
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            _run(scenario())
+
+    def test_close_listener_runs_once(self):
+        async def scenario():
+            config = EpToConfig.for_system_size(2, round_interval=20)
+            network = UdpNetwork(seed=2)
+            calls = []
+            network.add_close_listener(lambda: calls.append(1))
+            service = BroadcastService(0, config, network, seed=2)
+            service.open_topic(1)
+            await network.open(0)
+            service.start()
+            await network.close()
+            assert calls == [1]
+            assert not service.running
+            # A second close must not re-run the drained listeners.
+            await network.close()
+            assert calls == [1]
+
+        _run(scenario())
+
+    def test_abort_is_idempotent_and_restartable(self):
+        async def scenario():
+            config = EpToConfig.for_system_size(2, round_interval=20)
+            network = UdpNetwork(seed=3)
+            service = BroadcastService(0, config, network, seed=3)
+            service.open_topic(1)
+            await network.open(0)
+            service.start()
+            service.abort()
+            service.abort()
+            assert not service.running
+            service.start()
+            assert service.running
+            await service.close()
+            await network.close()
+
+        _run(scenario())
+
+    def test_service_close_then_fabric_close_is_clean(self):
+        async def scenario():
+            config = EpToConfig.for_system_size(4, round_interval=20)
+            network = UdpNetwork(seed=4)
+            cluster = ServiceCluster(
+                config, network=network, expected_size=4, seed=4
+            )
+            cluster.open_topic(1)
+            cluster.add_hosts(4)
+            await cluster.open_all()
+            cluster.start_all()
+            await cluster.publish(1, 0, "x")
+            await cluster.close_all()  # services first, then fabric
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _run(scenario())

@@ -1,0 +1,139 @@
+"""ServiceReplica tenancy: state machines on service topics."""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import EpToConfig
+from repro.core.errors import MembershipError
+from repro.service import ServiceCluster, ServiceReplica
+from repro.smr import AppendLog, KeyValueStore
+from repro.sync.config import SyncConfig
+
+KV_TOPIC = 1
+LOG_TOPIC = 2
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _cluster(n=4, **kwargs):
+    config = EpToConfig.for_system_size(n, round_interval=15)
+    kwargs.setdefault("expected_size", n)
+    kwargs.setdefault("seed", 21)
+    return ServiceCluster(config, **kwargs)
+
+
+def _attach_tenants(cluster):
+    """One KV tenant and one log tenant per host, on separate topics."""
+    kv, logs = {}, {}
+    for host_id, service in cluster.hosts.items():
+        kv[host_id] = ServiceReplica(service, KV_TOPIC, KeyValueStore())
+        logs[host_id] = ServiceReplica(service, LOG_TOPIC, AppendLog())
+    return kv, logs
+
+
+class TestTenancy:
+    def test_two_machines_converge_on_separate_topics(self):
+        async def scenario():
+            cluster = _cluster()
+            cluster.open_topic(KV_TOPIC)
+            cluster.open_topic(LOG_TOPIC)
+            cluster.add_hosts(4)
+            kv, logs = _attach_tenants(cluster)
+            cluster.start_all()
+            await kv[0].submit(("put", "a", 1))
+            await kv[1].submit(("put", "b", 2))
+            await logs[2].submit("first")
+            await logs[3].submit("second")
+            assert await cluster.wait_for_topic(KV_TOPIC, 2, timeout=10)
+            assert await cluster.wait_for_topic(LOG_TOPIC, 2, timeout=10)
+            assert len({r.digest() for r in kv.values()}) == 1
+            assert len({r.digest() for r in logs.values()}) == 1
+            assert kv[0].machine.get("a") == 1 and kv[0].machine.get("b") == 2
+            assert kv[0].applied_count == 2
+            await cluster.close_all()
+
+        _run(scenario())
+
+    def test_tenant_attaches_to_already_open_topic_once(self):
+        async def scenario():
+            cluster = _cluster(n=2)
+            cluster.open_topic(KV_TOPIC)
+            cluster.add_hosts(2)
+            service = cluster.hosts[0]
+            ServiceReplica(service, KV_TOPIC, KeyValueStore())
+            with pytest.raises(MembershipError):
+                ServiceReplica(service, KV_TOPIC, KeyValueStore())
+            await cluster.close_all()
+
+        _run(scenario())
+
+    def test_tenant_opens_missing_topic_itself(self):
+        async def scenario():
+            cluster = _cluster(n=2)
+            cluster.add_hosts(2)
+            replicas = {
+                host_id: ServiceReplica(service, 7, KeyValueStore())
+                for host_id, service in cluster.hosts.items()
+            }
+            cluster.start_all()
+            await replicas[0].submit(("put", "k", "v"))
+            assert await cluster.wait_until(
+                lambda: all(r.applied_count == 1 for r in replicas.values()),
+                timeout=10,
+            )
+            await cluster.close_all()
+
+        _run(scenario())
+
+    def test_checkpoint_requires_storage(self):
+        async def scenario():
+            cluster = _cluster(n=2)
+            cluster.add_hosts(2)
+            replica = ServiceReplica(cluster.hosts[0], 1, KeyValueStore())
+            with pytest.raises(MembershipError):
+                replica.checkpoint()
+            await cluster.close_all()
+
+        _run(scenario())
+
+
+class TestDurableTenancy:
+    def test_machine_recovers_from_snapshot_plus_log(self, tmp_path):
+        async def scenario():
+            cluster = _cluster(
+                n=4, storage_dir=tmp_path / "store", sync=SyncConfig()
+            )
+            cluster.open_topic(KV_TOPIC)
+            cluster.add_hosts(4)
+            kv = {
+                host_id: ServiceReplica(service, KV_TOPIC, KeyValueStore())
+                for host_id, service in cluster.hosts.items()
+            }
+            cluster.start_all()
+            for i in range(3):
+                await kv[0].submit(("put", f"k{i}", i))
+            assert await cluster.wait_for_topic(KV_TOPIC, 3, timeout=10)
+            kv[2].checkpoint()  # snapshot covers the first three
+            await kv[1].submit(("put", "post", "snap"))
+            assert await cluster.wait_for_topic(KV_TOPIC, 4, timeout=10)
+
+            cluster.crash_host(2)
+            await kv[0].submit(("put", "while-down", True))
+            await asyncio.sleep(0.3)
+            await cluster.respawn_host(2)
+            assert await cluster.wait_for_topic(KV_TOPIC, 5, timeout=15)
+
+            assert len({r.digest() for r in kv.values()}) == 1
+            assert kv[2].machine.get("while-down") is True
+            assert kv[2].applied_count == 5  # across both incarnations
+            recovered = cluster.hosts[2].topics[KV_TOPIC].recoveries[-1]
+            assert recovered.snapshot_index is not None  # snapshot used
+            await cluster.close_all()
+
+        _run(scenario())
