@@ -36,6 +36,11 @@ the repository root:
   one socket/timer per host vs T independent single-topic clusters at
   equal payload volume; the ``speedup`` is datagrams saved by
   cross-topic envelope batching.
+* ``lazy_bench`` — eager vs lazy-push dissemination
+  (:mod:`repro.experiments.lazy_bench`): the identical seeded workload
+  with full-payload balls versus id-only balls plus on-demand payload
+  pull; the ``speedup`` is payload bytes-on-wire saved, gated with the
+  delivery/agreement checks on both sides.
 
 Usage::
 
@@ -738,6 +743,36 @@ def bench_service(seed: int, check: bool) -> dict:
     return result.as_dict()
 
 
+def bench_lazy(seed: int, check: bool) -> dict:
+    """lazy_bench — eager vs lazy-push dissemination, identical workload.
+
+    Wraps :func:`repro.experiments.lazy_bench.run_lazy_bench`: the same
+    seeded broadcast workload once with full-payload balls and once
+    with id-only balls plus on-demand payload pull (docs/OVERLAY.md).
+    Aborts if either side misses delivery or total-order agreement; the
+    committed ``speedup`` (payload bytes-on-wire, eager / lazy) is what
+    ``check_regression.py --require scenarios.lazy_bench`` pins.
+    """
+    from repro.experiments.lazy_bench import run_lazy_bench
+
+    if check:
+        result = run_lazy_bench(
+            seed=seed, n=16, fanout=4, rounds=3, payload_size=128
+        )
+    else:
+        result = run_lazy_bench(seed=seed)
+    if not result.exit_ok:
+        raise AssertionError(
+            "lazy_bench delivery/agreement/speedup failed: "
+            f"eager delivered={result.eager.delivered} "
+            f"holes={result.eager.holes} "
+            f"lazy delivered={result.lazy.delivered} "
+            f"holes={result.lazy.holes} "
+            f"speedup={result.speedup:.2f}"
+        )
+    return result.as_dict()
+
+
 FSYNC_EVENTS = 400
 FSYNC_SEGMENT_BYTES = 16_384
 
@@ -828,6 +863,7 @@ def run_all(sizes, seed: int, repeats: int, flat_sizes, check: bool = False) -> 
             "auth": None,
             "udp_e2e": None,
             "service_bench": None,
+            "lazy_bench": None,
         },
     }
     for n in sizes:
@@ -883,6 +919,16 @@ def run_all(sizes, seed: int, repeats: int, flat_sizes, check: bool = False) -> 
         f"{svc['separate']['datagrams']} separate "
         f"(speedup {svc['speedup']:.2f}x, "
         f"{svc['multiplexed']['frames_per_datagram']:.2f} frames/dgram)"
+    )
+    print("lazy_bench ...", flush=True)
+    lazy = bench_lazy(seed, check)
+    results["scenarios"]["lazy_bench"] = lazy
+    print(
+        f"  n={lazy['n']} K={lazy['fanout']}: "
+        f"{lazy['eager']['payload_bytes']:,} payload B eager vs "
+        f"{lazy['lazy']['payload_bytes']:,} lazy "
+        f"(speedup {lazy['speedup']:.2f}x, "
+        f"p95 delay penalty {lazy['delay_penalty']:.2f}x)"
     )
     return results
 

@@ -30,6 +30,12 @@ class EpToConfig:
             exposes, for each known-but-undelivered event, an estimate
             of its probability of being stable (see
             :meth:`repro.core.process.EpToProcess.peek`).
+        mode: ``"eager"`` (paper default: balls carry full payloads) or
+            ``"lazy"`` (balls carry event metadata only; payloads are
+            pulled on demand — :mod:`repro.lazy`, docs/OVERLAY.md).
+            The ordering semantics are identical in both modes; lazy
+            mode trades a bounded delivery-delay penalty for an O(K)
+            reduction in payload bytes on the wire.
     """
 
     fanout: int
@@ -38,6 +44,7 @@ class EpToConfig:
     clock: str = "global"
     tagged_delivery: bool = False
     expose_stability: bool = False
+    mode: str = "eager"
 
     def __post_init__(self) -> None:
         if self.fanout < 1:
@@ -50,6 +57,8 @@ class EpToConfig:
             )
         if self.clock not in ("global", "logical"):
             raise ConfigurationError(f"unknown clock type {self.clock!r}")
+        if self.mode not in ("eager", "lazy"):
+            raise ConfigurationError(f"unknown dissemination mode {self.mode!r}")
 
     def with_overrides(self, **changes: object) -> "EpToConfig":
         """Return a copy with the given fields replaced."""

@@ -25,6 +25,7 @@ aging in Algorithm 2 lines 6–7 must tick every round). See DESIGN.md.
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -43,9 +44,36 @@ from .event import (
 from .interfaces import PeerSampler, Transport
 
 
+#: Estimated wire bytes of one ball entry's metadata — the codec's
+#: fixed per-entry layout (ts i64 + source i64 + seq i64 + ttl i32 +
+#: payload_len u32; :data:`repro.runtime.codec._BALL_ENTRY`). The
+#: simulator has no real wire, so byte accounting uses the codec's
+#: sizes: what the UDP fabric *would* have shipped.
+ENTRY_METADATA_BYTES = 32
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Estimated wire bytes of one event payload (JSON, as the codec
+    ships it); non-JSON payloads fall back to their ``repr`` length so
+    simulation-only object payloads still account as *something*."""
+    try:
+        return len(json.dumps(payload).encode())
+    except (TypeError, ValueError):
+        return len(repr(payload).encode())
+
+
 @dataclass(slots=True)
 class DisseminationStats:
-    """Counters exposed for instrumentation and experiments."""
+    """Counters exposed for instrumentation and experiments.
+
+    ``metadata_bytes`` / ``payload_bytes`` split the estimated
+    bytes-on-wire of every ball this component shipped into the fixed
+    per-entry metadata layout and the serialized payloads — the split
+    the eager-vs-lazy ablation (``epto-experiment lazy-bench``)
+    compares across modes. In lazy mode the component ships metadata
+    balls, so its own payload estimate stays near zero and the pull
+    traffic is accounted by :class:`repro.lazy.LazyStats` instead.
+    """
 
     events_broadcast: int = 0
     balls_sent: int = 0
@@ -54,6 +82,10 @@ class DisseminationStats:
     entries_relayed: int = 0
     entries_expired: int = 0
     rounds: int = 0
+    #: Estimated fixed-layout bytes shipped (per entry, per receiver).
+    metadata_bytes: int = 0
+    #: Estimated serialized-payload bytes shipped (per entry, per receiver).
+    payload_bytes: int = 0
 
 
 class DisseminationComponent:
@@ -182,6 +214,11 @@ class DisseminationComponent:
                     self.transport.send(self.node_id, peer, ball)
             self.stats.balls_sent += len(peers)
             self.stats.entries_relayed += len(ball) * len(peers)
+            fan = len(peers)
+            self.stats.metadata_bytes += ENTRY_METADATA_BYTES * len(ball) * fan
+            self.stats.payload_bytes += fan * sum(
+                payload_nbytes(entry.event.payload) for entry in ball
+            )
         else:
             ball = ()
         # Refinement: order/age every round, not only on non-empty

@@ -68,6 +68,13 @@ class ExperimentSpec:
     drain_rounds: Optional[int] = None
     process_kind: str = "epto"
     round_phase: str = "synchronized"
+    #: ``"eager"`` ships payloads inside every ball; ``"lazy"`` ships
+    #: id-only balls and pulls payloads on demand (docs/OVERLAY.md).
+    mode: str = "eager"
+    #: When > 0, each workload event carries a string payload of this
+    #: many characters (the lazy-bench byte-volume knob); 0 keeps the
+    #: default tiny integer payload.
+    payload_size: int = 0
 
     def resolved_fanout(self) -> int:
         """Configured fanout, or the Theorem 2 / Lemma 7 bound."""
@@ -99,6 +106,7 @@ class ExperimentSpec:
             ttl=self.resolved_ttl(),
             round_interval=self.round_interval,
             clock=self.clock,
+            mode=self.mode,
         )
 
     def with_overrides(self, **changes: object) -> "ExperimentSpec":
@@ -122,6 +130,12 @@ class ExperimentResult:
     messages_dropped: int
     sim_ticks: int
     wall_seconds: float
+    #: Estimated wire bytes, split by what they carry (summed over the
+    #: nodes alive at the end of the run; codec-layout estimates, the
+    #: same accounting :class:`~repro.core.dissemination.DisseminationStats`
+    #: and the lazy process use).
+    metadata_bytes: int = 0
+    payload_bytes: int = 0
 
     @property
     def holes(self) -> int:
@@ -225,12 +239,19 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     broadcast_end = warmup_end + spec.broadcast_rounds * delta
     run_end = broadcast_end + spec.resolved_drain_rounds() * delta
 
+    workload_kwargs = {}
+    if spec.payload_size > 0:
+        size = spec.payload_size
+        workload_kwargs["payload_factory"] = lambda index: (
+            f"p{index:07d}".ljust(size, "x")
+        )
     ProbabilisticWorkload(
         sim,
         cluster,
         rate=spec.broadcast_rate,
         rounds=spec.broadcast_rounds,
         start=warmup_end + 1,
+        **workload_kwargs,
     )
     if spec.churn_rate > 0.0:
         ChurnDriver(
@@ -248,6 +269,20 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     delays = collector.delivery_delays()
     summary = DelaySummary.from_samples(delays) if delays else None
 
+    metadata_bytes = payload_bytes = 0
+    for node_id in cluster.alive_ids():
+        process = cluster.node(node_id)
+        snapshot = getattr(process, "stats_snapshot", None)
+        if snapshot is not None:  # lazy process: its own wire accounting
+            stats = snapshot()
+            metadata_bytes += stats.get("metadata_bytes", 0)
+            payload_bytes += stats.get("payload_bytes", 0)
+            continue
+        dissemination = getattr(process, "dissemination", None)
+        if dissemination is not None:
+            metadata_bytes += dissemination.stats.metadata_bytes
+            payload_bytes += dissemination.stats.payload_bytes
+
     return ExperimentResult(
         spec=spec,
         delays=delays,
@@ -261,6 +296,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         messages_dropped=network.stats.dropped,
         sim_ticks=sim.now(),
         wall_seconds=_wallclock.perf_counter() - started,
+        metadata_bytes=metadata_bytes,
+        payload_bytes=payload_bytes,
     )
 
 

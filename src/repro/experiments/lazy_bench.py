@@ -1,0 +1,247 @@
+"""Eager-vs-lazy dissemination ablation (docs/OVERLAY.md).
+
+EpTO's balls carry full events, so every payload crosses the wire
+``K * (TTL+1)`` times per infected node while only one copy per node is
+ever *used*. The lazy-push subsystem (:mod:`repro.lazy`) ships id-only
+balls instead and pulls each payload at most once per node, trading a
+bounded delivery-delay penalty (one pull round trip before the ordering
+gate releases) for a large payload bytes-on-wire reduction.
+
+This experiment runs the *identical* seeded workload — same simulator
+seed, same broadcast coin flips, same payload sizes — once in
+``mode="eager"`` and once in ``mode="lazy"`` and compares:
+
+* ``payload bytes-on-wire`` — serialized payload bytes shipped, summed
+  over all nodes (eager: inside every relayed ball copy; lazy: inside
+  ``PayloadResponse`` messages only). The headline ``speedup`` is
+  eager over lazy and is committed in ``BENCH_core.json``, gated by
+  ``check_regression.py --require scenarios.lazy_bench``.
+* ``delivery delay`` — p50/p95 in simulation ticks, charting the
+  delay-vs-bytes trade the paper's total-order guarantee must survive.
+
+Delivery (every stable node delivers every event) and agreement (zero
+holes, total order verified) gate the exit code on *both* sides; a
+byte win that loses events does not count.
+
+CLI::
+
+    epto-experiment lazy-bench
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .common import ExperimentResult, ExperimentSpec, run_experiment
+from .scale import ScalePreset, get_scale
+
+#: The committed acceptance floor: lazy must at least halve the payload
+#: bytes on the wire at the preset scale (n >= 64, K >= 8).
+SPEEDUP_FLOOR = 2.0
+
+
+@dataclass(slots=True)
+class LazySideRun:
+    """One mode's run, reduced to the numbers the comparison needs."""
+
+    label: str
+    events: int
+    deliveries: int
+    stable_nodes: int
+    holes: int
+    safety_ok: bool
+    messages_sent: int
+    metadata_bytes: int
+    payload_bytes: int
+    delay_p50: float
+    delay_p95: float
+    wall_seconds: float
+
+    @property
+    def delivered(self) -> bool:
+        """Every stable node delivered every broadcast event."""
+        return (
+            self.events > 0
+            and self.deliveries == self.events * self.stable_nodes
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.metadata_bytes + self.payload_bytes
+
+    def as_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "deliveries": self.deliveries,
+            "stable_nodes": self.stable_nodes,
+            "delivered": self.delivered,
+            "holes": self.holes,
+            "safety_ok": self.safety_ok,
+            "messages_sent": self.messages_sent,
+            "metadata_bytes": self.metadata_bytes,
+            "payload_bytes": self.payload_bytes,
+            "total_bytes": self.total_bytes,
+            "delay_p50": round(self.delay_p50, 1),
+            "delay_p95": round(self.delay_p95, 1),
+            "seconds": round(self.wall_seconds, 3),
+        }
+
+
+def _side(result: ExperimentResult, label: str) -> LazySideRun:
+    summary = result.summary
+    return LazySideRun(
+        label=label,
+        events=result.events_broadcast,
+        deliveries=result.deliveries,
+        stable_nodes=result.stable_nodes,
+        holes=result.holes,
+        safety_ok=result.report.safety_ok,
+        messages_sent=result.messages_sent,
+        metadata_bytes=result.metadata_bytes,
+        payload_bytes=result.payload_bytes,
+        delay_p50=summary.p50 if summary else 0.0,
+        delay_p95=summary.p95 if summary else 0.0,
+        wall_seconds=result.wall_seconds,
+    )
+
+
+@dataclass(slots=True)
+class LazyBenchResult:
+    """Everything ``epto-experiment lazy-bench`` reports."""
+
+    n: int
+    fanout: int
+    ttl: int
+    payload_size: int
+    broadcast_rounds: int
+    eager: LazySideRun
+    lazy: LazySideRun
+
+    @property
+    def speedup(self) -> float:
+        """Payload bytes-on-wire, eager over lazy, identical workload."""
+        if not self.lazy.payload_bytes:
+            return 0.0
+        return self.eager.payload_bytes / self.lazy.payload_bytes
+
+    @property
+    def total_bytes_ratio(self) -> float:
+        """All estimated wire bytes (metadata + payload), eager/lazy."""
+        if not self.lazy.total_bytes:
+            return 0.0
+        return self.eager.total_bytes / self.lazy.total_bytes
+
+    @property
+    def delay_penalty(self) -> float:
+        """p95 delivery delay, lazy over eager (the price of pulling)."""
+        if not self.eager.delay_p95:
+            return 0.0
+        return self.lazy.delay_p95 / self.eager.delay_p95
+
+    @property
+    def exit_ok(self) -> bool:
+        """Delivery + agreement on both sides, and the byte win holds."""
+        return (
+            self.eager.delivered
+            and self.lazy.delivered
+            and self.eager.safety_ok
+            and self.lazy.safety_ok
+            and self.eager.holes == 0
+            and self.lazy.holes == 0
+            and self.eager.events == self.lazy.events
+            and self.speedup >= SPEEDUP_FLOOR
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "fanout": self.fanout,
+            "ttl": self.ttl,
+            "payload_size": self.payload_size,
+            "broadcast_rounds": self.broadcast_rounds,
+            "eager": self.eager.as_dict(),
+            "lazy": self.lazy.as_dict(),
+            "speedup": round(self.speedup, 2),
+            "total_bytes_ratio": round(self.total_bytes_ratio, 2),
+            "delay_penalty": round(self.delay_penalty, 2),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{self.n} nodes, K={self.fanout}, TTL={self.ttl}, "
+            f"{self.payload_size} B payloads, "
+            f"{self.eager.events} events"
+        ]
+        lines.append("  delivery-delay vs bytes-on-wire:")
+        for side in (self.eager, self.lazy):
+            lines.append(
+                f"  {side.label:5s}: payload {side.payload_bytes:>12,} B  "
+                f"metadata {side.metadata_bytes:>12,} B  "
+                f"p50 {side.delay_p50:7.1f}  p95 {side.delay_p95:7.1f}  "
+                f"delivered={'yes' if side.delivered else 'NO'} "
+                f"holes={side.holes}"
+            )
+        lines.append(
+            f"payload speedup: {self.speedup:.2f}x   "
+            f"total bytes ratio: {self.total_bytes_ratio:.2f}x   "
+            f"p95 delay penalty: {self.delay_penalty:.2f}x"
+        )
+        lines.append(f"verdict: {'OK' if self.exit_ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def run_lazy_bench(
+    scale: ScalePreset | str | None = None,
+    seed: int = 23,
+    n: Optional[int] = None,
+    fanout: Optional[int] = None,
+    rounds: Optional[int] = None,
+    payload_size: Optional[int] = None,
+    pss: str = "uniform",
+) -> LazyBenchResult:
+    """Run the eager-vs-lazy comparison end to end.
+
+    Args:
+        scale: Size preset; governs n, fanout, workload volume and
+            payload size (acceptance point: n >= 64 at K >= 8).
+        seed: Simulator seed shared by both sides (identical workload).
+        n / fanout / rounds / payload_size: Preset overrides.
+        pss: Peer-sampling service for both sides (``uniform`` keeps
+            the delivery gate exact; realistic overlays are exercised
+            by the differential tests in ``tests/lazy``).
+    """
+    preset = get_scale(scale) if not isinstance(scale, ScalePreset) else scale
+    n = int(n if n is not None else preset.lazy_bench_n)
+    fanout = int(fanout if fanout is not None else preset.lazy_bench_fanout)
+    rounds = int(
+        rounds if rounds is not None else preset.lazy_bench_broadcast_rounds
+    )
+    payload_size = int(
+        payload_size
+        if payload_size is not None
+        else preset.lazy_bench_payload_bytes
+    )
+
+    base = ExperimentSpec(
+        name="lazy_bench",
+        n=n,
+        seed=seed,
+        fanout=fanout,
+        pss=pss,
+        payload_size=payload_size,
+        broadcast_rounds=rounds,
+    )
+    results: Dict[str, ExperimentResult] = {
+        mode: run_experiment(base.with_overrides(name=f"lazy_bench[{mode}]", mode=mode))
+        for mode in ("eager", "lazy")
+    }
+    return LazyBenchResult(
+        n=n,
+        fanout=fanout,
+        ttl=base.resolved_ttl(),
+        payload_size=payload_size,
+        broadcast_rounds=rounds,
+        eager=_side(results["eager"], "eager"),
+        lazy=_side(results["lazy"], "lazy"),
+    )

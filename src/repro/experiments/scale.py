@@ -50,6 +50,14 @@ class ScalePreset:
     service_bench_n: int = 6
     service_bench_topics: int = 4
     service_bench_events: int = 6
+    #: System size / fanout for the eager-vs-lazy dissemination
+    #: ablation (``epto-experiment lazy-bench``); the acceptance point
+    #: is n >= 64 at K >= 8.
+    lazy_bench_n: int = 64
+    lazy_bench_fanout: int = 8
+    lazy_bench_broadcast_rounds: int = 6
+    #: Serialized payload size per event (bytes of string payload).
+    lazy_bench_payload_bytes: int = 256
 
 
 SMALL = ScalePreset(
@@ -85,6 +93,10 @@ PAPER = ScalePreset(
     service_bench_n=12,
     service_bench_topics=6,
     service_bench_events=10,
+    lazy_bench_n=128,
+    lazy_bench_fanout=10,
+    lazy_bench_broadcast_rounds=8,
+    lazy_bench_payload_bytes=512,
 )
 
 _PRESETS = {"small": SMALL, "paper": PAPER}

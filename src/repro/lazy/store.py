@@ -1,0 +1,102 @@
+"""Per-node payload retention for lazy-push dissemination.
+
+A :class:`PayloadStore` holds the full events this node can serve to
+pulling peers: its own broadcasts (stored at broadcast time) and every
+payload it pulled itself. Retention is TTL-bounded and keyed off the
+ordering window: an event older than ``retention_rounds`` rounds can no
+longer circulate (its relay TTL expired at most ``ttl`` rounds after it
+was broadcast, and delivery lags dissemination by at most another
+ordering window), so no correct peer will still pull it and the entry
+is garbage-collected.
+
+Membership in the store is also how the delivery gate decides whether
+the payload of an event has arrived — a plain ``payload is None`` test
+cannot work, because ``None`` is a perfectly legal application payload.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from ..core.event import Event, EventId
+
+
+@dataclass(slots=True)
+class PayloadStoreStats:
+    """Counters for one node's payload store."""
+
+    stored: int = 0
+    served: int = 0
+    evicted: int = 0
+    misses: int = 0
+
+
+class PayloadStore:
+    """TTL-bounded map of event id to full event.
+
+    Args:
+        retention_rounds: Rounds an entry survives after it was stored.
+            Must cover the ordering window (at least ``2 * ttl`` plus
+            latency slack) so every correct peer's pull — including
+            retries — finds the payload still present.
+    """
+
+    def __init__(self, retention_rounds: int) -> None:
+        if retention_rounds < 1:
+            raise ValueError(
+                f"retention_rounds must be >= 1, got {retention_rounds}"
+            )
+        self.retention_rounds = retention_rounds
+        self.stats = PayloadStoreStats()
+        self._events: Dict[EventId, Event] = {}
+        # Insertion queue for O(1) amortized GC: rounds only grow, so
+        # expired entries cluster at the front.
+        self._ages: Deque[Tuple[int, EventId]] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __contains__(self, event_id: EventId) -> bool:
+        return event_id in self._events
+
+    def put(self, event: Event, round_no: int) -> bool:
+        """Store *event* (idempotent); returns whether it was new."""
+        if event.id in self._events:
+            return False
+        self._events[event.id] = event
+        self._ages.append((round_no, event.id))
+        self.stats.stored += 1
+        return True
+
+    def get(self, event_id: EventId) -> Optional[Event]:
+        """The stored full event, or ``None`` (local lookup, unstated)."""
+        return self._events.get(event_id)
+
+    def serve(self, event_id: EventId) -> Optional[Event]:
+        """Like :meth:`get` but counts a successful pull served."""
+        event = self._events.get(event_id)
+        if event is None:
+            self.stats.misses += 1
+        else:
+            self.stats.served += 1
+        return event
+
+    def gc(self, current_round: int) -> int:
+        """Evict entries stored more than ``retention_rounds`` ago."""
+        horizon = current_round - self.retention_rounds
+        evicted = 0
+        ages = self._ages
+        while ages and ages[0][0] < horizon:
+            _, event_id = ages.popleft()
+            if self._events.pop(event_id, None) is not None:
+                evicted += 1
+        self.stats.evicted += evicted
+        return evicted
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PayloadStore(held={len(self._events)}, "
+            f"retention={self.retention_rounds})"
+        )

@@ -1,0 +1,277 @@
+"""Brahms: Byzantine-resilient random peer sampling.
+
+Implementation of the Brahms membership protocol (Bortnikov, Gurevich,
+Keidar, Kliot and Shraer) as a
+:class:`~repro.pss.base.PeerSamplingService`. Brahms defends the view
+against adversaries that flood honest nodes with Byzantine addresses:
+
+* each round a node **pushes** its own id to a few view peers and
+  **pulls** whole views from a few others;
+* the next view is a fixed-ratio blend — ``alpha`` from received
+  pushes, ``beta`` from pulled entries, ``gamma`` from **history
+  samplers**: min-wise independent permutation samplers that each
+  converge to one uniform sample of every id ever observed. An
+  adversary can bias what a node hears *now*, but not the minimum of a
+  random hash over everything it ever heard, so poisoned views
+  self-heal from the sampler tail;
+* **attack detection**: a round that receives more pushes than the
+  blend could legitimately want (a push flood) skips the view update
+  entirely — the flood wastes the adversary's round instead of
+  capturing the view.
+
+Messages are frozen dataclasses routed to :meth:`handle_message`;
+:data:`BRAHMS_MESSAGE_TYPES` is the dispatch tuple. ``shuffle()`` runs
+one round (blend the previous round's harvest, then solicit the next),
+mirroring how the hosting runtimes already pace Cyclon.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Set, Tuple
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class BrahmsPush:
+    """Sender advertises itself for the receiver's next view blend."""
+
+
+@dataclass(frozen=True, slots=True)
+class BrahmsPullRequest:
+    """Ask the receiver for its current view."""
+
+
+@dataclass(frozen=True, slots=True)
+class BrahmsPullReply:
+    """The receiver's view at the time of the pull."""
+
+    entries: Tuple[int, ...]
+
+
+BRAHMS_MESSAGE_TYPES = (BrahmsPush, BrahmsPullRequest, BrahmsPullReply)
+
+#: 64-bit mixing (splitmix64 finalizer) for the min-wise samplers —
+#: deterministic under a seeded RNG, unlike Python's salted ``hash``.
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix(value: int) -> int:
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK
+    return value ^ (value >> 31)
+
+
+class _MinWiseSampler:
+    """One min-wise independent sampler: a uniform id from the history.
+
+    Feeding the stream of observed ids, the retained element — the
+    minimizer of a fixed random hash — is a uniform sample of the
+    stream's *set*, regardless of how often an adversary repeats its
+    own ids.
+    """
+
+    __slots__ = ("_seed", "_best", "_best_id")
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._best: int | None = None
+        self._best_id: int | None = None
+
+    def observe(self, node_id: int) -> None:
+        score = _mix(self._seed ^ (node_id & _MASK))
+        if self._best is None or score < self._best:
+            self._best = score
+            self._best_id = node_id
+
+    @property
+    def sample(self) -> int | None:
+        return self._best_id
+
+
+class BrahmsPss:
+    """One node's Brahms instance.
+
+    Args:
+        node_id: Owning node id.
+        view_size: View capacity (``l1`` in the paper).
+        send: Outgoing channel ``send(dst, message)``.
+        rng: Randomness for peer choices and sampler seeds.
+        alpha, beta, gamma: Blend ratios for push / pull / history
+            entries; must be positive and sum to 1.
+        sampler_count: Number of history samplers (``l2``); defaults to
+            ``view_size``.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        view_size: int,
+        send: Callable[[int, object], None],
+        rng: random.Random,
+        alpha: float = 0.45,
+        beta: float = 0.45,
+        gamma: float = 0.10,
+        sampler_count: int | None = None,
+    ) -> None:
+        if view_size < 1:
+            raise ConfigurationError(f"view_size must be >= 1, got {view_size}")
+        if min(alpha, beta, gamma) <= 0 or abs(alpha + beta + gamma - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"alpha/beta/gamma must be positive and sum to 1, got "
+                f"{alpha}/{beta}/{gamma}"
+            )
+        self.node_id = node_id
+        self.view_size = view_size
+        self._send = send
+        self._rng = rng
+        self._push_count = max(1, round(alpha * view_size))
+        self._pull_count = max(1, round(beta * view_size))
+        self._history_count = max(1, round(gamma * view_size))
+        count = sampler_count if sampler_count is not None else view_size
+        self._samplers = [
+            _MinWiseSampler(rng.getrandbits(64)) for _ in range(count)
+        ]
+        self._view: List[int] = []
+        self._pushes: Set[int] = set()
+        self._pulled: Set[int] = set()
+        self._pull_answers = 0
+        self.rounds = 0
+        self.floods_detected = 0
+
+    # ------------------------------------------------------------------
+    # Bootstrap / introspection
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, peer_ids: Sequence[int]) -> None:
+        """Seed the view (and the samplers) with *peer_ids*."""
+        for peer in peer_ids:
+            if peer == self.node_id or peer in self._view:
+                continue
+            self._observe(peer)
+            if len(self._view) < self.view_size:
+                self._view.append(peer)
+
+    def view_snapshot(self) -> Sequence[int]:
+        return tuple(self._view)
+
+    def history_samples(self) -> Sequence[int]:
+        """Current sampler outputs (uniform over the observed history)."""
+        seen: Set[int] = set()
+        out: List[int] = []
+        for sampler in self._samplers:
+            sample = sampler.sample
+            if sample is not None and sample not in seen:
+                seen.add(sample)
+                out.append(sample)
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # PeerSampler protocol
+    # ------------------------------------------------------------------
+
+    def sample(self, k: int) -> Sequence[int]:
+        """Up to *k* peers from the view, topped up from the samplers."""
+        peers = list(self._view)
+        if len(peers) < k:
+            extra = [
+                p
+                for p in self.history_samples()
+                if p != self.node_id and p not in peers
+            ]
+            peers.extend(extra[: k - len(peers)])
+        if k >= len(peers):
+            self._rng.shuffle(peers)
+            return peers
+        return self._rng.sample(peers, k)
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+
+    def shuffle(self) -> None:
+        """One Brahms round: blend last round's harvest, solicit anew."""
+        self.rounds += 1
+        self._blend()
+        targets = self._view or list(self.history_samples())
+        if not targets:
+            return
+        for dst in self._choose(targets, self._push_count):
+            self._send(dst, BrahmsPush())
+        for dst in self._choose(targets, self._pull_count):
+            self._send(dst, BrahmsPullRequest())
+
+    def _blend(self) -> None:
+        pushes = self._pushes
+        pulled = self._pulled
+        answers = self._pull_answers
+        self._pushes = set()
+        self._pulled = set()
+        self._pull_answers = 0
+        if not pushes and not pulled:
+            return
+        # Attack detection: a flood of pushes (more than the blend
+        # could want) means an adversary is stuffing the channel —
+        # keep the current view untouched this round.
+        if len(pushes) > self._push_count + self._pull_count:
+            self.floods_detected += 1
+            return
+        # The paper blends only on a balanced round (both channels
+        # heard); with no pull answers yet (bootstrap) fall through so
+        # the view still mixes.
+        new_view: List[int] = []
+
+        def extend(pool: Sequence[int], want: int) -> None:
+            candidates = [
+                p for p in pool if p != self.node_id and p not in new_view
+            ]
+            self._rng.shuffle(candidates)
+            new_view.extend(candidates[:want])
+
+        extend(tuple(pushes), self._push_count)
+        if answers:
+            extend(tuple(pulled), self._pull_count)
+        extend(self.history_samples(), self._history_count)
+        if not new_view:
+            return
+        # Top up from the previous view so the view never shrinks just
+        # because a round heard from few peers.
+        extend(self._view, self.view_size - len(new_view))
+        self._view = new_view[: self.view_size]
+
+    def _choose(self, pool: Sequence[int], k: int) -> Sequence[int]:
+        if k >= len(pool):
+            return list(pool)
+        return self._rng.sample(list(pool), k)
+
+    def _observe(self, peer: int) -> None:
+        if peer == self.node_id:
+            return
+        for sampler in self._samplers:
+            sampler.observe(peer)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def handle_message(self, src: int, message: object) -> None:
+        if isinstance(message, BrahmsPush):
+            if src != self.node_id:
+                self._pushes.add(src)
+                self._observe(src)
+        elif isinstance(message, BrahmsPullRequest):
+            self._send(src, BrahmsPullReply(entries=tuple(self._view)))
+        elif isinstance(message, BrahmsPullReply):
+            self._pull_answers += 1
+            for peer in message.entries:
+                if peer != self.node_id:
+                    self._pulled.add(peer)
+                    self._observe(peer)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BrahmsPss(node={self.node_id}, view={len(self._view)}/"
+            f"{self.view_size}, rounds={self.rounds})"
+        )

@@ -1,0 +1,368 @@
+"""HyParView: a membership protocol with two-tier partial views.
+
+Implementation of the HyParView overlay (Leitão, Pereira and Rodrigues)
+as a :class:`~repro.pss.base.PeerSamplingService` for the EpTO
+runtimes. Each node keeps:
+
+* a small **active view** — the peers it gossips to. Links are meant to
+  be symmetric: joining a peer's active view goes through an explicit
+  ``NeighborRequest`` / ``NeighborReply`` handshake, and leaving it
+  sends a ``Disconnect`` so the other side can repair immediately;
+* a larger **passive view** — a reservoir of backup peers, refreshed by
+  periodic shuffles walking the overlay, from which the active view is
+  **reactively repaired**: whenever the active view is under capacity
+  (a neighbour disconnected, was evicted, or never answered), the node
+  promotes a random passive peer by sending it a neighbour request —
+  high priority when the active view is empty, so an isolated node is
+  always accepted somewhere.
+
+The active view is what :meth:`sample` serves. While the active view is
+still filling (bootstrap, or mass failure of neighbours) sampling falls
+back to the passive view so dissemination never stalls waiting for
+handshakes — a pragmatic deviation that matters only for a round or
+two.
+
+All messages are frozen dataclasses routed by the hosting runtime to
+:meth:`handle_message`, exactly like Cyclon's request/response pair;
+:data:`HYPARVIEW_MESSAGE_TYPES` is the dispatch tuple.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class JoinRequest:
+    """A newcomer asks a contact node to admit it to the overlay."""
+
+
+@dataclass(frozen=True, slots=True)
+class ForwardJoin:
+    """Random walk propagating a join through the overlay."""
+
+    joiner: int
+    ttl: int
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborRequest:
+    """Ask *dst* to add the sender to its active view.
+
+    ``priority`` requests (sender's active view is empty) must be
+    accepted even at capacity — the receiver evicts a random neighbour.
+    """
+
+    priority: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborReply:
+    """Answer to a :class:`NeighborRequest`."""
+
+    accepted: bool
+
+
+@dataclass(frozen=True, slots=True)
+class HvShuffle:
+    """Passive-view shuffle walking ``ttl`` random active-view hops."""
+
+    origin: int
+    ttl: int
+    entries: Tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class HvShuffleReply:
+    """Shuffle answer carrying the responder's passive sample."""
+
+    entries: Tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Disconnect:
+    """Clean active-view removal: the receiver repairs immediately."""
+
+
+HYPARVIEW_MESSAGE_TYPES = (
+    JoinRequest,
+    ForwardJoin,
+    NeighborRequest,
+    NeighborReply,
+    HvShuffle,
+    HvShuffleReply,
+    Disconnect,
+)
+
+
+class HyParViewPss:
+    """One node's HyParView instance.
+
+    Args:
+        node_id: Owning node id.
+        active_size: Active view capacity (the protocol's fanout+1
+            guideline; EpTO's gossip fanout should not exceed it).
+        passive_size: Passive view capacity (the backup reservoir).
+        shuffle_size: Passive entries exchanged per shuffle.
+        arwl: Active random-walk length for forwarded joins/shuffles.
+        send: Outgoing channel ``send(dst, message)``.
+        rng: Randomness for eviction and subset choices.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        active_size: int,
+        passive_size: int,
+        send: Callable[[int, object], None],
+        rng: random.Random,
+        shuffle_size: int | None = None,
+        arwl: int = 3,
+    ) -> None:
+        if active_size < 1:
+            raise ConfigurationError(f"active_size must be >= 1, got {active_size}")
+        if passive_size < 1:
+            raise ConfigurationError(
+                f"passive_size must be >= 1, got {passive_size}"
+            )
+        if arwl < 0:
+            raise ConfigurationError(f"arwl must be >= 0, got {arwl}")
+        self.node_id = node_id
+        self.active_size = active_size
+        self.passive_size = passive_size
+        self.shuffle_size = (
+            shuffle_size if shuffle_size is not None else max(1, passive_size // 2)
+        )
+        self.arwl = arwl
+        self._send = send
+        self._rng = rng
+        self._active: List[int] = []
+        self._passive: List[int] = []
+        self.repairs_attempted = 0
+        self.disconnects_received = 0
+
+    # ------------------------------------------------------------------
+    # Bootstrap / introspection
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, peer_ids: Sequence[int], contact: int | None = None) -> None:
+        """Seed the passive view and join through *contact*.
+
+        The introducer sample lands in the passive view; the first
+        shuffle tick promotes from it. When a *contact* is given (or
+        available in the sample) a :class:`JoinRequest` kicks off the
+        protocol's own admission walk as well.
+        """
+        for peer in peer_ids:
+            self._add_passive(peer)
+        if contact is None and self._passive:
+            contact = self._passive[0]
+        if contact is not None and contact != self.node_id:
+            self._send(contact, JoinRequest())
+        self._repair()
+
+    def view_snapshot(self) -> Sequence[int]:
+        """Active view contents (the gossip targets)."""
+        return tuple(self._active)
+
+    def active_view(self) -> Sequence[int]:
+        return tuple(self._active)
+
+    def passive_view(self) -> Sequence[int]:
+        return tuple(self._passive)
+
+    # ------------------------------------------------------------------
+    # PeerSampler protocol
+    # ------------------------------------------------------------------
+
+    def sample(self, k: int) -> Sequence[int]:
+        """Up to *k* peers, preferring the active view.
+
+        Falls back to passive entries while the active view is under
+        strength so dissemination keeps flowing during handshakes.
+        """
+        peers = list(self._active)
+        if len(peers) < k:
+            extra = [p for p in self._passive if p not in peers]
+            self._rng.shuffle(extra)
+            peers.extend(extra[: k - len(peers)])
+        if k >= len(peers):
+            self._rng.shuffle(peers)
+            return peers
+        return self._rng.sample(peers, k)
+
+    # ------------------------------------------------------------------
+    # Periodic maintenance
+    # ------------------------------------------------------------------
+
+    def shuffle(self) -> None:
+        """One maintenance tick: repair the active view, then shuffle.
+
+        Repair is the reactive leg run proactively: any capacity gap
+        (failed or disconnected neighbour) triggers a promotion attempt
+        from the passive view. The shuffle leg refreshes the passive
+        reservoir through a TTL-limited walk, as in the original
+        protocol.
+        """
+        self._repair()
+        if not self._active:
+            return
+        entries = self._shuffle_sample()
+        dst = self._active[self._rng.randrange(len(self._active))]
+        self._send(dst, HvShuffle(origin=self.node_id, ttl=self.arwl, entries=entries))
+
+    def on_peer_down(self, peer: int) -> None:
+        """Reactive repair hook: *peer* is known failed; replace it."""
+        self._drop_everywhere(peer)
+        self._repair()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def handle_message(self, src: int, message: object) -> None:
+        if isinstance(message, JoinRequest):
+            self._on_join(src)
+        elif isinstance(message, ForwardJoin):
+            self._on_forward_join(src, message)
+        elif isinstance(message, NeighborRequest):
+            self._on_neighbor_request(src, message)
+        elif isinstance(message, NeighborReply):
+            self._on_neighbor_reply(src, message)
+        elif isinstance(message, HvShuffle):
+            self._on_shuffle(src, message)
+        elif isinstance(message, HvShuffleReply):
+            self._merge_passive(message.entries)
+        elif isinstance(message, Disconnect):
+            self.disconnects_received += 1
+            if src in self._active:
+                self._active.remove(src)
+                self._add_passive(src)
+            self._repair()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _on_join(self, joiner: int) -> None:
+        self._add_active(joiner)
+        for peer in self._active:
+            if peer != joiner:
+                self._send(peer, ForwardJoin(joiner=joiner, ttl=self.arwl))
+
+    def _on_forward_join(self, src: int, message: ForwardJoin) -> None:
+        joiner = message.joiner
+        if joiner == self.node_id:
+            return
+        if message.ttl <= 0 or len(self._active) <= 1:
+            self._add_active(joiner)
+            self._send(joiner, NeighborReply(accepted=True))
+            return
+        self._add_passive(joiner)
+        forwards = [p for p in self._active if p not in (src, joiner)]
+        if forwards:
+            dst = forwards[self._rng.randrange(len(forwards))]
+            self._send(dst, ForwardJoin(joiner=joiner, ttl=message.ttl - 1))
+
+    def _on_neighbor_request(self, src: int, message: NeighborRequest) -> None:
+        if src in self._active:
+            self._send(src, NeighborReply(accepted=True))
+            return
+        if len(self._active) < self.active_size or message.priority:
+            self._add_active(src)
+            self._send(src, NeighborReply(accepted=True))
+        else:
+            self._add_passive(src)
+            self._send(src, NeighborReply(accepted=False))
+
+    def _on_neighbor_reply(self, src: int, message: NeighborReply) -> None:
+        if message.accepted:
+            self._add_active(src)
+        else:
+            # Keep it as a backup; the next repair tick tries another.
+            self._add_passive(src)
+
+    def _on_shuffle(self, src: int, message: HvShuffle) -> None:
+        if message.ttl > 0 and len(self._active) > 1:
+            forwards = [p for p in self._active if p not in (src, message.origin)]
+            if forwards:
+                dst = forwards[self._rng.randrange(len(forwards))]
+                self._send(
+                    dst,
+                    HvShuffle(
+                        origin=message.origin,
+                        ttl=message.ttl - 1,
+                        entries=message.entries,
+                    ),
+                )
+                return
+        if message.origin != self.node_id:
+            self._send(message.origin, HvShuffleReply(entries=self._shuffle_sample()))
+        self._merge_passive(message.entries)
+
+    def _shuffle_sample(self) -> Tuple[int, ...]:
+        pool = [p for p in self._active + self._passive if p != self.node_id]
+        self._rng.shuffle(pool)
+        # Dedup while preserving the shuffled order.
+        seen: set[int] = set()
+        sample: List[int] = [self.node_id]
+        for peer in pool:
+            if peer not in seen:
+                seen.add(peer)
+                sample.append(peer)
+            if len(sample) > self.shuffle_size:
+                break
+        return tuple(sample)
+
+    def _repair(self) -> None:
+        """Promote passive peers while the active view is under strength."""
+        while len(self._active) < self.active_size and self._passive:
+            idx = self._rng.randrange(len(self._passive))
+            candidate = self._passive.pop(idx)
+            self.repairs_attempted += 1
+            self._send(
+                candidate, NeighborRequest(priority=not self._active)
+            )
+            # Optimistic: treat the candidate as active immediately so
+            # gossip can use it; a rejection demotes it back to passive
+            # via the NeighborReply handler.
+            self._add_active(candidate)
+
+    def _add_active(self, peer: int) -> None:
+        if peer == self.node_id or peer in self._active:
+            return
+        if peer in self._passive:
+            self._passive.remove(peer)
+        while len(self._active) >= self.active_size:
+            victim = self._active.pop(self._rng.randrange(len(self._active)))
+            self._send(victim, Disconnect())
+            self._add_passive(victim)
+        self._active.append(peer)
+
+    def _add_passive(self, peer: int) -> None:
+        if peer == self.node_id or peer in self._active or peer in self._passive:
+            return
+        while len(self._passive) >= self.passive_size:
+            self._passive.pop(self._rng.randrange(len(self._passive)))
+        self._passive.append(peer)
+
+    def _merge_passive(self, entries: Sequence[int]) -> None:
+        for peer in entries:
+            self._add_passive(peer)
+
+    def _drop_everywhere(self, peer: int) -> None:
+        if peer in self._active:
+            self._active.remove(peer)
+        if peer in self._passive:
+            self._passive.remove(peer)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HyParViewPss(node={self.node_id}, "
+            f"active={len(self._active)}/{self.active_size}, "
+            f"passive={len(self._passive)}/{self.passive_size})"
+        )

@@ -25,20 +25,28 @@ chunk:    req_id u32 | flags u8 (bit0 more, bit1 has-peer-last) |
           count x { ts i64 | source i64 | seq i64 |
                     payload_len u32 | payload (UTF-8 JSON) }
 envelope: count x { topic u32 | inner_len u32 |
-                    inner (one complete datagram, kinds 1–7) }
+                    inner (one complete datagram, kinds 1–7, 9–11) }
+id_ball:  count x { ts i64 | source i64 | seq i64 | ttl i32 }
+pull_req: req_id u32 | count x { source i64 | seq i64 }
+pull_resp:req_id u32 | missing u32 |
+          count x { ts i64 | source i64 | seq i64 |
+                    payload_len u32 | payload (UTF-8 JSON) } |
+          missing x { source i64 | seq i64 }
 ```
 
-``count`` is entries for balls and cyclon views, watermark pairs for
-digests and requests, events for chunks, frames for topic envelopes.
+``count`` is entries for balls, id-balls and cyclon views, watermark
+pairs for digests and requests, events for chunks and pull responses,
+ids for pull requests, frames for topic envelopes.
 
 Versioning: kinds 1–6 are header version 1; the signed-ball kind 7 is
 header version 2; the multi-topic envelope kind 8 is header version 3
-(see :mod:`repro.service`). The decoder accepts all three versions (a
-version-3 node reads version-1 and version-2 traffic unchanged),
-rejects kind 7 under version 1 and kind 8 under versions 1–2, and
-raises the distinguishable :class:`CodecVersionError` for any other
-version so transports can count future-version traffic apart from
-line noise. ``mac_len == 0`` marks an unsigned entry inside a signed
+(see :mod:`repro.service`); the lazy-push kinds 9–11 (id-ball,
+payload-request, payload-response — :mod:`repro.lazy`) are header
+version 4. The decoder accepts all four versions (a version-4 node
+reads older traffic unchanged), rejects kind 7 under version 1, kind 8
+under versions 1–2 and kinds 9–11 under versions 1–3, and raises the
+distinguishable :class:`CodecVersionError` for any other version so
+transports can count future-version traffic apart from line noise. ``mac_len == 0`` marks an unsigned entry inside a signed
 ball. Each envelope frame wraps one *complete* datagram — its own
 header and body, produced by the same per-kind encoders — so every
 message the codec can put on the wire can ride inside an envelope
@@ -64,6 +72,7 @@ from typing import Any, Tuple, Union
 from ..auth.authenticator import EventSignature, SignedBall
 from ..core.errors import TransportError
 from ..core.event import Ball, BallEntry, Event, make_ball
+from ..lazy.protocol import IdBall, PayloadRequest, PayloadResponse
 from ..pss.cyclon import CyclonRequest, CyclonResponse
 from ..sync.protocol import (
     DeliveryDigest,
@@ -79,7 +88,8 @@ _MAGIC = b"EP"
 _VERSION = 1
 _VERSION_SIGNED = 2
 _VERSION_TOPIC = 3
-_SUPPORTED_VERSIONS = (_VERSION, _VERSION_SIGNED, _VERSION_TOPIC)
+_VERSION_LAZY = 4
+_SUPPORTED_VERSIONS = (_VERSION, _VERSION_SIGNED, _VERSION_TOPIC, _VERSION_LAZY)
 _KIND_BALL = 1
 _KIND_CYCLON_REQ = 2
 _KIND_CYCLON_RESP = 3
@@ -88,6 +98,10 @@ _KIND_SYNC_REQUEST = 5
 _KIND_SYNC_CHUNK = 6
 _KIND_SIGNED_BALL = 7
 _KIND_TOPIC_ENVELOPE = 8
+_KIND_ID_BALL = 9
+_KIND_PAYLOAD_REQUEST = 10
+_KIND_PAYLOAD_RESPONSE = 11
+_LAZY_KINDS = (_KIND_ID_BALL, _KIND_PAYLOAD_REQUEST, _KIND_PAYLOAD_RESPONSE)
 
 #: Largest topic id the frame layout can carry (topic is a u32).
 MAX_TOPIC_ID = 0xFFFFFFFF
@@ -108,6 +122,10 @@ _CHUNK_HEAD = struct.Struct("!IB")  # req_id, flags
 _CHUNK_EVENT = struct.Struct("!qqqI")  # ts, source, seq, payload_len
 _CHECKSUM = struct.Struct("!I")
 _FRAME_HEAD = struct.Struct("!II")  # topic, inner_len
+_ID_ENTRY = struct.Struct("!qqqi")  # ts, source, seq, ttl
+_EVENT_ID = struct.Struct("!qq")  # source, seq
+_PULL_REQ_HEAD = struct.Struct("!I")  # req_id
+_PULL_RESP_HEAD = struct.Struct("!II")  # req_id, missing count
 
 
 @dataclass(frozen=True)
@@ -115,7 +133,7 @@ class TopicEnvelope:
     """A multi-topic bundle: several datagrams bound for one host.
 
     Each frame is ``(topic, sender, message)`` where *message* is any
-    single-topic wire message (kinds 1–7). The service layer's demux
+    single-topic wire message (kinds 1–7, 9–11). The service layer's demux
     (:mod:`repro.service`) packs the frames every host emits in one
     event-loop tick into as few envelopes as fit the datagram cap, so
     balls for many topics share one ``sendto`` — the cross-topic
@@ -137,6 +155,9 @@ WireMessage = Union[
     SyncRequest,
     SyncChunk,
     TopicEnvelope,
+    IdBall,
+    PayloadRequest,
+    PayloadResponse,
 ]
 
 
@@ -153,6 +174,26 @@ class CodecVersionError(CodecError):
     """
 
 
+#: Application-payload bytes inside the most recent successful encode,
+#: maintained for the transport's metadata-vs-payload byte accounting
+#: (see :func:`last_encode_payload_bytes`). Single-threaded event loops
+#: make a module-level latch safe; the value is only meaningful
+#: immediately after the encode call that produced it.
+_last_payload_bytes = 0
+
+
+def last_encode_payload_bytes() -> int:
+    """JSON-payload bytes in the last :func:`encode`/:func:`encode_into`.
+
+    Everything else in that datagram (headers, entry metadata, MACs,
+    watermarks) is protocol metadata: ``len(datagram) - payload`` is
+    the metadata share. This is what lets :class:`~repro.runtime.udp.
+    UdpNetwork` split ``bytes_sent`` into the two classes the lazy-push
+    benchmark compares.
+    """
+    return _last_payload_bytes
+
+
 def encode(sender: int, message: WireMessage) -> bytes:
     """Serialize *message* from *sender* into a datagram.
 
@@ -160,8 +201,9 @@ def encode(sender: int, message: WireMessage) -> bytes:
         CodecError: If a payload is not JSON-serializable or the
             encoded message exceeds :data:`MAX_DATAGRAM`.
     """
+    global _last_payload_bytes
     buffer = bytearray()
-    _encode_into(sender, message, buffer)
+    _last_payload_bytes = _encode_into(sender, message, buffer)
     return bytes(buffer)
 
 
@@ -181,12 +223,14 @@ def encode_into(
         CodecError: Same conditions as :func:`encode`; the buffer
             contents are unspecified after a failure.
     """
+    global _last_payload_bytes
     del buffer[:]
-    _encode_into(sender, message, buffer)
+    _last_payload_bytes = _encode_into(sender, message, buffer)
     return memoryview(buffer).toreadonly()
 
 
-def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> None:
+def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> int:
+    """Encode one datagram into *buffer*; returns its payload bytes."""
     if isinstance(message, TopicEnvelope):
         kind, count = _KIND_TOPIC_ENVELOPE, len(message.frames)
     elif isinstance(message, SignedBall):
@@ -201,29 +245,44 @@ def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> None:
         kind, count = _KIND_SYNC_REQUEST, len(message.watermarks)
     elif isinstance(message, SyncChunk):
         kind, count = _KIND_SYNC_CHUNK, len(message.events)
+    elif isinstance(message, IdBall):
+        kind, count = _KIND_ID_BALL, len(message.entries)
+    elif isinstance(message, PayloadRequest):
+        kind, count = _KIND_PAYLOAD_REQUEST, len(message.ids)
+    elif isinstance(message, PayloadResponse):
+        kind, count = _KIND_PAYLOAD_RESPONSE, len(message.events)
     elif isinstance(message, tuple):
         kind, count = _KIND_BALL, len(message)
     else:
         raise CodecError(f"cannot encode message of type {type(message).__name__}")
-    if kind == _KIND_TOPIC_ENVELOPE:
+    if kind in _LAZY_KINDS:
+        version = _VERSION_LAZY
+    elif kind == _KIND_TOPIC_ENVELOPE:
         version = _VERSION_TOPIC
     elif kind == _KIND_SIGNED_BALL:
         version = _VERSION_SIGNED
     else:
         version = _VERSION
     buffer += _HEADER.pack(_MAGIC, version, kind, sender, count)
+    payload_bytes = 0
     if kind == _KIND_BALL:
-        _encode_ball_into(message, buffer)
+        payload_bytes = _encode_ball_into(message, buffer)
     elif kind == _KIND_TOPIC_ENVELOPE:
-        _encode_topic_envelope_into(message, buffer)
+        payload_bytes = _encode_topic_envelope_into(message, buffer)
     elif kind == _KIND_SIGNED_BALL:
-        _encode_signed_ball_into(message, buffer)
+        payload_bytes = _encode_signed_ball_into(message, buffer)
     elif kind == _KIND_SYNC_DIGEST:
         _encode_sync_digest_into(message, buffer)
     elif kind == _KIND_SYNC_REQUEST:
         _encode_sync_request_into(message, buffer)
     elif kind == _KIND_SYNC_CHUNK:
-        _encode_sync_chunk_into(message, buffer)
+        payload_bytes = _encode_sync_chunk_into(message, buffer)
+    elif kind == _KIND_ID_BALL:
+        _encode_id_ball_into(message, buffer)
+    elif kind == _KIND_PAYLOAD_REQUEST:
+        _encode_payload_request_into(message, buffer)
+    elif kind == _KIND_PAYLOAD_RESPONSE:
+        payload_bytes = _encode_payload_response_into(message, buffer)
     else:
         buffer += _encode_cyclon(message.entries)
     if len(buffer) > MAX_DATAGRAM:
@@ -231,6 +290,7 @@ def _encode_into(sender: int, message: WireMessage, buffer: bytearray) -> None:
             f"encoded message is {len(buffer)} bytes, exceeding the "
             f"{MAX_DATAGRAM}-byte datagram cap"
         )
+    return payload_bytes
 
 
 def decode(datagram) -> Tuple[int, WireMessage]:
@@ -282,6 +342,17 @@ def decode(datagram) -> Tuple[int, WireMessage]:
                 f"got {version}"
             )
         return sender, _decode_topic_envelope(body, count)
+    if kind in _LAZY_KINDS:
+        if version < _VERSION_LAZY:
+            raise CodecError(
+                f"lazy-push kind {kind} requires header version "
+                f"{_VERSION_LAZY}, got {version}"
+            )
+        if kind == _KIND_ID_BALL:
+            return sender, _decode_id_ball(body, count)
+        if kind == _KIND_PAYLOAD_REQUEST:
+            return sender, _decode_payload_request(body, count)
+        return sender, _decode_payload_response(body, count)
     raise CodecError(f"unknown message kind {kind}")
 
 
@@ -290,13 +361,14 @@ def decode(datagram) -> Tuple[int, WireMessage]:
 # ----------------------------------------------------------------------
 
 
-def _encode_ball_into(ball: Ball, buffer: bytearray) -> None:
+def _encode_ball_into(ball: Ball, buffer: bytearray) -> int:
     # The cumulative size is tracked while encoding so an oversized
     # ball is rejected at the first entry that crosses the cap, instead
     # of serializing every remaining entry first and failing at the
     # end. The error names how far encoding got, which is what callers
     # need to size their balls (or split them) correctly.
     size = len(buffer)
+    payload_total = 0
     for index, entry in enumerate(ball):
         event = entry.event
         try:
@@ -316,6 +388,8 @@ def _encode_ball_into(ball: Ball, buffer: bytearray) -> None:
             event.ts, event.source_id, event.seq, entry.ttl, len(payload)
         )
         buffer += payload
+        payload_total += len(payload)
+    return payload_total
 
 
 def _decode_ball(body: bytes, count: int) -> Ball:
@@ -358,10 +432,11 @@ def _json_payload(raw, label: str):
         raise CodecError(f"{label}: {exc}") from exc
 
 
-def _encode_signed_ball_into(message: SignedBall, buffer: bytearray) -> None:
+def _encode_signed_ball_into(message: SignedBall, buffer: bytearray) -> int:
     # Same first-offending-entry size accounting as _encode_ball_into;
     # each entry additionally carries its signing epoch and MAC.
     size = len(buffer)
+    payload_total = 0
     total = len(message.entries)
     for index, (entry, signature) in enumerate(
         zip(message.entries, message.signatures)
@@ -392,6 +467,8 @@ def _encode_signed_ball_into(message: SignedBall, buffer: bytearray) -> None:
         buffer += mac
         buffer += _PAYLOAD_LEN.pack(len(payload))
         buffer += payload
+        payload_total += len(payload)
+    return payload_total
 
 
 def _decode_signed_ball(body: bytes, count: int) -> SignedBall:
@@ -436,13 +513,14 @@ def _decode_signed_ball(body: bytes, count: int) -> SignedBall:
 
 def _encode_topic_envelope_into(
     message: TopicEnvelope, buffer: bytearray
-) -> None:
+) -> int:
     # Each frame re-enters _encode_into, so every per-kind encoder
     # (including the signed-ball one, which keeps its inner version 2)
     # is reused unchanged; the frame length is back-patched once the
     # inner datagram's size is known. The inner call's own cap check
     # sees the cumulative buffer, so an envelope that outgrows the
     # datagram cap is rejected at the first offending frame.
+    payload_total = 0
     for index, (topic, frame_sender, frame_message) in enumerate(message.frames):
         if not 0 <= topic <= MAX_TOPIC_ID:
             raise CodecError(
@@ -454,8 +532,9 @@ def _encode_topic_envelope_into(
         head = len(buffer)
         buffer += _FRAME_HEAD.pack(topic, 0)
         inner_start = len(buffer)
-        _encode_into(frame_sender, frame_message, buffer)
+        payload_total += _encode_into(frame_sender, frame_message, buffer)
         _FRAME_HEAD.pack_into(buffer, head, topic, len(buffer) - inner_start)
+    return payload_total
 
 
 def _decode_topic_envelope(body, count: int) -> TopicEnvelope:
@@ -550,7 +629,7 @@ def _decode_sync_request(body: bytes, count: int) -> SyncRequest:
     )
 
 
-def _encode_sync_chunk_into(message: SyncChunk, buffer: bytearray) -> None:
+def _encode_sync_chunk_into(message: SyncChunk, buffer: bytearray) -> int:
     flags = (0x01 if message.more else 0) | (
         0x02 if message.peer_last is not None else 0
     )
@@ -558,6 +637,7 @@ def _encode_sync_chunk_into(message: SyncChunk, buffer: bytearray) -> None:
     if message.peer_last is not None:
         buffer += _ORDER_KEY.pack(*message.peer_last)
     buffer += _CHECKSUM.pack(message.checksum & 0xFFFFFFFF)
+    payload_total = 0
     for event in message.events:
         try:
             payload = json.dumps(event.payload).encode()
@@ -569,6 +649,8 @@ def _encode_sync_chunk_into(message: SyncChunk, buffer: bytearray) -> None:
             event.ts, event.source_id, event.seq, len(payload)
         )
         buffer += payload
+        payload_total += len(payload)
+    return payload_total
 
 
 def _decode_sync_chunk(body: bytes, count: int) -> SyncChunk:
@@ -638,3 +720,114 @@ def _decode_cyclon(body: bytes, count: int):
         _CYCLON_ENTRY.unpack_from(body, i * _CYCLON_ENTRY.size)
         for i in range(count)
     )
+
+
+def _encode_id_ball_into(message: IdBall, buffer: bytearray) -> None:
+    for ts, source, seq, ttl in message.entries:
+        buffer += _ID_ENTRY.pack(ts, source, seq, ttl)
+
+
+def _decode_id_ball(body, count: int) -> IdBall:
+    expected = count * _ID_ENTRY.size
+    if len(body) != expected:
+        raise CodecError(
+            f"id-ball body is {len(body)} bytes, expected {expected}"
+        )
+    entries = []
+    for i in range(count):
+        ts, source, seq, ttl = _ID_ENTRY.unpack_from(body, i * _ID_ENTRY.size)
+        if ttl < 0:
+            raise CodecError(f"negative ttl {ttl}")
+        entries.append((ts, source, seq, ttl))
+    return IdBall(entries=tuple(entries))
+
+
+def _encode_payload_request_into(
+    message: PayloadRequest, buffer: bytearray
+) -> None:
+    buffer += _PULL_REQ_HEAD.pack(message.req_id & 0xFFFFFFFF)
+    for source, seq in message.ids:
+        buffer += _EVENT_ID.pack(source, seq)
+
+
+def _decode_payload_request(body, count: int) -> PayloadRequest:
+    expected = _PULL_REQ_HEAD.size + count * _EVENT_ID.size
+    if len(body) != expected:
+        raise CodecError(
+            f"payload-request body is {len(body)} bytes, expected {expected}"
+        )
+    (req_id,) = _PULL_REQ_HEAD.unpack_from(body)
+    ids = tuple(
+        _EVENT_ID.unpack_from(body, _PULL_REQ_HEAD.size + i * _EVENT_ID.size)
+        for i in range(count)
+    )
+    return PayloadRequest(req_id=req_id, ids=ids)
+
+
+def _encode_payload_response_into(
+    message: PayloadResponse, buffer: bytearray
+) -> int:
+    # Same first-offending-entry size accounting as _encode_ball_into:
+    # a response that outgrows the datagram cap is rejected at the event
+    # that crosses it, naming how far encoding got.
+    buffer += _PULL_RESP_HEAD.pack(
+        message.req_id & 0xFFFFFFFF, len(message.missing)
+    )
+    size = len(buffer) + len(message.missing) * _EVENT_ID.size
+    payload_total = 0
+    total = len(message.events)
+    for index, event in enumerate(message.events):
+        try:
+            payload = json.dumps(event.payload).encode()
+        except (TypeError, ValueError) as exc:
+            raise CodecError(
+                f"payload of event {event.id} is not JSON-serializable: {exc}"
+            ) from exc
+        size += _CHUNK_EVENT.size + len(payload)
+        if size > MAX_DATAGRAM:
+            raise CodecError(
+                f"payload-response event {index + 1} of {total} (event "
+                f"{event.id}) pushes the encoded message to {size} bytes, "
+                f"exceeding the {MAX_DATAGRAM}-byte datagram cap"
+            )
+        buffer += _CHUNK_EVENT.pack(
+            event.ts, event.source_id, event.seq, len(payload)
+        )
+        buffer += payload
+        payload_total += len(payload)
+    for source, seq in message.missing:
+        buffer += _EVENT_ID.pack(source, seq)
+    return payload_total
+
+
+def _decode_payload_response(body, count: int) -> PayloadResponse:
+    if _PULL_RESP_HEAD.size > len(body):
+        raise CodecError("truncated payload-response header")
+    req_id, missing_count = _PULL_RESP_HEAD.unpack_from(body)
+    offset = _PULL_RESP_HEAD.size
+    events = []
+    for _ in range(count):
+        if offset + _CHUNK_EVENT.size > len(body):
+            raise CodecError("truncated payload-response event header")
+        ts, source, seq, payload_len = _CHUNK_EVENT.unpack_from(body, offset)
+        offset += _CHUNK_EVENT.size
+        if offset + payload_len > len(body):
+            raise CodecError("truncated payload-response event payload")
+        raw = body[offset : offset + payload_len]
+        offset += payload_len
+        payload = _json_payload(raw, "corrupt payload-response payload")
+        events.append(
+            Event(id=(source, seq), ts=ts, source_id=source, payload=payload)
+        )
+    end = offset + missing_count * _EVENT_ID.size
+    if end > len(body):
+        raise CodecError("truncated payload-response missing ids")
+    missing = tuple(
+        _EVENT_ID.unpack_from(body, offset + i * _EVENT_ID.size)
+        for i in range(missing_count)
+    )
+    if end != len(body):
+        raise CodecError(
+            f"{len(body) - end} trailing bytes after payload response"
+        )
+    return PayloadResponse(req_id=req_id, events=tuple(events), missing=missing)

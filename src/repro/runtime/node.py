@@ -94,17 +94,37 @@ class AsyncEpToNode:
                     user_deliver(event)
 
             on_deliver = journaled_deliver
-        self.process = EpToProcess(
-            node_id=node_id,
-            config=config,
-            peer_sampler=peer_sampler,
-            transport=AsyncNodeTransport(network),
-            on_deliver=on_deliver,
-            on_out_of_order=on_out_of_order,
-            time_source=_monotonic_millis,
-            rng=self._rng,
-            system_size_hint=system_size_hint,
-        )
+        if config.mode == "lazy":
+            if sync_config is not None:
+                raise ValueError(
+                    "anti-entropy sync is not supported in lazy mode "
+                    "(repaired events bypass the payload store)"
+                )
+            from ..lazy.process import LazyEpToProcess
+
+            self.process: Any = LazyEpToProcess(
+                node_id=node_id,
+                config=config,
+                peer_sampler=peer_sampler,
+                transport=AsyncNodeTransport(network),
+                on_deliver=on_deliver,
+                on_out_of_order=on_out_of_order,
+                time_source=_monotonic_millis,
+                rng=self._rng,
+                system_size_hint=system_size_hint,
+            )
+        else:
+            self.process = EpToProcess(
+                node_id=node_id,
+                config=config,
+                peer_sampler=peer_sampler,
+                transport=AsyncNodeTransport(network),
+                on_deliver=on_deliver,
+                on_out_of_order=on_out_of_order,
+                time_source=_monotonic_millis,
+                rng=self._rng,
+                system_size_hint=system_size_hint,
+            )
         self._task: Optional[asyncio.Task] = None
         self._shuffle_task: Optional[asyncio.Task] = None
         self._sync_task: Optional[asyncio.Task] = None
@@ -135,9 +155,9 @@ class AsyncEpToNode:
         if self._task is None or self._task.done():
             self._task = loop.create_task(self._round_loop())
             self._task.add_done_callback(self._on_round_task_done)
-        from ..pss.cyclon import CyclonPss
-
-        if isinstance(self._pss, CyclonPss) and (
+        # Any self-maintaining PSS (Cyclon, HyParView, Brahms) gets a
+        # shuffle task; the idealized uniform view has no shuffle.
+        if callable(getattr(self._pss, "shuffle", None)) and (
             self._shuffle_task is None or self._shuffle_task.done()
         ):
             self._shuffle_task = loop.create_task(self._shuffle_loop())
@@ -225,14 +245,28 @@ class AsyncEpToNode:
     # ------------------------------------------------------------------
 
     def _handle_message(self, src: int, message: Any) -> None:
-        # Cyclon traffic (when the PSS is a CyclonPss), anti-entropy
-        # traffic (when a SyncManager runs), or a ball.
+        # Cyclon traffic (when the PSS is a CyclonPss), overlay
+        # maintenance (HyParView/Brahms), lazy-push traffic (when the
+        # process is lazy), anti-entropy traffic (when a SyncManager
+        # runs), or a ball.
+        from ..lazy.protocol import LAZY_MESSAGE_TYPES
+        from ..pss import OVERLAY_MESSAGE_TYPES
         from ..pss.cyclon import CyclonRequest, CyclonResponse
 
         if isinstance(message, CyclonRequest):
             self._pss.handle_request(src, message)  # type: ignore[attr-defined]
         elif isinstance(message, CyclonResponse):
             self._pss.handle_response(src, message)  # type: ignore[attr-defined]
+        elif isinstance(message, OVERLAY_MESSAGE_TYPES):
+            overlay = getattr(self._pss, "handle_message", None)
+            if overlay is not None:
+                overlay(src, message)
+            # else: overlay chatter at a uniform/cyclon node; drop
+        elif isinstance(message, LAZY_MESSAGE_TYPES):
+            lazy = getattr(self.process, "on_lazy_message", None)
+            if lazy is not None:
+                lazy(src, message)
+            # else: stray lazy traffic at an eager node; drop
         elif isinstance(message, SYNC_MESSAGE_TYPES):
             if self.sync_manager is not None:
                 self.sync_manager.on_message(src, message)

@@ -67,7 +67,13 @@ from ..auth.authenticator import SignedBall
 from ..auth.guard import BallGuard
 from ..core.errors import MembershipError
 from . import batchio, fastloop
-from .codec import CodecError, CodecVersionError, decode, encode_into
+from .codec import (
+    CodecError,
+    CodecVersionError,
+    decode,
+    encode_into,
+    last_encode_payload_bytes,
+)
 
 #: Inbox callback: ``handler(src, message)``.
 UdpMessageHandler = Callable[[int, Any], None]
@@ -113,6 +119,14 @@ class UdpStats:
     syscalls_recv: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    #: Encode-side byte split: JSON application payload vs everything
+    #: else (headers, entry metadata, MACs, watermarks), counted per
+    #: datagram times its fan-out at encode time — before the fault
+    #: surfaces, so the two sum to the bytes *offered* to the wire.
+    #: This is the pair the lazy-push benchmark compares across modes
+    #: (metadata-only id-balls vs full eager balls; docs/OVERLAY.md).
+    metadata_bytes_sent: int = 0
+    payload_bytes_sent: int = 0
 
     @property
     def dropped_undecodable(self) -> int:
@@ -405,6 +419,7 @@ class UdpNetwork:
             self.stats.sent += 1
             self.stats.dropped_encode += 1
             return
+        self._account_split(len(datagram), copies=1)
         self._dispatch(src, dst, datagram)
 
     def send_many(self, src: int, dsts, message: Any) -> None:
@@ -432,6 +447,7 @@ class UdpNetwork:
                 self.stats.sent += 1
                 self.stats.dropped_encode += 1
             return
+        self._account_split(len(datagram), copies=len(dsts))
         endpoint = self._transports.get(src)
         if getattr(endpoint, "is_raw", False):
             stats = self.stats
@@ -509,6 +525,7 @@ class UdpNetwork:
                 stats.dropped_encode += 1
                 continue
             stats.encoded_datagrams += 1
+            self._account_split(len(buffer), copies=1)
             batch.append((buffer, address))
         endpoint.send_batch(batch)
 
@@ -534,6 +551,14 @@ class UdpNetwork:
             return ball
         self._guard.seal(src, ball)
         return self._guard.attach(ball)
+
+    def _account_split(self, datagram_len: int, copies: int) -> None:
+        """Record the metadata/payload byte split of the last encode,
+        multiplied by its fan-out (encode-once paths ship the same
+        bytes to several destinations)."""
+        payload = last_encode_payload_bytes()
+        self.stats.payload_bytes_sent += payload * copies
+        self.stats.metadata_bytes_sent += (datagram_len - payload) * copies
 
     def _encode(self, src: int, message: Any) -> memoryview:
         """Serialize one message into the shared pool buffer.

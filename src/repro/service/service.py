@@ -154,6 +154,14 @@ class TopicState:
     #: re-created each round; publishers blocked on backpressure await
     #: the current event and re-check after the round drains the buffer.
     round_drained: asyncio.Event = field(default_factory=asyncio.Event)
+    #: per-topic round interval override in milliseconds (``None`` =
+    #: the host config's interval). Topics sharing an interval still
+    #: tick in one loop iteration, so their fan-outs keep coalescing
+    #: into shared envelopes; a topic on its own cadence trades that
+    #: batching for the cadence.
+    round_interval: Optional[int] = None
+    #: rounds ticked on this topic (drives tests and metrics).
+    rounds_ticked: int = 0
 
 
 class BroadcastService:
@@ -236,16 +244,30 @@ class BroadcastService:
         self,
         topic: int,
         on_deliver: Callable[[Event], None] | None = None,
+        round_interval: Optional[int] = None,
     ) -> TopicState:
         """Join *topic*: build its EpTO engine over this host's shared
-        endpoint (and its journal, when the host is durable)."""
+        endpoint (and its journal, when the host is durable).
+
+        ``round_interval`` (milliseconds) puts the topic on its own
+        round cadence instead of the host config's — a chatty low-
+        latency topic and a bulk slow topic can share one host without
+        sharing a clock. Topics left on the default keep ticking in the
+        same loop iteration, preserving cross-topic envelope batching.
+        """
         if topic in self.topics:
             raise MembershipError(f"host {self.host_id} already opened topic {topic}")
+        if round_interval is not None and round_interval <= 0:
+            raise MembershipError(
+                f"round_interval must be positive, got {round_interval}"
+            )
         directory = self.directories.setdefault(topic, MembershipDirectory())
         journal = self._open_journal(topic)
         # A running round task needs no notification — it iterates the
         # topic map afresh every tick, so the new topic joins next round.
-        return self._provision(topic, directory, journal, on_deliver)
+        state = self._provision(topic, directory, journal, on_deliver)
+        state.round_interval = round_interval
+        return state
 
     async def close_topic(self, topic: int) -> None:
         """Leave *topic* gracefully: stop its engine, close its
@@ -411,11 +433,45 @@ class BroadcastService:
     def crashed(self) -> bool:
         return self._crashed
 
+    def _interval_s(self, state: TopicState) -> float:
+        interval = (
+            state.round_interval
+            if state.round_interval is not None
+            else self.config.round_interval
+        )
+        return interval / 1000.0
+
     async def _round_loop(self) -> None:
-        interval_s = self.config.round_interval / 1000.0
+        # Per-topic absolute due times: topics on the default interval
+        # (scheduled in the same loop iteration) share due times and
+        # keep ticking together — cross-topic envelope batching stays
+        # intact — while an overridden topic runs its own cadence.
+        loop = asyncio.get_running_loop()
+        default_s = self.config.round_interval / 1000.0
+        next_due: Dict[int, float] = {}
         while True:
-            await asyncio.sleep(interval_s)
-            self.tick()
+            now = loop.time()
+            for topic in list(next_due):
+                if topic not in self.topics:
+                    del next_due[topic]
+            for topic, state in self.topics.items():
+                if topic not in next_due:
+                    next_due[topic] = now + self._interval_s(state)
+            if not next_due:
+                await asyncio.sleep(default_s)
+                continue
+            delay = min(next_due.values()) - now
+            if delay > 0:
+                await asyncio.sleep(delay)
+            now = loop.time()
+            due = [topic for topic, at in next_due.items() if at <= now]
+            self._tick_topics(due)
+            for topic in due:
+                state = self.topics.get(topic)
+                if state is None:
+                    next_due.pop(topic, None)
+                else:
+                    next_due[topic] = now + self._interval_s(state)
 
     def tick(self) -> None:
         """One service round: every topic's EpTO round plus its sync
@@ -425,9 +481,17 @@ class BroadcastService:
         is what makes cross-topic batching real: every topic's fan-out
         lands in the demux's pending queue before its end-of-tick
         flush, so one peer receives one envelope carrying all topics'
-        balls.
+        balls. (The driver for tests and drills; the round loop ticks
+        only the topics whose cadence is due.)
         """
-        for state in list(self.topics.values()):
+        self._tick_topics(list(self.topics))
+
+    def _tick_topics(self, topics: List[int]) -> None:
+        for topic in topics:
+            state = self.topics.get(topic)
+            if state is None:
+                continue
+            state.rounds_ticked += 1
             state.node.process.on_round()
             if state.node.sync_manager is not None:
                 state.node.sync_manager.on_round()

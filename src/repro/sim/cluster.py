@@ -33,9 +33,14 @@ from ..core.config import EpToConfig
 from ..core.errors import MembershipError
 from ..core.event import Ball, Event
 from ..core.process import EpToProcess
+from ..lazy.process import LazyEpToProcess
+from ..lazy.protocol import LAZY_MESSAGE_TYPES
 from ..metrics.collector import DeliveryCollector
+from ..pss import OVERLAY_MESSAGE_TYPES
 from ..pss.base import MembershipDirectory
+from ..pss.brahms import BrahmsPss
 from ..pss.cyclon import CyclonPss, CyclonRequest, CyclonResponse
+from ..pss.hyparview import HyParViewPss
 from ..pss.uniform import UniformViewPss
 from ..sync.config import SyncConfig
 from ..sync.manager import SyncManager, epto_chunk_applier
@@ -80,8 +85,10 @@ class ClusterConfig:
 
     Attributes:
         epto: EpTO algorithm configuration shared by every node.
-        pss: ``"uniform"`` (idealized, paper default) or ``"cyclon"``
-            (realistic, paper Figure 9).
+        pss: ``"uniform"`` (idealized, paper default), ``"cyclon"``
+            (realistic, paper Figure 9), ``"hyparview"`` (two-tier
+            views with reactive repair) or ``"brahms"``
+            (Byzantine-resilient sampling); see docs/OVERLAY.md.
         drift: Round-period drift model (paper default: 1% uniform).
         cyclon_view_size: Cyclon view capacity; defaults to
             ``2 * fanout`` so the view always has enough entries to
@@ -119,7 +126,7 @@ class ClusterConfig:
     respawn_hold_slack: int = RESPAWN_HOLD_SLACK_ROUNDS
 
     def __post_init__(self) -> None:
-        if self.pss not in ("uniform", "cyclon"):
+        if self.pss not in ("uniform", "cyclon", "hyparview", "brahms"):
             raise MembershipError(f"unknown PSS kind {self.pss!r}")
         if self.round_phase not in ("synchronized", "staggered"):
             raise MembershipError(f"unknown round phase {self.round_phase!r}")
@@ -216,6 +223,11 @@ class SimCluster:
             raise MembershipError(
                 "anti-entropy sync requires storage_dir (it exchanges "
                 "delivery-log suffixes)"
+            )
+        if sync is not None and config.epto.mode == "lazy":
+            raise MembershipError(
+                "anti-entropy sync is not supported in lazy mode (repaired "
+                "events bypass the payload store; run mode='eager' with sync)"
             )
         self.sim = sim
         self.network = network
@@ -337,6 +349,16 @@ class SimCluster:
                 pss.handle_request(src, message)  # type: ignore[union-attr]
             elif isinstance(message, CyclonResponse):
                 pss.handle_response(src, message)  # type: ignore[union-attr]
+            elif isinstance(message, OVERLAY_MESSAGE_TYPES):
+                overlay = getattr(pss, "handle_message", None)
+                if overlay is not None:
+                    overlay(src, message)
+                # else: overlay chatter at a uniform/cyclon node; drop
+            elif isinstance(message, LAZY_MESSAGE_TYPES):
+                lazy = getattr(process, "on_lazy_message", None)
+                if lazy is not None:
+                    lazy(src, message)
+                # else: stray lazy traffic at an eager node; drop
             elif isinstance(message, SYNC_MESSAGE_TYPES):
                 if sync_manager is not None:
                     sync_manager.on_message(src, message)
@@ -384,11 +406,15 @@ class SimCluster:
             initial_delay=first_round,
         )
         shuffle_task = None
-        if isinstance(pss, CyclonPss):
+        shuffle_fn = getattr(pss, "shuffle", None)
+        if callable(shuffle_fn):
+            # Any self-maintaining PSS (Cyclon, HyParView, Brahms)
+            # shares the shuffle cadence; the idealized uniform view
+            # has no shuffle and needs no task.
             period = self.config.cyclon_period or interval
             shuffle_task = PeriodicTask(
                 self.sim,
-                pss.shuffle,
+                shuffle_fn,
                 period_source=lambda: period,
                 initial_delay=self._rng.randrange(max(1, period)),
             )
@@ -555,6 +581,33 @@ class SimCluster:
             bootstrap = self.directory.sample(self._rng, view_size, exclude=node_id)
             pss.bootstrap(bootstrap)
             return pss
+        if self.config.pss == "hyparview":
+            fanout = self.config.epto.fanout
+            active_size = max(fanout + 1, self.config.cyclon_view_size or 0)
+            pss = HyParViewPss(
+                node_id=node_id,
+                active_size=active_size,
+                passive_size=4 * active_size,
+                send=lambda dst, msg: self.network.send(node_id, dst, msg),
+                rng=node_rng,
+            )
+            bootstrap = self.directory.sample(
+                self._rng, 4 * active_size, exclude=node_id
+            )
+            pss.bootstrap(bootstrap)
+            return pss
+        if self.config.pss == "brahms":
+            fanout = self.config.epto.fanout
+            view_size = self.config.cyclon_view_size or 2 * fanout
+            pss = BrahmsPss(
+                node_id=node_id,
+                view_size=view_size,
+                send=lambda dst, msg: self.network.send(node_id, dst, msg),
+                rng=node_rng,
+            )
+            bootstrap = self.directory.sample(self._rng, view_size, exclude=node_id)
+            pss.bootstrap(bootstrap)
+            return pss
         raise MembershipError(f"unknown PSS kind {self.config.pss!r}")
 
     def _build_process(
@@ -587,6 +640,17 @@ class SimCluster:
                 on_deliver=on_deliver,
                 time_source=self.sim.now,
                 rng=node_rng,
+            )
+        if self.config.epto.mode == "lazy":
+            return LazyEpToProcess(
+                node_id=node_id,
+                config=self.config.epto,
+                peer_sampler=pss,  # type: ignore[arg-type]
+                transport=self.network,
+                on_deliver=on_deliver,
+                time_source=self.sim.now,
+                rng=node_rng,
+                system_size_hint=self.config.expected_size,
             )
         return EpToProcess(
             node_id=node_id,

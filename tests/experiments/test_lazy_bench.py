@@ -1,0 +1,61 @@
+"""Tests for the eager-vs-lazy dissemination benchmark
+(:mod:`repro.experiments.lazy_bench`).
+
+Like the other bench tests these pin semantics — delivery/agreement
+gating, byte accounting, speedup wiring — never wall-clock numbers.
+The committed BENCH_core.json carries the preset-scale run; here a
+deliberately small comparison keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.lazy_bench import SPEEDUP_FLOOR, run_lazy_bench
+from repro.experiments.registry import get_experiment
+
+
+@pytest.fixture(scope="module")
+def bench_result():
+    """One small comparison shared by the read-only assertions."""
+    return run_lazy_bench(seed=23, n=16, fanout=4, rounds=3, payload_size=128)
+
+
+class TestLazyBench:
+    def test_both_sides_deliver_with_agreement(self, bench_result) -> None:
+        assert bench_result.eager.delivered
+        assert bench_result.lazy.delivered
+        assert bench_result.eager.safety_ok
+        assert bench_result.lazy.safety_ok
+        assert bench_result.eager.events == bench_result.lazy.events
+
+    def test_lazy_push_cuts_payload_bytes_on_wire(self, bench_result) -> None:
+        # The acceptance gate: >= 2x fewer payload bytes. Even this
+        # small comparison clears the floor by a wide margin because
+        # eager re-ships every payload TTL x fanout times.
+        assert bench_result.speedup >= SPEEDUP_FLOOR
+        assert bench_result.lazy.payload_bytes < bench_result.eager.payload_bytes
+        assert bench_result.exit_ok
+
+    def test_byte_split_is_populated_on_both_sides(self, bench_result) -> None:
+        for side in (bench_result.eager, bench_result.lazy):
+            assert side.metadata_bytes > 0
+            assert side.payload_bytes > 0
+            assert side.total_bytes == side.metadata_bytes + side.payload_bytes
+
+    def test_as_dict_carries_the_gated_speedup(self, bench_result) -> None:
+        data = bench_result.as_dict()
+        assert data["speedup"] == round(bench_result.speedup, 2)
+        assert data["eager"]["payload_bytes"] > data["lazy"]["payload_bytes"]
+        assert data["delay_penalty"] == round(bench_result.delay_penalty, 2)
+
+    def test_render_charts_delay_vs_bytes(self, bench_result) -> None:
+        text = bench_result.render()
+        assert "eager" in text and "lazy" in text
+        assert "payload" in text
+        assert "p95" in text
+
+    def test_registered_under_the_cli(self) -> None:
+        entry = get_experiment("lazy-bench")
+        assert entry.runner is run_lazy_bench
+        assert entry.takes_scale

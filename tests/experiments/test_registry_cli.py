@@ -32,7 +32,7 @@ class TestRegistry:
             "ablation-empirical",
         }
         drills = {"drill", "service-drill"}
-        benches = {"net-bench", "service-bench"}
+        benches = {"net-bench", "service-bench", "lazy-bench"}
         assert set(REGISTRY) == figures | ablations | drills | benches
 
     def test_scale_flag_matches_runner_signature(self):

@@ -1,0 +1,137 @@
+"""Unit tests for the duplicate-suppressing pull manager (repro.lazy.pull)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lazy.pull import PullManager
+
+
+def _manager(**kwargs):
+    kwargs.setdefault("rng", random.Random(7))
+    return PullManager(node_id=0, **kwargs)
+
+
+class TestWant:
+    def test_want_registers_once(self):
+        pull = _manager()
+        assert pull.want((1, 0), advertisers=[1])
+        assert not pull.want((1, 0), advertisers=[2])
+        assert pull.pending_count == 1
+        assert pull.is_pending((1, 0))
+
+    def test_duplicate_sightings_accumulate_advertisers(self):
+        pull = _manager()
+        pull.want((1, 0), advertisers=[1])
+        pull.note_advertiser((1, 0), 2)
+        pull.note_advertiser((1, 0), 2)  # dedup
+        pull.note_advertiser((1, 0), 0)  # never self
+        requests = pull.collect(0)
+        assert len(requests) == 1
+        pull.reject((1, 0), requests[0][0])
+        # The retry rotates to the second advertiser.
+        retry = pull.collect(1)
+        assert retry[0][0] == 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            _manager(timeout_rounds=0)
+        with pytest.raises(ValueError):
+            _manager(max_ids_per_request=0)
+
+
+class TestCollect:
+    def test_collect_batches_per_advertiser(self):
+        pull = _manager()
+        pull.want((1, 0), advertisers=[5])
+        pull.want((1, 1), advertisers=[5])
+        pull.want((2, 0), advertisers=[6])
+        requests = pull.collect(0)
+        by_peer = {dst: req for dst, req in requests}
+        assert set(by_peer) == {5, 6}
+        assert set(by_peer[5].ids) == {(1, 0), (1, 1)}
+        assert by_peer[6].ids == ((2, 0),)
+        assert pull.stats.pulls_issued == 3
+        assert pull.stats.requests_sent == 2
+
+    def test_inflight_ids_are_not_rerequested(self):
+        pull = _manager()
+        pull.want((1, 0), advertisers=[5])
+        assert len(pull.collect(0)) == 1
+        # Still in flight: no duplicate request next round.
+        assert pull.collect(1) == []
+
+    def test_batch_cap_splits_requests(self):
+        pull = _manager(max_ids_per_request=2)
+        for seq in range(5):
+            pull.want((1, seq), advertisers=[5])
+        requests = pull.collect(0)
+        assert len(requests) == 3
+        assert sorted(len(req.ids) for _, req in requests) == [1, 2, 2]
+
+    def test_no_advertisers_means_no_request(self):
+        pull = _manager()
+        pull.want((1, 0))
+        assert pull.collect(0) == []
+        # An advertiser showing up later unblocks the pull.
+        pull.note_advertiser((1, 0), 3)
+        assert pull.collect(1)[0][0] == 3
+
+    def test_req_id_wraps_at_u32(self):
+        pull = _manager()
+        pull._next_req_id = 0xFFFFFFFF
+        pull.want((1, 0), advertisers=[5])
+        _, request = pull.collect(0)[0]
+        assert request.req_id == 0xFFFFFFFF
+        assert pull._next_req_id == 0
+
+
+class TestTimeoutAndRetry:
+    def test_timeout_expires_and_retries(self):
+        pull = _manager(timeout_rounds=2)
+        pull.want((1, 0), advertisers=[5, 6])
+        assert pull.collect(0)[0][0] == 5
+        assert pull.collect(1) == []  # not timed out yet
+        retry = pull.collect(2)  # expired: rotate to the next advertiser
+        assert retry[0][0] == 6
+        assert pull.stats.pulls_retried == 1
+
+    def test_reject_retries_before_timeout(self):
+        pull = _manager(timeout_rounds=10)
+        pull.want((1, 0), advertisers=[5, 6])
+        pull.collect(0)
+        pull.reject((1, 0), 5)
+        assert pull.stats.pulls_failed == 1
+        # No waiting out the long timeout: retry fires immediately.
+        assert pull.collect(1)[0][0] == 6
+
+    def test_single_advertiser_is_retried_again(self):
+        pull = _manager(timeout_rounds=1)
+        pull.want((1, 0), advertisers=[5])
+        assert pull.collect(0)[0][0] == 5
+        assert pull.collect(1)[0][0] == 5  # rotation of length 1
+
+
+class TestSatisfy:
+    def test_satisfy_retires_the_pull(self):
+        pull = _manager()
+        pull.want((1, 0), advertisers=[5])
+        requests = pull.collect(0)
+        assert pull.satisfy((1, 0))
+        assert not pull.satisfy((1, 0))  # duplicate response
+        assert pull.pending_count == 0
+        assert pull.stats.pulls_served == 1
+        pull.acknowledge(requests[0][1].req_id)
+        assert pull.collect(1) == []
+
+    def test_partial_response_keeps_siblings_pending(self):
+        pull = _manager(timeout_rounds=1)
+        pull.want((1, 0), advertisers=[5])
+        pull.want((1, 1), advertisers=[5])
+        pull.collect(0)
+        pull.satisfy((1, 0))
+        assert pull.is_pending((1, 1))
+        # The sibling id still expires and retries on its own.
+        assert pull.collect(2)[0][1].ids == ((1, 1),)

@@ -1,0 +1,72 @@
+"""Unit tests for the lazy-push payload store (repro.lazy.store)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.event import Event
+from repro.lazy.store import PayloadStore
+
+
+def _event(src=1, seq=0, payload="p"):
+    return Event(id=(src, seq), ts=10 + seq, source_id=src, payload=payload)
+
+
+class TestPut:
+    def test_put_stores_and_counts(self):
+        store = PayloadStore(retention_rounds=4)
+        assert store.put(_event(), 0)
+        assert (1, 0) in store
+        assert len(store) == 1
+        assert store.stats.stored == 1
+
+    def test_put_is_idempotent(self):
+        store = PayloadStore(retention_rounds=4)
+        event = _event()
+        assert store.put(event, 0)
+        assert not store.put(event, 1)
+        assert len(store) == 1
+        assert store.stats.stored == 1
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(ValueError):
+            PayloadStore(retention_rounds=0)
+
+
+class TestServe:
+    def test_serve_counts_hits_and_misses(self):
+        store = PayloadStore(retention_rounds=4)
+        event = _event(payload={"k": 1})
+        store.put(event, 0)
+        assert store.serve((1, 0)) == event
+        assert store.serve((9, 9)) is None
+        assert store.stats.served == 1
+        assert store.stats.misses == 1
+
+    def test_get_does_not_count_a_pull(self):
+        store = PayloadStore(retention_rounds=4)
+        store.put(_event(), 0)
+        assert store.get((1, 0)) is not None
+        assert store.get((9, 9)) is None
+        assert store.stats.served == 0
+        assert store.stats.misses == 0
+
+
+class TestGc:
+    def test_gc_evicts_only_expired_entries(self):
+        store = PayloadStore(retention_rounds=3)
+        store.put(_event(seq=0), 0)
+        store.put(_event(seq=1), 5)
+        assert store.gc(3) == 0  # round 0 entry still inside retention
+        assert store.gc(4) == 1  # now more than retention_rounds old
+        assert (1, 0) not in store
+        assert (1, 1) in store
+        assert store.stats.evicted == 1
+
+    def test_gc_is_monotone_and_repeat_safe(self):
+        store = PayloadStore(retention_rounds=2)
+        for seq in range(5):
+            store.put(_event(seq=seq), seq)
+        assert store.gc(10) == 5
+        assert store.gc(10) == 0
+        assert len(store) == 0

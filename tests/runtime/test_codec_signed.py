@@ -73,10 +73,10 @@ class TestRoundTrip:
 
 class TestVersionGate:
     def test_unknown_version_raises_version_error(self):
-        # Version 3 is the multi-topic envelope version, so the first
-        # genuinely unknown version is now 4.
+        # Version 4 is the lazy-push version, so the first genuinely
+        # unknown version is now 5.
         wire = bytearray(codec.encode(1, _signed_ball()))
-        wire[2] = 4
+        wire[2] = 5
         with pytest.raises(CodecVersionError):
             codec.decode(bytes(wire))
 

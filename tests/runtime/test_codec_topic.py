@@ -153,7 +153,7 @@ class TestEncodeRejections:
 class TestVersionGate:
     def test_unknown_version_raises_version_error(self):
         wire = bytearray(codec.encode(1, _mixed_envelope()))
-        wire[2] = 4
+        wire[2] = 5
         with pytest.raises(CodecVersionError):
             codec.decode(bytes(wire))
 

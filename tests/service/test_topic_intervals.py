@@ -1,0 +1,106 @@
+"""Per-topic round-interval overrides on one host (satellite of the
+lazy-push PR): two topics on the same :class:`BroadcastService` must
+tick at their own cadences, while topics left on the default keep
+ticking together (preserving cross-topic envelope batching)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.config import EpToConfig
+from repro.core.errors import MembershipError
+from repro.runtime.transport import AsyncNetwork
+from repro.service import BroadcastService
+
+
+def _host(interval=200):
+    config = EpToConfig.for_system_size(4, round_interval=interval)
+    return BroadcastService(
+        host_id=0, config=config, network=AsyncNetwork(seed=5), seed=5
+    )
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestOverride:
+    def test_two_topics_tick_at_different_rates_on_one_host(self):
+        async def scenario():
+            host = _host(interval=200)
+            fast = host.open_topic(1, round_interval=10)
+            slow = host.open_topic(2, round_interval=80)
+            host.start()
+            try:
+                await asyncio.sleep(0.5)
+            finally:
+                await host.close()
+            # ~50 fast ticks vs ~6 slow ones; demand a conservative
+            # gap so scheduler jitter cannot flake the assertion.
+            assert fast.rounds_ticked >= 2 * slow.rounds_ticked
+            assert slow.rounds_ticked >= 2
+            return fast.rounds_ticked, slow.rounds_ticked
+
+        fast_ticks, slow_ticks = _run(scenario())
+        assert fast_ticks > slow_ticks
+
+    def test_default_topics_share_the_host_cadence(self):
+        async def scenario():
+            host = _host(interval=20)
+            first = host.open_topic(1)
+            second = host.open_topic(2)
+            host.start()
+            try:
+                await asyncio.sleep(0.3)
+            finally:
+                await host.close()
+            # Same cadence: the round loop ticks both in one iteration.
+            assert abs(first.rounds_ticked - second.rounds_ticked) <= 1
+            assert first.rounds_ticked >= 5
+
+        _run(scenario())
+
+    def test_manual_tick_drives_every_cadence(self):
+        async def scenario():
+            host = _host()
+            fast = host.open_topic(1, round_interval=10)
+            slow = host.open_topic(2, round_interval=1000)
+            host.tick()
+            host.tick()
+            assert fast.rounds_ticked == 2
+            assert slow.rounds_ticked == 2
+            await host.close()
+
+        _run(scenario())
+
+    def test_topic_opened_mid_flight_joins_its_own_cadence(self):
+        async def scenario():
+            host = _host(interval=200)
+            host.open_topic(1, round_interval=60)
+            host.start()
+            await asyncio.sleep(0.15)
+            late = host.open_topic(2, round_interval=10)
+            try:
+                await asyncio.sleep(0.3)
+            finally:
+                await host.close()
+            assert late.rounds_ticked >= 5
+
+        _run(scenario())
+
+
+class TestValidation:
+    def test_nonpositive_interval_rejected(self):
+        async def scenario():
+            host = _host()
+            with pytest.raises(MembershipError, match="round_interval"):
+                host.open_topic(1, round_interval=0)
+            with pytest.raises(MembershipError, match="round_interval"):
+                host.open_topic(1, round_interval=-5)
+            # The failed opens left no topic state behind.
+            assert host.topics == {}
+            await host.close()
+
+        _run(scenario())
